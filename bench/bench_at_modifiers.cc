@@ -1,0 +1,76 @@
+// Cost of each AT context modifier (paper table 3) at a grouped call site,
+// relative to the bare measure. The shape claim: with memoization, ALL/SET
+// contexts that repeat across groups cost O(1) probes after the first
+// evaluation; WHERE contexts with per-group correlations cost one source
+// selection per group; VISIBLE additionally collects the group's row ids.
+//
+// Args: {rows, products}.
+
+#include "benchmark/benchmark.h"
+#include "workload.h"
+
+namespace {
+
+using msql::Engine;
+using msql::ResultSet;
+using msql::bench::CheckResult;
+using msql::bench::LoadOrders;
+
+void RunQuery(benchmark::State& state, const std::string& select_item) {
+  Engine db;
+  LoadOrders(&db, static_cast<int>(state.range(0)),
+             static_cast<int>(state.range(1)), /*customers=*/50);
+  std::string query = "SELECT prodName, " + select_item +
+                      " AS v FROM EO GROUP BY prodName";
+  for (auto _ : state) {
+    ResultSet rs = CheckResult(db.Query(query), "query");
+    benchmark::DoNotOptimize(rs);
+  }
+  state.counters["source_scans"] =
+      static_cast<double>(db.last_stats().measure_source_scans);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_BareMeasure(benchmark::State& state) {
+  RunQuery(state, "sumRevenue");
+}
+void BM_Aggregate(benchmark::State& state) {
+  RunQuery(state, "AGGREGATE(sumRevenue)");
+}
+void BM_Visible(benchmark::State& state) {
+  RunQuery(state, "sumRevenue AT (VISIBLE)");
+}
+void BM_AllDim(benchmark::State& state) {
+  RunQuery(state, "sumRevenue AT (ALL prodName)");
+}
+void BM_AllEverything(benchmark::State& state) {
+  RunQuery(state, "sumRevenue AT (ALL)");
+}
+void BM_SetConstant(benchmark::State& state) {
+  RunQuery(state, "sumRevenue AT (SET prodName = 'P0')");
+}
+void BM_SetCurrent(benchmark::State& state) {
+  RunQuery(state, "sumRevenue AT (SET orderYear = CURRENT orderYear - 1)");
+}
+void BM_WhereModifier(benchmark::State& state) {
+  RunQuery(state, "sumRevenue AT (WHERE revenue > 250)");
+}
+void BM_ShareOfTotal(benchmark::State& state) {
+  RunQuery(state, "sumRevenue * 1.0 / sumRevenue AT (ALL prodName)");
+}
+
+#define SIZES                                            \
+  Args({4000, 16})->Args({4000, 256})->Args({32000, 256}) \
+      ->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_BareMeasure)->SIZES;
+BENCHMARK(BM_Aggregate)->SIZES;
+BENCHMARK(BM_Visible)->SIZES;
+BENCHMARK(BM_AllDim)->SIZES;
+BENCHMARK(BM_AllEverything)->SIZES;
+BENCHMARK(BM_SetConstant)->SIZES;
+BENCHMARK(BM_SetCurrent)->SIZES;
+BENCHMARK(BM_WhereModifier)->SIZES;
+BENCHMARK(BM_ShareOfTotal)->SIZES;
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Paper section 5.7: conciseness. A measure query referencing k evaluation
+// contexts stays O(k) tokens, while its plain-SQL expansion repeats a
+// correlated subquery (with the full formula and filter set) per context.
+// This harness reports the sizes side by side and times the expansion
+// itself. Shape claim: expanded/measure size ratio grows roughly linearly
+// in k and with the formula length.
+//
+// Args: {contexts}.
+
+#include "benchmark/benchmark.h"
+#include "parser/lexer.h"
+#include "workload.h"
+
+namespace {
+
+using msql::Engine;
+using msql::Lexer;
+using msql::bench::CheckResult;
+using msql::bench::LoadOrders;
+
+size_t CountTokens(const std::string& sql) {
+  Lexer lexer(sql);
+  auto tokens = lexer.Tokenize();
+  return tokens.ok() ? tokens.value().size() - 1 : 0;  // minus EOF
+}
+
+// A query family: compare this year's revenue to each of the k previous
+// years (k distinct evaluation contexts).
+std::string MakeMeasureQuery(int contexts) {
+  std::string q = "SELECT prodName, orderYear, AGGREGATE(sumRevenue) AS rev";
+  for (int k = 1; k <= contexts; ++k) {
+    q += ", sumRevenue AT (SET orderYear = CURRENT orderYear - " +
+         std::to_string(k) + ") AS rev_minus_" + std::to_string(k);
+  }
+  q += " FROM EO GROUP BY prodName, orderYear";
+  return q;
+}
+
+void BM_Conciseness(benchmark::State& state) {
+  Engine db;
+  LoadOrders(&db, 100, 8, 8);
+  std::string measure_query = MakeMeasureQuery(static_cast<int>(state.range(0)));
+  std::string expanded;
+  for (auto _ : state) {
+    expanded = CheckResult(db.ExpandSql(measure_query), "expansion");
+    benchmark::DoNotOptimize(expanded);
+  }
+  state.counters["measure_chars"] =
+      static_cast<double>(measure_query.size());
+  state.counters["expanded_chars"] = static_cast<double>(expanded.size());
+  state.counters["measure_tokens"] =
+      static_cast<double>(CountTokens(measure_query));
+  state.counters["expanded_tokens"] =
+      static_cast<double>(CountTokens(expanded));
+  state.counters["token_ratio"] =
+      static_cast<double>(CountTokens(expanded)) /
+      static_cast<double>(CountTokens(measure_query));
+}
+
+// Both forms must agree; correctness gate for the family above.
+void BM_ConcisenessEquivalence(benchmark::State& state) {
+  Engine db;
+  LoadOrders(&db, 500, 8, 8);
+  std::string measure_query = MakeMeasureQuery(2);
+  std::string expanded = CheckResult(db.ExpandSql(measure_query), "expansion");
+  for (auto _ : state) {
+    auto native = CheckResult(db.Query(measure_query), "native");
+    auto plain = CheckResult(db.Query(expanded), "plain");
+    if (native.num_rows() != plain.num_rows()) {
+      state.SkipWithError("expansion changed the result");
+      return;
+    }
+    benchmark::DoNotOptimize(plain);
+  }
+}
+
+BENCHMARK(BM_Conciseness)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_ConcisenessEquivalence)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Front-end throughput: lexing + parsing + (separately) binding of measure
+// queries, as a function of query size. Establishes that the AT/MEASURE
+// extensions do not make the grammar pathological.
+
+#include "benchmark/benchmark.h"
+#include "binder/binder.h"
+#include "parser/parser.h"
+#include "workload.h"
+
+namespace {
+
+using msql::Binder;
+using msql::Engine;
+using msql::Parser;
+using msql::StmtPtr;
+using msql::bench::CheckResult;
+using msql::bench::LoadOrders;
+
+// Builds a SELECT with `n` measure expressions of mixed modifier shapes.
+std::string MakeQuery(int n) {
+  std::string q = "SELECT prodName";
+  for (int i = 0; i < n; ++i) {
+    switch (i % 4) {
+      case 0:
+        q += ", AGGREGATE(sumRevenue) AS a" + std::to_string(i);
+        break;
+      case 1:
+        q += ", sumRevenue AT (ALL prodName) AS a" + std::to_string(i);
+        break;
+      case 2:
+        q += ", sumRevenue AT (SET orderYear = CURRENT orderYear - " +
+             std::to_string(i) + ") AS a" + std::to_string(i);
+        break;
+      case 3:
+        q += ", sumRevenue AT (WHERE revenue > " + std::to_string(i) +
+             ") AS a" + std::to_string(i);
+        break;
+    }
+  }
+  q += " FROM EO GROUP BY prodName, orderYear";
+  return q;
+}
+
+void BM_Parse(benchmark::State& state) {
+  std::string query = MakeQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    StmtPtr stmt = CheckResult(Parser::Parse(query), "parse");
+    benchmark::DoNotOptimize(stmt);
+  }
+  state.SetBytesProcessed(state.iterations() * query.size());
+}
+
+void BM_ParseAndBind(benchmark::State& state) {
+  Engine db;
+  LoadOrders(&db, 10, 4, 4);
+  std::string query = MakeQuery(static_cast<int>(state.range(0)));
+  StmtPtr stmt = CheckResult(Parser::Parse(query), "parse");
+  for (auto _ : state) {
+    Binder binder(&db.catalog(), "");
+    auto plan = CheckResult(binder.Bind(*stmt->select), "bind");
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetBytesProcessed(state.iterations() * query.size());
+}
+
+void BM_RoundTripPrint(benchmark::State& state) {
+  std::string query = MakeQuery(static_cast<int>(state.range(0)));
+  StmtPtr stmt = CheckResult(Parser::Parse(query), "parse");
+  for (auto _ : state) {
+    std::string printed = stmt->ToString();
+    benchmark::DoNotOptimize(printed);
+  }
+}
+
+BENCHMARK(BM_Parse)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+BENCHMARK(BM_ParseAndBind)->Arg(1)->Arg(8)->Arg(64);
+BENCHMARK(BM_RoundTripPrint)->Arg(8)->Arg(64);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Grouping sets with measures: cost of ROLLUP / CUBE subtotal reports when
+// each grouping set evaluates measures in its own contexts. Shape claim:
+// cost grows with the number of grouping sets, and the memoized strategy
+// reuses coarse contexts across sets (the grand total is computed once).
+//
+// Args: {rows}.
+
+#include "benchmark/benchmark.h"
+#include "workload.h"
+
+namespace {
+
+using msql::Engine;
+using msql::ResultSet;
+using msql::bench::CheckResult;
+using msql::bench::LoadOrders;
+
+void RunGrouped(benchmark::State& state, const std::string& group_clause) {
+  Engine db;
+  LoadOrders(&db, static_cast<int>(state.range(0)), /*products=*/24,
+             /*customers=*/12);
+  std::string query =
+      "SELECT prodName, custName, orderYear, AGGREGATE(sumRevenue) AS rev "
+      "FROM EO GROUP BY " + group_clause;
+  size_t out_rows = 0;
+  for (auto _ : state) {
+    ResultSet rs = CheckResult(db.Query(query), "rollup query");
+    out_rows = rs.num_rows();
+    benchmark::DoNotOptimize(rs);
+  }
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+  state.counters["source_scans"] =
+      static_cast<double>(db.last_stats().measure_source_scans);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_PlainGroupBy(benchmark::State& state) {
+  RunGrouped(state, "prodName, custName, orderYear");
+}
+void BM_Rollup3(benchmark::State& state) {
+  RunGrouped(state, "ROLLUP(prodName, custName, orderYear)");
+}
+void BM_Cube3(benchmark::State& state) {
+  RunGrouped(state, "CUBE(prodName, custName, orderYear)");
+}
+void BM_GroupingSets(benchmark::State& state) {
+  RunGrouped(state,
+             "GROUPING SETS ((prodName), (custName), (orderYear), ())");
+}
+
+#define SIZES Args({2000})->Args({16000})->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_PlainGroupBy)->SIZES;
+BENCHMARK(BM_Rollup3)->SIZES;
+BENCHMARK(BM_Cube3)->SIZES;
+BENCHMARK(BM_GroupingSets)->SIZES;
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Paper section 5.1 ("localized self-join"): measure evaluation strategies.
+//   * naive      — every evaluation re-scans the measure source;
+//   * memoized   — evaluations are cached by context signature, so each
+//                  distinct group probes an in-memory result once;
+//   * expanded   — the section 4.2 rewrite executed as plain SQL with
+//                  correlated scalar subqueries (subquery memoization on).
+// The shape claim: memoized ≪ naive as soon as a context repeats, and the
+// measure engine matches the expanded form without any textual rewriting.
+//
+// Args: {rows, products}.
+
+#include "benchmark/benchmark.h"
+#include "workload.h"
+
+namespace {
+
+using msql::Engine;
+using msql::EngineOptions;
+using msql::MeasureStrategy;
+using msql::ResultSet;
+using msql::bench::CheckResult;
+using msql::bench::LoadOrders;
+
+// Every product row evaluates the same per-product context repeatedly: the
+// query compares each group's revenue to its own product total and to the
+// grand total.
+const char* kMeasureQuery = R"sql(
+  SELECT prodName, orderYear,
+         AGGREGATE(sumRevenue) AS rev,
+         sumRevenue AT (ALL orderYear) AS product_total,
+         sumRevenue AT (ALL) AS grand_total
+  FROM EO
+  GROUP BY prodName, orderYear
+)sql";
+
+void RunWithStrategy(benchmark::State& state, MeasureStrategy strategy) {
+  EngineOptions options;
+  options.measure_strategy = strategy;
+  Engine db(options);
+  LoadOrders(&db, static_cast<int>(state.range(0)),
+             static_cast<int>(state.range(1)), /*customers=*/50);
+  for (auto _ : state) {
+    ResultSet rs = CheckResult(db.Query(kMeasureQuery), "query");
+    benchmark::DoNotOptimize(rs);
+  }
+  state.counters["measure_evals"] =
+      static_cast<double>(db.last_stats().measure_evals);
+  state.counters["cache_hits"] =
+      static_cast<double>(db.last_stats().measure_cache_hits);
+  state.counters["source_scans"] =
+      static_cast<double>(db.last_stats().measure_source_scans);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_StrategyNaive(benchmark::State& state) {
+  RunWithStrategy(state, MeasureStrategy::kNaive);
+}
+void BM_StrategyMemoized(benchmark::State& state) {
+  RunWithStrategy(state, MeasureStrategy::kMemoized);
+}
+
+// Ablation of the section 6.4 inline fast path on the AGGREGATE-only query
+// (the overwhelmingly common BI shape): with the fast path, each group's
+// measure is computed over exactly its own rows, no source scan at all.
+void RunAggregateOnly(benchmark::State& state, bool inline_fastpath) {
+  EngineOptions options;
+  options.inline_visible_contexts = inline_fastpath;
+  Engine db(options);
+  LoadOrders(&db, static_cast<int>(state.range(0)),
+             static_cast<int>(state.range(1)), /*customers=*/50);
+  const char* query =
+      "SELECT prodName, AGGREGATE(sumRevenue) AS rev, "
+      "AGGREGATE(margin) AS margin FROM EO GROUP BY prodName";
+  for (auto _ : state) {
+    ResultSet rs = CheckResult(db.Query(query), "aggregate-only query");
+    benchmark::DoNotOptimize(rs);
+  }
+  state.counters["source_scans"] =
+      static_cast<double>(db.last_stats().measure_source_scans);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_AggregateInlineFastpath(benchmark::State& state) {
+  RunAggregateOnly(state, /*inline_fastpath=*/true);
+}
+void BM_AggregateContextScan(benchmark::State& state) {
+  RunAggregateOnly(state, /*inline_fastpath=*/false);
+}
+
+void BM_StrategyExpandedSql(benchmark::State& state) {
+  Engine db;
+  LoadOrders(&db, static_cast<int>(state.range(0)),
+             static_cast<int>(state.range(1)), /*customers=*/50);
+  std::string expanded =
+      CheckResult(db.ExpandSql(kMeasureQuery), "expansion of strategy query");
+  for (auto _ : state) {
+    ResultSet rs = CheckResult(db.Query(expanded), "expanded query");
+    benchmark::DoNotOptimize(rs);
+  }
+  state.counters["subq_execs"] =
+      static_cast<double>(db.last_stats().subquery_execs);
+  state.counters["subq_hits"] =
+      static_cast<double>(db.last_stats().subquery_cache_hits);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+#define SIZES                                                 \
+  Args({2000, 16})->Args({2000, 256})->Args({16000, 16})      \
+      ->Args({16000, 256})->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_StrategyNaive)->SIZES;
+BENCHMARK(BM_StrategyMemoized)->SIZES;
+BENCHMARK(BM_StrategyExpandedSql)->SIZES;
+BENCHMARK(BM_AggregateInlineFastpath)->SIZES;
+BENCHMARK(BM_AggregateContextScan)->SIZES;
+
+}  // namespace

@@ -1,0 +1,126 @@
+// An interactive shell for the msql engine. Reads ';'-terminated statements
+// from stdin and prints result tables. Meta commands:
+//   \q            quit
+//   \d            list catalog objects
+//   \d NAME       describe a table or view
+//   \explain SQL  show the logical plan
+//   \expand SQL   show the section-4.2 measure expansion
+//   \stats        execution statistics of the last query
+//
+//   build/examples/msql_shell [file.sql ...]
+// Files given on the command line are executed before the prompt starts.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "engine/engine.h"
+
+namespace {
+
+void PrintStats(const msql::ExecState& stats) {
+  std::printf(
+      "measure evals: %llu (cache hits %llu, source scans %llu); "
+      "subqueries: %llu (cache hits %llu)\n",
+      static_cast<unsigned long long>(stats.measure_evals),
+      static_cast<unsigned long long>(stats.measure_cache_hits),
+      static_cast<unsigned long long>(stats.measure_source_scans),
+      static_cast<unsigned long long>(stats.subquery_execs),
+      static_cast<unsigned long long>(stats.subquery_cache_hits));
+}
+
+void RunStatement(msql::Engine* db, const std::string& sql) {
+  auto result = db->Query(sql);
+  if (!result.ok()) {
+    std::printf("%s\n", result.status().ToString().c_str());
+    return;
+  }
+  if (result.value().num_columns() > 0) {
+    std::printf("%s(%zu row%s)\n", result.value().ToString().c_str(),
+                result.value().num_rows(),
+                result.value().num_rows() == 1 ? "" : "s");
+  } else {
+    std::printf("OK\n");
+  }
+}
+
+bool HandleMetaCommand(msql::Engine* db, const std::string& line) {
+  if (line == "\\q" || line == "\\quit") return false;
+  if (line == "\\d") {
+    for (const std::string& name : db->catalog().ListNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return true;
+  }
+  if (line.rfind("\\d ", 0) == 0) {
+    RunStatement(db, "DESCRIBE " + line.substr(3));
+    return true;
+  }
+  if (line.rfind("\\explain ", 0) == 0) {
+    auto plan = db->Explain(line.substr(9));
+    std::printf("%s\n", plan.ok() ? plan.value().c_str()
+                                  : plan.status().ToString().c_str());
+    return true;
+  }
+  if (line.rfind("\\expand ", 0) == 0) {
+    auto expanded = db->ExpandSql(line.substr(8));
+    std::printf("%s\n", expanded.ok() ? expanded.value().c_str()
+                                      : expanded.status().ToString().c_str());
+    return true;
+  }
+  if (line == "\\stats") {
+    PrintStats(db->last_stats());
+    return true;
+  }
+  std::printf("unknown meta command: %s\n", line.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  msql::Engine db;
+
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    msql::Status st = db.Execute(buffer.str());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("msql shell — Measures in SQL. \\q quits, \\d lists objects.\n");
+  std::string pending;
+  std::string line;
+  std::printf("msql> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::string trimmed = msql::Trim(line);
+    if (pending.empty() && !trimmed.empty() && trimmed[0] == '\\') {
+      if (!HandleMetaCommand(&db, trimmed)) break;
+      std::printf("msql> ");
+      std::fflush(stdout);
+      continue;
+    }
+    pending += line + "\n";
+    // Execute once the buffer ends with ';'.
+    std::string t = msql::Trim(pending);
+    if (!t.empty() && t.back() == ';') {
+      RunStatement(&db, t);
+      pending.clear();
+    }
+    std::printf(pending.empty() ? "msql> " : "  ... ");
+    std::fflush(stdout);
+  }
+  return 0;
+}

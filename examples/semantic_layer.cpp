@@ -1,0 +1,97 @@
+// Semantic layer: demonstrates paper sections 5.5 and 5.6 — a data owner
+// publishes a governed measure view (like a Looker Explore exposed through
+// the Open SQL Interface); analysts query it without any access to the
+// underlying fact tables, and every calculation stays consistent.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "engine/engine.h"
+
+namespace {
+
+void Expect(const msql::Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void Show(msql::Engine* db, const char* who, const std::string& sql) {
+  std::printf("[%s] %s\n", who, sql.c_str());
+  auto result = db->Query(sql);
+  if (!result.ok()) {
+    std::printf("  -> %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n", result.value().ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  msql::Engine db;
+
+  // --- the data owner builds the model -----------------------------------
+  db.SetUser("data_owner");
+  Expect(db.Execute(R"sql(
+    CREATE TABLE Salaries (dept VARCHAR, employee VARCHAR, salary INTEGER,
+                           level VARCHAR);
+    INSERT INTO Salaries VALUES
+      ('eng',   'ann', 150, 'senior'),
+      ('eng',   'bob', 120, 'junior'),
+      ('eng',   'cat', 180, 'staff'),
+      ('sales', 'dan', 100, 'senior'),
+      ('sales', 'eve',  90, 'junior');
+
+    -- The governed interface: department-level payroll measures. Individual
+    -- employees and their salaries are NOT exposed; the measures answer
+    -- questions only along the dept/level dimensions (the paper's
+    -- "hologram" security argument, section 5.5).
+    CREATE VIEW Payroll AS
+    SELECT dept, level,
+           SUM(salary) AS MEASURE totalComp,
+           AVG(salary) AS MEASURE avgComp,
+           COUNT(*) AS MEASURE headcount
+    FROM Salaries
+  )sql"));
+  Expect(db.Grant("Payroll", "analyst"));
+
+  // --- the analyst explores ------------------------------------------------
+  db.SetUser("analyst");
+
+  std::printf("== The analyst cannot touch the fact table:\n");
+  Show(&db, "analyst", "SELECT * FROM Salaries");
+
+  std::printf("== ... but can ask dimensional questions of the measures:\n");
+  Show(&db, "analyst", R"sql(
+    SELECT dept, AGGREGATE(headcount) AS n, AGGREGATE(avgComp) AS avg_comp,
+           totalComp * 1.0 / totalComp AT (ALL dept) AS payroll_share
+    FROM Payroll GROUP BY dept ORDER BY dept
+  )sql");
+
+  Show(&db, "analyst", R"sql(
+    SELECT level, AGGREGATE(totalComp) AS comp
+    FROM Payroll GROUP BY ROLLUP(level) ORDER BY level NULLS LAST
+  )sql");
+
+  std::printf("== Hidden columns stay hidden (employee, salary):\n");
+  Show(&db, "analyst", "SELECT employee FROM Payroll");
+
+  std::printf("== The analyst can publish derived views (closure):\n");
+  Expect(db.Execute(R"sql(
+    CREATE VIEW EngPayroll AS
+    SELECT level, totalComp FROM Payroll WHERE dept = 'eng'
+  )sql"));
+  Show(&db, "analyst", R"sql(
+    SELECT level, AGGREGATE(totalComp) AS comp FROM EngPayroll
+    GROUP BY level ORDER BY level
+  )sql");
+
+  std::printf("== A third user is denied everything:\n");
+  db.SetUser("intern");
+  Show(&db, "intern", "SELECT dept FROM Payroll");
+  Show(&db, "intern", "SELECT level FROM EngPayroll");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Time series (paper section 6.5): an expert encapsulates the calculations
+// — moving averages, period-over-period deltas, gap-aware counts — in a
+// model view as measures; a user then asks questions at any grain without
+// knowing the formulas. Demonstrates the SET/CURRENT navigation pattern as a
+// declarative alternative to window-frame arithmetic.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+
+#include "common/string_util.h"
+#include "engine/engine.h"
+
+namespace {
+
+void Run(msql::Engine* db, const char* title, const std::string& sql) {
+  std::printf("--- %s\n", title);
+  auto result = db->Query(sql);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("%s\n", result.value().ToString().c_str());
+}
+
+// Hourly sensor readings over four days, with a gap (sensor offline).
+void LoadReadings(msql::Engine* db) {
+  msql::Status st = db->Execute(
+      "CREATE TABLE Readings (sensor VARCHAR, day DATE, hour INTEGER, "
+      "temperature DOUBLE)");
+  if (!st.ok()) std::exit(1);
+  std::mt19937 rng(11);
+  std::normal_distribution<double> noise(0.0, 0.8);
+  std::string insert = "INSERT INTO Readings VALUES ";
+  bool first = true;
+  for (int d = 0; d < 4; ++d) {
+    for (int h = 0; h < 24; ++h) {
+      if (d == 2 && h >= 6 && h < 18) continue;  // offline: the gap
+      double base = 15 + 8 * std::sin((h - 6) * 3.14159 / 12) + d * 0.5;
+      for (const char* sensor : {"roof", "cellar"}) {
+        double t = base + (sensor[0] == 'c' ? -6 : 0) + noise(rng);
+        if (!first) insert += ", ";
+        first = false;
+        insert += msql::StrCat("('", sensor, "', DATE '2024-06-0", d + 1,
+                               "', ", h, ", ", t, ")");
+      }
+    }
+  }
+  st = db->Execute(insert);
+  if (!st.ok()) std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  msql::Engine db;
+  LoadReadings(&db);
+
+  // The model: the expert's measures, defined once.
+  msql::Status st = db.Execute(R"sql(
+    CREATE VIEW Climate AS
+    SELECT *,
+           AVG(temperature) AS MEASURE avgTemp,
+           MAX(temperature) AS MEASURE maxTemp,
+           MIN(temperature) AS MEASURE minTemp,
+           COUNT(*) AS MEASURE readings
+    FROM Readings
+  )sql");
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  Run(&db, "daily summary per sensor (the user picks the grain)", R"sql(
+    SELECT sensor, day, AGGREGATE(avgTemp) AS avg_t,
+           AGGREGATE(minTemp) AS min_t, AGGREGATE(maxTemp) AS max_t,
+           AGGREGATE(readings) AS n
+    FROM Climate GROUP BY sensor, day ORDER BY sensor, day
+  )sql");
+
+  Run(&db, "day-over-day delta via SET/CURRENT (no self-join)", R"sql(
+    SELECT sensor, day,
+           AGGREGATE(avgTemp) AS avg_t,
+           avgTemp AT (SET day = CURRENT day - 1) AS prev_avg,
+           AGGREGATE(avgTemp) - avgTemp AT (SET day = CURRENT day - 1)
+             AS delta
+    FROM Climate GROUP BY sensor, day ORDER BY sensor, day
+  )sql");
+
+  Run(&db, "gap detection: the offline day stands out against the total",
+      R"sql(
+    SELECT day, AGGREGATE(readings) AS n,
+           readings AT (ALL day) AS all_days,
+           AGGREGATE(readings) * 1.0 / readings AT (ALL day) AS share
+    FROM Climate GROUP BY day ORDER BY day
+  )sql");
+
+  Run(&db, "centered 3-hour smoothing via context navigation", R"sql(
+    SELECT hour,
+           (COALESCE(avgTemp AT (SET hour = CURRENT hour - 1), AGGREGATE(avgTemp))
+            + AGGREGATE(avgTemp)
+            + COALESCE(avgTemp AT (SET hour = CURRENT hour + 1), AGGREGATE(avgTemp)))
+           / 3 AS smoothed,
+           AGGREGATE(avgTemp) AS raw
+    FROM Climate WHERE sensor = 'roof' AND day = DATE '2024-06-01'
+    GROUP BY sensor, day, hour ORDER BY hour LIMIT 8
+  )sql");
+
+  Run(&db, "hottest hour per sensor (MAX_BY measure)", R"sql(
+    SELECT sensor, AGGREGATE(peakHour) AS hottest_hour
+    FROM (SELECT *, MAX_BY(hour, temperature) AS MEASURE peakHour
+          FROM Readings) AS p
+    GROUP BY sensor ORDER BY sensor
+  )sql");
+  return 0;
+}

@@ -1,0 +1,148 @@
+#ifndef MSQL_BINDER_BINDER_H_
+#define MSQL_BINDER_BINDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "binder/bound_expr.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "parser/ast.h"
+#include "plan/plan.h"
+
+namespace msql {
+
+// Resolves a parsed SELECT into a logical plan: name resolution across
+// nested scopes (with correlation depths), type checking, view and CTE
+// inlining (with definer's-rights security), measure binding (kMeasureEval
+// nodes and PlanMeasure descriptors), aggregate extraction and grouping-set
+// construction.
+class Binder {
+ public:
+  Binder(const Catalog* catalog, std::string user)
+      : catalog_(catalog), user_(std::move(user)) {}
+
+  // Binds a full query (WITH / set ops / ORDER BY / LIMIT).
+  Result<PlanPtr> Bind(const SelectStmt& stmt);
+
+ private:
+  // One name-resolution scope: the FROM relation of a SELECT (or a pseudo
+  // scope for AT-modifier dimension binding).
+  struct Scope {
+    Scope* parent = nullptr;
+    const Schema* schema = nullptr;
+    const std::vector<PlanMeasure>* measures = nullptr;
+    std::vector<std::string> using_cols;  // ambiguity exemption (USING)
+  };
+
+  struct FreeVarRec {
+    Scope* boundary;  // the scope the subquery was bound against
+    // Raw matches: (scope, column) pairs resolved outside the subquery.
+    std::vector<std::tuple<Scope*, int, std::string, DataType>> vars;
+  };
+
+  // --- statements / relations ---
+  Result<PlanPtr> BindSelectStmt(const SelectStmt& stmt, Scope* outer);
+  Result<PlanPtr> BindSelectCore(const SelectStmt& stmt, Scope* outer);
+  Result<PlanPtr> BindTableRef(const TableRef& ref, Scope* outer);
+  Result<PlanPtr> BindBaseTable(const std::string& name,
+                                const std::string& alias, Scope* outer);
+
+  // --- expressions ---
+  Result<BoundExprPtr> BindExpr(const Expr& e, Scope* scope);
+  Result<BoundExprPtr> ResolveColumn(const std::vector<std::string>& parts,
+                                     Scope* scope);
+  Result<BoundExprPtr> BindFuncCall(const Expr& e, Scope* scope);
+  Result<BoundExprPtr> BindAt(const Expr& e, Scope* scope);
+  Result<std::vector<BoundAtModifier>> BindAtModifiers(
+      const std::vector<AtModifier>& mods, Scope* scope);
+  // Binds an AT dimension: a column of the measure provider, or a select
+  // alias of the current SELECT used as an ad-hoc dimension (listing 10's
+  // `SET orderYear = ...` where orderYear aliases YEAR(orderDate)).
+  Result<BoundExprPtr> BindAtDim(const Expr& ast, Scope* dims_scope);
+  Result<BoundExprPtr> BindSubqueryExpr(const Expr& e, Scope* scope,
+                                        BoundExprKind kind);
+
+  // Validates an AS MEASURE formula: depth-0 column references only inside
+  // aggregate arguments; no subqueries.
+  Status ValidateMeasureFormula(const BoundExpr& e, const std::string& name);
+
+  // Translation of an expression through a provenance map at bind time
+  // (composing provenance across projections). Fails when the expression
+  // touches non-dimension columns, correlations, aggregates or measures.
+  static Result<BoundExprPtr> RewriteThroughProvenance(
+      const BoundExpr& e,
+      const std::unordered_map<int, std::shared_ptr<BoundExpr>>& map);
+
+  // True if the expression can serve as provenance (pure scalar over
+  // depth-0 columns).
+  static bool IsPureScalar(const BoundExpr& e);
+
+  // --- aggregation support ---
+  struct AggState {
+    std::vector<BoundExprPtr> group_exprs;
+    std::vector<std::string> group_names;
+    std::vector<DataType> group_types;
+    std::vector<std::string> group_prints;
+    std::vector<std::vector<int>> grouping_sets;
+    std::vector<AggCallDef> agg_calls;
+    std::vector<std::string> agg_prints;
+    std::vector<MeasureEvalDef> measure_evals;
+    std::vector<std::string> meval_prints;
+  };
+
+  // First pass: collect aggregate calls and depth-0 measure evaluations.
+  Status CollectAggregates(const BoundExpr& e, AggState* st);
+  // Second pass: rewrite an expression over the Aggregate node's output.
+  Result<BoundExprPtr> TransformForAggregate(const BoundExpr& e,
+                                             const AggState& st);
+
+  Status BindGroupBy(const SelectStmt& stmt, Scope* scope, AggState* st);
+
+  // --- helpers ---
+  static std::vector<PlanMeasure> PropagateSameSchema(const LogicalPlan& child);
+  Status CheckAccessAndGet(const std::string& name, const CatalogEntry** out);
+
+  const Catalog* catalog_;
+  std::string user_;
+
+  // CTEs visible during binding, innermost last.
+  std::vector<std::map<std::string, const SelectStmt*>> cte_stack_;
+
+  // Correlation recorders for subquery free-variable analysis.
+  std::vector<FreeVarRec> recorders_;
+
+  // Set while binding the expressions of one SELECT core: did we see an
+  // aggregate function (incl. AGGREGATE), making the query an aggregate
+  // query?
+  bool saw_agg_ = false;
+
+  // Dimension scope for CURRENT binding inside AT modifiers.
+  Scope* at_dims_scope_ = nullptr;
+
+  // Measures defined earlier in the same SELECT (peer inlining); only
+  // consulted while binding another measure formula.
+  std::map<std::string, const BoundExpr*> peer_measures_;
+  bool in_measure_formula_ = false;
+
+  // View-expansion depth guard.
+  int view_depth_ = 0;
+
+  // USING column names collected while binding the current FROM clause.
+  std::vector<std::string> pending_using_;
+
+  // Select aliases of the SELECT cores currently being bound (innermost
+  // last); consulted for ad-hoc dimensions in AT modifiers.
+  std::vector<std::map<std::string, const Expr*>> select_alias_stack_;
+
+  // Window calls collected while binding the current SELECT core.
+  std::vector<WindowDef> pending_windows_;
+  std::vector<std::string> window_prints_;
+  int window_base_visible_ = 0;
+};
+
+}  // namespace msql
+
+#endif  // MSQL_BINDER_BINDER_H_

@@ -1,0 +1,580 @@
+#include <algorithm>
+
+#include "binder/binder.h"
+#include "common/string_util.h"
+
+namespace msql {
+
+// ---------------------------------------------------------------------------
+// Name resolution
+// ---------------------------------------------------------------------------
+
+Result<BoundExprPtr> Binder::ResolveColumn(
+    const std::vector<std::string>& parts, Scope* scope) {
+  if (parts.empty() || parts.size() > 2) {
+    return Status(ErrorCode::kBind,
+                  "column references support at most one qualifier");
+  }
+  const std::string alias = parts.size() == 2 ? parts[0] : "";
+  const std::string& name = parts.back();
+
+  int depth = 0;
+  for (Scope* s = scope; s != nullptr; s = s->parent, ++depth) {
+    if (s->schema == nullptr) continue;
+    std::vector<size_t> matches = s->schema->Find(alias, name);
+    if (matches.size() > 1) {
+      // USING columns prefer the left side.
+      bool is_using = false;
+      for (const std::string& u : s->using_cols) {
+        if (EqualsIgnoreCase(u, name)) is_using = true;
+      }
+      if (is_using && matches.size() == 2) {
+        matches.resize(1);
+      } else {
+        return Status(ErrorCode::kBind,
+                      "column reference '" + name + "' is ambiguous");
+      }
+    }
+    if (matches.size() == 1) {
+      const size_t col = matches[0];
+      const Column& c = s->schema->column(col);
+      // Record correlations for active subquery recorders whose boundary
+      // chain contains this scope.
+      for (FreeVarRec& rec : recorders_) {
+        for (Scope* b = rec.boundary; b != nullptr; b = b->parent) {
+          if (b == s) {
+            rec.vars.emplace_back(s, static_cast<int>(col), c.name, c.type);
+            break;
+          }
+        }
+      }
+      if (c.type.is_measure) {
+        if (s->measures == nullptr) {
+          return Status(ErrorCode::kBind,
+                        "measure '" + name +
+                            "' cannot be used in a dimension context");
+        }
+        int slot = -1;
+        for (size_t m = 0; m < s->measures->size(); ++m) {
+          if ((*s->measures)[m].column == static_cast<int>(col)) {
+            slot = static_cast<int>(m);
+          }
+        }
+        if (slot < 0) {
+          return Status(ErrorCode::kBind,
+                        "internal: measure column without descriptor");
+        }
+        auto e = std::make_unique<BoundExpr>();
+        e->kind = BoundExprKind::kMeasureEval;
+        e->type = c.type;
+        e->depth = depth;
+        e->measure_slot = slot;
+        e->name = c.name;
+        return e;
+      }
+      return BColumnRef(depth, static_cast<int>(col), c.name, c.type);
+    }
+  }
+
+  // Peer measures defined earlier in the same SELECT, visible only inside
+  // another measure formula (paper section 5.4: measures can reference
+  // measures in the same query); inlined by substitution.
+  if (in_measure_formula_ && parts.size() == 1) {
+    auto it = peer_measures_.find(ToLower(name));
+    if (it != peer_measures_.end()) {
+      return it->second->Clone();
+    }
+  }
+  return Status(ErrorCode::kBind, "column '" + Join(parts, ".") +
+                                      "' does not exist in this scope");
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Result<BoundExprPtr> Binder::BindExpr(const Expr& e, Scope* scope) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return BLiteral(e.literal);
+    case ExprKind::kColumnRef:
+      return ResolveColumn(e.parts, scope);
+    case ExprKind::kStar:
+      return Status(ErrorCode::kBind, "'*' is not valid in this context");
+    case ExprKind::kFuncCall:
+      return BindFuncCall(e, scope);
+    case ExprKind::kUnary: {
+      MSQL_ASSIGN_OR_RETURN(BoundExprPtr operand, BindExpr(*e.left, scope));
+      FunctionId id = e.unary_op == UnaryOp::kNeg ? FunctionId::kOpNeg
+                                                  : FunctionId::kOpNot;
+      std::vector<DataType> arg_types = {operand->type.ValueType()};
+      MSQL_ASSIGN_OR_RETURN(
+          DataType type,
+          ScalarResultType(id, e.unary_op == UnaryOp::kNeg ? "-" : "NOT",
+                           arg_types));
+      std::vector<BoundExprPtr> args;
+      args.push_back(std::move(operand));
+      return BFunc(id, e.unary_op == UnaryOp::kNeg ? "-" : "NOT", type,
+                   std::move(args));
+    }
+    case ExprKind::kBinary: {
+      MSQL_ASSIGN_OR_RETURN(BoundExprPtr left, BindExpr(*e.left, scope));
+      MSQL_ASSIGN_OR_RETURN(BoundExprPtr right, BindExpr(*e.right, scope));
+      FunctionId id = FunctionId::kInvalid;
+      switch (e.binary_op) {
+        case BinaryOp::kAdd: id = FunctionId::kOpAdd; break;
+        case BinaryOp::kSub: id = FunctionId::kOpSub; break;
+        case BinaryOp::kMul: id = FunctionId::kOpMul; break;
+        case BinaryOp::kDiv: id = FunctionId::kOpDiv; break;
+        case BinaryOp::kMod: id = FunctionId::kOpMod; break;
+        case BinaryOp::kConcat: id = FunctionId::kOpConcat; break;
+        case BinaryOp::kEq: id = FunctionId::kOpEq; break;
+        case BinaryOp::kNe: id = FunctionId::kOpNe; break;
+        case BinaryOp::kLt: id = FunctionId::kOpLt; break;
+        case BinaryOp::kLe: id = FunctionId::kOpLe; break;
+        case BinaryOp::kGt: id = FunctionId::kOpGt; break;
+        case BinaryOp::kGe: id = FunctionId::kOpGe; break;
+        case BinaryOp::kAnd: id = FunctionId::kOpAnd; break;
+        case BinaryOp::kOr: id = FunctionId::kOpOr; break;
+        case BinaryOp::kIsDistinctFrom: id = FunctionId::kOpIsDistinctFrom; break;
+        case BinaryOp::kIsNotDistinctFrom:
+          id = FunctionId::kOpIsNotDistinctFrom;
+          break;
+      }
+      std::vector<DataType> arg_types = {left->type.ValueType(),
+                                         right->type.ValueType()};
+      MSQL_ASSIGN_OR_RETURN(DataType type,
+                            ScalarResultType(id, BinaryOpName(e.binary_op),
+                                             arg_types));
+      std::vector<BoundExprPtr> args;
+      args.push_back(std::move(left));
+      args.push_back(std::move(right));
+      return BFunc(id, BinaryOpName(e.binary_op), type, std::move(args));
+    }
+    case ExprKind::kCase: {
+      auto bound = std::make_unique<BoundExpr>();
+      bound->kind = BoundExprKind::kCase;
+      BoundExprPtr operand;
+      if (e.case_operand != nullptr) {
+        MSQL_ASSIGN_OR_RETURN(operand, BindExpr(*e.case_operand, scope));
+      }
+      DataType result_type = DataType::Null();
+      for (const auto& [when_ast, then_ast] : e.when_clauses) {
+        MSQL_ASSIGN_OR_RETURN(BoundExprPtr when, BindExpr(*when_ast, scope));
+        MSQL_ASSIGN_OR_RETURN(BoundExprPtr then, BindExpr(*then_ast, scope));
+        if (operand != nullptr) {
+          // Desugar `CASE x WHEN v` into `CASE WHEN x = v`.
+          std::vector<BoundExprPtr> eq_args;
+          eq_args.push_back(operand->Clone());
+          eq_args.push_back(std::move(when));
+          when = BFunc(FunctionId::kOpEq, "=", DataType::Bool(),
+                       std::move(eq_args));
+        }
+        result_type = CommonType(result_type, then->type.ValueType());
+        bound->when_clauses.emplace_back(std::move(when), std::move(then));
+      }
+      if (e.else_expr != nullptr) {
+        MSQL_ASSIGN_OR_RETURN(bound->else_expr, BindExpr(*e.else_expr, scope));
+        result_type = CommonType(result_type,
+                                 bound->else_expr->type.ValueType());
+      }
+      bound->type = result_type;
+      return bound;
+    }
+    case ExprKind::kCast: {
+      auto bound = std::make_unique<BoundExpr>();
+      bound->kind = BoundExprKind::kCast;
+      MSQL_ASSIGN_OR_RETURN(bound->operand, BindExpr(*e.left, scope));
+      bound->cast_to = TypeKindFromName(e.cast_type);
+      if (bound->cast_to == TypeKind::kNull) {
+        return Status(ErrorCode::kBind, "unknown type '" + e.cast_type + "'");
+      }
+      bound->type = DataType(bound->cast_to);
+      return bound;
+    }
+    case ExprKind::kIsNull: {
+      auto bound = std::make_unique<BoundExpr>();
+      bound->kind = BoundExprKind::kIsNull;
+      MSQL_ASSIGN_OR_RETURN(bound->operand, BindExpr(*e.left, scope));
+      bound->negated = e.negated;
+      bound->type = DataType::Bool();
+      return bound;
+    }
+    case ExprKind::kInList: {
+      auto bound = std::make_unique<BoundExpr>();
+      bound->kind = BoundExprKind::kInList;
+      MSQL_ASSIGN_OR_RETURN(bound->operand, BindExpr(*e.left, scope));
+      for (const auto& item : e.in_list) {
+        MSQL_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*item, scope));
+        bound->args.push_back(std::move(b));
+      }
+      bound->negated = e.negated;
+      bound->type = DataType::Bool();
+      return bound;
+    }
+    case ExprKind::kBetween: {
+      // Desugar `x BETWEEN a AND b` into `x >= a AND x <= b`.
+      MSQL_ASSIGN_OR_RETURN(BoundExprPtr x, BindExpr(*e.left, scope));
+      MSQL_ASSIGN_OR_RETURN(BoundExprPtr low, BindExpr(*e.between_low, scope));
+      MSQL_ASSIGN_OR_RETURN(BoundExprPtr high,
+                            BindExpr(*e.between_high, scope));
+      std::vector<BoundExprPtr> ge_args;
+      ge_args.push_back(x->Clone());
+      ge_args.push_back(std::move(low));
+      auto ge = BFunc(FunctionId::kOpGe, ">=", DataType::Bool(),
+                      std::move(ge_args));
+      std::vector<BoundExprPtr> le_args;
+      le_args.push_back(std::move(x));
+      le_args.push_back(std::move(high));
+      auto le = BFunc(FunctionId::kOpLe, "<=", DataType::Bool(),
+                      std::move(le_args));
+      std::vector<BoundExprPtr> and_args;
+      and_args.push_back(std::move(ge));
+      and_args.push_back(std::move(le));
+      auto result = BFunc(FunctionId::kOpAnd, "AND", DataType::Bool(),
+                          std::move(and_args));
+      if (!e.negated) return BoundExprPtr(std::move(result));
+      std::vector<BoundExprPtr> not_args;
+      not_args.push_back(std::move(result));
+      return BFunc(FunctionId::kOpNot, "NOT", DataType::Bool(),
+                   std::move(not_args));
+    }
+    case ExprKind::kLike: {
+      auto bound = std::make_unique<BoundExpr>();
+      bound->kind = BoundExprKind::kLike;
+      MSQL_ASSIGN_OR_RETURN(bound->operand, BindExpr(*e.left, scope));
+      MSQL_ASSIGN_OR_RETURN(BoundExprPtr pattern, BindExpr(*e.right, scope));
+      bound->args.push_back(std::move(pattern));
+      bound->negated = e.negated;
+      bound->type = DataType::Bool();
+      return bound;
+    }
+    case ExprKind::kExists:
+      return BindSubqueryExpr(e, scope, BoundExprKind::kExists);
+    case ExprKind::kSubquery:
+      return BindSubqueryExpr(e, scope, BoundExprKind::kSubquery);
+    case ExprKind::kInSubquery:
+      return BindSubqueryExpr(e, scope, BoundExprKind::kInSubquery);
+    case ExprKind::kAt:
+      return BindAt(e, scope);
+    case ExprKind::kCurrent: {
+      if (at_dims_scope_ == nullptr) {
+        return Status(ErrorCode::kBind,
+                      "CURRENT is only valid inside an AT modifier");
+      }
+      auto bound = std::make_unique<BoundExpr>();
+      bound->kind = BoundExprKind::kCurrent;
+      Expr dim_ast;
+      dim_ast.kind = ExprKind::kColumnRef;
+      dim_ast.parts = {e.current_dim};
+      MSQL_ASSIGN_OR_RETURN(bound->current_dim,
+                            BindAtDim(dim_ast, at_dims_scope_));
+      bound->type = bound->current_dim->type.ValueType();
+      return bound;
+    }
+  }
+  return Status(ErrorCode::kBind, "unsupported expression");
+}
+
+Result<BoundExprPtr> Binder::BindFuncCall(const Expr& e, Scope* scope) {
+  const std::string upper = ToUpper(e.func_name);
+
+  // EVAL(x): explicit evaluation marker, a no-op in expression position.
+  if (upper == "EVAL") {
+    if (e.args.size() != 1) {
+      return Status(ErrorCode::kBind, "EVAL expects one argument");
+    }
+    MSQL_ASSIGN_OR_RETURN(BoundExprPtr inner, BindExpr(*e.args[0], scope));
+    inner->type = inner->type.ValueType();
+    return inner;
+  }
+
+  // AGGREGATE(m) expands to EVAL(m AT (VISIBLE)) — paper section 3.4 — and
+  // marks the query as an aggregate query (section 3.3).
+  if (upper == "AGGREGATE") {
+    if (e.args.size() != 1) {
+      return Status(ErrorCode::kBind, "AGGREGATE expects one argument");
+    }
+    MSQL_ASSIGN_OR_RETURN(BoundExprPtr inner, BindExpr(*e.args[0], scope));
+    int measure_count = 0;
+    VisitNodes(inner.get(), [&](BoundExpr* n) {
+      if (n->kind == BoundExprKind::kMeasureEval) {
+        ++measure_count;
+        BoundAtModifier visible;
+        visible.kind = AtModifier::Kind::kVisible;
+        n->modifiers.insert(n->modifiers.begin(), std::move(visible));
+      }
+    });
+    if (measure_count == 0) {
+      return Status(ErrorCode::kBind,
+                    "AGGREGATE requires a measure argument");
+    }
+    saw_agg_ = true;
+    inner->type = inner->type.ValueType();
+    return inner;
+  }
+
+  // GROUPING(expr...) is resolved during aggregate transformation; bind a
+  // marker node here.
+  if (upper == "GROUPING" || upper == "GROUPING_ID") {
+    auto bound = std::make_unique<BoundExpr>();
+    bound->kind = BoundExprKind::kFunc;
+    bound->func = FunctionId::kInvalid;
+    bound->func_name = "GROUPING";
+    bound->type = DataType::Int64();
+    for (const auto& arg : e.args) {
+      MSQL_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*arg, scope));
+      bound->args.push_back(std::move(b));
+    }
+    saw_agg_ = true;
+    return bound;
+  }
+
+  // Aggregate (or window) functions.
+  AggId agg = LookupAggFunction(e.func_name);
+  if (agg != AggId::kInvalid) {
+    if (agg == AggId::kCount && e.star_arg) agg = AggId::kCountStar;
+    std::vector<BoundExprPtr> args;
+    std::vector<DataType> arg_types;
+    for (const auto& arg : e.args) {
+      MSQL_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*arg, scope));
+      if (b->type.is_measure) {
+        return Status(
+            ErrorCode::kBind,
+            StrCat("measure '", b->name, "' cannot be an argument of ",
+                   ToUpper(e.func_name),
+                   "; use AGGREGATE(m) or m AT (...) instead"));
+      }
+      arg_types.push_back(b->type.ValueType());
+      args.push_back(std::move(b));
+    }
+    MSQL_ASSIGN_OR_RETURN(DataType type,
+                          AggResultType(agg, ToUpper(e.func_name), arg_types));
+    if (e.over != nullptr) {
+      // Window call: hoist into a Window node and reference its column.
+      WindowDef def;
+      def.agg = agg;
+      def.args = std::move(args);
+      def.type = type;
+      for (const auto& p : e.over->partition_by) {
+        MSQL_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*p, scope));
+        def.partition_by.push_back(std::move(b));
+      }
+      for (const auto& [o, desc] : e.over->order_by) {
+        MSQL_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*o, scope));
+        def.order_by.emplace_back(std::move(b), desc);
+      }
+      // Dedupe identical window expressions (e.g. ORDER BY reuse).
+      std::string print = e.ToString();
+      for (size_t i = 0; i < window_prints_.size(); ++i) {
+        if (window_prints_[i] == print) {
+          return BColumnRef(0, window_base_visible_ + static_cast<int>(i),
+                            StrCat("__win", i), type);
+        }
+      }
+      window_prints_.push_back(print);
+      pending_windows_.push_back(std::move(def));
+      return BColumnRef(
+          0, window_base_visible_ + static_cast<int>(window_prints_.size()) - 1,
+          StrCat("__win", window_prints_.size() - 1), type);
+    }
+    if (IsWindowOnly(agg)) {
+      return Status(ErrorCode::kBind,
+                    StrCat(ToUpper(e.func_name),
+                           " requires an OVER clause"));
+    }
+    auto bound = std::make_unique<BoundExpr>();
+    bound->kind = BoundExprKind::kAgg;
+    bound->agg = agg;
+    bound->args = std::move(args);
+    bound->distinct = e.distinct;
+    if (e.filter != nullptr) {
+      MSQL_ASSIGN_OR_RETURN(bound->filter, BindExpr(*e.filter, scope));
+    }
+    bound->type = type;
+    saw_agg_ = true;
+    return bound;
+  }
+
+  // Scalar functions.
+  FunctionId id = LookupScalarFunction(e.func_name);
+  if (id == FunctionId::kInvalid) {
+    return Status(ErrorCode::kBind,
+                  "unknown function '" + e.func_name + "'");
+  }
+  if (e.star_arg) {
+    return Status(ErrorCode::kBind,
+                  "'*' is only valid as the argument of COUNT");
+  }
+  std::vector<BoundExprPtr> args;
+  std::vector<DataType> arg_types;
+  for (const auto& arg : e.args) {
+    MSQL_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*arg, scope));
+    arg_types.push_back(b->type.ValueType());
+    args.push_back(std::move(b));
+  }
+  MSQL_ASSIGN_OR_RETURN(
+      DataType type, ScalarResultType(id, ToUpper(e.func_name), arg_types));
+  return BFunc(id, ToUpper(e.func_name), type, std::move(args));
+}
+
+Result<BoundExprPtr> Binder::BindSubqueryExpr(const Expr& e, Scope* scope,
+                                              BoundExprKind kind) {
+  auto bound = std::make_unique<BoundExpr>();
+  bound->kind = kind;
+  bound->negated = e.negated;
+
+  if (kind == BoundExprKind::kInSubquery) {
+    MSQL_ASSIGN_OR_RETURN(bound->operand, BindExpr(*e.left, scope));
+  }
+
+  // Record free variables (correlations) resolved outside the subquery.
+  recorders_.push_back(FreeVarRec{scope, {}});
+  auto plan_result = BindSelectStmt(*e.subquery, scope);
+  FreeVarRec rec = std::move(recorders_.back());
+  recorders_.pop_back();
+  if (!plan_result.ok()) return plan_result.status();
+  bound->subplan = plan_result.take();
+
+  if (kind == BoundExprKind::kSubquery) {
+    if (bound->subplan->schema.num_visible() != 1) {
+      return Status(ErrorCode::kBind,
+                    "scalar subquery must return exactly one column");
+    }
+    bound->type = bound->subplan->schema.column(0).type.ValueType();
+  } else {
+    if (kind == BoundExprKind::kInSubquery &&
+        bound->subplan->schema.num_visible() != 1) {
+      return Status(ErrorCode::kBind,
+                    "IN subquery must return exactly one column");
+    }
+    bound->type = DataType::Bool();
+  }
+
+  // Free variables relative to this expression's scope: depth measured by
+  // walking from `scope` outward.
+  std::set<std::pair<const void*, int>> seen;
+  for (const auto& [var_scope, col, name, type] : rec.vars) {
+    if (!seen.insert({var_scope, col}).second) continue;
+    int depth = 0;
+    bool found = false;
+    for (Scope* s = scope; s != nullptr; s = s->parent, ++depth) {
+      if (s == var_scope) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;  // resolved beyond our own chain (outer recorder)
+    bound->free_vars.push_back(BColumnRef(depth, col, name, type));
+  }
+  return bound;
+}
+
+Result<BoundExprPtr> Binder::BindAt(const Expr& e, Scope* scope) {
+  MSQL_ASSIGN_OR_RETURN(BoundExprPtr operand, BindExpr(*e.left, scope));
+  int measure_count = 0;
+  VisitNodes(operand.get(), [&](BoundExpr* n) {
+    if (n->kind == BoundExprKind::kMeasureEval) ++measure_count;
+  });
+  if (measure_count == 0) {
+    return Status(ErrorCode::kBind,
+                  "AT requires a context-sensitive expression (a measure)");
+  }
+  MSQL_ASSIGN_OR_RETURN(std::vector<BoundAtModifier> mods,
+                        BindAtModifiers(e.at_modifiers, scope));
+
+  // Outer AT modifiers apply before inner ones (paper section 3.5:
+  // cse AT (m1 m2) == (cse AT (m2)) AT (m1)), so prepend.
+  VisitNodes(operand.get(), [&](BoundExpr* n) {
+    if (n->kind != BoundExprKind::kMeasureEval) return;
+    std::vector<BoundAtModifier> combined;
+    for (const BoundAtModifier& m : mods) {
+      BoundAtModifier mc;
+      mc.kind = m.kind;
+      for (const auto& d : m.dims) mc.dims.push_back(d->Clone());
+      if (m.set_dim) mc.set_dim = m.set_dim->Clone();
+      if (m.set_value) mc.set_value = m.set_value->Clone();
+      if (m.predicate) mc.predicate = m.predicate->Clone();
+      combined.push_back(std::move(mc));
+    }
+    for (BoundAtModifier& m : n->modifiers) combined.push_back(std::move(m));
+    n->modifiers = std::move(combined);
+  });
+  return operand;
+}
+
+Result<BoundExprPtr> Binder::BindAtDim(const Expr& ast, Scope* dims_scope) {
+  auto direct = BindExpr(ast, dims_scope);
+  if (direct.ok()) return direct;
+  if (ast.kind == ExprKind::kColumnRef && ast.parts.size() == 1 &&
+      !select_alias_stack_.empty()) {
+    const auto& aliases = select_alias_stack_.back();
+    auto it = aliases.find(ToLower(ast.parts[0]));
+    if (it != aliases.end()) {
+      auto via_alias = BindExpr(*it->second, dims_scope);
+      if (via_alias.ok()) return via_alias;
+    }
+  }
+  return direct;
+}
+
+Result<std::vector<BoundAtModifier>> Binder::BindAtModifiers(
+    const std::vector<AtModifier>& mods, Scope* scope) {
+  // Dimension scope: the current FROM relation without outer chaining, so
+  // AT dimensions always denote columns of the measure's table.
+  Scope dims_scope;
+  dims_scope.parent = nullptr;
+  dims_scope.schema = scope->schema;
+  dims_scope.measures = nullptr;  // measures are not dimensions
+
+  // Predicate pseudo-scope: same columns with cleared qualifiers at depth 0
+  // (so unqualified names denote source dimensions) chained onto the call
+  // site (so qualified names like o.prodName correlate to the current row).
+  Schema unqualified = *scope->schema;
+  for (size_t i = 0; i < unqualified.size(); ++i) {
+    unqualified.mutable_column(i).table_alias.clear();
+  }
+  Scope pred_scope;
+  pred_scope.parent = scope;
+  pred_scope.schema = &unqualified;
+  pred_scope.measures = nullptr;
+
+  Scope* saved_dims = at_dims_scope_;
+  at_dims_scope_ = &dims_scope;
+  struct Restore {
+    Binder* b;
+    Scope* saved;
+    ~Restore() { b->at_dims_scope_ = saved; }
+  } restore{this, saved_dims};
+
+  std::vector<BoundAtModifier> bound;
+  for (const AtModifier& mod : mods) {
+    BoundAtModifier bm;
+    bm.kind = mod.kind;
+    switch (mod.kind) {
+      case AtModifier::Kind::kAll:
+      case AtModifier::Kind::kVisible:
+        break;
+      case AtModifier::Kind::kAllDims:
+        for (const auto& dim : mod.dims) {
+          MSQL_ASSIGN_OR_RETURN(BoundExprPtr b, BindAtDim(*dim, &dims_scope));
+          bm.dims.push_back(std::move(b));
+        }
+        break;
+      case AtModifier::Kind::kSet: {
+        MSQL_ASSIGN_OR_RETURN(bm.set_dim, BindAtDim(*mod.set_dim, &dims_scope));
+        // The value is evaluated at the call site (CURRENT allowed).
+        MSQL_ASSIGN_OR_RETURN(bm.set_value, BindExpr(*mod.value, scope));
+        break;
+      }
+      case AtModifier::Kind::kWhere:
+        MSQL_ASSIGN_OR_RETURN(bm.predicate,
+                              BindExpr(*mod.predicate, &pred_scope));
+        break;
+    }
+    bound.push_back(std::move(bm));
+  }
+  return bound;
+}
+
+}  // namespace msql

@@ -1,0 +1,299 @@
+#include "binder/bound_expr.h"
+
+#include "common/string_util.h"
+#include "plan/plan.h"
+
+namespace msql {
+
+BoundExpr::BoundExpr() = default;
+BoundExpr::~BoundExpr() = default;
+
+namespace {
+
+const char* FuncDisplayName(FunctionId id, const std::string& name) {
+  switch (id) {
+    case FunctionId::kOpAdd: return "+";
+    case FunctionId::kOpSub: return "-";
+    case FunctionId::kOpMul: return "*";
+    case FunctionId::kOpDiv: return "/";
+    case FunctionId::kOpMod: return "%";
+    case FunctionId::kOpConcat: return "||";
+    case FunctionId::kOpEq: return "=";
+    case FunctionId::kOpNe: return "<>";
+    case FunctionId::kOpLt: return "<";
+    case FunctionId::kOpLe: return "<=";
+    case FunctionId::kOpGt: return ">";
+    case FunctionId::kOpGe: return ">=";
+    case FunctionId::kOpAnd: return "AND";
+    case FunctionId::kOpOr: return "OR";
+    case FunctionId::kOpIsDistinctFrom: return "IS DISTINCT FROM";
+    case FunctionId::kOpIsNotDistinctFrom: return "IS NOT DISTINCT FROM";
+    default: return name.c_str();
+  }
+}
+
+bool IsInfix(FunctionId id) {
+  switch (id) {
+    case FunctionId::kOpAdd:
+    case FunctionId::kOpSub:
+    case FunctionId::kOpMul:
+    case FunctionId::kOpDiv:
+    case FunctionId::kOpMod:
+    case FunctionId::kOpConcat:
+    case FunctionId::kOpEq:
+    case FunctionId::kOpNe:
+    case FunctionId::kOpLt:
+    case FunctionId::kOpLe:
+    case FunctionId::kOpGt:
+    case FunctionId::kOpGe:
+    case FunctionId::kOpAnd:
+    case FunctionId::kOpOr:
+    case FunctionId::kOpIsDistinctFrom:
+    case FunctionId::kOpIsNotDistinctFrom:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string BoundExpr::ToString() const {
+  switch (kind) {
+    case BoundExprKind::kLiteral:
+      return literal.ToSqlLiteral();
+    case BoundExprKind::kColumnRef: {
+      std::string s = name.empty() ? StrCat("$", column) : name;
+      if (depth > 0) s = StrCat("^", depth, ".", s);
+      return s;
+    }
+    case BoundExprKind::kRowIndex:
+      return "__rowid";
+    case BoundExprKind::kFunc: {
+      if (IsInfix(func) && args.size() == 2) {
+        return StrCat("(", args[0]->ToString(), " ",
+                      FuncDisplayName(func, func_name), " ",
+                      args[1]->ToString(), ")");
+      }
+      if (func == FunctionId::kOpNot) {
+        return "(NOT " + args[0]->ToString() + ")";
+      }
+      if (func == FunctionId::kOpNeg) {
+        return "(-" + args[0]->ToString() + ")";
+      }
+      std::vector<std::string> parts;
+      for (const auto& a : args) parts.push_back(a->ToString());
+      return StrCat(FuncDisplayName(func, func_name), "(", Join(parts, ", "),
+                    ")");
+    }
+    case BoundExprKind::kAgg: {
+      std::string s = AggIdName(agg);
+      s += "(";
+      if (agg == AggId::kCountStar) {
+        s += "*";
+      } else {
+        if (distinct) s += "DISTINCT ";
+        std::vector<std::string> parts;
+        for (const auto& a : args) parts.push_back(a->ToString());
+        s += Join(parts, ", ");
+      }
+      s += ")";
+      if (filter) s += " FILTER (WHERE " + filter->ToString() + ")";
+      return s;
+    }
+    case BoundExprKind::kCase: {
+      std::string s = "CASE";
+      for (const auto& [w, t] : when_clauses) {
+        s += " WHEN " + w->ToString() + " THEN " + t->ToString();
+      }
+      if (else_expr) s += " ELSE " + else_expr->ToString();
+      return s + " END";
+    }
+    case BoundExprKind::kCast:
+      return StrCat("CAST(", operand->ToString(), " AS ",
+                    TypeKindName(cast_to), ")");
+    case BoundExprKind::kIsNull:
+      return StrCat("(", operand->ToString(),
+                    negated ? " IS NOT NULL)" : " IS NULL)");
+    case BoundExprKind::kInList: {
+      std::vector<std::string> parts;
+      for (const auto& a : args) parts.push_back(a->ToString());
+      return StrCat("(", operand->ToString(), negated ? " NOT IN (" : " IN (",
+                    Join(parts, ", "), "))");
+    }
+    case BoundExprKind::kLike:
+      return StrCat("(", operand->ToString(), negated ? " NOT LIKE " : " LIKE ",
+                    args[0]->ToString(), ")");
+    case BoundExprKind::kSubquery:
+      return "(<subquery>)";
+    case BoundExprKind::kInSubquery:
+      return StrCat("(", operand->ToString(),
+                    negated ? " NOT IN (<subquery>))" : " IN (<subquery>))");
+    case BoundExprKind::kExists:
+      return negated ? "NOT EXISTS(<subquery>)" : "EXISTS(<subquery>)";
+    case BoundExprKind::kMeasureEval: {
+      std::string s = name.empty() ? StrCat("measure#", measure_slot) : name;
+      if (!modifiers.empty()) {
+        std::vector<std::string> mods;
+        for (const auto& m : modifiers) {
+          switch (m.kind) {
+            case AtModifier::Kind::kAll:
+              mods.push_back("ALL");
+              break;
+            case AtModifier::Kind::kAllDims: {
+              std::string d = "ALL";
+              for (const auto& e : m.dims) d += " " + e->ToString();
+              mods.push_back(d);
+              break;
+            }
+            case AtModifier::Kind::kSet:
+              mods.push_back(StrCat("SET ", m.set_dim->ToString(), " = ",
+                                    m.set_value->ToString()));
+              break;
+            case AtModifier::Kind::kVisible:
+              mods.push_back("VISIBLE");
+              break;
+            case AtModifier::Kind::kWhere:
+              mods.push_back("WHERE " + m.predicate->ToString());
+              break;
+          }
+        }
+        s += " AT (" + Join(mods, " ") + ")";
+      }
+      return s;
+    }
+    case BoundExprKind::kCurrent:
+      return "CURRENT " + current_dim->ToString();
+    case BoundExprKind::kGroupingBit:
+      return StrCat("GROUPING_BIT(", grouping_bit, ")");
+  }
+  return "?";
+}
+
+BoundExprPtr BoundExpr::Clone() const {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = kind;
+  e->type = type;
+  e->literal = literal;
+  e->depth = depth;
+  e->column = column;
+  e->name = name;
+  e->func = func;
+  e->func_name = func_name;
+  for (const auto& a : args) e->args.push_back(a->Clone());
+  e->agg = agg;
+  e->distinct = distinct;
+  if (filter) e->filter = filter->Clone();
+  for (const auto& [w, t] : when_clauses) {
+    e->when_clauses.emplace_back(w->Clone(), t->Clone());
+  }
+  if (else_expr) e->else_expr = else_expr->Clone();
+  if (operand) e->operand = operand->Clone();
+  e->cast_to = cast_to;
+  e->negated = negated;
+  e->subplan = subplan;  // plans are immutable after binding; share
+  for (const auto& f : free_vars) e->free_vars.push_back(f->Clone());
+  e->measure_slot = measure_slot;
+  for (const auto& m : modifiers) {
+    BoundAtModifier mc;
+    mc.kind = m.kind;
+    for (const auto& d : m.dims) mc.dims.push_back(d->Clone());
+    if (m.set_dim) mc.set_dim = m.set_dim->Clone();
+    if (m.set_value) mc.set_value = m.set_value->Clone();
+    if (m.predicate) mc.predicate = m.predicate->Clone();
+    e->modifiers.push_back(std::move(mc));
+  }
+  if (current_dim) e->current_dim = current_dim->Clone();
+  e->grouping_bit = grouping_bit;
+  e->grouping_col = grouping_col;
+  return e;
+}
+
+BoundExprPtr BLiteral(Value v) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = BoundExprKind::kLiteral;
+  e->type = DataType(v.kind());
+  e->literal = std::move(v);
+  return e;
+}
+
+BoundExprPtr BColumnRef(int depth, int column, std::string name,
+                        DataType type) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = BoundExprKind::kColumnRef;
+  e->depth = depth;
+  e->column = column;
+  e->name = std::move(name);
+  e->type = type;
+  return e;
+}
+
+BoundExprPtr BFunc(FunctionId id, std::string name, DataType type,
+                   std::vector<BoundExprPtr> args) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = BoundExprKind::kFunc;
+  e->func = id;
+  e->func_name = std::move(name);
+  e->type = type;
+  e->args = std::move(args);
+  return e;
+}
+
+BoundExprPtr BRowIndex() {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = BoundExprKind::kRowIndex;
+  e->type = DataType::Int64();
+  return e;
+}
+
+bool ContainsNode(const BoundExpr& e,
+                  const std::function<bool(const BoundExpr&)>& pred) {
+  bool found = false;
+  VisitNodes(e, [&](const BoundExpr& n) {
+    if (pred(n)) found = true;
+  });
+  return found;
+}
+
+void VisitNodes(BoundExpr* e, const std::function<void(BoundExpr*)>& fn) {
+  fn(e);
+  for (auto& a : e->args) VisitNodes(a.get(), fn);
+  if (e->filter) VisitNodes(e->filter.get(), fn);
+  for (auto& [w, t] : e->when_clauses) {
+    VisitNodes(w.get(), fn);
+    VisitNodes(t.get(), fn);
+  }
+  if (e->else_expr) VisitNodes(e->else_expr.get(), fn);
+  if (e->operand) VisitNodes(e->operand.get(), fn);
+  for (auto& f : e->free_vars) VisitNodes(f.get(), fn);
+  for (auto& m : e->modifiers) {
+    for (auto& d : m.dims) VisitNodes(d.get(), fn);
+    if (m.set_dim) VisitNodes(m.set_dim.get(), fn);
+    if (m.set_value) VisitNodes(m.set_value.get(), fn);
+    if (m.predicate) VisitNodes(m.predicate.get(), fn);
+  }
+  if (e->current_dim) VisitNodes(e->current_dim.get(), fn);
+}
+
+void VisitNodes(const BoundExpr& e,
+                const std::function<void(const BoundExpr&)>& fn) {
+  fn(e);
+  for (const auto& a : e.args) VisitNodes(*a, fn);
+  if (e.filter) VisitNodes(*e.filter, fn);
+  for (const auto& [w, t] : e.when_clauses) {
+    VisitNodes(*w, fn);
+    VisitNodes(*t, fn);
+  }
+  if (e.else_expr) VisitNodes(*e.else_expr, fn);
+  if (e.operand) VisitNodes(*e.operand, fn);
+  for (const auto& f : e.free_vars) VisitNodes(*f, fn);
+  for (const auto& m : e.modifiers) {
+    for (const auto& d : m.dims) VisitNodes(*d, fn);
+    if (m.set_dim) VisitNodes(*m.set_dim, fn);
+    if (m.set_value) VisitNodes(*m.set_value, fn);
+    if (m.predicate) VisitNodes(*m.predicate, fn);
+  }
+  if (e.current_dim) VisitNodes(*e.current_dim, fn);
+}
+
+}  // namespace msql

@@ -1,0 +1,144 @@
+#ifndef MSQL_BINDER_BOUND_EXPR_H_
+#define MSQL_BINDER_BOUND_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "binder/functions.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "parser/ast.h"
+
+namespace msql {
+
+struct LogicalPlan;  // plan/plan.h; plans and bound expressions are mutually
+                     // recursive (scalar subqueries hold plans).
+
+struct BoundExpr;
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+// Bound (resolved, typed) expression kinds. Aggregate calls (kAgg) appear
+// only inside Aggregate plan nodes, window definitions, and measure
+// formulas, never in expressions evaluated row-at-a-time.
+enum class BoundExprKind {
+  kLiteral,
+  kColumnRef,    // (depth, column): depth 0 = innermost row scope
+  kRowIndex,     // index of the current depth-0 row within its relation;
+                 // materializes the hidden row-id column of measure sources
+  kFunc,         // scalar function / operator
+  kAgg,          // aggregate call (SUM(revenue), COUNT(*), ...)
+  kCase,
+  kCast,
+  kIsNull,
+  kInList,
+  kLike,
+  kSubquery,     // scalar subquery
+  kInSubquery,
+  kExists,
+  kMeasureEval,  // a context-sensitive measure evaluation (paper section 3.4)
+  kCurrent,      // CURRENT dim inside an AT modifier
+  kGroupingBit,  // GROUPING(expr) lowered to a bit of the grouping id column
+};
+
+// A bound AT-modifier (paper table 3). Binding conventions:
+//  * `dims` / `set_dim` are bound against the measure provider's scope
+//    (depth 0 = the relation in FROM that carries the measure); at runtime
+//    they are translated through the measure's provenance onto its source.
+//  * `set_value` is bound against the call-site scope stack and may contain
+//    kCurrent nodes, resolved against the incoming evaluation context.
+//  * `predicate` is bound with depth 0 = the measure's *source* schema and
+//    depth >= 1 = the call-site scopes (correlations), which are closed over
+//    (replaced by literals) when the context is built.
+struct BoundAtModifier {
+  AtModifier::Kind kind = AtModifier::Kind::kAll;
+  std::vector<BoundExprPtr> dims;
+  BoundExprPtr set_dim;
+  BoundExprPtr set_value;
+  BoundExprPtr predicate;
+};
+
+struct BoundExpr {
+  BoundExprKind kind = BoundExprKind::kLiteral;
+  DataType type;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  int depth = 0;
+  int column = -1;
+  std::string name;  // for printing / signatures
+
+  // kFunc
+  FunctionId func = FunctionId::kInvalid;
+  std::string func_name;
+  std::vector<BoundExprPtr> args;  // also kAgg / kCase WHENs / kInList items
+
+  // kAgg
+  AggId agg = AggId::kInvalid;
+  bool distinct = false;
+  BoundExprPtr filter;  // FILTER (WHERE ...)
+
+  // kCase: operand-less form only (the binder desugars the operand form).
+  std::vector<std::pair<BoundExprPtr, BoundExprPtr>> when_clauses;
+  BoundExprPtr else_expr;
+
+  // kCast / kIsNull / kLike / kInList operand, kLike pattern is args[0].
+  BoundExprPtr operand;
+  TypeKind cast_to = TypeKind::kNull;
+  bool negated = false;
+
+  // kSubquery / kInSubquery / kExists
+  std::shared_ptr<LogicalPlan> subplan;
+  // Correlated column refs in the subplan, expressed relative to *this*
+  // expression's scope stack (depth 0 = the row being evaluated). Used as
+  // the memoization key for repeated correlated evaluations.
+  std::vector<BoundExprPtr> free_vars;
+
+  // kMeasureEval: measure `measure_slot` of the depth-`depth` scope's
+  // relation, with `modifiers` applied left to right.
+  int measure_slot = -1;
+  std::vector<BoundAtModifier> modifiers;
+
+  // kCurrent
+  BoundExprPtr current_dim;  // dim handle, provider-scope expression
+
+  // kGroupingBit
+  int grouping_bit = 0;
+  int grouping_col = -1;  // column holding the grouping id
+
+  BoundExpr();
+  ~BoundExpr();
+  BoundExpr(const BoundExpr&) = delete;
+  BoundExpr& operator=(const BoundExpr&) = delete;
+  BoundExpr(BoundExpr&&) = default;
+  BoundExpr& operator=(BoundExpr&&) = default;
+
+  BoundExprPtr Clone() const;
+
+  // Canonical rendering. Used for EXPLAIN, group-key matching and evaluation
+  // context signatures ("YEAR(orderDate)" etc.), so it must be deterministic.
+  std::string ToString() const;
+};
+
+// Convenience constructors.
+BoundExprPtr BLiteral(Value v);
+BoundExprPtr BColumnRef(int depth, int column, std::string name, DataType type);
+BoundExprPtr BFunc(FunctionId id, std::string name, DataType type,
+                   std::vector<BoundExprPtr> args);
+BoundExprPtr BRowIndex();
+
+// True if the expression (recursively) contains a node satisfying `pred`.
+bool ContainsNode(const BoundExpr& e,
+                  const std::function<bool(const BoundExpr&)>& pred);
+
+// Applies `fn` to every node (pre-order, mutable).
+void VisitNodes(BoundExpr* e, const std::function<void(BoundExpr*)>& fn);
+void VisitNodes(const BoundExpr& e,
+                const std::function<void(const BoundExpr&)>& fn);
+
+}  // namespace msql
+
+#endif  // MSQL_BINDER_BOUND_EXPR_H_

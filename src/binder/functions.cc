@@ -1,0 +1,604 @@
+#include "binder/functions.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/date.h"
+#include "common/string_util.h"
+
+namespace msql {
+
+namespace {
+
+Status WrongArity(const std::string& name, size_t got, const char* want) {
+  return Status(ErrorCode::kBind,
+                StrCat("function ", name, " expects ", want, " argument(s), got ",
+                       got));
+}
+
+bool AllNumeric(const std::vector<DataType>& args) {
+  for (const auto& t : args) {
+    if (!t.is_numeric() && t.kind != TypeKind::kNull) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* AggIdName(AggId id) {
+  switch (id) {
+    case AggId::kSum: return "SUM";
+    case AggId::kCount: return "COUNT";
+    case AggId::kCountStar: return "COUNT";
+    case AggId::kAvg: return "AVG";
+    case AggId::kMin: return "MIN";
+    case AggId::kMax: return "MAX";
+    case AggId::kStddev: return "STDDEV";
+    case AggId::kVariance: return "VARIANCE";
+    case AggId::kMinBy: return "MIN_BY";
+    case AggId::kMaxBy: return "MAX_BY";
+    case AggId::kRowNumber: return "ROW_NUMBER";
+    case AggId::kRank: return "RANK";
+    default: return "?";
+  }
+}
+
+FunctionId LookupScalarFunction(const std::string& name) {
+  static const auto* kMap = new std::unordered_map<std::string, FunctionId>{
+      {"YEAR", FunctionId::kYear},
+      {"MONTH", FunctionId::kMonth},
+      {"DAY", FunctionId::kDay},
+      {"DAYOFMONTH", FunctionId::kDay},
+      {"QUARTER", FunctionId::kQuarter},
+      {"DAYOFWEEK", FunctionId::kDayOfWeek},
+      {"FLOOR", FunctionId::kFloor},
+      {"CEIL", FunctionId::kCeil},
+      {"CEILING", FunctionId::kCeil},
+      {"ABS", FunctionId::kAbs},
+      {"ROUND", FunctionId::kRound},
+      {"MOD", FunctionId::kMod},
+      {"POWER", FunctionId::kPower},
+      {"POW", FunctionId::kPower},
+      {"SQRT", FunctionId::kSqrt},
+      {"LN", FunctionId::kLn},
+      {"EXP", FunctionId::kExp},
+      {"LOG10", FunctionId::kLog10},
+      {"SIGN", FunctionId::kSign},
+      {"TRUNC", FunctionId::kTrunc},
+      {"UPPER", FunctionId::kUpper},
+      {"LOWER", FunctionId::kLower},
+      {"LENGTH", FunctionId::kLength},
+      {"SUBSTR", FunctionId::kSubstr},
+      {"SUBSTRING", FunctionId::kSubstr},
+      {"CONCAT", FunctionId::kConcat},
+      {"TRIM", FunctionId::kTrimFn},
+      {"REPLACE", FunctionId::kReplaceFn},
+      {"COALESCE", FunctionId::kCoalesce},
+      {"NULLIF", FunctionId::kNullIf},
+      {"IF", FunctionId::kIf},
+      {"IIF", FunctionId::kIf},
+      {"GREATEST", FunctionId::kGreatest},
+      {"LEAST", FunctionId::kLeast},
+  };
+  auto it = kMap->find(ToUpper(name));
+  return it == kMap->end() ? FunctionId::kInvalid : it->second;
+}
+
+AggId LookupAggFunction(const std::string& name) {
+  static const auto* kMap = new std::unordered_map<std::string, AggId>{
+      {"SUM", AggId::kSum},           {"COUNT", AggId::kCount},
+      {"AVG", AggId::kAvg},           {"MIN", AggId::kMin},
+      {"MAX", AggId::kMax},           {"STDDEV", AggId::kStddev},
+      {"STDDEV_SAMP", AggId::kStddev},{"VARIANCE", AggId::kVariance},
+      {"VAR_SAMP", AggId::kVariance}, {"MIN_BY", AggId::kMinBy},
+      {"MAX_BY", AggId::kMaxBy},      {"ARG_MIN", AggId::kMinBy},
+      {"ARG_MAX", AggId::kMaxBy},     {"ROW_NUMBER", AggId::kRowNumber},
+      {"RANK", AggId::kRank},
+  };
+  auto it = kMap->find(ToUpper(name));
+  return it == kMap->end() ? AggId::kInvalid : it->second;
+}
+
+bool IsWindowOnly(AggId id) {
+  return id == AggId::kRowNumber || id == AggId::kRank;
+}
+
+Result<DataType> ScalarResultType(FunctionId id, const std::string& name,
+                                  const std::vector<DataType>& args) {
+  auto require = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return WrongArity(name, args.size(), StrCat(n).c_str());
+    }
+    return Status::Ok();
+  };
+  switch (id) {
+    case FunctionId::kOpAdd:
+    case FunctionId::kOpSub:
+    case FunctionId::kOpMul: {
+      MSQL_RETURN_IF_ERROR(require(2));
+      // DATE +/- INTEGER arithmetic.
+      if (args[0].kind == TypeKind::kDate || args[1].kind == TypeKind::kDate) {
+        if (id == FunctionId::kOpSub && args[0].kind == TypeKind::kDate &&
+            args[1].kind == TypeKind::kDate) {
+          return DataType::Int64();
+        }
+        return DataType::Date();
+      }
+      if (!AllNumeric(args)) {
+        return Status(ErrorCode::kBind,
+                      StrCat("operator ", name, " requires numeric operands"));
+      }
+      if (args[0].kind == TypeKind::kDouble || args[1].kind == TypeKind::kDouble)
+        return DataType::Double();
+      return DataType::Int64();
+    }
+    case FunctionId::kOpDiv:
+      MSQL_RETURN_IF_ERROR(require(2));
+      if (!AllNumeric(args)) {
+        return Status(ErrorCode::kBind, "operator / requires numeric operands");
+      }
+      // SQL engines differ; like the paper's examples (profit margins from
+      // integer columns), we use exact division producing DOUBLE.
+      return DataType::Double();
+    case FunctionId::kOpMod:
+    case FunctionId::kMod:
+      MSQL_RETURN_IF_ERROR(require(2));
+      return DataType::Int64();
+    case FunctionId::kOpConcat:
+    case FunctionId::kConcat:
+      if (args.empty()) return WrongArity(name, 0, ">=1");
+      return DataType::String();
+    case FunctionId::kOpEq:
+    case FunctionId::kOpNe:
+    case FunctionId::kOpLt:
+    case FunctionId::kOpLe:
+    case FunctionId::kOpGt:
+    case FunctionId::kOpGe:
+    case FunctionId::kOpIsDistinctFrom:
+    case FunctionId::kOpIsNotDistinctFrom:
+      MSQL_RETURN_IF_ERROR(require(2));
+      return DataType::Bool();
+    case FunctionId::kOpAnd:
+    case FunctionId::kOpOr:
+      MSQL_RETURN_IF_ERROR(require(2));
+      return DataType::Bool();
+    case FunctionId::kOpNot:
+      MSQL_RETURN_IF_ERROR(require(1));
+      return DataType::Bool();
+    case FunctionId::kOpNeg:
+      MSQL_RETURN_IF_ERROR(require(1));
+      return args[0].ValueType();
+    case FunctionId::kYear:
+    case FunctionId::kMonth:
+    case FunctionId::kDay:
+    case FunctionId::kQuarter:
+    case FunctionId::kDayOfWeek:
+      MSQL_RETURN_IF_ERROR(require(1));
+      if (args[0].kind != TypeKind::kDate && args[0].kind != TypeKind::kNull) {
+        return Status(ErrorCode::kBind,
+                      StrCat("function ", name, " requires a DATE argument"));
+      }
+      return DataType::Int64();
+    case FunctionId::kFloor:
+    case FunctionId::kCeil:
+    case FunctionId::kRound:
+    case FunctionId::kTrunc:
+    case FunctionId::kSign:
+      if (args.size() != 1 && !(args.size() == 2 && id == FunctionId::kRound)) {
+        return WrongArity(name, args.size(), "1");
+      }
+      return args[0].kind == TypeKind::kDouble ? DataType::Double()
+                                               : DataType::Int64();
+    case FunctionId::kAbs:
+      MSQL_RETURN_IF_ERROR(require(1));
+      return args[0].ValueType();
+    case FunctionId::kPower:
+      MSQL_RETURN_IF_ERROR(require(2));
+      return DataType::Double();
+    case FunctionId::kSqrt:
+    case FunctionId::kLn:
+    case FunctionId::kExp:
+    case FunctionId::kLog10:
+      MSQL_RETURN_IF_ERROR(require(1));
+      return DataType::Double();
+    case FunctionId::kUpper:
+    case FunctionId::kLower:
+    case FunctionId::kTrimFn:
+      MSQL_RETURN_IF_ERROR(require(1));
+      return DataType::String();
+    case FunctionId::kReplaceFn:
+      MSQL_RETURN_IF_ERROR(require(3));
+      return DataType::String();
+    case FunctionId::kLength:
+      MSQL_RETURN_IF_ERROR(require(1));
+      return DataType::Int64();
+    case FunctionId::kSubstr:
+      if (args.size() != 2 && args.size() != 3) {
+        return WrongArity(name, args.size(), "2 or 3");
+      }
+      return DataType::String();
+    case FunctionId::kCoalesce:
+    case FunctionId::kGreatest:
+    case FunctionId::kLeast: {
+      if (args.empty()) return WrongArity(name, 0, ">=1");
+      DataType t = args[0];
+      for (size_t i = 1; i < args.size(); ++i) t = CommonType(t, args[i]);
+      return t;
+    }
+    case FunctionId::kNullIf:
+      MSQL_RETURN_IF_ERROR(require(2));
+      return args[0].ValueType();
+    case FunctionId::kIf: {
+      MSQL_RETURN_IF_ERROR(require(3));
+      return CommonType(args[1], args[2]);
+    }
+    case FunctionId::kInvalid:
+      break;
+  }
+  return Status(ErrorCode::kBind, "unknown function " + name);
+}
+
+Result<DataType> AggResultType(AggId id, const std::string& name,
+                               const std::vector<DataType>& args) {
+  switch (id) {
+    case AggId::kCountStar:
+      return DataType::Int64();
+    case AggId::kCount:
+      if (args.size() != 1) return WrongArity(name, args.size(), "1");
+      return DataType::Int64();
+    case AggId::kSum:
+      if (args.size() != 1) return WrongArity(name, args.size(), "1");
+      if (!AllNumeric(args)) {
+        return Status(ErrorCode::kBind, "SUM requires a numeric argument");
+      }
+      return args[0].kind == TypeKind::kDouble ? DataType::Double()
+                                               : DataType::Int64();
+    case AggId::kAvg:
+    case AggId::kStddev:
+    case AggId::kVariance:
+      if (args.size() != 1) return WrongArity(name, args.size(), "1");
+      if (!AllNumeric(args)) {
+        return Status(ErrorCode::kBind,
+                      StrCat(name, " requires a numeric argument"));
+      }
+      return DataType::Double();
+    case AggId::kMin:
+    case AggId::kMax:
+      if (args.size() != 1) return WrongArity(name, args.size(), "1");
+      return args[0].ValueType();
+    case AggId::kMinBy:
+    case AggId::kMaxBy:
+      if (args.size() != 2) return WrongArity(name, args.size(), "2");
+      return args[0].ValueType();
+    case AggId::kRowNumber:
+    case AggId::kRank:
+      if (!args.empty()) return WrongArity(name, args.size(), "0");
+      return DataType::Int64();
+    case AggId::kInvalid:
+      break;
+  }
+  return Status(ErrorCode::kBind, "unknown aggregate function " + name);
+}
+
+Result<Value> EvalScalarFunction(FunctionId id,
+                                 const std::vector<Value>& args) {
+  // Functions that define their own NULL handling.
+  switch (id) {
+    case FunctionId::kOpAnd: {
+      // Three-valued logic.
+      const Value& a = args[0];
+      const Value& b = args[1];
+      if (!a.is_null() && !a.bool_val()) return Value::Bool(false);
+      if (!b.is_null() && !b.bool_val()) return Value::Bool(false);
+      if (a.is_null() || b.is_null()) return Value::Null();
+      return Value::Bool(true);
+    }
+    case FunctionId::kOpOr: {
+      const Value& a = args[0];
+      const Value& b = args[1];
+      if (!a.is_null() && a.bool_val()) return Value::Bool(true);
+      if (!b.is_null() && b.bool_val()) return Value::Bool(true);
+      if (a.is_null() || b.is_null()) return Value::Null();
+      return Value::Bool(false);
+    }
+    case FunctionId::kOpNot:
+      if (args[0].is_null()) return Value::Null();
+      return Value::Bool(!args[0].bool_val());
+    case FunctionId::kOpIsDistinctFrom:
+      return Value::Bool(!Value::NotDistinct(args[0], args[1]));
+    case FunctionId::kOpIsNotDistinctFrom:
+      return Value::Bool(Value::NotDistinct(args[0], args[1]));
+    case FunctionId::kCoalesce:
+      for (const Value& v : args) {
+        if (!v.is_null()) return v;
+      }
+      return Value::Null();
+    case FunctionId::kIf:
+      if (!args[0].is_null() && args[0].bool_val()) return args[1];
+      return args[2];
+    case FunctionId::kNullIf:
+      if (!args[0].is_null() && !args[1].is_null() &&
+          Value::NotDistinct(args[0], args[1])) {
+        return Value::Null();
+      }
+      return args[0];
+    default:
+      break;
+  }
+
+  // Default NULL propagation.
+  for (const Value& v : args) {
+    if (v.is_null()) return Value::Null();
+  }
+
+  switch (id) {
+    case FunctionId::kOpAdd:
+      if (args[0].kind() == TypeKind::kDate) {
+        return Value::Date(args[0].date_days() + args[1].int_val());
+      }
+      if (args[1].kind() == TypeKind::kDate) {
+        return Value::Date(args[1].date_days() + args[0].int_val());
+      }
+      if (args[0].kind() == TypeKind::kInt64 &&
+          args[1].kind() == TypeKind::kInt64) {
+        return Value::Int(args[0].int_val() + args[1].int_val());
+      }
+      return Value::Double(args[0].AsDouble() + args[1].AsDouble());
+    case FunctionId::kOpSub:
+      if (args[0].kind() == TypeKind::kDate &&
+          args[1].kind() == TypeKind::kDate) {
+        return Value::Int(args[0].date_days() - args[1].date_days());
+      }
+      if (args[0].kind() == TypeKind::kDate) {
+        return Value::Date(args[0].date_days() - args[1].int_val());
+      }
+      if (args[0].kind() == TypeKind::kInt64 &&
+          args[1].kind() == TypeKind::kInt64) {
+        return Value::Int(args[0].int_val() - args[1].int_val());
+      }
+      return Value::Double(args[0].AsDouble() - args[1].AsDouble());
+    case FunctionId::kOpMul:
+      if (args[0].kind() == TypeKind::kInt64 &&
+          args[1].kind() == TypeKind::kInt64) {
+        return Value::Int(args[0].int_val() * args[1].int_val());
+      }
+      return Value::Double(args[0].AsDouble() * args[1].AsDouble());
+    case FunctionId::kOpDiv: {
+      double divisor = args[1].AsDouble();
+      if (divisor == 0) {
+        return Status(ErrorCode::kExecution, "division by zero");
+      }
+      return Value::Double(args[0].AsDouble() / divisor);
+    }
+    case FunctionId::kOpMod:
+    case FunctionId::kMod: {
+      MSQL_ASSIGN_OR_RETURN(Value a, args[0].CastTo(TypeKind::kInt64));
+      MSQL_ASSIGN_OR_RETURN(Value b, args[1].CastTo(TypeKind::kInt64));
+      if (b.int_val() == 0) {
+        return Status(ErrorCode::kExecution, "division by zero in MOD");
+      }
+      return Value::Int(a.int_val() % b.int_val());
+    }
+    case FunctionId::kOpConcat:
+    case FunctionId::kConcat: {
+      std::string s;
+      for (const Value& v : args) s += v.ToString();
+      return Value::String(s);
+    }
+    case FunctionId::kOpEq:
+      return Value::Bool(Value::NotDistinct(args[0], args[1]));
+    case FunctionId::kOpNe:
+      return Value::Bool(!Value::NotDistinct(args[0], args[1]));
+    case FunctionId::kOpLt:
+      return Value::Bool(Value::Compare(args[0], args[1]) < 0);
+    case FunctionId::kOpLe:
+      return Value::Bool(Value::Compare(args[0], args[1]) <= 0);
+    case FunctionId::kOpGt:
+      return Value::Bool(Value::Compare(args[0], args[1]) > 0);
+    case FunctionId::kOpGe:
+      return Value::Bool(Value::Compare(args[0], args[1]) >= 0);
+    case FunctionId::kOpNeg:
+      if (args[0].kind() == TypeKind::kInt64) {
+        return Value::Int(-args[0].int_val());
+      }
+      return Value::Double(-args[0].AsDouble());
+    case FunctionId::kYear:
+      return Value::Int(YearOfDate(args[0].date_days()));
+    case FunctionId::kMonth:
+      return Value::Int(MonthOfDate(args[0].date_days()));
+    case FunctionId::kDay:
+      return Value::Int(DayOfDate(args[0].date_days()));
+    case FunctionId::kQuarter:
+      return Value::Int(QuarterOfDate(args[0].date_days()));
+    case FunctionId::kDayOfWeek:
+      return Value::Int(DayOfWeek(args[0].date_days()));
+    case FunctionId::kFloor:
+      if (args[0].kind() == TypeKind::kInt64) return args[0];
+      return Value::Double(std::floor(args[0].AsDouble()));
+    case FunctionId::kCeil:
+      if (args[0].kind() == TypeKind::kInt64) return args[0];
+      return Value::Double(std::ceil(args[0].AsDouble()));
+    case FunctionId::kAbs:
+      if (args[0].kind() == TypeKind::kInt64) {
+        return Value::Int(std::llabs(args[0].int_val()));
+      }
+      return Value::Double(std::fabs(args[0].AsDouble()));
+    case FunctionId::kRound: {
+      double scale = 1;
+      if (args.size() == 2) scale = std::pow(10.0, args[1].AsDouble());
+      if (args[0].kind() == TypeKind::kInt64 && args.size() == 1) {
+        return args[0];
+      }
+      return Value::Double(std::round(args[0].AsDouble() * scale) / scale);
+    }
+    case FunctionId::kTrunc:
+      if (args[0].kind() == TypeKind::kInt64) return args[0];
+      return Value::Double(std::trunc(args[0].AsDouble()));
+    case FunctionId::kSign: {
+      double v = args[0].AsDouble();
+      return Value::Int(v > 0 ? 1 : v < 0 ? -1 : 0);
+    }
+    case FunctionId::kPower:
+      return Value::Double(std::pow(args[0].AsDouble(), args[1].AsDouble()));
+    case FunctionId::kSqrt: {
+      double v = args[0].AsDouble();
+      if (v < 0) return Status(ErrorCode::kExecution, "SQRT of negative value");
+      return Value::Double(std::sqrt(v));
+    }
+    case FunctionId::kLn: {
+      double v = args[0].AsDouble();
+      if (v <= 0) return Status(ErrorCode::kExecution, "LN of non-positive value");
+      return Value::Double(std::log(v));
+    }
+    case FunctionId::kExp:
+      return Value::Double(std::exp(args[0].AsDouble()));
+    case FunctionId::kLog10: {
+      double v = args[0].AsDouble();
+      if (v <= 0) {
+        return Status(ErrorCode::kExecution, "LOG10 of non-positive value");
+      }
+      return Value::Double(std::log10(v));
+    }
+    case FunctionId::kUpper:
+      return Value::String(ToUpper(args[0].str()));
+    case FunctionId::kLower:
+      return Value::String(ToLower(args[0].str()));
+    case FunctionId::kTrimFn:
+      return Value::String(Trim(args[0].str()));
+    case FunctionId::kReplaceFn: {
+      std::string s = args[0].str();
+      const std::string& from = args[1].str();
+      const std::string& to = args[2].str();
+      if (!from.empty()) {
+        size_t pos = 0;
+        while ((pos = s.find(from, pos)) != std::string::npos) {
+          s.replace(pos, from.size(), to);
+          pos += to.size();
+        }
+      }
+      return Value::String(s);
+    }
+    case FunctionId::kLength:
+      return Value::Int(static_cast<int64_t>(args[0].str().size()));
+    case FunctionId::kSubstr: {
+      const std::string& s = args[0].str();
+      int64_t start = args[1].int_val();  // 1-based
+      int64_t len = args.size() == 3 ? args[2].int_val()
+                                     : static_cast<int64_t>(s.size());
+      if (start < 1) start = 1;
+      if (start > static_cast<int64_t>(s.size()) || len <= 0) {
+        return Value::String("");
+      }
+      return Value::String(s.substr(static_cast<size_t>(start - 1),
+                                    static_cast<size_t>(len)));
+    }
+    case FunctionId::kGreatest: {
+      Value best = args[0];
+      for (size_t i = 1; i < args.size(); ++i) {
+        if (Value::Compare(args[i], best) > 0) best = args[i];
+      }
+      return best;
+    }
+    case FunctionId::kLeast: {
+      Value best = args[0];
+      for (size_t i = 1; i < args.size(); ++i) {
+        if (Value::Compare(args[i], best) < 0) best = args[i];
+      }
+      return best;
+    }
+    default:
+      break;
+  }
+  return Status(ErrorCode::kExecution, "unhandled scalar function");
+}
+
+Status AggAccumulator::Accumulate(const std::vector<Value>& args) {
+  switch (id_) {
+    case AggId::kCountStar:
+      ++count_;
+      return Status::Ok();
+    case AggId::kCount:
+      if (!args[0].is_null()) ++count_;
+      return Status::Ok();
+    case AggId::kSum:
+      if (args[0].is_null()) return Status::Ok();
+      has_value_ = true;
+      if (args[0].kind() == TypeKind::kDouble) any_double_ = true;
+      if (args[0].kind() == TypeKind::kInt64) {
+        isum_ += args[0].int_val();
+      }
+      sum_ += args[0].AsDouble();
+      return Status::Ok();
+    case AggId::kAvg:
+    case AggId::kStddev:
+    case AggId::kVariance:
+      if (args[0].is_null()) return Status::Ok();
+      has_value_ = true;
+      ++count_;
+      sum_ += args[0].AsDouble();
+      sum_sq_ += args[0].AsDouble() * args[0].AsDouble();
+      return Status::Ok();
+    case AggId::kMin:
+      if (args[0].is_null()) return Status::Ok();
+      if (!has_value_ || Value::Compare(args[0], extreme_) < 0) {
+        extreme_ = args[0];
+      }
+      has_value_ = true;
+      return Status::Ok();
+    case AggId::kMax:
+      if (args[0].is_null()) return Status::Ok();
+      if (!has_value_ || Value::Compare(args[0], extreme_) > 0) {
+        extreme_ = args[0];
+      }
+      has_value_ = true;
+      return Status::Ok();
+    case AggId::kMinBy:
+    case AggId::kMaxBy: {
+      if (args[1].is_null()) return Status::Ok();
+      int cmp = has_value_ ? Value::Compare(args[1], extreme_) : 0;
+      bool better = !has_value_ ||
+                    (id_ == AggId::kMinBy ? cmp < 0 : cmp > 0);
+      if (better) {
+        extreme_ = args[1];
+        extreme_val_ = args[0];
+      }
+      has_value_ = true;
+      return Status::Ok();
+    }
+    default:
+      return Status(ErrorCode::kExecution,
+                    "window-only function used as aggregate");
+  }
+}
+
+Value AggAccumulator::Finish() const {
+  switch (id_) {
+    case AggId::kCountStar:
+    case AggId::kCount:
+      return Value::Int(count_);
+    case AggId::kSum:
+      if (!has_value_) return Value::Null();
+      return any_double_ ? Value::Double(sum_) : Value::Int(isum_);
+    case AggId::kAvg:
+      if (count_ == 0) return Value::Null();
+      return Value::Double(sum_ / static_cast<double>(count_));
+    case AggId::kStddev:
+    case AggId::kVariance: {
+      if (count_ < 2) return Value::Null();
+      double n = static_cast<double>(count_);
+      double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+      if (var < 0) var = 0;  // numerical noise
+      return Value::Double(id_ == AggId::kStddev ? std::sqrt(var) : var);
+    }
+    case AggId::kMin:
+    case AggId::kMax:
+      return has_value_ ? extreme_ : Value::Null();
+    case AggId::kMinBy:
+    case AggId::kMaxBy:
+      return has_value_ ? extreme_val_ : Value::Null();
+    default:
+      return Value::Null();
+  }
+}
+
+}  // namespace msql

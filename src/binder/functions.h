@@ -1,0 +1,93 @@
+#ifndef MSQL_BINDER_FUNCTIONS_H_
+#define MSQL_BINDER_FUNCTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace msql {
+
+// Built-in scalar operations. Binary/unary operators are lowered to these as
+// well, so the evaluator has a single dispatch point.
+enum class FunctionId {
+  kInvalid = 0,
+  // Operators.
+  kOpAdd, kOpSub, kOpMul, kOpDiv, kOpMod, kOpConcat,
+  kOpEq, kOpNe, kOpLt, kOpLe, kOpGt, kOpGe,
+  kOpAnd, kOpOr, kOpNot, kOpNeg,
+  kOpIsDistinctFrom, kOpIsNotDistinctFrom,
+  // Date functions.
+  kYear, kMonth, kDay, kQuarter, kDayOfWeek,
+  // Math.
+  kFloor, kCeil, kAbs, kRound, kMod, kPower, kSqrt, kLn, kExp, kLog10,
+  kSign, kTrunc,
+  // Strings.
+  kUpper, kLower, kLength, kSubstr, kConcat, kTrimFn, kReplaceFn,
+  // Conditionals.
+  kCoalesce, kNullIf, kIf, kGreatest, kLeast,
+};
+
+// Aggregate functions (also usable as window functions over a partition).
+enum class AggId {
+  kInvalid = 0,
+  kSum, kCount, kCountStar, kAvg, kMin, kMax,
+  kStddev,    // sample standard deviation
+  kVariance,  // sample variance
+  kMinBy, kMaxBy,  // ARG_MIN / ARG_MAX: value of arg0 at the extremum of arg1
+  // Pure window functions (invalid as plain aggregates).
+  kRowNumber, kRank,
+};
+
+const char* AggIdName(AggId id);
+
+// Resolves a scalar function by (case-insensitive) name; kInvalid if unknown.
+FunctionId LookupScalarFunction(const std::string& name);
+
+// Resolves an aggregate function by name; kInvalid if unknown.
+AggId LookupAggFunction(const std::string& name);
+
+// True for window-only functions (ROW_NUMBER, RANK).
+bool IsWindowOnly(AggId id);
+
+// Result type of a scalar function for the given argument types; checks
+// arity. Operators are included.
+Result<DataType> ScalarResultType(FunctionId id, const std::string& name,
+                                  const std::vector<DataType>& args);
+
+// Result type of an aggregate call.
+Result<DataType> AggResultType(AggId id, const std::string& name,
+                               const std::vector<DataType>& args);
+
+// Evaluates a scalar function over already-computed argument values.
+// SQL NULL propagation is applied here (except for the functions that
+// handle NULLs themselves: COALESCE, IF, AND/OR, IS [NOT] DISTINCT FROM...).
+Result<Value> EvalScalarFunction(FunctionId id, const std::vector<Value>& args);
+
+// Incremental aggregate accumulator.
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(AggId id) : id_(id) {}
+
+  // arg values for this row (empty for COUNT(*)).
+  Status Accumulate(const std::vector<Value>& args);
+
+  Value Finish() const;
+
+ private:
+  AggId id_;
+  int64_t count_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  bool any_double_ = false;
+  int64_t isum_ = 0;
+  Value extreme_;      // MIN / MAX / MIN_BY / MAX_BY key
+  Value extreme_val_;  // MIN_BY / MAX_BY payload
+  bool has_value_ = false;
+};
+
+}  // namespace msql
+
+#endif  // MSQL_BINDER_FUNCTIONS_H_

@@ -1,0 +1,98 @@
+#include "catalog/catalog.h"
+
+#include "common/string_util.h"
+
+namespace msql {
+
+std::string Catalog::Key(const std::string& name) { return ToLower(name); }
+
+Status Catalog::CreateTable(const std::string& name, Schema schema,
+                            bool if_not_exists, const std::string& owner) {
+  auto it = entries_.find(Key(name));
+  if (it != entries_.end()) {
+    if (if_not_exists) return Status::Ok();
+    return Status(ErrorCode::kCatalog, "object '" + name + "' already exists");
+  }
+  CatalogEntry entry;
+  entry.kind = CatalogEntry::Kind::kTable;
+  entry.name = name;
+  entry.table = std::make_shared<Table>(name, std::move(schema));
+  entry.owner = owner;
+  entries_.emplace(Key(name), std::move(entry));
+  return Status::Ok();
+}
+
+Status Catalog::CreateView(const std::string& name, SelectStmtPtr ast,
+                           bool or_replace, const std::string& owner) {
+  auto it = entries_.find(Key(name));
+  if (it != entries_.end()) {
+    if (!or_replace || it->second.kind != CatalogEntry::Kind::kView) {
+      return Status(ErrorCode::kCatalog,
+                    "object '" + name + "' already exists");
+    }
+    it->second.view_ast = std::move(ast);
+    return Status::Ok();
+  }
+  CatalogEntry entry;
+  entry.kind = CatalogEntry::Kind::kView;
+  entry.name = name;
+  entry.view_ast = std::move(ast);
+  entry.owner = owner;
+  entries_.emplace(Key(name), std::move(entry));
+  return Status::Ok();
+}
+
+Status Catalog::Drop(const std::string& name, bool is_view, bool if_exists) {
+  auto it = entries_.find(Key(name));
+  if (it == entries_.end()) {
+    if (if_exists) return Status::Ok();
+    return Status(ErrorCode::kCatalog, "object '" + name + "' does not exist");
+  }
+  const bool entry_is_view = it->second.kind == CatalogEntry::Kind::kView;
+  if (entry_is_view != is_view) {
+    return Status(ErrorCode::kCatalog,
+                  StrCat("'", name, "' is a ",
+                         entry_is_view ? "view" : "table", ", not a ",
+                         is_view ? "view" : "table"));
+  }
+  entries_.erase(it);
+  return Status::Ok();
+}
+
+const CatalogEntry* Catalog::Find(const std::string& name) const {
+  auto it = entries_.find(Key(name));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+CatalogEntry* Catalog::FindMutable(const std::string& name) {
+  auto it = entries_.find(Key(name));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Status Catalog::CheckAccess(const CatalogEntry& entry,
+                            const std::string& user) const {
+  if (user.empty() || entry.owner.empty() || entry.owner == user ||
+      entry.grantees.count(user) > 0) {
+    return Status::Ok();
+  }
+  return Status(ErrorCode::kPermission,
+                StrCat("user '", user, "' may not access '", entry.name, "'"));
+}
+
+Status Catalog::Grant(const std::string& object, const std::string& user) {
+  CatalogEntry* entry = FindMutable(object);
+  if (entry == nullptr) {
+    return Status(ErrorCode::kCatalog,
+                  "object '" + object + "' does not exist");
+  }
+  entry->grantees.insert(user);
+  return Status::Ok();
+}
+
+std::vector<std::string> Catalog::ListNames() const {
+  std::vector<std::string> names;
+  for (const auto& [key, entry] : entries_) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace msql

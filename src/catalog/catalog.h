@@ -1,0 +1,65 @@
+#ifndef MSQL_CATALOG_CATALOG_H_
+#define MSQL_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace msql {
+
+// A catalog object is either a base table or a view (stored as its defining
+// SELECT's AST; views are expanded at bind time, so views naturally carry
+// measures).
+struct CatalogEntry {
+  enum class Kind { kTable, kView };
+  Kind kind;
+  std::string name;
+  std::shared_ptr<Table> table;     // kTable
+  SelectStmtPtr view_ast;           // kView
+  std::string owner;                // creator; empty = no access control
+  std::set<std::string> grantees;   // users allowed to reference the object
+};
+
+// Name -> object map with a minimal grant-based security model, enough to
+// demonstrate the paper's section 5.5 claim: a user can be granted a view
+// with measures without access to the underlying tables; the view executes
+// with definer's rights.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Status CreateTable(const std::string& name, Schema schema,
+                     bool if_not_exists, const std::string& owner);
+  Status CreateView(const std::string& name, SelectStmtPtr ast,
+                    bool or_replace, const std::string& owner);
+  Status Drop(const std::string& name, bool is_view, bool if_exists);
+
+  // Looks the object up (case-insensitive). nullptr if missing.
+  const CatalogEntry* Find(const std::string& name) const;
+  CatalogEntry* FindMutable(const std::string& name);
+
+  // Access check: succeeds when `user` is empty (access control off), the
+  // object has no owner, the user is the owner, or the user was granted.
+  Status CheckAccess(const CatalogEntry& entry, const std::string& user) const;
+
+  // Grants `user` access to `object`.
+  Status Grant(const std::string& object, const std::string& user);
+
+  std::vector<std::string> ListNames() const;
+
+ private:
+  static std::string Key(const std::string& name);
+  std::map<std::string, CatalogEntry> entries_;
+};
+
+}  // namespace msql
+
+#endif  // MSQL_CATALOG_CATALOG_H_

@@ -1,0 +1,182 @@
+#include "catalog/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/date.h"
+#include "common/string_util.h"
+
+namespace msql {
+
+namespace {
+
+// Parses the full CSV text into records of fields (RFC-4180-ish).
+Result<std::vector<std::vector<std::string>>> ParseCsvText(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&]() {
+    record.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    // Skip blank lines.
+    if (!(record.size() == 1 && record[0].empty())) {
+      records.push_back(record);
+    }
+    record.clear();
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == ',') {
+      end_field();
+    } else if (c == '\r') {
+      // swallow
+    } else if (c == '\n') {
+      end_record();
+    } else {
+      field += c;
+      field_started = true;
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status(ErrorCode::kIo, "unterminated quoted field in CSV");
+  }
+  if (field_started || !record.empty() || !field.empty()) {
+    if (!field.empty() || !record.empty()) end_record();
+  }
+  return records;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(ErrorCode::kIo, "cannot open file '" + path + "'");
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  char* end = nullptr;
+  std::strtoll(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && !s.empty();
+}
+
+bool LooksLikeDouble(const std::string& s) {
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && !s.empty();
+}
+
+bool LooksLikeDate(const std::string& s) { return ParseDate(s).ok(); }
+
+}  // namespace
+
+Status AppendCsv(const std::string& path, bool header, Table* table) {
+  MSQL_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  MSQL_ASSIGN_OR_RETURN(auto records, ParseCsvText(text));
+  size_t start = header ? 1 : 0;
+  for (size_t r = start; r < records.size(); ++r) {
+    const auto& fields = records[r];
+    if (fields.size() != table->schema().size()) {
+      return Status(ErrorCode::kIo,
+                    StrCat("CSV record ", r + 1, " has ", fields.size(),
+                           " fields, expected ", table->schema().size()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      if (fields[c].empty()) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      MSQL_ASSIGN_OR_RETURN(
+          Value v,
+          Value::String(fields[c]).CastTo(table->schema().column(c).type.kind));
+      row.push_back(std::move(v));
+    }
+    MSQL_RETURN_IF_ERROR(table->AppendRow(std::move(row)));
+  }
+  return Status::Ok();
+}
+
+Result<Schema> InferCsvSchema(const std::string& path) {
+  MSQL_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  MSQL_ASSIGN_OR_RETURN(auto records, ParseCsvText(text));
+  if (records.empty()) {
+    return Status(ErrorCode::kIo, "CSV file '" + path + "' is empty");
+  }
+  const auto& names = records[0];
+  Schema schema;
+  for (size_t c = 0; c < names.size(); ++c) {
+    bool all_int = true, all_double = true, all_date = true, any = false;
+    for (size_t r = 1; r < records.size(); ++r) {
+      if (c >= records[r].size() || records[r][c].empty()) continue;
+      any = true;
+      const std::string& s = records[r][c];
+      all_int = all_int && LooksLikeInt(s);
+      all_double = all_double && LooksLikeDouble(s);
+      all_date = all_date && LooksLikeDate(s);
+    }
+    DataType type = DataType::String();
+    if (any && all_int) type = DataType::Int64();
+    else if (any && all_double) type = DataType::Double();
+    else if (any && all_date) type = DataType::Date();
+    schema.AddColumn(Column(names[c], type));
+  }
+  return schema;
+}
+
+Status WriteCsv(const std::string& path, const Table& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status(ErrorCode::kIo, "cannot write file '" + path + "'");
+  }
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"') q += "\"\"";
+      else q += c;
+    }
+    return q + "\"";
+  };
+  for (size_t c = 0; c < table.schema().size(); ++c) {
+    if (c > 0) out << ',';
+    out << quote(table.schema().column(c).name);
+  }
+  out << '\n';
+  for (const Row& row : table.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      if (!row[c].is_null()) out << quote(row[c].ToString());
+    }
+    out << '\n';
+  }
+  return Status::Ok();
+}
+
+}  // namespace msql

@@ -1,0 +1,43 @@
+#include "catalog/schema.h"
+
+#include "common/string_util.h"
+
+namespace msql {
+
+size_t Schema::num_visible() const {
+  size_t n = 0;
+  for (const Column& c : columns_) {
+    if (!c.hidden) ++n;
+  }
+  return n;
+}
+
+std::vector<size_t> Schema::Find(const std::string& alias,
+                                 const std::string& name) const {
+  std::vector<size_t> matches;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    if (c.hidden) continue;
+    if (!alias.empty() && !EqualsIgnoreCase(alias, c.table_alias)) continue;
+    if (EqualsIgnoreCase(name, c.name)) matches.push_back(i);
+  }
+  return matches;
+}
+
+void Schema::SetAlias(const std::string& alias) {
+  for (Column& c : columns_) c.table_alias = alias;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  for (const Column& c : columns_) {
+    if (c.hidden) continue;
+    std::string s;
+    if (!c.table_alias.empty()) s += c.table_alias + ".";
+    s += c.name + " " + c.type.ToString();
+    parts.push_back(std::move(s));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace msql

@@ -1,0 +1,59 @@
+#ifndef MSQL_CATALOG_SCHEMA_H_
+#define MSQL_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace msql {
+
+// One output column of a relation. `table_alias` is the binding qualifier
+// ("o" in `Orders AS o`); `hidden` marks internal columns (measure source
+// row-ids) that never appear in result sets but ride along through joins and
+// projections.
+struct Column {
+  std::string name;
+  DataType type;
+  std::string table_alias;
+  bool hidden = false;
+
+  Column() = default;
+  Column(std::string n, DataType t, std::string alias = "", bool h = false)
+      : name(std::move(n)), type(t), table_alias(std::move(alias)), hidden(h) {}
+};
+
+// An ordered list of columns. Visible columns always precede hidden ones.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& mutable_column(size_t i) { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Number of leading non-hidden columns.
+  size_t num_visible() const;
+
+  // All column indices matching (alias, name); alias empty matches any
+  // qualifier. Matching is case-insensitive. Hidden columns are not matched.
+  std::vector<size_t> Find(const std::string& alias,
+                           const std::string& name) const;
+
+  // Re-qualifies every column with a new table alias (FROM (…) AS x).
+  void SetAlias(const std::string& alias);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace msql
+
+#endif  // MSQL_CATALOG_SCHEMA_H_

@@ -1,0 +1,24 @@
+#include "catalog/table.h"
+
+#include "common/string_util.h"
+
+namespace msql {
+
+Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.size()) {
+    return Status(ErrorCode::kExecution,
+                  StrCat("INSERT into ", name_, " expects ", schema_.size(),
+                         " values, got ", row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    const TypeKind want = schema_.column(i).type.kind;
+    if (row[i].kind() != want) {
+      MSQL_ASSIGN_OR_RETURN(row[i], row[i].CastTo(want));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+}  // namespace msql

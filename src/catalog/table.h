@@ -1,0 +1,39 @@
+#ifndef MSQL_CATALOG_TABLE_H_
+#define MSQL_CATALOG_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/value.h"
+
+namespace msql {
+
+// An in-memory base table: schema plus row storage. Row values are stored
+// already coerced to the column types.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  // Appends a row, coercing each value to the column type. Fails if arity or
+  // types do not match.
+  Status AppendRow(Row row);
+
+  void Clear() { rows_.clear(); }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace msql
+
+#endif  // MSQL_CATALOG_TABLE_H_

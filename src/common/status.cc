@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace msql {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kParse:
+      return "parse error";
+    case ErrorCode::kBind:
+      return "bind error";
+    case ErrorCode::kCatalog:
+      return "catalog error";
+    case ErrorCode::kExecution:
+      return "execution error";
+    case ErrorCode::kInvalidArgument:
+      return "invalid argument";
+    case ErrorCode::kNotImplemented:
+      return "not implemented";
+    case ErrorCode::kIo:
+      return "io error";
+    case ErrorCode::kPermission:
+      return "permission denied";
+  }
+  return "unknown error";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = ErrorCodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace msql

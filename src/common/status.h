@@ -1,0 +1,90 @@
+#ifndef MSQL_COMMON_STATUS_H_
+#define MSQL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace msql {
+
+// Error categories used throughout the engine. `kOk` is reserved for the
+// success state; every other code identifies which layer rejected the query.
+enum class ErrorCode {
+  kOk = 0,
+  kParse,           // lexer / parser errors
+  kBind,            // name resolution / type checking errors
+  kCatalog,         // unknown or duplicate tables, views, columns
+  kExecution,       // runtime errors (division by zero, bad cast, ...)
+  kInvalidArgument, // bad API usage
+  kNotImplemented,
+  kIo,              // CSV import/export failures
+  kPermission,      // access denied (security model of paper section 5.5)
+};
+
+// Human-readable label for an error code ("parse error", ...).
+const char* ErrorCodeName(ErrorCode code);
+
+// Status carries success or an (ErrorCode, message) pair. The engine does not
+// throw exceptions across API boundaries; all fallible paths return Status or
+// Result<T>.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "parse error: unexpected token ')'" or "OK".
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Result<T> is a Status plus, on success, a value of type T (a minimal
+// StatusOr). Use `MSQL_ASSIGN_OR_RETURN` to unwrap.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}                 // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+  T&& take() { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace msql
+
+// Propagates a non-OK Status from the current function.
+#define MSQL_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::msql::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+// Evaluates `rexpr` (a Result<T>), propagating errors, else assigns to lhs.
+#define MSQL_ASSIGN_OR_RETURN(lhs, rexpr)   \
+  MSQL_ASSIGN_OR_RETURN_IMPL(               \
+      MSQL_CONCAT_NAME(_result_, __LINE__), lhs, rexpr)
+
+#define MSQL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp.value())
+
+#define MSQL_CONCAT_NAME_INNER(x, y) x##y
+#define MSQL_CONCAT_NAME(x, y) MSQL_CONCAT_NAME_INNER(x, y)
+
+#endif  // MSQL_COMMON_STATUS_H_

@@ -1,0 +1,90 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace msql {
+
+std::string ToUpper(const std::string& s) {
+  std::string r = s;
+  for (char& c : r) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return r;
+}
+
+std::string ToLower(const std::string& s) {
+  std::string r = s;
+  for (char& c : r) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return r;
+}
+
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string r;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) r += sep;
+    r += parts[i];
+  }
+  return r;
+}
+
+std::string FormatDouble(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "Infinity" : "-Infinity";
+  if (d == static_cast<int64_t>(d) && std::fabs(d) < 1e15) {
+    return StrCat(static_cast<int64_t>(d), ".0");
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // Shorten if a lower precision round-trips.
+  for (int prec = 1; prec <= 16; ++prec) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, d);
+    double parsed = 0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == d) return shorter;
+  }
+  return buf;
+}
+
+std::string QuoteSqlString(const std::string& s) {
+  std::string r = "'";
+  for (char c : s) {
+    if (c == '\'') r += "''";
+    else r += c;
+  }
+  r += "'";
+  return r;
+}
+
+}  // namespace msql

@@ -1,0 +1,50 @@
+#ifndef MSQL_COMMON_STRING_UTIL_H_
+#define MSQL_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace msql {
+
+std::string ToUpper(const std::string& s);
+std::string ToLower(const std::string& s);
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+// Removes leading and trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// Variadic streaming concatenation: StrCat("x=", 4, "!") == "x=4!".
+namespace internal {
+inline void StrCatImpl(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void StrCatImpl(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  StrCatImpl(os, rest...);
+}
+}  // namespace internal
+
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrCatImpl(os, args...);
+  return os.str();
+}
+
+// Formats a double the way the engine prints query results: integral values
+// without trailing zeros, otherwise shortest round-trip representation.
+std::string FormatDouble(double d);
+
+// SQL single-quoted string literal with '' escaping.
+std::string QuoteSqlString(const std::string& s);
+
+}  // namespace msql
+
+#endif  // MSQL_COMMON_STRING_UTIL_H_

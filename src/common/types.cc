@@ -1,0 +1,56 @@
+#include "common/types.h"
+
+#include "common/string_util.h"
+
+namespace msql {
+
+const char* TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kNull:
+      return "NULL";
+    case TypeKind::kBool:
+      return "BOOLEAN";
+    case TypeKind::kInt64:
+      return "INTEGER";
+    case TypeKind::kDouble:
+      return "DOUBLE";
+    case TypeKind::kString:
+      return "VARCHAR";
+    case TypeKind::kDate:
+      return "DATE";
+  }
+  return "?";
+}
+
+std::string DataType::ToString() const {
+  std::string s = TypeKindName(kind);
+  if (is_measure) s += " MEASURE";
+  return s;
+}
+
+DataType CommonType(const DataType& a, const DataType& b) {
+  if (a.kind == TypeKind::kNull) return b.ValueType();
+  if (b.kind == TypeKind::kNull) return a.ValueType();
+  if (a.kind == b.kind) return a.ValueType();
+  if (a.is_numeric() && b.is_numeric()) return DataType::Double();
+  return DataType::Null();  // incompatible
+}
+
+TypeKind TypeKindFromName(const std::string& name) {
+  std::string n = ToUpper(name);
+  if (n == "INTEGER" || n == "INT" || n == "BIGINT" || n == "SMALLINT") {
+    return TypeKind::kInt64;
+  }
+  if (n == "DOUBLE" || n == "FLOAT" || n == "REAL" || n == "DECIMAL" ||
+      n == "NUMERIC") {
+    return TypeKind::kDouble;
+  }
+  if (n == "VARCHAR" || n == "STRING" || n == "TEXT" || n == "CHAR") {
+    return TypeKind::kString;
+  }
+  if (n == "BOOLEAN" || n == "BOOL") return TypeKind::kBool;
+  if (n == "DATE") return TypeKind::kDate;
+  return TypeKind::kNull;
+}
+
+}  // namespace msql

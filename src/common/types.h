@@ -1,0 +1,65 @@
+#ifndef MSQL_COMMON_TYPES_H_
+#define MSQL_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace msql {
+
+// Scalar type tags. A DataType is a TypeKind plus the `is_measure` flag: the
+// paper (section 3.4) gives measures the type `t MEASURE` for some value type
+// t; evaluating the context-sensitive expression strips the wrapper.
+enum class TypeKind : uint8_t {
+  kNull = 0,  // the type of NULL literals before coercion
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  kDate,
+};
+
+const char* TypeKindName(TypeKind kind);
+
+struct DataType {
+  TypeKind kind = TypeKind::kNull;
+  bool is_measure = false;
+
+  DataType() = default;
+  explicit DataType(TypeKind k, bool measure = false)
+      : kind(k), is_measure(measure) {}
+
+  static DataType Null() { return DataType(TypeKind::kNull); }
+  static DataType Bool() { return DataType(TypeKind::kBool); }
+  static DataType Int64() { return DataType(TypeKind::kInt64); }
+  static DataType Double() { return DataType(TypeKind::kDouble); }
+  static DataType String() { return DataType(TypeKind::kString); }
+  static DataType Date() { return DataType(TypeKind::kDate); }
+
+  // The same type with the MEASURE wrapper added / removed.
+  DataType AsMeasure() const { return DataType(kind, true); }
+  DataType ValueType() const { return DataType(kind, false); }
+
+  bool is_numeric() const {
+    return kind == TypeKind::kInt64 || kind == TypeKind::kDouble;
+  }
+
+  // "INTEGER", "DOUBLE MEASURE", ...
+  std::string ToString() const;
+
+  friend bool operator==(const DataType& a, const DataType& b) {
+    return a.kind == b.kind && a.is_measure == b.is_measure;
+  }
+};
+
+// Resolves the common type of two operands for comparisons and arithmetic
+// (INT64 + DOUBLE -> DOUBLE, NULL is compatible with anything). Returns
+// kNull kind if the types are incompatible.
+DataType CommonType(const DataType& a, const DataType& b);
+
+// Parses a type name from DDL ("INTEGER", "INT", "BIGINT", "DOUBLE", "FLOAT",
+// "VARCHAR", "STRING", "TEXT", "BOOLEAN", "DATE"). Returns kNull on failure.
+TypeKind TypeKindFromName(const std::string& name);
+
+}  // namespace msql
+
+#endif  // MSQL_COMMON_TYPES_H_

@@ -1,0 +1,106 @@
+#ifndef MSQL_COMMON_VALUE_H_
+#define MSQL_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace msql {
+
+// A dynamically typed SQL value. Values are small (kind tag + payload) and
+// copyable; strings are stored inline. NULL is its own kind so that untyped
+// NULLs flow through expressions before coercion.
+class Value {
+ public:
+  Value() : kind_(TypeKind::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) {
+    Value v;
+    v.kind_ = TypeKind::kBool;
+    v.i_ = b ? 1 : 0;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.kind_ = TypeKind::kInt64;
+    v.i_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.kind_ = TypeKind::kDouble;
+    v.d_ = d;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.kind_ = TypeKind::kString;
+    v.s_ = std::move(s);
+    return v;
+  }
+  static Value Date(int64_t days) {
+    Value v;
+    v.kind_ = TypeKind::kDate;
+    v.i_ = days;
+    return v;
+  }
+
+  TypeKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == TypeKind::kNull; }
+
+  bool bool_val() const { return i_ != 0; }
+  int64_t int_val() const { return i_; }
+  double double_val() const { return d_; }
+  const std::string& str() const { return s_; }
+  int64_t date_days() const { return i_; }
+
+  // Numeric coercion (INT64 / DOUBLE / BOOL -> double). Callers must have
+  // checked is_null() and numeric-ness.
+  double AsDouble() const;
+
+  // Casts to the requested kind; SQL CAST semantics (string parsing included).
+  Result<Value> CastTo(TypeKind target) const;
+
+  // SQL `IS NOT DISTINCT FROM`: NULL matches NULL; used for group keys and
+  // evaluation-context dimension terms (paper footnote 1).
+  static bool NotDistinct(const Value& a, const Value& b);
+
+  // Three-valued `=`: returns Null if either side is NULL.
+  static Value SqlEquals(const Value& a, const Value& b);
+
+  // Total order for ORDER BY: NULLs first, numeric cross-type comparison.
+  // Returns <0, 0, >0.
+  static int Compare(const Value& a, const Value& b);
+
+  // Hash consistent with NotDistinct (for hash aggregation / joins).
+  size_t Hash() const;
+
+  // Rendering used in result sets ('NULL', 'Happy', 2023-11-28, 0.47, ...).
+  std::string ToString() const;
+
+  // Rendering as a SQL literal (strings quoted, DATE '...' prefix); used by
+  // the measure-expansion module when it prints rewritten queries.
+  std::string ToSqlLiteral() const;
+
+ private:
+  TypeKind kind_;
+  int64_t i_ = 0;  // bool / int / date payload
+  double d_ = 0;   // double payload
+  std::string s_;  // string payload
+};
+
+using Row = std::vector<Value>;
+
+// Hash of a row prefix (the first `n` values), used for group keys.
+size_t HashRow(const Row& row, size_t n);
+
+// NotDistinct over all values of two equal-length rows.
+bool RowsNotDistinct(const Row& a, const Row& b);
+
+}  // namespace msql
+
+#endif  // MSQL_COMMON_VALUE_H_

@@ -1,0 +1,284 @@
+#include "engine/engine.h"
+
+#include <fstream>
+
+#include "binder/binder.h"
+#include "catalog/csv.h"
+#include "common/string_util.h"
+#include "exec/executor.h"
+#include "measure/cse.h"
+#include "measure/expand.h"
+#include "parser/parser.h"
+
+namespace msql {
+
+Status Engine::Execute(const std::string& sql) {
+  Parser parser(sql);
+  MSQL_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, parser.ParseStatements());
+  for (const StmtPtr& stmt : stmts) {
+    ResultSet ignored;
+    MSQL_RETURN_IF_ERROR(ExecuteStmt(*stmt, &ignored));
+  }
+  return Status::Ok();
+}
+
+Result<ResultSet> Engine::Query(const std::string& sql) {
+  MSQL_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::Parse(sql));
+  ResultSet out;
+  MSQL_RETURN_IF_ERROR(ExecuteStmt(*stmt, &out));
+  return out;
+}
+
+Result<ResultSet> Engine::RunSelect(const SelectStmt& select) {
+  Binder binder(&catalog_, user_);
+  MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(select));
+
+  last_stats_ = ExecState{};
+  last_stats_.options = options_;
+  Executor executor(&last_stats_);
+  MSQL_ASSIGN_OR_RETURN(RelationPtr rel, executor.Execute(*plan, {}));
+
+  const size_t visible = rel->schema.num_visible();
+  std::vector<std::string> names;
+  std::vector<DataType> types;
+  for (size_t i = 0; i < visible; ++i) {
+    names.push_back(rel->schema.column(i).name);
+    types.push_back(rel->schema.column(i).type);
+  }
+  std::vector<Row> rows;
+  rows.reserve(rel->rows.size());
+  for (const Row& r : rel->rows) {
+    rows.emplace_back(r.begin(), r.begin() + visible);
+  }
+
+  // Measure columns surviving to the top level are rendered at the result's
+  // own grain: each cell is the measure evaluated with every dimension
+  // pinned to its row (the default per-row evaluation context). Inside
+  // nested queries the placeholder NULLs are never read, preserving closure.
+  for (const RtMeasure& m : rel->measures) {
+    if (m.column < 0 || static_cast<size_t>(m.column) >= visible) continue;
+    for (size_t r = 0; r < rel->rows.size(); ++r) {
+      Frame frame{&rel->rows[r], static_cast<int64_t>(r), rel.get()};
+      MSQL_ASSIGN_OR_RETURN(EvalContext ctx,
+                            BuildRowContext(m, frame, &last_stats_));
+      MSQL_ASSIGN_OR_RETURN(Value v, EvaluateMeasure(m, ctx, &last_stats_));
+      rows[r][m.column] = std::move(v);
+    }
+  }
+  return ResultSet(std::move(names), std::move(types), std::move(rows));
+}
+
+Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out) {
+  switch (stmt.kind) {
+    case StmtKind::kSelect: {
+      MSQL_ASSIGN_OR_RETURN(*out, RunSelect(*stmt.select));
+      return Status::Ok();
+    }
+    case StmtKind::kCreateTable: {
+      Schema schema;
+      for (const ColumnDef& col : stmt.columns) {
+        TypeKind kind = TypeKindFromName(col.type_name);
+        if (kind == TypeKind::kNull) {
+          return Status(ErrorCode::kBind,
+                        "unknown column type '" + col.type_name + "'");
+        }
+        schema.AddColumn(Column(col.name, DataType(kind)));
+      }
+      return catalog_.CreateTable(stmt.name, std::move(schema),
+                                  stmt.if_not_exists, user_);
+    }
+    case StmtKind::kCreateView: {
+      // Validate eagerly so errors surface at CREATE time.
+      Binder binder(&catalog_, user_);
+      MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*stmt.view_select));
+      (void)plan;
+      return catalog_.CreateView(stmt.name, stmt.view_select->Clone(),
+                                 stmt.or_replace, user_);
+    }
+    case StmtKind::kDrop:
+      return catalog_.Drop(stmt.name, stmt.drop_is_view, stmt.if_exists);
+    case StmtKind::kInsert:
+      return ExecuteInsert(stmt);
+    case StmtKind::kExplain: {
+      MSQL_ASSIGN_OR_RETURN(std::string text, Explain(stmt.select->ToString()));
+      std::vector<Row> rows;
+      for (const std::string& line : Split(text, '\n')) {
+        if (!line.empty()) rows.push_back({Value::String(line)});
+      }
+      *out = ResultSet({"plan"}, {DataType::String()}, std::move(rows));
+      return Status::Ok();
+    }
+    case StmtKind::kCopy: {
+      if (stmt.copy_from) {
+        return LoadCsv(stmt.name, stmt.copy_path);
+      }
+      // Export: base tables dump storage directly; views are materialized.
+      const CatalogEntry* entry = catalog_.Find(stmt.name);
+      if (entry == nullptr) {
+        return Status(ErrorCode::kCatalog,
+                      "object '" + stmt.name + "' does not exist");
+      }
+      MSQL_RETURN_IF_ERROR(catalog_.CheckAccess(*entry, user_));
+      if (entry->kind == CatalogEntry::Kind::kTable) {
+        return WriteCsv(stmt.copy_path, *entry->table);
+      }
+      MSQL_ASSIGN_OR_RETURN(ResultSet rs,
+                            Query("SELECT * FROM " + stmt.name));
+      std::ofstream file(stmt.copy_path, std::ios::binary);
+      if (!file) {
+        return Status(ErrorCode::kIo,
+                      "cannot write file '" + stmt.copy_path + "'");
+      }
+      file << rs.ToCsv();
+      return Status::Ok();
+    }
+    case StmtKind::kDescribe: {
+      const CatalogEntry* entry = catalog_.Find(stmt.name);
+      if (entry == nullptr) {
+        return Status(ErrorCode::kCatalog,
+                      "object '" + stmt.name + "' does not exist");
+      }
+      MSQL_RETURN_IF_ERROR(catalog_.CheckAccess(*entry, user_));
+      std::vector<Row> rows;
+      if (entry->kind == CatalogEntry::Kind::kTable) {
+        for (const Column& c : entry->table->schema().columns()) {
+          rows.push_back(
+              {Value::String(c.name), Value::String(c.type.ToString())});
+        }
+      } else {
+        Binder binder(&catalog_, user_);
+        MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*entry->view_ast));
+        for (size_t i = 0; i < plan->schema.num_visible(); ++i) {
+          const Column& c = plan->schema.column(i);
+          rows.push_back(
+              {Value::String(c.name), Value::String(c.type.ToString())});
+        }
+      }
+      *out = ResultSet({"column", "type"},
+                       {DataType::String(), DataType::String()},
+                       std::move(rows));
+      return Status::Ok();
+    }
+  }
+  return Status(ErrorCode::kInvalidArgument, "unsupported statement");
+}
+
+Status Engine::ExecuteInsert(const Stmt& stmt) {
+  CatalogEntry* entry = catalog_.FindMutable(stmt.insert_table);
+  if (entry == nullptr || entry->kind != CatalogEntry::Kind::kTable) {
+    return Status(ErrorCode::kCatalog,
+                  "table '" + stmt.insert_table + "' does not exist");
+  }
+  MSQL_RETURN_IF_ERROR(catalog_.CheckAccess(*entry, user_));
+  Table* table = entry->table.get();
+  const Schema& schema = table->schema();
+
+  // Map the insert column list onto the schema.
+  std::vector<int> positions;
+  if (stmt.insert_columns.empty()) {
+    for (size_t i = 0; i < schema.size(); ++i) {
+      positions.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const std::string& name : stmt.insert_columns) {
+      auto matches = schema.Find("", name);
+      if (matches.size() != 1) {
+        return Status(ErrorCode::kBind, "unknown column '" + name + "'");
+      }
+      positions.push_back(static_cast<int>(matches[0]));
+    }
+  }
+
+  auto append = [&](const Row& values) -> Status {
+    if (values.size() != positions.size()) {
+      return Status(ErrorCode::kExecution,
+                    StrCat("INSERT expects ", positions.size(),
+                           " values, got ", values.size()));
+    }
+    Row row(schema.size(), Value::Null());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      row[positions[i]] = values[i];
+    }
+    return table->AppendRow(std::move(row));
+  };
+
+  if (stmt.insert_select != nullptr) {
+    MSQL_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*stmt.insert_select));
+    for (const Row& r : rs.rows()) MSQL_RETURN_IF_ERROR(append(r));
+    return Status::Ok();
+  }
+
+  // INSERT ... VALUES rows are constant expressions; evaluate each row by
+  // reusing the FROM-less SELECT path.
+  for (const auto& row_exprs : stmt.insert_rows) {
+    SelectStmt values_select;
+    for (const ExprPtr& e : row_exprs) {
+      SelectItem item;
+      item.expr = e->Clone();
+      values_select.select_list.push_back(std::move(item));
+    }
+    MSQL_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(values_select));
+    if (rs.num_rows() != 1) {
+      return Status(ErrorCode::kExecution, "VALUES row evaluation failed");
+    }
+    MSQL_RETURN_IF_ERROR(append(rs.rows()[0]));
+  }
+  return Status::Ok();
+}
+
+Status Engine::InsertRows(const std::string& table, std::vector<Row> rows) {
+  CatalogEntry* entry = catalog_.FindMutable(table);
+  if (entry == nullptr || entry->kind != CatalogEntry::Kind::kTable) {
+    return Status(ErrorCode::kCatalog, "table '" + table + "' does not exist");
+  }
+  MSQL_RETURN_IF_ERROR(catalog_.CheckAccess(*entry, user_));
+  for (Row& row : rows) {
+    MSQL_RETURN_IF_ERROR(entry->table->AppendRow(std::move(row)));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> Engine::Explain(const std::string& sql) {
+  MSQL_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::Parse(sql));
+  const SelectStmt* select = nullptr;
+  if (stmt->kind == StmtKind::kSelect || stmt->kind == StmtKind::kExplain) {
+    select = stmt->select.get();
+  } else {
+    return Status(ErrorCode::kInvalidArgument, "EXPLAIN requires a SELECT");
+  }
+  Binder binder(&catalog_, user_);
+  MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*select));
+  return plan->ToString();
+}
+
+Result<std::string> Engine::ExpandSql(const std::string& sql) {
+  MSQL_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::Parse(sql));
+  if (stmt->kind != StmtKind::kSelect) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "measure expansion requires a SELECT");
+  }
+  return ExpandMeasures(*stmt->select, catalog_, user_);
+}
+
+Status Engine::LoadCsv(const std::string& table, const std::string& path,
+                       bool header) {
+  CatalogEntry* entry = catalog_.FindMutable(table);
+  if (entry == nullptr || entry->kind != CatalogEntry::Kind::kTable) {
+    return Status(ErrorCode::kCatalog, "table '" + table + "' does not exist");
+  }
+  MSQL_RETURN_IF_ERROR(catalog_.CheckAccess(*entry, user_));
+  return AppendCsv(path, header, entry->table.get());
+}
+
+Status Engine::ImportCsv(const std::string& table, const std::string& path) {
+  MSQL_ASSIGN_OR_RETURN(Schema schema, InferCsvSchema(path));
+  MSQL_RETURN_IF_ERROR(
+      catalog_.CreateTable(table, schema, /*if_not_exists=*/false, user_));
+  return LoadCsv(table, path, /*header=*/true);
+}
+
+Status Engine::Grant(const std::string& object, const std::string& user) {
+  return catalog_.Grant(object, user);
+}
+
+}  // namespace msql

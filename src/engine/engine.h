@@ -1,0 +1,85 @@
+#ifndef MSQL_ENGINE_ENGINE_H_
+#define MSQL_ENGINE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "engine/result_set.h"
+#include "exec/exec_state.h"
+
+namespace msql {
+
+// The public entry point: an in-memory SQL engine implementing the msql
+// dialect — a practical SQL subset extended with the measure features of
+// "Measures in SQL" (Hyde & Fremlin, SIGMOD-Companion 2024): AS MEASURE,
+// AGGREGATE, AT (ALL / SET / VISIBLE / WHERE), CURRENT.
+//
+//   msql::Engine db;
+//   db.Execute("CREATE TABLE Orders (prodName VARCHAR, revenue INT)");
+//   db.Execute("INSERT INTO Orders VALUES ('Happy', 6), ('Acme', 5)");
+//   db.Execute("CREATE VIEW EO AS SELECT *, SUM(revenue) AS MEASURE r "
+//              "FROM Orders");
+//   auto rs = db.Query("SELECT prodName, AGGREGATE(r) FROM EO "
+//                      "GROUP BY prodName");
+class Engine {
+ public:
+  Engine() = default;
+  explicit Engine(EngineOptions options) : options_(options) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Runs one or more ';'-separated statements, discarding row results.
+  Status Execute(const std::string& sql);
+
+  // Runs a single statement and returns its result set (empty for DDL/DML).
+  Result<ResultSet> Query(const std::string& sql);
+
+  // Binds a SELECT and renders its logical plan.
+  Result<std::string> Explain(const std::string& sql);
+
+  // Expands every measure reference in a SELECT into plain SQL (correlated
+  // scalar subqueries, paper section 4.2) and returns the rewritten text.
+  Result<std::string> ExpandSql(const std::string& sql);
+
+  // Bulk-appends rows to a base table, coercing values to column types.
+  // Used by benchmarks and programmatic loaders to bypass SQL parsing.
+  Status InsertRows(const std::string& table, std::vector<Row> rows);
+
+  // CSV interop. LoadCsv appends to an existing table, coercing field
+  // strings to the column types. ImportCsv creates the table first,
+  // inferring column types from the data.
+  Status LoadCsv(const std::string& table, const std::string& path,
+                 bool header = true);
+  Status ImportCsv(const std::string& table, const std::string& path);
+
+  // Security (paper section 5.5): with a current user set, referencing an
+  // object requires ownership or a grant; views run with definer's rights.
+  void SetUser(std::string user) { user_ = std::move(user); }
+  const std::string& user() const { return user_; }
+  Status Grant(const std::string& object, const std::string& user);
+
+  EngineOptions& options() { return options_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  // Execution statistics of the most recent Query/Execute call: measure
+  // cache hits, source scans, subquery executions. Used by the benchmark
+  // harness.
+  const ExecState& last_stats() const { return last_stats_; }
+
+ private:
+  Status ExecuteStmt(const Stmt& stmt, ResultSet* out);
+  Status ExecuteInsert(const Stmt& stmt);
+  Result<ResultSet> RunSelect(const SelectStmt& select);
+
+  Catalog catalog_;
+  EngineOptions options_;
+  std::string user_;
+  ExecState last_stats_;
+};
+
+}  // namespace msql
+
+#endif  // MSQL_ENGINE_ENGINE_H_

@@ -1,0 +1,82 @@
+#include "engine/result_set.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace msql {
+
+int ResultSet::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (EqualsIgnoreCase(names_[i], name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const Value& ResultSet::Get(size_t row, const std::string& column) const {
+  int idx = ColumnIndex(column);
+  static const Value kNull = Value::Null();
+  if (idx < 0 || row >= rows_.size()) return kNull;
+  return rows_[row][idx];
+}
+
+std::string ResultSet::ToString() const {
+  std::vector<size_t> widths(names_.size());
+  std::vector<std::vector<std::string>> cells(rows_.size());
+  for (size_t c = 0; c < names_.size(); ++c) widths[c] = names_[c].size();
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    cells[r].resize(names_.size());
+    for (size_t c = 0; c < names_.size(); ++c) {
+      cells[r][c] = rows_[r][c].ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing spaces.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += "\n";
+  };
+  append_row(names_);
+  std::vector<std::string> rule(names_.size());
+  for (size_t c = 0; c < names_.size(); ++c) {
+    rule[c] = std::string(widths[c], '=');
+  }
+  append_row(rule);
+  for (const auto& row : cells) append_row(row);
+  return out;
+}
+
+std::string ResultSet::ToCsv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"') q += "\"\"";
+      else q += c;
+    }
+    q += "\"";
+    return q;
+  };
+  std::string out;
+  for (size_t c = 0; c < names_.size(); ++c) {
+    if (c > 0) out += ",";
+    out += quote(names_[c]);
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ",";
+      out += row[c].is_null() ? "" : quote(row[c].ToString());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace msql

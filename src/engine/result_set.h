@@ -1,0 +1,56 @@
+#ifndef MSQL_ENGINE_RESULT_SET_H_
+#define MSQL_ENGINE_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+
+namespace msql {
+
+// A fully materialized query result: column metadata plus row data (visible
+// columns only; measure columns appear with their `t MEASURE` type and NULL
+// placeholder cells).
+class ResultSet {
+ public:
+  ResultSet() = default;
+  ResultSet(std::vector<std::string> names, std::vector<DataType> types,
+            std::vector<Row> rows)
+      : names_(std::move(names)),
+        types_(std::move(types)),
+        rows_(std::move(rows)) {}
+
+  size_t num_columns() const { return names_.size(); }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& column_names() const { return names_; }
+  const std::vector<DataType>& column_types() const { return types_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  // Index of the column with this (case-insensitive) name; -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  // Bounds-checked access; out-of-range reads return NULL so failed-query
+  // fallbacks in tests degrade gracefully.
+  const Value& Get(size_t row, size_t col) const {
+    static const Value kNullValue;
+    if (row >= rows_.size() || col >= rows_[row].size()) return kNullValue;
+    return rows_[row][col];
+  }
+  const Value& Get(size_t row, const std::string& column) const;
+
+  // ASCII table rendering, like the listings in the paper.
+  std::string ToString() const;
+
+  // Comma-separated rendering with a header row.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<DataType> types_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace msql
+
+#endif  // MSQL_ENGINE_RESULT_SET_H_

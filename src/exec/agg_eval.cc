@@ -1,0 +1,57 @@
+#include "exec/agg_eval.h"
+
+#include <set>
+
+namespace msql {
+
+namespace {
+
+// Lexicographic ordering of value tuples for DISTINCT aggregation.
+struct RowLess {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = Value::Compare(a[i], b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+}  // namespace
+
+Result<Value> EvalAggCall(AggId agg, const std::vector<BoundExprPtr>& args,
+                          bool distinct, const BoundExpr* filter,
+                          const Relation& rel,
+                          const std::vector<int64_t>& rows,
+                          const RowStack& outer, ExecState* state) {
+  Evaluator ev(state);
+  AggAccumulator acc(agg);
+  std::set<std::vector<Value>, RowLess> seen;
+  RowStack stack;
+  stack.reserve(outer.size() + 1);
+  stack.push_back(Frame{});
+  for (const Frame& f : outer) stack.push_back(f);
+
+  for (int64_t idx : rows) {
+    stack[0] = Frame{&rel.rows[idx], idx, &rel};
+    if (filter != nullptr) {
+      MSQL_ASSIGN_OR_RETURN(bool keep, ev.EvalPredicate(*filter, stack));
+      if (!keep) continue;
+    }
+    std::vector<Value> arg_values;
+    arg_values.reserve(args.size());
+    for (const auto& a : args) {
+      MSQL_ASSIGN_OR_RETURN(Value v, ev.Eval(*a, stack));
+      arg_values.push_back(std::move(v));
+    }
+    if (distinct) {
+      // NULLs are skipped by aggregates anyway; dedupe on the arg tuple.
+      if (!seen.insert(arg_values).second) continue;
+    }
+    MSQL_RETURN_IF_ERROR(acc.Accumulate(arg_values));
+  }
+  return acc.Finish();
+}
+
+}  // namespace msql

@@ -1,0 +1,25 @@
+#ifndef MSQL_EXEC_AGG_EVAL_H_
+#define MSQL_EXEC_AGG_EVAL_H_
+
+#include <vector>
+
+#include "binder/bound_expr.h"
+#include "common/status.h"
+#include "exec/eval.h"
+#include "exec/relation.h"
+
+namespace msql {
+
+// Evaluates one aggregate call over the given rows (indices into rel.rows).
+// `outer` supplies frames for correlated references (depth >= 1) inside the
+// arguments; DISTINCT and FILTER are honored. Shared by the Aggregate
+// executor, the window executor and the measure-formula evaluator.
+Result<Value> EvalAggCall(AggId agg, const std::vector<BoundExprPtr>& args,
+                          bool distinct, const BoundExpr* filter,
+                          const Relation& rel,
+                          const std::vector<int64_t>& rows,
+                          const RowStack& outer, ExecState* state);
+
+}  // namespace msql
+
+#endif  // MSQL_EXEC_AGG_EVAL_H_

@@ -1,0 +1,149 @@
+#include "exec/eval.h"
+
+#include "common/string_util.h"
+#include "exec/executor.h"
+#include "measure/cse.h"
+
+namespace msql {
+
+bool SqlLike(const std::string& text, const std::string& pattern) {
+  // Iterative wildcard match: '%' = any sequence, '_' = any single char.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<bool> Evaluator::EvalPredicate(const BoundExpr& e,
+                                      const RowStack& stack) {
+  MSQL_ASSIGN_OR_RETURN(Value v, Eval(e, stack));
+  return !v.is_null() && v.bool_val();
+}
+
+Result<Value> Evaluator::Eval(const BoundExpr& e, const RowStack& stack) {
+  switch (e.kind) {
+    case BoundExprKind::kLiteral:
+      return e.literal;
+    case BoundExprKind::kColumnRef: {
+      if (e.depth < 0 || static_cast<size_t>(e.depth) >= stack.size() ||
+          stack[e.depth].row == nullptr) {
+        return Status(ErrorCode::kExecution,
+                      StrCat("column reference ", e.ToString(),
+                             " out of scope (stack depth ", stack.size(), ")"));
+      }
+      const Row& row = *stack[e.depth].row;
+      if (e.column < 0 || static_cast<size_t>(e.column) >= row.size()) {
+        return Status(ErrorCode::kExecution,
+                      StrCat("column index ", e.column, " out of range"));
+      }
+      return row[e.column];
+    }
+    case BoundExprKind::kRowIndex:
+      if (stack.empty() || stack[0].row_index < 0) {
+        return Status(ErrorCode::kExecution, "row index unavailable");
+      }
+      return Value::Int(stack[0].row_index);
+    case BoundExprKind::kFunc: {
+      std::vector<Value> args;
+      args.reserve(e.args.size());
+      for (const auto& a : e.args) {
+        MSQL_ASSIGN_OR_RETURN(Value v, Eval(*a, stack));
+        args.push_back(std::move(v));
+      }
+      return EvalScalarFunction(e.func, args);
+    }
+    case BoundExprKind::kCase: {
+      for (const auto& [when, then] : e.when_clauses) {
+        MSQL_ASSIGN_OR_RETURN(bool cond, EvalPredicate(*when, stack));
+        if (cond) return Eval(*then, stack);
+      }
+      if (e.else_expr) return Eval(*e.else_expr, stack);
+      return Value::Null();
+    }
+    case BoundExprKind::kCast: {
+      MSQL_ASSIGN_OR_RETURN(Value v, Eval(*e.operand, stack));
+      return v.CastTo(e.cast_to);
+    }
+    case BoundExprKind::kIsNull: {
+      MSQL_ASSIGN_OR_RETURN(Value v, Eval(*e.operand, stack));
+      return Value::Bool(v.is_null() != e.negated);
+    }
+    case BoundExprKind::kInList: {
+      MSQL_ASSIGN_OR_RETURN(Value v, Eval(*e.operand, stack));
+      if (v.is_null()) return Value::Null();
+      bool saw_null = false;
+      for (const auto& item : e.args) {
+        MSQL_ASSIGN_OR_RETURN(Value iv, Eval(*item, stack));
+        if (iv.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (Value::NotDistinct(v, iv)) return Value::Bool(!e.negated);
+      }
+      if (saw_null) return Value::Null();
+      return Value::Bool(e.negated);
+    }
+    case BoundExprKind::kLike: {
+      MSQL_ASSIGN_OR_RETURN(Value text, Eval(*e.operand, stack));
+      MSQL_ASSIGN_OR_RETURN(Value pattern, Eval(*e.args[0], stack));
+      if (text.is_null() || pattern.is_null()) return Value::Null();
+      bool match = SqlLike(text.str(), pattern.str());
+      return Value::Bool(match != e.negated);
+    }
+    case BoundExprKind::kSubquery:
+    case BoundExprKind::kInSubquery:
+    case BoundExprKind::kExists:
+      return EvalSubqueryExpr(e, stack, this);
+    case BoundExprKind::kMeasureEval:
+      return EvalMeasureAtRow(e, stack, this);
+    case BoundExprKind::kCurrent: {
+      if (current_measure == nullptr) {
+        return Status(ErrorCode::kExecution,
+                      "CURRENT is only valid inside an AT modifier");
+      }
+      MSQL_ASSIGN_OR_RETURN(
+          BoundExprPtr src,
+          TranslateToSource(*e.current_dim, *current_measure, stack,
+                            current_context, state_));
+      if (current_context != nullptr) {
+        if (auto v = current_context->CurrentValue(src->ToString())) {
+          return *v;
+        }
+      }
+      // Paper section 3.5: NULL when the dimension is not pinned to a single
+      // value by the enclosing evaluation context.
+      return Value::Null();
+    }
+    case BoundExprKind::kGroupingBit: {
+      if (stack.empty() || stack[0].row == nullptr ||
+          e.grouping_col < 0 ||
+          static_cast<size_t>(e.grouping_col) >= stack[0].row->size()) {
+        return Status(ErrorCode::kExecution, "GROUPING outside aggregation");
+      }
+      const Value& gid = (*stack[0].row)[e.grouping_col];
+      if (gid.is_null()) return Value::Null();
+      return Value::Int((gid.int_val() >> e.grouping_bit) & 1);
+    }
+    case BoundExprKind::kAgg:
+      return Status(ErrorCode::kExecution,
+                    "aggregate function evaluated outside aggregation");
+  }
+  return Status(ErrorCode::kExecution, "unhandled expression kind");
+}
+
+}  // namespace msql

@@ -1,0 +1,52 @@
+#ifndef MSQL_EXEC_EXEC_STATE_H_
+#define MSQL_EXEC_EXEC_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/value.h"
+
+namespace msql {
+
+// How measure evaluations are executed. kNaive re-scans the measure source
+// for every evaluation; kMemoized caches by evaluation-context signature —
+// the paper's "localized self-join" strategy (section 5.1), where per-group
+// results are probed from an in-memory cache instead of recomputed.
+enum class MeasureStrategy { kNaive, kMemoized };
+
+struct EngineOptions {
+  MeasureStrategy measure_strategy = MeasureStrategy::kMemoized;
+  // Paper section 6.4's inline rewrite, as a runtime fast path: a context
+  // consisting solely of row-id terms is evaluated directly over those rows
+  // (no source scan), and VISIBLE-only call sites skip the redundant
+  // group-key dimension terms. Off = ablation baseline.
+  bool inline_visible_contexts = true;
+  // Cache correlated scalar subquery results by their free-variable values
+  // (the WinMagic-adjacent optimization discussed in section 5.1).
+  bool memoize_subqueries = true;
+  // Guard rails.
+  int max_recursion_depth = 64;
+};
+
+// Per-query mutable execution state: option snapshot, caches, counters. The
+// counters feed the benchmark harness (cache hit rates, source scans).
+struct ExecState {
+  EngineOptions options;
+
+  std::unordered_map<std::string, Value> measure_cache;
+  std::unordered_map<std::string, Value> subquery_cache;
+
+  int depth = 0;
+
+  // Instrumentation.
+  uint64_t measure_evals = 0;        // measure evaluations requested
+  uint64_t measure_cache_hits = 0;
+  uint64_t measure_source_scans = 0; // full passes over a measure source
+  uint64_t subquery_execs = 0;
+  uint64_t subquery_cache_hits = 0;
+};
+
+}  // namespace msql
+
+#endif  // MSQL_EXEC_EXEC_STATE_H_

@@ -1,0 +1,61 @@
+#ifndef MSQL_EXEC_EXECUTOR_H_
+#define MSQL_EXEC_EXECUTOR_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "exec/eval.h"
+#include "exec/exec_state.h"
+#include "exec/relation.h"
+#include "plan/plan.h"
+
+namespace msql {
+
+// Materializing interpreter for logical plans. Each operator consumes fully
+// materialized child relations and produces a new one; measures ride on
+// relations as RtMeasure bindings (see exec/relation.h).
+class Executor {
+ public:
+  explicit Executor(ExecState* state) : state_(state) {}
+
+  // Executes a plan. `outer` supplies scope frames for correlated column
+  // references (depth counted from the plan's own row scope upward).
+  Result<RelationPtr> Execute(const LogicalPlan& plan, const RowStack& outer);
+
+ private:
+  Result<RelationPtr> ExecScan(const LogicalPlan& plan);
+  Result<RelationPtr> ExecValues(const LogicalPlan& plan,
+                                 const RowStack& outer);
+  Result<RelationPtr> ExecProject(const LogicalPlan& plan,
+                                  const RowStack& outer);
+  Result<RelationPtr> ExecFilter(const LogicalPlan& plan,
+                                 const RowStack& outer);
+  Result<RelationPtr> ExecJoin(const LogicalPlan& plan, const RowStack& outer);
+  Result<RelationPtr> ExecAggregate(const LogicalPlan& plan,
+                                    const RowStack& outer);
+  Result<RelationPtr> ExecSort(const LogicalPlan& plan, const RowStack& outer);
+  Result<RelationPtr> ExecLimit(const LogicalPlan& plan,
+                                const RowStack& outer);
+  Result<RelationPtr> ExecDistinct(const LogicalPlan& plan,
+                                   const RowStack& outer);
+  Result<RelationPtr> ExecSetOp(const LogicalPlan& plan, const RowStack& outer);
+  Result<RelationPtr> ExecWindow(const LogicalPlan& plan,
+                                 const RowStack& outer);
+
+  // Builds the runtime measure bindings of a node's output from its
+  // PlanMeasure descriptors and already-built child relations.
+  Status BuildMeasures(const LogicalPlan& plan,
+                       const std::vector<RelationPtr>& children,
+                       Relation* out);
+
+  ExecState* state_;
+};
+
+// Evaluates kSubquery / kInSubquery / kExists expressions; declared here so
+// the row evaluator can recurse into plans without a header cycle.
+Result<Value> EvalSubqueryExpr(const BoundExpr& e, const RowStack& stack,
+                               Evaluator* ev);
+
+}  // namespace msql
+
+#endif  // MSQL_EXEC_EXECUTOR_H_

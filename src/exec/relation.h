@@ -1,0 +1,45 @@
+#ifndef MSQL_EXEC_RELATION_H_
+#define MSQL_EXEC_RELATION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "binder/bound_expr.h"
+#include "catalog/schema.h"
+#include "common/value.h"
+
+namespace msql {
+
+struct Relation;
+
+// A measure bound into a materialized relation at runtime. The formula is
+// evaluated over `source` rows selected by an evaluation context; the
+// provenance map translates this relation's visible columns into expressions
+// over the source schema (the measure's dimensions); `rowid_col` is the
+// hidden column of this relation holding the source row index, which powers
+// the VISIBLE modifier and grain preservation under joins.
+struct RtMeasure {
+  std::string name;
+  DataType value_type;
+  std::shared_ptr<const BoundExpr> formula;   // over source schema
+  std::shared_ptr<const Relation> source;
+  std::unordered_map<int, std::shared_ptr<BoundExpr>> provenance;
+  int rowid_col = -1;
+  int column = -1;  // the measure's own column in the carrying relation
+};
+
+// A fully materialized intermediate or final result: schema (visible columns
+// first, hidden after), row data, and the measures riding on it.
+struct Relation {
+  Schema schema;
+  std::vector<Row> rows;
+  std::vector<RtMeasure> measures;
+};
+
+using RelationPtr = std::shared_ptr<const Relation>;
+
+}  // namespace msql
+
+#endif  // MSQL_EXEC_RELATION_H_

@@ -1,0 +1,33 @@
+#ifndef MSQL_MEASURE_EXPAND_H_
+#define MSQL_MEASURE_EXPAND_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace msql {
+
+// The paper's section 4.2 rewrite: expands every measure reference in a
+// SELECT into a correlated scalar subquery over the measure's source table,
+// producing plain SQL (no measures) with the evaluation context spelled out
+// as WHERE predicates — exactly the transformation of paper listings 5 and
+// 11.
+//
+// Supported query shape: a SELECT over a single measure-defining provider
+// (a view or inline subquery of the form
+//   SELECT [*,] cols..., expr AS MEASURE m, ... FROM <source> [WHERE ...]
+// possibly through a chain of such views), with optional WHERE / GROUP BY /
+// HAVING / ORDER BY / LIMIT. Joins and measure-on-measure composition fall
+// back to kNotImplemented — the engine executes those natively; the textual
+// expansion mirrors the paper's worked examples.
+//
+// A query without measure references is returned unchanged.
+Result<std::string> ExpandMeasures(const SelectStmt& query,
+                                   const Catalog& catalog,
+                                   const std::string& user);
+
+}  // namespace msql
+
+#endif  // MSQL_MEASURE_EXPAND_H_

@@ -1,0 +1,457 @@
+#include "parser/ast.h"
+
+#include "common/string_util.h"
+
+namespace msql {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kConcat: return "||";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kIsDistinctFrom: return "IS DISTINCT FROM";
+    case BinaryOp::kIsNotDistinctFrom: return "IS NOT DISTINCT FROM";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string QuoteIdent(const std::string& name) {
+  // Emit bare identifiers; quoting is only needed for round-tripping odd
+  // names, which the engine does not generate.
+  return name;
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToSqlLiteral();
+    case ExprKind::kColumnRef: {
+      std::vector<std::string> quoted;
+      for (const auto& p : parts) quoted.push_back(QuoteIdent(p));
+      return Join(quoted, ".");
+    }
+    case ExprKind::kStar:
+      return star_table.empty() ? "*" : star_table + ".*";
+    case ExprKind::kFuncCall: {
+      std::string s = func_name + "(";
+      if (star_arg) {
+        s += "*";
+      } else {
+        if (distinct) s += "DISTINCT ";
+        std::vector<std::string> parts_s;
+        for (const auto& a : args) parts_s.push_back(a->ToString());
+        s += Join(parts_s, ", ");
+      }
+      s += ")";
+      if (filter) s += " FILTER (WHERE " + filter->ToString() + ")";
+      if (over) {
+        s += " OVER (";
+        if (!over->partition_by.empty()) {
+          s += "PARTITION BY ";
+          std::vector<std::string> ps;
+          for (const auto& p : over->partition_by) ps.push_back(p->ToString());
+          s += Join(ps, ", ");
+        }
+        if (!over->order_by.empty()) {
+          if (!over->partition_by.empty()) s += " ";
+          s += "ORDER BY ";
+          std::vector<std::string> os;
+          for (const auto& [e, desc] : over->order_by) {
+            os.push_back(e->ToString() + (desc ? " DESC" : ""));
+          }
+          s += Join(os, ", ");
+        }
+        s += ")";
+      }
+      return s;
+    }
+    case ExprKind::kUnary:
+      return unary_op == UnaryOp::kNeg ? "(-" + left->ToString() + ")"
+                                       : "(NOT " + left->ToString() + ")";
+    case ExprKind::kBinary:
+      return StrCat("(", left->ToString(), " ", BinaryOpName(binary_op), " ",
+                    right->ToString(), ")");
+    case ExprKind::kCase: {
+      std::string s = "CASE";
+      if (case_operand) s += " " + case_operand->ToString();
+      for (const auto& [w, t] : when_clauses) {
+        s += " WHEN " + w->ToString() + " THEN " + t->ToString();
+      }
+      if (else_expr) s += " ELSE " + else_expr->ToString();
+      return s + " END";
+    }
+    case ExprKind::kCast:
+      return "CAST(" + left->ToString() + " AS " + cast_type + ")";
+    case ExprKind::kIsNull:
+      return "(" + left->ToString() + (negated ? " IS NOT NULL)" : " IS NULL)");
+    case ExprKind::kInList: {
+      std::vector<std::string> items;
+      for (const auto& e : in_list) items.push_back(e->ToString());
+      return StrCat("(", left->ToString(), negated ? " NOT IN (" : " IN (",
+                    Join(items, ", "), "))");
+    }
+    case ExprKind::kInSubquery:
+      return StrCat("(", left->ToString(), negated ? " NOT IN (" : " IN (",
+                    subquery->ToString(), "))");
+    case ExprKind::kBetween:
+      return StrCat("(", left->ToString(), negated ? " NOT BETWEEN " : " BETWEEN ",
+                    between_low->ToString(), " AND ", between_high->ToString(),
+                    ")");
+    case ExprKind::kLike:
+      return StrCat("(", left->ToString(), negated ? " NOT LIKE " : " LIKE ",
+                    right->ToString(), ")");
+    case ExprKind::kExists:
+      return StrCat(negated ? "NOT EXISTS (" : "EXISTS (",
+                    subquery->ToString(), ")");
+    case ExprKind::kSubquery:
+      return "(" + subquery->ToString() + ")";
+    case ExprKind::kAt: {
+      std::string s = left->ToString() + " AT (";
+      std::vector<std::string> mods;
+      for (const auto& m : at_modifiers) {
+        switch (m.kind) {
+          case AtModifier::Kind::kAll:
+            mods.push_back("ALL");
+            break;
+          case AtModifier::Kind::kAllDims: {
+            std::string d = "ALL";
+            for (const auto& e : m.dims) d += " " + e->ToString();
+            mods.push_back(d);
+            break;
+          }
+          case AtModifier::Kind::kSet:
+            mods.push_back("SET " + m.set_dim->ToString() + " = " +
+                           m.value->ToString());
+            break;
+          case AtModifier::Kind::kVisible:
+            mods.push_back("VISIBLE");
+            break;
+          case AtModifier::Kind::kWhere:
+            mods.push_back("WHERE " + m.predicate->ToString());
+            break;
+        }
+      }
+      return s + Join(mods, " ") + ")";
+    }
+    case ExprKind::kCurrent:
+      return "CURRENT " + current_dim;
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->parts = parts;
+  e->star_table = star_table;
+  e->func_name = func_name;
+  for (const auto& a : args) e->args.push_back(a->Clone());
+  e->distinct = distinct;
+  e->star_arg = star_arg;
+  if (filter) e->filter = filter->Clone();
+  if (over) {
+    e->over = std::make_unique<WindowSpec>();
+    for (const auto& p : over->partition_by) {
+      e->over->partition_by.push_back(p->Clone());
+    }
+    for (const auto& [expr, desc] : over->order_by) {
+      e->over->order_by.emplace_back(expr->Clone(), desc);
+    }
+  }
+  e->unary_op = unary_op;
+  e->binary_op = binary_op;
+  if (left) e->left = left->Clone();
+  if (right) e->right = right->Clone();
+  if (case_operand) e->case_operand = case_operand->Clone();
+  for (const auto& [w, t] : when_clauses) {
+    e->when_clauses.emplace_back(w->Clone(), t->Clone());
+  }
+  if (else_expr) e->else_expr = else_expr->Clone();
+  e->cast_type = cast_type;
+  e->negated = negated;
+  for (const auto& i : in_list) e->in_list.push_back(i->Clone());
+  if (between_low) e->between_low = between_low->Clone();
+  if (between_high) e->between_high = between_high->Clone();
+  if (subquery) e->subquery = subquery->Clone();
+  for (const auto& m : at_modifiers) {
+    AtModifier mc;
+    mc.kind = m.kind;
+    for (const auto& d : m.dims) mc.dims.push_back(d->Clone());
+    if (m.set_dim) mc.set_dim = m.set_dim->Clone();
+    if (m.value) mc.value = m.value->Clone();
+    if (m.predicate) mc.predicate = m.predicate->Clone();
+    e->at_modifiers.push_back(std::move(mc));
+  }
+  e->current_dim = current_dim;
+  return e;
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::vector<std::string> parts) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->parts = std::move(parts);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->left = std::move(operand);
+  return e;
+}
+
+ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFuncCall;
+  e->func_name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+std::string TableRef::ToString() const {
+  switch (kind) {
+    case TableRefKind::kBaseTable:
+      return table_name + (alias.empty() ? "" : " AS " + alias);
+    case TableRefKind::kSubquery:
+      return "(" + subquery->ToString() + ")" +
+             (alias.empty() ? "" : " AS " + alias);
+    case TableRefKind::kJoin: {
+      std::string jt;
+      switch (join_type) {
+        case JoinType::kInner: jt = " JOIN "; break;
+        case JoinType::kLeft: jt = " LEFT JOIN "; break;
+        case JoinType::kRight: jt = " RIGHT JOIN "; break;
+        case JoinType::kFull: jt = " FULL JOIN "; break;
+        case JoinType::kCross: jt = " CROSS JOIN "; break;
+      }
+      std::string s = left->ToString() + jt + right->ToString();
+      if (on_condition) s += " ON " + on_condition->ToString();
+      if (!using_cols.empty()) s += " USING (" + Join(using_cols, ", ") + ")";
+      return s;
+    }
+  }
+  return "?";
+}
+
+TableRefPtr TableRef::Clone() const {
+  auto t = std::make_unique<TableRef>();
+  t->kind = kind;
+  t->table_name = table_name;
+  t->alias = alias;
+  if (subquery) t->subquery = subquery->Clone();
+  t->join_type = join_type;
+  if (left) t->left = left->Clone();
+  if (right) t->right = right->Clone();
+  if (on_condition) t->on_condition = on_condition->Clone();
+  t->using_cols = using_cols;
+  return t;
+}
+
+std::string SelectStmt::ToString() const {
+  std::string s;
+  if (!ctes.empty()) {
+    s += "WITH ";
+    std::vector<std::string> cs;
+    for (const auto& c : ctes) {
+      cs.push_back(c.name + " AS (" + c.select->ToString() + ")");
+    }
+    s += Join(cs, ", ") + " ";
+  }
+  s += "SELECT ";
+  if (distinct) s += "DISTINCT ";
+  std::vector<std::string> items;
+  for (const auto& item : select_list) {
+    if (item.is_star) {
+      items.push_back(item.star_table.empty() ? "*" : item.star_table + ".*");
+      continue;
+    }
+    std::string t = item.expr->ToString();
+    if (!item.alias.empty()) {
+      t += item.is_measure ? " AS MEASURE " + item.alias : " AS " + item.alias;
+    }
+    items.push_back(t);
+  }
+  s += Join(items, ", ");
+  if (from) s += " FROM " + from->ToString();
+  if (where) s += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    s += " GROUP BY ";
+    std::vector<std::string> gs;
+    for (const auto& g : group_by) {
+      switch (g.kind) {
+        case GroupItem::Kind::kExpr:
+          gs.push_back(g.expr->ToString());
+          break;
+        case GroupItem::Kind::kRollup:
+        case GroupItem::Kind::kCube: {
+          std::vector<std::string> es;
+          for (const auto& e : g.exprs) es.push_back(e->ToString());
+          gs.push_back(
+              StrCat(g.kind == GroupItem::Kind::kRollup ? "ROLLUP" : "CUBE",
+                     "(", Join(es, ", "), ")"));
+          break;
+        }
+        case GroupItem::Kind::kGroupingSets: {
+          std::vector<std::string> sets_s;
+          for (const auto& set : g.sets) {
+            std::vector<std::string> es;
+            for (const auto& e : set) es.push_back(e->ToString());
+            sets_s.push_back("(" + Join(es, ", ") + ")");
+          }
+          gs.push_back("GROUPING SETS (" + Join(sets_s, ", ") + ")");
+          break;
+        }
+      }
+    }
+    s += Join(gs, ", ");
+  }
+  if (having) s += " HAVING " + having->ToString();
+  if (set_op != SetOpKind::kNone) {
+    switch (set_op) {
+      case SetOpKind::kUnionAll: s += " UNION ALL "; break;
+      case SetOpKind::kUnion: s += " UNION "; break;
+      case SetOpKind::kExcept: s += " EXCEPT "; break;
+      case SetOpKind::kIntersect: s += " INTERSECT "; break;
+      default: break;
+    }
+    s += set_rhs->ToString();
+  }
+  if (!order_by.empty()) {
+    s += " ORDER BY ";
+    std::vector<std::string> os;
+    for (const auto& o : order_by) {
+      std::string t = o.expr->ToString() + (o.desc ? " DESC" : "");
+      if (o.nulls_first.has_value()) {
+        t += *o.nulls_first ? " NULLS FIRST" : " NULLS LAST";
+      }
+      os.push_back(t);
+    }
+    s += Join(os, ", ");
+  }
+  if (limit) s += " LIMIT " + limit->ToString();
+  if (offset) s += " OFFSET " + offset->ToString();
+  return s;
+}
+
+SelectStmtPtr SelectStmt::Clone() const {
+  auto s = std::make_unique<SelectStmt>();
+  for (const auto& c : ctes) {
+    s->ctes.push_back(CteDef{c.name, c.select->Clone()});
+  }
+  s->distinct = distinct;
+  for (const auto& item : select_list) {
+    SelectItem i;
+    if (item.expr) i.expr = item.expr->Clone();
+    i.alias = item.alias;
+    i.is_measure = item.is_measure;
+    i.is_star = item.is_star;
+    i.star_table = item.star_table;
+    s->select_list.push_back(std::move(i));
+  }
+  if (from) s->from = from->Clone();
+  if (where) s->where = where->Clone();
+  for (const auto& g : group_by) {
+    GroupItem gi;
+    gi.kind = g.kind;
+    if (g.expr) gi.expr = g.expr->Clone();
+    for (const auto& e : g.exprs) gi.exprs.push_back(e->Clone());
+    for (const auto& set : g.sets) {
+      std::vector<ExprPtr> es;
+      for (const auto& e : set) es.push_back(e->Clone());
+      gi.sets.push_back(std::move(es));
+    }
+    s->group_by.push_back(std::move(gi));
+  }
+  if (having) s->having = having->Clone();
+  for (const auto& o : order_by) {
+    OrderItem oi;
+    oi.expr = o.expr->Clone();
+    oi.desc = o.desc;
+    oi.nulls_first = o.nulls_first;
+    s->order_by.push_back(std::move(oi));
+  }
+  if (limit) s->limit = limit->Clone();
+  if (offset) s->offset = offset->Clone();
+  s->set_op = set_op;
+  if (set_rhs) s->set_rhs = set_rhs->Clone();
+  return s;
+}
+
+std::string Stmt::ToString() const {
+  switch (kind) {
+    case StmtKind::kSelect:
+      return select->ToString();
+    case StmtKind::kCreateTable: {
+      std::string s = "CREATE TABLE ";
+      if (if_not_exists) s += "IF NOT EXISTS ";
+      s += name + " (";
+      std::vector<std::string> cols;
+      for (const auto& c : columns) cols.push_back(c.name + " " + c.type_name);
+      return s + Join(cols, ", ") + ")";
+    }
+    case StmtKind::kCreateView:
+      return StrCat("CREATE ", or_replace ? "OR REPLACE " : "", "VIEW ", name,
+                    " AS ", view_select->ToString());
+    case StmtKind::kDrop:
+      return StrCat("DROP ", drop_is_view ? "VIEW " : "TABLE ",
+                    if_exists ? "IF EXISTS " : "", name);
+    case StmtKind::kInsert: {
+      std::string s = "INSERT INTO " + insert_table;
+      if (!insert_columns.empty()) {
+        s += " (" + Join(insert_columns, ", ") + ")";
+      }
+      if (insert_select) return s + " " + insert_select->ToString();
+      s += " VALUES ";
+      std::vector<std::string> rows_s;
+      for (const auto& row : insert_rows) {
+        std::vector<std::string> vals;
+        for (const auto& v : row) vals.push_back(v->ToString());
+        rows_s.push_back("(" + Join(vals, ", ") + ")");
+      }
+      return s + Join(rows_s, ", ");
+    }
+    case StmtKind::kExplain:
+      return "EXPLAIN " + select->ToString();
+    case StmtKind::kDescribe:
+      return "DESCRIBE " + name;
+    case StmtKind::kCopy:
+      return StrCat("COPY ", name, copy_from ? " FROM " : " TO ",
+                    QuoteSqlString(copy_path));
+  }
+  return "?";
+}
+
+}  // namespace msql

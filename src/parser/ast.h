@@ -1,0 +1,277 @@
+#ifndef MSQL_PARSER_AST_H_
+#define MSQL_PARSER_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace msql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct SelectStmt;
+using SelectStmtPtr = std::unique_ptr<SelectStmt>;
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,   // possibly qualified: a.b
+  kStar,        // `*` or `t.*` (select list / COUNT(*))
+  kFuncCall,    // scalar, aggregate or window call, incl. AGGREGATE(m)
+  kUnary,
+  kBinary,
+  kCase,
+  kCast,
+  kIsNull,      // x IS [NOT] NULL
+  kInList,      // x [NOT] IN (e1, e2, ...)
+  kInSubquery,  // x [NOT] IN (SELECT ...)
+  kBetween,
+  kLike,
+  kExists,
+  kSubquery,    // scalar subquery
+  kAt,          // cse AT (modifiers)     [paper section 3.5]
+  kCurrent,     // CURRENT dim            [paper section 3.5]
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod, kConcat,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kIsDistinctFrom, kIsNotDistinctFrom,
+};
+
+const char* BinaryOpName(BinaryOp op);  // "+", "=", "AND", ...
+
+// One modifier inside `AT (...)`; see paper table 3.
+struct AtModifier {
+  enum class Kind {
+    kAll,      // ALL            — context becomes TRUE
+    kAllDims,  // ALL d1 d2 ...  — remove the dimension terms for d1, d2, ...
+    kSet,      // SET d = expr   — replace the term for d
+    kVisible,  // VISIBLE        — restrict to rows visible in the query
+    kWhere,    // WHERE pred     — context becomes pred
+  };
+  Kind kind;
+  std::vector<ExprPtr> dims;  // kAllDims: dimension names / expressions
+  ExprPtr set_dim;            // kSet: left-hand side (a dimension)
+  ExprPtr value;              // kSet: right-hand side
+  ExprPtr predicate;          // kWhere
+};
+
+struct WindowSpec {
+  std::vector<ExprPtr> partition_by;
+  // Ordering inside the partition; empty means whole-partition frame.
+  std::vector<std::pair<ExprPtr, bool /*desc*/>> order_by;
+};
+
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef: parts, e.g. {"o", "prodName"} or {"prodName"}.
+  std::vector<std::string> parts;
+
+  // kStar: optional qualifier table name.
+  std::string star_table;
+
+  // kFuncCall
+  std::string func_name;
+  std::vector<ExprPtr> args;
+  bool distinct = false;      // COUNT(DISTINCT x)
+  bool star_arg = false;      // COUNT(*)
+  ExprPtr filter;             // FILTER (WHERE ...) clause
+  std::unique_ptr<WindowSpec> over;  // OVER (...) makes this a window call
+
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  ExprPtr left;    // also: operand of unary/cast/isnull/like/at/between/in
+  ExprPtr right;
+
+  // kCase
+  ExprPtr case_operand;  // optional
+  std::vector<std::pair<ExprPtr, ExprPtr>> when_clauses;
+  ExprPtr else_expr;
+
+  // kCast
+  std::string cast_type;
+
+  // kIsNull / kInList / kInSubquery / kBetween / kLike / kExists
+  bool negated = false;
+  std::vector<ExprPtr> in_list;
+  ExprPtr between_low;
+  ExprPtr between_high;
+
+  // kSubquery / kInSubquery / kExists
+  SelectStmtPtr subquery;
+
+  // kAt
+  std::vector<AtModifier> at_modifiers;
+
+  // kCurrent
+  std::string current_dim;
+
+  // Round-trippable SQL rendering (used by EXPLAIN, error messages, and the
+  // measure-expansion printer).
+  std::string ToString() const;
+
+  // Deep copy (views store ASTs; each use binds a fresh copy).
+  ExprPtr Clone() const;
+};
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::vector<std::string> parts);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args);
+
+// ---------------------------------------------------------------------------
+// Table references
+// ---------------------------------------------------------------------------
+
+struct TableRef;
+using TableRefPtr = std::unique_ptr<TableRef>;
+
+enum class TableRefKind { kBaseTable, kSubquery, kJoin };
+enum class JoinType { kInner, kLeft, kRight, kFull, kCross };
+
+struct TableRef {
+  TableRefKind kind;
+
+  // kBaseTable
+  std::string table_name;
+
+  // kBaseTable / kSubquery
+  std::string alias;
+
+  // kSubquery
+  SelectStmtPtr subquery;
+
+  // kJoin
+  JoinType join_type = JoinType::kInner;
+  TableRefPtr left;
+  TableRefPtr right;
+  ExprPtr on_condition;                  // JOIN ... ON expr
+  std::vector<std::string> using_cols;   // JOIN ... USING (a, b)
+
+  std::string ToString() const;
+  TableRefPtr Clone() const;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  ExprPtr expr;          // null for `*`
+  std::string alias;
+  bool is_measure = false;  // `AS MEASURE name` (paper section 3.2)
+  bool is_star = false;
+  std::string star_table;
+};
+
+// GROUP BY supports plain expressions plus ROLLUP / CUBE / GROUPING SETS.
+struct GroupItem {
+  enum class Kind { kExpr, kRollup, kCube, kGroupingSets };
+  Kind kind = Kind::kExpr;
+  ExprPtr expr;                                  // kExpr
+  std::vector<ExprPtr> exprs;                    // kRollup / kCube
+  std::vector<std::vector<ExprPtr>> sets;        // kGroupingSets
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool desc = false;
+  // SQL default: NULLS FIRST when ascending, NULLS LAST when descending.
+  std::optional<bool> nulls_first;
+};
+
+struct CteDef {
+  std::string name;
+  SelectStmtPtr select;
+};
+
+enum class SetOpKind { kNone, kUnionAll, kUnion, kExcept, kIntersect };
+
+struct SelectStmt {
+  std::vector<CteDef> ctes;
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  TableRefPtr from;        // may be null (SELECT 1 + 1)
+  ExprPtr where;
+  std::vector<GroupItem> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  ExprPtr limit;
+  ExprPtr offset;
+
+  // Set operation chaining: `this` is the left input.
+  SetOpKind set_op = SetOpKind::kNone;
+  SelectStmtPtr set_rhs;
+
+  std::string ToString() const;
+  SelectStmtPtr Clone() const;
+};
+
+enum class StmtKind {
+  kSelect,
+  kCreateTable,
+  kCreateView,
+  kDrop,
+  kInsert,
+  kExplain,
+  kDescribe,
+  kCopy,  // COPY table FROM 'file.csv' | COPY table TO 'file.csv'
+};
+
+struct ColumnDef {
+  std::string name;
+  std::string type_name;
+};
+
+struct Stmt {
+  StmtKind kind;
+
+  SelectStmtPtr select;  // kSelect / kExplain payload
+
+  // kCreateTable
+  std::string name;
+  std::vector<ColumnDef> columns;
+  bool if_not_exists = false;
+
+  // kCreateView
+  bool or_replace = false;
+  SelectStmtPtr view_select;
+
+  // kDrop
+  bool drop_is_view = false;
+  bool if_exists = false;
+
+  // kCopy
+  std::string copy_path;
+  bool copy_from = false;  // FROM = load, TO = export
+
+  // kInsert
+  std::string insert_table;
+  std::vector<std::string> insert_columns;
+  std::vector<std::vector<ExprPtr>> insert_rows;
+  SelectStmtPtr insert_select;
+
+  std::string ToString() const;
+};
+using StmtPtr = std::unique_ptr<Stmt>;
+
+}  // namespace msql
+
+#endif  // MSQL_PARSER_AST_H_

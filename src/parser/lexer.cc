@@ -1,0 +1,316 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace msql {
+
+namespace {
+
+const std::unordered_map<std::string, TokenType>& KeywordMap() {
+  static const auto* kMap = new std::unordered_map<std::string, TokenType>{
+      {"SELECT", TokenType::kSelect},   {"FROM", TokenType::kFrom},
+      {"WHERE", TokenType::kWhere},     {"GROUP", TokenType::kGroup},
+      {"BY", TokenType::kBy},           {"HAVING", TokenType::kHaving},
+      {"ORDER", TokenType::kOrder},     {"LIMIT", TokenType::kLimit},
+      {"OFFSET", TokenType::kOffset},   {"AS", TokenType::kAs},
+      {"MEASURE", TokenType::kMeasure}, {"AT", TokenType::kAt},
+      {"ALL", TokenType::kAll},         {"SET", TokenType::kSet},
+      {"VISIBLE", TokenType::kVisible}, {"CURRENT", TokenType::kCurrent},
+      {"AND", TokenType::kAnd},         {"OR", TokenType::kOr},
+      {"NOT", TokenType::kNot},         {"NULL", TokenType::kNull},
+      {"TRUE", TokenType::kTrue},       {"FALSE", TokenType::kFalse},
+      {"IS", TokenType::kIs},           {"DISTINCT", TokenType::kDistinct},
+      {"IN", TokenType::kIn},           {"EXISTS", TokenType::kExists},
+      {"BETWEEN", TokenType::kBetween}, {"LIKE", TokenType::kLike},
+      {"CASE", TokenType::kCase},       {"WHEN", TokenType::kWhen},
+      {"THEN", TokenType::kThen},       {"ELSE", TokenType::kElse},
+      {"END", TokenType::kEnd},         {"CAST", TokenType::kCast},
+      {"CREATE", TokenType::kCreate},   {"REPLACE", TokenType::kReplace},
+      {"VIEW", TokenType::kView},       {"TABLE", TokenType::kTable},
+      {"DROP", TokenType::kDrop},       {"INSERT", TokenType::kInsert},
+      {"INTO", TokenType::kInto},       {"VALUES", TokenType::kValues},
+      {"WITH", TokenType::kWith},       {"JOIN", TokenType::kJoin},
+      {"INNER", TokenType::kInner},     {"LEFT", TokenType::kLeft},
+      {"RIGHT", TokenType::kRight},     {"FULL", TokenType::kFull},
+      {"OUTER", TokenType::kOuter},     {"CROSS", TokenType::kCross},
+      {"ON", TokenType::kOn},           {"USING", TokenType::kUsing},
+      {"UNION", TokenType::kUnion},     {"EXCEPT", TokenType::kExcept},
+      {"INTERSECT", TokenType::kIntersect},
+      {"ROLLUP", TokenType::kRollup},   {"CUBE", TokenType::kCube},
+      {"GROUPING", TokenType::kGrouping}, {"SETS", TokenType::kSets},
+      {"ASC", TokenType::kAsc},         {"DESC", TokenType::kDesc},
+      {"NULLS", TokenType::kNulls},     {"FIRST", TokenType::kFirst},
+      {"LAST", TokenType::kLast},       {"DATE", TokenType::kDate},
+      {"EXPLAIN", TokenType::kExplain}, {"OVER", TokenType::kOver},
+      {"PARTITION", TokenType::kPartition}, {"FILTER", TokenType::kFilter},
+      {"IF", TokenType::kIf},           {"DESCRIBE", TokenType::kDescribe},
+      {"COPY", TokenType::kCopy},       {"TO", TokenType::kTo},
+  };
+  return *kMap;
+}
+
+}  // namespace
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kEof: return "end of input";
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kStringLiteral: return "string literal";
+    case TokenType::kIntegerLiteral: return "integer literal";
+    case TokenType::kDoubleLiteral: return "double literal";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kComma: return "','";
+    case TokenType::kDot: return "'.'";
+    case TokenType::kSemicolon: return "';'";
+    case TokenType::kStar: return "'*'";
+    case TokenType::kPlus: return "'+'";
+    case TokenType::kMinus: return "'-'";
+    case TokenType::kSlash: return "'/'";
+    case TokenType::kPercent: return "'%'";
+    case TokenType::kConcatOp: return "'||'";
+    case TokenType::kEq: return "'='";
+    case TokenType::kNe: return "'<>'";
+    case TokenType::kLt: return "'<'";
+    case TokenType::kLe: return "'<='";
+    case TokenType::kGt: return "'>'";
+    case TokenType::kGe: return "'>='";
+    default: return "keyword";
+  }
+}
+
+Status Lexer::Error(const std::string& message) const {
+  return Status(ErrorCode::kParse,
+                StrCat(message, " at line ", line_, ", column ", column_));
+}
+
+char Lexer::Peek(int ahead) const {
+  size_t p = pos_ + ahead;
+  return p < input_.size() ? input_[p] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = input_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else if (c == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+      if (!AtEnd()) {
+        Advance();
+        Advance();
+      }
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::MakeToken(TokenType type) const {
+  Token t;
+  t.type = type;
+  t.offset = start_offset_;
+  t.line = start_line_;
+  t.column = start_column_;
+  return t;
+}
+
+Result<Token> Lexer::LexNumber() {
+  std::string text;
+  bool is_double = false;
+  while (std::isdigit(static_cast<unsigned char>(Peek()))) text += Advance();
+  if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+    is_double = true;
+    text += Advance();
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) text += Advance();
+  }
+  if (Peek() == 'e' || Peek() == 'E') {
+    size_t save = pos_;
+    std::string exp;
+    exp += Advance();
+    if (Peek() == '+' || Peek() == '-') exp += Advance();
+    if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) exp += Advance();
+      text += exp;
+      is_double = true;
+    } else {
+      pos_ = save;  // not an exponent; leave for the next token
+    }
+  }
+  Token t = MakeToken(is_double ? TokenType::kDoubleLiteral
+                                : TokenType::kIntegerLiteral);
+  t.text = text;
+  if (is_double) {
+    t.double_value = std::strtod(text.c_str(), nullptr);
+  } else {
+    t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+  }
+  return t;
+}
+
+Result<Token> Lexer::LexString() {
+  Advance();  // opening quote
+  std::string text;
+  while (true) {
+    if (AtEnd()) return Error("unterminated string literal");
+    char c = Advance();
+    if (c == '\'') {
+      if (Peek() == '\'') {
+        text += '\'';
+        Advance();
+      } else {
+        break;
+      }
+    } else {
+      text += c;
+    }
+  }
+  Token t = MakeToken(TokenType::kStringLiteral);
+  t.text = text;
+  return t;
+}
+
+Result<Token> Lexer::LexQuotedIdentifier() {
+  char quote = Advance();  // '"' or '`'
+  std::string text;
+  while (true) {
+    if (AtEnd()) return Error("unterminated quoted identifier");
+    char c = Advance();
+    if (c == quote) {
+      if (Peek() == quote) {
+        text += quote;
+        Advance();
+      } else {
+        break;
+      }
+    } else {
+      text += c;
+    }
+  }
+  Token t = MakeToken(TokenType::kIdentifier);
+  t.text = text;
+  return t;
+}
+
+Token Lexer::LexWord() {
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_' ||
+         Peek() == '$') {
+    text += Advance();
+  }
+  auto it = KeywordMap().find(ToUpper(text));
+  if (it != KeywordMap().end()) {
+    Token t = MakeToken(it->second);
+    t.text = text;
+    return t;
+  }
+  Token t = MakeToken(TokenType::kIdentifier);
+  t.text = text;
+  return t;
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    SkipWhitespaceAndComments();
+    start_offset_ = static_cast<int>(pos_);
+    start_line_ = line_;
+    start_column_ = column_;
+    if (AtEnd()) {
+      tokens.push_back(MakeToken(TokenType::kEof));
+      return tokens;
+    }
+    char c = Peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      MSQL_ASSIGN_OR_RETURN(Token t, LexNumber());
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      tokens.push_back(LexWord());
+      continue;
+    }
+    if (c == '\'') {
+      MSQL_ASSIGN_OR_RETURN(Token t, LexString());
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"' || c == '`') {
+      MSQL_ASSIGN_OR_RETURN(Token t, LexQuotedIdentifier());
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    Advance();
+    switch (c) {
+      case '(': tokens.push_back(MakeToken(TokenType::kLParen)); break;
+      case ')': tokens.push_back(MakeToken(TokenType::kRParen)); break;
+      case ',': tokens.push_back(MakeToken(TokenType::kComma)); break;
+      case '.': tokens.push_back(MakeToken(TokenType::kDot)); break;
+      case ';': tokens.push_back(MakeToken(TokenType::kSemicolon)); break;
+      case '*': tokens.push_back(MakeToken(TokenType::kStar)); break;
+      case '+': tokens.push_back(MakeToken(TokenType::kPlus)); break;
+      case '-': tokens.push_back(MakeToken(TokenType::kMinus)); break;
+      case '/': tokens.push_back(MakeToken(TokenType::kSlash)); break;
+      case '%': tokens.push_back(MakeToken(TokenType::kPercent)); break;
+      case '=': tokens.push_back(MakeToken(TokenType::kEq)); break;
+      case '|':
+        if (Peek() == '|') {
+          Advance();
+          tokens.push_back(MakeToken(TokenType::kConcatOp));
+        } else {
+          return Error("unexpected character '|'");
+        }
+        break;
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          tokens.push_back(MakeToken(TokenType::kLe));
+        } else if (Peek() == '>') {
+          Advance();
+          tokens.push_back(MakeToken(TokenType::kNe));
+        } else {
+          tokens.push_back(MakeToken(TokenType::kLt));
+        }
+        break;
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          tokens.push_back(MakeToken(TokenType::kGe));
+        } else {
+          tokens.push_back(MakeToken(TokenType::kGt));
+        }
+        break;
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          tokens.push_back(MakeToken(TokenType::kNe));
+        } else {
+          return Error("unexpected character '!'");
+        }
+        break;
+      default:
+        return Error(StrCat("unexpected character '", std::string(1, c), "'"));
+    }
+  }
+}
+
+}  // namespace msql

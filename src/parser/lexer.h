@@ -1,0 +1,47 @@
+#ifndef MSQL_PARSER_LEXER_H_
+#define MSQL_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/token.h"
+
+namespace msql {
+
+// Tokenizes a SQL string. Comments (`-- ...` and `/* ... */`) and whitespace
+// are skipped. Identifiers may be double-quoted to preserve case / reserved
+// words. Keywords are case-insensitive.
+class Lexer {
+ public:
+  explicit Lexer(std::string input) : input_(std::move(input)) {}
+
+  // Tokenizes the whole input; the final token is kEof.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Status Error(const std::string& message) const;
+  char Peek(int ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  void SkipWhitespaceAndComments();
+  Token MakeToken(TokenType type) const;
+
+  Result<Token> LexNumber();
+  Result<Token> LexString();
+  Result<Token> LexQuotedIdentifier();
+  Token LexWord();
+
+  std::string input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  // Start of the token currently being lexed.
+  int start_offset_ = 0;
+  int start_line_ = 1;
+  int start_column_ = 1;
+};
+
+}  // namespace msql
+
+#endif  // MSQL_PARSER_LEXER_H_

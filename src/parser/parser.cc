@@ -1,0 +1,935 @@
+#include "parser/parser.h"
+
+#include "common/date.h"
+#include "common/string_util.h"
+#include "parser/lexer.h"
+
+namespace msql {
+
+Status Parser::EnsureTokenized() {
+  if (tokenized_) return Status::Ok();
+  Lexer lexer(sql_);
+  MSQL_ASSIGN_OR_RETURN(tokens_, lexer.Tokenize());
+  tokenized_ = true;
+  pos_ = 0;
+  return Status::Ok();
+}
+
+const Token& Parser::Peek(int ahead) const {
+  size_t p = pos_ + ahead;
+  if (p >= tokens_.size()) p = tokens_.size() - 1;  // EOF token
+  return tokens_[p];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::Match(TokenType t) {
+  if (Check(t)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::Expect(TokenType t, const char* context) {
+  if (Match(t)) return Status::Ok();
+  return ErrorAtCurrent(StrCat("expected ", TokenTypeName(t), " in ", context,
+                               ", found ",
+                               Peek().text.empty() ? TokenTypeName(Peek().type)
+                                                   : "'" + Peek().text + "'"));
+}
+
+Status Parser::ErrorAtCurrent(const std::string& message) const {
+  const Token& t = Peek();
+  return Status(ErrorCode::kParse,
+                StrCat(message, " (line ", t.line, ", column ", t.column, ")"));
+}
+
+Result<std::vector<StmtPtr>> Parser::ParseStatements() {
+  MSQL_RETURN_IF_ERROR(EnsureTokenized());
+  std::vector<StmtPtr> stmts;
+  while (!Check(TokenType::kEof)) {
+    if (Match(TokenType::kSemicolon)) continue;
+    MSQL_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+    stmts.push_back(std::move(stmt));
+    if (!Check(TokenType::kEof)) {
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "statement list"));
+    }
+  }
+  return stmts;
+}
+
+Result<StmtPtr> Parser::ParseSingleStatement() {
+  MSQL_RETURN_IF_ERROR(EnsureTokenized());
+  MSQL_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+  while (Match(TokenType::kSemicolon)) {
+  }
+  if (!Check(TokenType::kEof)) {
+    return ErrorAtCurrent("unexpected trailing input");
+  }
+  return stmt;
+}
+
+Result<StmtPtr> Parser::Parse(const std::string& sql) {
+  Parser parser(sql);
+  return parser.ParseSingleStatement();
+}
+
+Result<ExprPtr> Parser::ParseExpression(const std::string& sql) {
+  Parser parser(sql);
+  MSQL_RETURN_IF_ERROR(parser.EnsureTokenized());
+  MSQL_ASSIGN_OR_RETURN(ExprPtr e, parser.ParseExpr());
+  if (!parser.Check(TokenType::kEof)) {
+    return parser.ErrorAtCurrent("unexpected trailing input after expression");
+  }
+  return e;
+}
+
+Result<StmtPtr> Parser::ParseStatement() {
+  switch (Peek().type) {
+    case TokenType::kSelect:
+    case TokenType::kWith: {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kSelect;
+      MSQL_ASSIGN_OR_RETURN(stmt->select, ParseSelectStmt());
+      return stmt;
+    }
+    case TokenType::kCreate:
+      return ParseCreate();
+    case TokenType::kDrop:
+      return ParseDrop();
+    case TokenType::kInsert:
+      return ParseInsert();
+    case TokenType::kExplain: {
+      Advance();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kExplain;
+      MSQL_ASSIGN_OR_RETURN(stmt->select, ParseSelectStmt());
+      return stmt;
+    }
+    case TokenType::kDescribe: {
+      Advance();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kDescribe;
+      MSQL_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("DESCRIBE"));
+      return stmt;
+    }
+    case TokenType::kCopy: {
+      Advance();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kCopy;
+      MSQL_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("COPY"));
+      if (Match(TokenType::kFrom)) {
+        stmt->copy_from = true;
+      } else if (!Match(TokenType::kTo)) {
+        return ErrorAtCurrent("expected FROM or TO after COPY <table>");
+      }
+      if (!Check(TokenType::kStringLiteral)) {
+        return ErrorAtCurrent("expected a quoted file path in COPY");
+      }
+      stmt->copy_path = Advance().text;
+      return stmt;
+    }
+    default:
+      return ErrorAtCurrent("expected a statement");
+  }
+}
+
+Result<std::string> Parser::ParseIdentifier(const char* context) {
+  if (Check(TokenType::kIdentifier)) {
+    return Advance().text;
+  }
+  return ErrorAtCurrent(StrCat("expected identifier in ", context));
+}
+
+Result<StmtPtr> Parser::ParseCreate() {
+  Advance();  // CREATE
+  auto stmt = std::make_unique<Stmt>();
+  if (Match(TokenType::kOr)) {
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kReplace, "CREATE OR REPLACE"));
+    stmt->or_replace = true;
+  }
+  if (Match(TokenType::kView)) {
+    stmt->kind = StmtKind::kCreateView;
+    MSQL_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("CREATE VIEW"));
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kAs, "CREATE VIEW"));
+    MSQL_ASSIGN_OR_RETURN(stmt->view_select, ParseSelectStmt());
+    return stmt;
+  }
+  if (Match(TokenType::kTable)) {
+    stmt->kind = StmtKind::kCreateTable;
+    if (Match(TokenType::kIf)) {
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kNot, "IF NOT EXISTS"));
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kExists, "IF NOT EXISTS"));
+      stmt->if_not_exists = true;
+    }
+    MSQL_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("CREATE TABLE"));
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen, "CREATE TABLE"));
+    do {
+      ColumnDef col;
+      MSQL_ASSIGN_OR_RETURN(col.name, ParseIdentifier("column definition"));
+      if (Check(TokenType::kIdentifier)) {
+        col.type_name = Advance().text;
+      } else if (Check(TokenType::kDate)) {
+        Advance();
+        col.type_name = "DATE";
+      } else {
+        return ErrorAtCurrent("expected column type");
+      }
+      // Swallow optional length like VARCHAR(20).
+      if (Match(TokenType::kLParen)) {
+        while (!Check(TokenType::kRParen) && !Check(TokenType::kEof)) Advance();
+        MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "type arguments"));
+      }
+      stmt->columns.push_back(std::move(col));
+    } while (Match(TokenType::kComma));
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "CREATE TABLE"));
+    return stmt;
+  }
+  return ErrorAtCurrent("expected TABLE or VIEW after CREATE");
+}
+
+Result<StmtPtr> Parser::ParseDrop() {
+  Advance();  // DROP
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kDrop;
+  if (Match(TokenType::kView)) {
+    stmt->drop_is_view = true;
+  } else if (!Match(TokenType::kTable)) {
+    return ErrorAtCurrent("expected TABLE or VIEW after DROP");
+  }
+  if (Match(TokenType::kIf)) {
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kExists, "IF EXISTS"));
+    stmt->if_exists = true;
+  }
+  MSQL_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("DROP"));
+  return stmt;
+}
+
+Result<StmtPtr> Parser::ParseInsert() {
+  Advance();  // INSERT
+  MSQL_RETURN_IF_ERROR(Expect(TokenType::kInto, "INSERT"));
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kInsert;
+  MSQL_ASSIGN_OR_RETURN(stmt->insert_table, ParseIdentifier("INSERT"));
+  if (Match(TokenType::kLParen)) {
+    do {
+      MSQL_ASSIGN_OR_RETURN(std::string col,
+                            ParseIdentifier("INSERT column list"));
+      stmt->insert_columns.push_back(std::move(col));
+    } while (Match(TokenType::kComma));
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "INSERT column list"));
+  }
+  if (Check(TokenType::kSelect) || Check(TokenType::kWith)) {
+    MSQL_ASSIGN_OR_RETURN(stmt->insert_select, ParseSelectStmt());
+    return stmt;
+  }
+  MSQL_RETURN_IF_ERROR(Expect(TokenType::kValues, "INSERT"));
+  do {
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen, "VALUES row"));
+    std::vector<ExprPtr> row;
+    do {
+      MSQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+    } while (Match(TokenType::kComma));
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "VALUES row"));
+    stmt->insert_rows.push_back(std::move(row));
+  } while (Match(TokenType::kComma));
+  return stmt;
+}
+
+Result<SelectStmtPtr> Parser::ParseSelectStmt() {
+  std::vector<CteDef> ctes;
+  if (Match(TokenType::kWith)) {
+    do {
+      CteDef cte;
+      MSQL_ASSIGN_OR_RETURN(cte.name, ParseIdentifier("WITH clause"));
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kAs, "WITH clause"));
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen, "WITH clause"));
+      MSQL_ASSIGN_OR_RETURN(cte.select, ParseSelectStmt());
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "WITH clause"));
+      ctes.push_back(std::move(cte));
+    } while (Match(TokenType::kComma));
+  }
+
+  MSQL_ASSIGN_OR_RETURN(SelectStmtPtr select, ParseSelectCore());
+
+  // Set operations, left-associatively: once the statement already carries a
+  // set operation, wrap the chain in a derived table so that
+  // `A EXCEPT B EXCEPT C` means `(A EXCEPT B) EXCEPT C`.
+  while (Check(TokenType::kUnion) || Check(TokenType::kExcept) ||
+         Check(TokenType::kIntersect)) {
+    SetOpKind op;
+    if (Match(TokenType::kUnion)) {
+      op = Match(TokenType::kAll) ? SetOpKind::kUnionAll : SetOpKind::kUnion;
+    } else if (Match(TokenType::kExcept)) {
+      op = SetOpKind::kExcept;
+    } else {
+      Advance();
+      op = SetOpKind::kIntersect;
+    }
+    MSQL_ASSIGN_OR_RETURN(SelectStmtPtr rhs, ParseSelectCore());
+    if (select->set_op == SetOpKind::kNone) {
+      select->set_op = op;
+      select->set_rhs = std::move(rhs);
+    } else {
+      auto wrapper = std::make_unique<SelectStmt>();
+      SelectItem star;
+      star.is_star = true;
+      wrapper->select_list.push_back(std::move(star));
+      wrapper->from = std::make_unique<TableRef>();
+      wrapper->from->kind = TableRefKind::kSubquery;
+      wrapper->from->subquery = std::move(select);
+      wrapper->set_op = op;
+      wrapper->set_rhs = std::move(rhs);
+      select = std::move(wrapper);
+    }
+  }
+  select->ctes = std::move(ctes);
+
+  if (Match(TokenType::kOrder)) {
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kBy, "ORDER BY"));
+    MSQL_RETURN_IF_ERROR(ParseOrderBy(select.get()));
+  }
+  if (Match(TokenType::kLimit)) {
+    MSQL_ASSIGN_OR_RETURN(select->limit, ParseExpr());
+  }
+  if (Match(TokenType::kOffset)) {
+    MSQL_ASSIGN_OR_RETURN(select->offset, ParseExpr());
+  }
+  return select;
+}
+
+Result<SelectStmtPtr> Parser::ParseSelectCore() {
+  MSQL_RETURN_IF_ERROR(Expect(TokenType::kSelect, "query"));
+  auto select = std::make_unique<SelectStmt>();
+  if (Match(TokenType::kDistinct)) select->distinct = true;
+  else Match(TokenType::kAll);  // SELECT ALL is the default
+
+  // Select list.
+  do {
+    SelectItem item;
+    if (Match(TokenType::kStar)) {
+      item.is_star = true;
+      select->select_list.push_back(std::move(item));
+      continue;
+    }
+    if (Check(TokenType::kIdentifier) && Peek(1).is(TokenType::kDot) &&
+        Peek(2).is(TokenType::kStar)) {
+      item.is_star = true;
+      item.star_table = Advance().text;
+      Advance();  // .
+      Advance();  // *
+      select->select_list.push_back(std::move(item));
+      continue;
+    }
+    MSQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (Match(TokenType::kAs)) {
+      if (Match(TokenType::kMeasure)) item.is_measure = true;
+      MSQL_ASSIGN_OR_RETURN(item.alias, ParseIdentifier("column alias"));
+    } else if (Check(TokenType::kIdentifier)) {
+      item.alias = Advance().text;
+    }
+    select->select_list.push_back(std::move(item));
+  } while (Match(TokenType::kComma));
+
+  if (Match(TokenType::kFrom)) {
+    MSQL_ASSIGN_OR_RETURN(select->from, ParseTableRef());
+  }
+  if (Match(TokenType::kWhere)) {
+    MSQL_ASSIGN_OR_RETURN(select->where, ParseExpr());
+  }
+  if (Match(TokenType::kGroup)) {
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kBy, "GROUP BY"));
+    MSQL_RETURN_IF_ERROR(ParseGroupBy(select.get()));
+  }
+  if (Match(TokenType::kHaving)) {
+    MSQL_ASSIGN_OR_RETURN(select->having, ParseExpr());
+  }
+  return select;
+}
+
+Status Parser::ParseGroupBy(SelectStmt* select) {
+  do {
+    GroupItem item;
+    if (Match(TokenType::kRollup) || (Check(TokenType::kCube) && [&] {
+          Advance();
+          item.kind = GroupItem::Kind::kCube;
+          return true;
+        }())) {
+      if (item.kind != GroupItem::Kind::kCube) {
+        item.kind = GroupItem::Kind::kRollup;
+      }
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen, "ROLLUP/CUBE"));
+      do {
+        MSQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        item.exprs.push_back(std::move(e));
+      } while (Match(TokenType::kComma));
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "ROLLUP/CUBE"));
+    } else if (Check(TokenType::kGrouping) && Peek(1).is(TokenType::kSets)) {
+      Advance();
+      Advance();
+      item.kind = GroupItem::Kind::kGroupingSets;
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen, "GROUPING SETS"));
+      do {
+        std::vector<ExprPtr> set;
+        MSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen, "grouping set"));
+        if (!Check(TokenType::kRParen)) {
+          do {
+            MSQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+            set.push_back(std::move(e));
+          } while (Match(TokenType::kComma));
+        }
+        MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "grouping set"));
+        item.sets.push_back(std::move(set));
+      } while (Match(TokenType::kComma));
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "GROUPING SETS"));
+    } else {
+      item.kind = GroupItem::Kind::kExpr;
+      MSQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    }
+    select->group_by.push_back(std::move(item));
+  } while (Match(TokenType::kComma));
+  return Status::Ok();
+}
+
+Status Parser::ParseOrderBy(SelectStmt* select) {
+  do {
+    OrderItem item;
+    MSQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (Match(TokenType::kDesc)) {
+      item.desc = true;
+    } else {
+      Match(TokenType::kAsc);
+    }
+    if (Match(TokenType::kNulls)) {
+      if (Match(TokenType::kFirst)) {
+        item.nulls_first = true;
+      } else {
+        MSQL_RETURN_IF_ERROR(Expect(TokenType::kLast, "NULLS ordering"));
+        item.nulls_first = false;
+      }
+    }
+    select->order_by.push_back(std::move(item));
+  } while (Match(TokenType::kComma));
+  return Status::Ok();
+}
+
+Result<TableRefPtr> Parser::ParseTableRef() {
+  MSQL_ASSIGN_OR_RETURN(TableRefPtr left, ParseTablePrimary());
+  while (true) {
+    JoinType jt;
+    bool has_condition = true;
+    if (Match(TokenType::kComma)) {
+      jt = JoinType::kCross;
+      has_condition = false;
+    } else if (Match(TokenType::kCross)) {
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kJoin, "CROSS JOIN"));
+      jt = JoinType::kCross;
+      has_condition = false;
+    } else if (Match(TokenType::kInner)) {
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kJoin, "INNER JOIN"));
+      jt = JoinType::kInner;
+    } else if (Match(TokenType::kLeft)) {
+      Match(TokenType::kOuter);
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kJoin, "LEFT JOIN"));
+      jt = JoinType::kLeft;
+    } else if (Check(TokenType::kRight) && (Peek(1).is(TokenType::kJoin) ||
+                                            Peek(1).is(TokenType::kOuter))) {
+      Advance();
+      Match(TokenType::kOuter);
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kJoin, "RIGHT JOIN"));
+      jt = JoinType::kRight;
+    } else if (Match(TokenType::kFull)) {
+      Match(TokenType::kOuter);
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kJoin, "FULL JOIN"));
+      jt = JoinType::kFull;
+    } else if (Match(TokenType::kJoin)) {
+      jt = JoinType::kInner;
+    } else {
+      break;
+    }
+    auto join = std::make_unique<TableRef>();
+    join->kind = TableRefKind::kJoin;
+    join->join_type = jt;
+    join->left = std::move(left);
+    MSQL_ASSIGN_OR_RETURN(join->right, ParseTablePrimary());
+    if (has_condition) {
+      if (Match(TokenType::kOn)) {
+        MSQL_ASSIGN_OR_RETURN(join->on_condition, ParseExpr());
+      } else if (Match(TokenType::kUsing)) {
+        MSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen, "USING"));
+        do {
+          MSQL_ASSIGN_OR_RETURN(std::string col, ParseIdentifier("USING"));
+          join->using_cols.push_back(std::move(col));
+        } while (Match(TokenType::kComma));
+        MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "USING"));
+      } else {
+        return ErrorAtCurrent("expected ON or USING after JOIN");
+      }
+    }
+    left = std::move(join);
+  }
+  return left;
+}
+
+Result<TableRefPtr> Parser::ParseTablePrimary() {
+  auto t = std::make_unique<TableRef>();
+  if (Match(TokenType::kLParen)) {
+    t->kind = TableRefKind::kSubquery;
+    MSQL_ASSIGN_OR_RETURN(t->subquery, ParseSelectStmt());
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "subquery"));
+  } else {
+    t->kind = TableRefKind::kBaseTable;
+    MSQL_ASSIGN_OR_RETURN(t->table_name, ParseIdentifier("FROM clause"));
+  }
+  if (Match(TokenType::kAs)) {
+    MSQL_ASSIGN_OR_RETURN(t->alias, ParseIdentifier("table alias"));
+  } else if (Check(TokenType::kIdentifier)) {
+    t->alias = Advance().text;
+  }
+  return t;
+}
+
+// --------------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------------
+
+Result<ExprPtr> Parser::ParseExpr() {
+  MSQL_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (Match(TokenType::kOr)) {
+    MSQL_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  MSQL_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (Match(TokenType::kAnd)) {
+    MSQL_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (Match(TokenType::kNot)) {
+    MSQL_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return MakeUnary(UnaryOp::kNot, std::move(operand));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  MSQL_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  while (true) {
+    // x NOT IN / NOT BETWEEN / NOT LIKE.
+    bool negated = false;
+    if (Check(TokenType::kNot) &&
+        (Peek(1).is(TokenType::kIn) || Peek(1).is(TokenType::kBetween) ||
+         Peek(1).is(TokenType::kLike))) {
+      Advance();
+      negated = true;
+    }
+    if (Match(TokenType::kIn)) {
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen, "IN"));
+      auto e = std::make_unique<Expr>();
+      e->left = std::move(left);
+      e->negated = negated;
+      if (Check(TokenType::kSelect) || Check(TokenType::kWith)) {
+        e->kind = ExprKind::kInSubquery;
+        MSQL_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+      } else {
+        e->kind = ExprKind::kInList;
+        do {
+          MSQL_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+          e->in_list.push_back(std::move(item));
+        } while (Match(TokenType::kComma));
+      }
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "IN"));
+      left = std::move(e);
+      continue;
+    }
+    if (Match(TokenType::kBetween)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBetween;
+      e->negated = negated;
+      e->left = std::move(left);
+      MSQL_ASSIGN_OR_RETURN(e->between_low, ParseAdditive());
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kAnd, "BETWEEN"));
+      MSQL_ASSIGN_OR_RETURN(e->between_high, ParseAdditive());
+      left = std::move(e);
+      continue;
+    }
+    if (Match(TokenType::kLike)) {
+      MSQL_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLike;
+      e->negated = negated;
+      e->left = std::move(left);
+      e->right = std::move(pattern);
+      left = std::move(e);
+      continue;
+    }
+    if (Check(TokenType::kIs)) {
+      Advance();
+      bool is_not = Match(TokenType::kNot);
+      if (Match(TokenType::kNull)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kIsNull;
+        e->negated = is_not;
+        e->left = std::move(left);
+        left = std::move(e);
+        continue;
+      }
+      if (Match(TokenType::kDistinct)) {
+        MSQL_RETURN_IF_ERROR(Expect(TokenType::kFrom, "IS DISTINCT FROM"));
+        MSQL_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        left = MakeBinary(is_not ? BinaryOp::kIsNotDistinctFrom
+                                 : BinaryOp::kIsDistinctFrom,
+                          std::move(left), std::move(right));
+        continue;
+      }
+      if (Match(TokenType::kTrue)) {
+        left = MakeBinary(is_not ? BinaryOp::kIsDistinctFrom
+                                 : BinaryOp::kIsNotDistinctFrom,
+                          std::move(left), MakeLiteral(Value::Bool(true)));
+        continue;
+      }
+      if (Match(TokenType::kFalse)) {
+        left = MakeBinary(is_not ? BinaryOp::kIsDistinctFrom
+                                 : BinaryOp::kIsNotDistinctFrom,
+                          std::move(left), MakeLiteral(Value::Bool(false)));
+        continue;
+      }
+      return ErrorAtCurrent("expected NULL, TRUE, FALSE or DISTINCT after IS");
+    }
+    BinaryOp op;
+    if (Match(TokenType::kEq)) {
+      op = BinaryOp::kEq;
+    } else if (Match(TokenType::kNe)) {
+      op = BinaryOp::kNe;
+    } else if (Match(TokenType::kLt)) {
+      op = BinaryOp::kLt;
+    } else if (Match(TokenType::kLe)) {
+      op = BinaryOp::kLe;
+    } else if (Match(TokenType::kGt)) {
+      op = BinaryOp::kGt;
+    } else if (Match(TokenType::kGe)) {
+      op = BinaryOp::kGe;
+    } else {
+      break;
+    }
+    MSQL_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    left = MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  MSQL_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (true) {
+    BinaryOp op;
+    if (Match(TokenType::kPlus)) {
+      op = BinaryOp::kAdd;
+    } else if (Match(TokenType::kMinus)) {
+      op = BinaryOp::kSub;
+    } else if (Match(TokenType::kConcatOp)) {
+      op = BinaryOp::kConcat;
+    } else {
+      break;
+    }
+    MSQL_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    left = MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  MSQL_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  while (true) {
+    BinaryOp op;
+    if (Match(TokenType::kStar)) {
+      op = BinaryOp::kMul;
+    } else if (Match(TokenType::kSlash)) {
+      op = BinaryOp::kDiv;
+    } else if (Match(TokenType::kPercent)) {
+      op = BinaryOp::kMod;
+    } else {
+      break;
+    }
+    MSQL_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+    left = MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (Match(TokenType::kMinus)) {
+    MSQL_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    return MakeUnary(UnaryOp::kNeg, std::move(operand));
+  }
+  if (Match(TokenType::kPlus)) {
+    return ParseUnary();
+  }
+  MSQL_ASSIGN_OR_RETURN(ExprPtr primary, ParsePrimary());
+  return ParsePostfixAt(std::move(primary));
+}
+
+Result<ExprPtr> Parser::ParsePostfixAt(ExprPtr operand) {
+  while (Check(TokenType::kAt)) {
+    Advance();
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen, "AT"));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kAt;
+    e->left = std::move(operand);
+    MSQL_ASSIGN_OR_RETURN(e->at_modifiers, ParseAtModifiers());
+    if (e->at_modifiers.empty()) {
+      return ErrorAtCurrent("AT requires at least one context modifier");
+    }
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "AT"));
+    operand = std::move(e);
+  }
+  return operand;
+}
+
+Result<std::vector<AtModifier>> Parser::ParseAtModifiers() {
+  std::vector<AtModifier> modifiers;
+  while (!Check(TokenType::kRParen) && !Check(TokenType::kEof)) {
+    AtModifier mod;
+    if (Match(TokenType::kAll)) {
+      // ALL with no dimension arguments clears the whole context. Dimension
+      // arguments are expressions; stop at the next modifier keyword or ')'.
+      mod.kind = AtModifier::Kind::kAll;
+      while (!Check(TokenType::kRParen) && !Check(TokenType::kAll) &&
+             !Check(TokenType::kSet) && !Check(TokenType::kVisible) &&
+             !Check(TokenType::kWhere) && !Check(TokenType::kEof)) {
+        mod.kind = AtModifier::Kind::kAllDims;
+        MSQL_ASSIGN_OR_RETURN(ExprPtr dim, ParseAdditive());
+        mod.dims.push_back(std::move(dim));
+        Match(TokenType::kComma);
+      }
+    } else if (Match(TokenType::kSet)) {
+      mod.kind = AtModifier::Kind::kSet;
+      // The left-hand side is a dimension (name or expression); parse at
+      // additive level so '=' terminates it.
+      MSQL_ASSIGN_OR_RETURN(mod.set_dim, ParseAdditive());
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kEq, "SET modifier"));
+      MSQL_ASSIGN_OR_RETURN(mod.value, ParseAdditive());
+    } else if (Match(TokenType::kVisible)) {
+      mod.kind = AtModifier::Kind::kVisible;
+    } else if (Match(TokenType::kWhere)) {
+      mod.kind = AtModifier::Kind::kWhere;
+      MSQL_ASSIGN_OR_RETURN(mod.predicate, ParseExpr());
+    } else {
+      return ErrorAtCurrent(
+          "expected ALL, SET, VISIBLE or WHERE inside AT (...)");
+    }
+    modifiers.push_back(std::move(mod));
+  }
+  return modifiers;
+}
+
+Result<ExprPtr> Parser::ParseCase() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCase;
+  if (!Check(TokenType::kWhen)) {
+    MSQL_ASSIGN_OR_RETURN(e->case_operand, ParseExpr());
+  }
+  while (Match(TokenType::kWhen)) {
+    MSQL_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kThen, "CASE"));
+    MSQL_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+    e->when_clauses.emplace_back(std::move(when), std::move(then));
+  }
+  if (e->when_clauses.empty()) {
+    return ErrorAtCurrent("CASE requires at least one WHEN clause");
+  }
+  if (Match(TokenType::kElse)) {
+    MSQL_ASSIGN_OR_RETURN(e->else_expr, ParseExpr());
+  }
+  MSQL_RETURN_IF_ERROR(Expect(TokenType::kEnd, "CASE"));
+  return e;
+}
+
+Result<ExprPtr> Parser::ParseFunctionCall(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFuncCall;
+  e->func_name = std::move(name);
+  if (Match(TokenType::kStar)) {
+    e->star_arg = true;  // COUNT(*)
+  } else if (!Check(TokenType::kRParen)) {
+    if (Match(TokenType::kDistinct)) e->distinct = true;
+    do {
+      MSQL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      e->args.push_back(std::move(arg));
+    } while (Match(TokenType::kComma));
+  }
+  MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "function call"));
+  if (Match(TokenType::kFilter)) {
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen, "FILTER"));
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kWhere, "FILTER"));
+    MSQL_ASSIGN_OR_RETURN(e->filter, ParseExpr());
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "FILTER"));
+  }
+  if (Match(TokenType::kOver)) {
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen, "OVER"));
+    e->over = std::make_unique<WindowSpec>();
+    if (Match(TokenType::kPartition)) {
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kBy, "PARTITION BY"));
+      do {
+        MSQL_ASSIGN_OR_RETURN(ExprPtr p, ParseExpr());
+        e->over->partition_by.push_back(std::move(p));
+      } while (Match(TokenType::kComma));
+    }
+    if (Match(TokenType::kOrder)) {
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kBy, "OVER ORDER BY"));
+      do {
+        MSQL_ASSIGN_OR_RETURN(ExprPtr o, ParseExpr());
+        bool desc = Match(TokenType::kDesc);
+        if (!desc) Match(TokenType::kAsc);
+        e->over->order_by.emplace_back(std::move(o), desc);
+      } while (Match(TokenType::kComma));
+    }
+    MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "OVER"));
+  }
+  return e;
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kIntegerLiteral:
+      Advance();
+      return MakeLiteral(Value::Int(t.int_value));
+    case TokenType::kDoubleLiteral:
+      Advance();
+      return MakeLiteral(Value::Double(t.double_value));
+    case TokenType::kStringLiteral:
+      Advance();
+      return MakeLiteral(Value::String(t.text));
+    case TokenType::kTrue:
+      Advance();
+      return MakeLiteral(Value::Bool(true));
+    case TokenType::kFalse:
+      Advance();
+      return MakeLiteral(Value::Bool(false));
+    case TokenType::kNull:
+      Advance();
+      return MakeLiteral(Value::Null());
+    case TokenType::kDate: {
+      Advance();
+      if (!Check(TokenType::kStringLiteral)) {
+        return ErrorAtCurrent("expected string literal after DATE");
+      }
+      const std::string text = Advance().text;
+      MSQL_ASSIGN_OR_RETURN(int64_t days, ParseDate(text));
+      return MakeLiteral(Value::Date(days));
+    }
+    case TokenType::kCurrent: {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kCurrent;
+      MSQL_ASSIGN_OR_RETURN(e->current_dim, ParseIdentifier("CURRENT"));
+      return e;
+    }
+    case TokenType::kCase:
+      Advance();
+      return ParseCase();
+    case TokenType::kCast: {
+      Advance();
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen, "CAST"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kCast;
+      MSQL_ASSIGN_OR_RETURN(e->left, ParseExpr());
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kAs, "CAST"));
+      if (Check(TokenType::kIdentifier)) {
+        e->cast_type = Advance().text;
+      } else if (Check(TokenType::kDate)) {
+        Advance();
+        e->cast_type = "DATE";
+      } else {
+        return ErrorAtCurrent("expected type name in CAST");
+      }
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "CAST"));
+      return e;
+    }
+    case TokenType::kExists: {
+      Advance();
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen, "EXISTS"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kExists;
+      MSQL_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "EXISTS"));
+      return e;
+    }
+    case TokenType::kNot: {
+      // NOT EXISTS reaches here via ParseNot; nothing else expected.
+      Advance();
+      if (Match(TokenType::kExists)) {
+        MSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen, "NOT EXISTS"));
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kExists;
+        e->negated = true;
+        MSQL_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+        MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "NOT EXISTS"));
+        return e;
+      }
+      return ErrorAtCurrent("unexpected NOT");
+    }
+    case TokenType::kLParen: {
+      Advance();
+      if (Check(TokenType::kSelect) || Check(TokenType::kWith)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kSubquery;
+        MSQL_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+        MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "subquery"));
+        return e;
+      }
+      MSQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      MSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen, "parenthesized expression"));
+      return e;
+    }
+    case TokenType::kIdentifier: {
+      std::string first = Advance().text;
+      if (Match(TokenType::kLParen)) {
+        return ParseFunctionCall(std::move(first));
+      }
+      std::vector<std::string> parts = {std::move(first)};
+      while (Check(TokenType::kDot) && Peek(1).is(TokenType::kIdentifier)) {
+        Advance();
+        parts.push_back(Advance().text);
+      }
+      return MakeColumnRef(std::move(parts));
+    }
+    // A few keywords double as function names.
+    case TokenType::kIf:
+    case TokenType::kLeft:
+    case TokenType::kRight:
+    case TokenType::kReplace:
+    case TokenType::kGrouping:
+    case TokenType::kFilter:
+    case TokenType::kFirst:
+    case TokenType::kLast:
+    case TokenType::kValues: {
+      if (Peek(1).is(TokenType::kLParen)) {
+        std::string name = Advance().text;
+        Advance();  // (
+        return ParseFunctionCall(std::move(name));
+      }
+      return ErrorAtCurrent(StrCat("unexpected keyword '", t.text, "'"));
+    }
+    default:
+      return ErrorAtCurrent(
+          StrCat("unexpected token ",
+                 t.text.empty() ? TokenTypeName(t.type) : "'" + t.text + "'",
+                 " in expression"));
+  }
+}
+
+}  // namespace msql

@@ -1,0 +1,86 @@
+#ifndef MSQL_PARSER_PARSER_H_
+#define MSQL_PARSER_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/ast.h"
+#include "parser/token.h"
+
+namespace msql {
+
+// Recursive-descent parser for the msql dialect: a practical SQL subset plus
+// the paper's extensions (AS MEASURE, AGGREGATE, AT-modifiers, CURRENT).
+//
+// Operator precedence, loosest to tightest:
+//   OR < AND < NOT < comparison / IS / IN / BETWEEN / LIKE
+//      < additive (+ - ||) < multiplicative (* / %) < unary minus
+//      < postfix AT < primary.
+// AT binds tighter than arithmetic so that
+// `sumRevenue / sumRevenue AT (ALL prodName)` parses as the paper intends
+// (listing 6).
+class Parser {
+ public:
+  explicit Parser(std::string sql) : sql_(std::move(sql)) {}
+
+  // Parses a script of one or more ';'-separated statements.
+  Result<std::vector<StmtPtr>> ParseStatements();
+
+  // Parses exactly one statement (trailing ';' allowed).
+  Result<StmtPtr> ParseSingleStatement();
+
+  // Convenience helpers.
+  static Result<StmtPtr> Parse(const std::string& sql);
+  static Result<ExprPtr> ParseExpression(const std::string& sql);
+
+ private:
+  // Token stream access.
+  const Token& Peek(int ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokenType t) const { return Peek().is(t); }
+  bool Match(TokenType t);
+  Status Expect(TokenType t, const char* context);
+  Status ErrorAtCurrent(const std::string& message) const;
+
+  // Statements.
+  Result<StmtPtr> ParseStatement();
+  Result<StmtPtr> ParseCreate();
+  Result<StmtPtr> ParseDrop();
+  Result<StmtPtr> ParseInsert();
+  Result<SelectStmtPtr> ParseSelectStmt();   // handles WITH and set ops
+  Result<SelectStmtPtr> ParseSelectCore();   // one SELECT block
+
+  // Clause helpers.
+  Result<TableRefPtr> ParseTableRef();
+  Result<TableRefPtr> ParseTablePrimary();
+  Status ParseGroupBy(SelectStmt* select);
+  Status ParseOrderBy(SelectStmt* select);
+  Result<std::string> ParseIdentifier(const char* context);
+
+  // Expressions, by precedence level.
+  Result<ExprPtr> ParseExpr();          // OR level
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePostfixAt(ExprPtr operand);
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParseFunctionCall(std::string name);
+  Result<ExprPtr> ParseCase();
+  Result<std::vector<AtModifier>> ParseAtModifiers();
+
+  Status EnsureTokenized();
+
+  std::string sql_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  bool tokenized_ = false;
+};
+
+}  // namespace msql
+
+#endif  // MSQL_PARSER_PARSER_H_

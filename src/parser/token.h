@@ -1,0 +1,55 @@
+#ifndef MSQL_PARSER_TOKEN_H_
+#define MSQL_PARSER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace msql {
+
+// Token types. Keywords each get their own type so the parser can switch on
+// them; non-reserved words (function names such as AGGREGATE or YEAR) are
+// plain identifiers resolved by the binder.
+enum class TokenType {
+  kEof = 0,
+  kIdentifier,
+  kStringLiteral,
+  kIntegerLiteral,
+  kDoubleLiteral,
+
+  // Punctuation.
+  kLParen, kRParen, kComma, kDot, kSemicolon, kStar,
+  kPlus, kMinus, kSlash, kPercent, kConcatOp,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+
+  // Reserved keywords.
+  kSelect, kFrom, kWhere, kGroup, kBy, kHaving, kOrder, kLimit, kOffset,
+  kAs, kMeasure, kAt, kAll, kSet, kVisible, kCurrent,
+  kAnd, kOr, kNot, kNull, kTrue, kFalse,
+  kIs, kDistinct, kIn, kExists, kBetween, kLike,
+  kCase, kWhen, kThen, kElse, kEnd, kCast,
+  kCreate, kReplace, kView, kTable, kDrop, kInsert, kInto, kValues, kWith,
+  kJoin, kInner, kLeft, kRight, kFull, kOuter, kCross, kOn, kUsing,
+  kUnion, kExcept, kIntersect,
+  kRollup, kCube, kGrouping, kSets,
+  kAsc, kDesc, kNulls, kFirst, kLast,
+  kDate, kExplain, kOver, kPartition, kFilter,
+  kIf, kDescribe, kCopy, kTo,
+};
+
+const char* TokenTypeName(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;      // identifier / string literal text (unquoted)
+  int64_t int_value = 0;
+  double double_value = 0;
+  int offset = 0;        // byte offset in the source, for error messages
+  int line = 1;
+  int column = 1;
+
+  bool is(TokenType t) const { return type == t; }
+};
+
+}  // namespace msql
+
+#endif  // MSQL_PARSER_TOKEN_H_

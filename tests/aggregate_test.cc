@@ -1,0 +1,305 @@
+// Integration tests for aggregation: GROUP BY, grouping sets (ROLLUP / CUBE
+// / GROUPING SETS), GROUPING(), HAVING, DISTINCT and FILTER modifiers,
+// statistical aggregates, MIN_BY/MAX_BY, and window functions.
+
+#include <cmath>
+
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "tests/paper_fixture.h"
+
+namespace msql {
+namespace {
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&db_, R"sql(
+      CREATE TABLE sales (region VARCHAR, product VARCHAR, amount INTEGER,
+                          saleDate DATE);
+      INSERT INTO sales VALUES
+        ('east', 'pen',    10, DATE '2024-01-05'),
+        ('east', 'pen',    20, DATE '2024-02-05'),
+        ('east', 'book',   30, DATE '2024-01-10'),
+        ('west', 'pen',    40, DATE '2024-01-15'),
+        ('west', 'book',   50, DATE '2024-03-01'),
+        ('west', 'book',   60, DATE '2024-03-02'),
+        ('west', NULL,      5, DATE '2024-04-01');
+    )sql");
+  }
+  Engine db_;
+};
+
+TEST_F(AggregateTest, BasicAggregates) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT COUNT(*) AS n, COUNT(product) AS np, SUM(amount) AS s,
+           AVG(amount) AS a, MIN(amount) AS mn, MAX(amount) AS mx
+    FROM sales
+  )sql");
+  EXPECT_EQ(rs.Get(0, "n").int_val(), 7);
+  EXPECT_EQ(rs.Get(0, "np").int_val(), 6);  // COUNT skips NULL
+  EXPECT_EQ(rs.Get(0, "s").int_val(), 215);
+  EXPECT_NEAR(rs.Get(0, "a").double_val(), 215.0 / 7, 1e-9);
+  EXPECT_EQ(rs.Get(0, "mn").int_val(), 5);
+  EXPECT_EQ(rs.Get(0, "mx").int_val(), 60);
+}
+
+TEST_F(AggregateTest, EmptyInputScalarAggregation) {
+  ResultSet rs = MustQuery(
+      &db_, "SELECT COUNT(*) AS n, SUM(amount) AS s FROM sales WHERE amount > 999");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.Get(0, "n").int_val(), 0);
+  EXPECT_TRUE(rs.Get(0, "s").is_null());
+}
+
+TEST_F(AggregateTest, GroupByNullIsItsOwnGroup) {
+  ResultSet rs = MustQuery(
+      &db_, "SELECT product, COUNT(*) AS n FROM sales GROUP BY product");
+  EXPECT_EQ(rs.num_rows(), 3u);  // pen, book, NULL
+}
+
+TEST_F(AggregateTest, GroupByExpression) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT MONTH(saleDate) AS m, SUM(amount) AS s
+    FROM sales GROUP BY MONTH(saleDate) ORDER BY m
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.Get(0, "m").int_val(), 1);
+  EXPECT_EQ(rs.Get(0, "s").int_val(), 80);
+}
+
+TEST_F(AggregateTest, GroupByAliasAndOrdinal) {
+  ResultSet by_alias = MustQuery(&db_, R"sql(
+    SELECT MONTH(saleDate) AS m, SUM(amount) AS s FROM sales GROUP BY m ORDER BY m
+  )sql");
+  ResultSet by_ordinal = MustQuery(&db_, R"sql(
+    SELECT MONTH(saleDate) AS m, SUM(amount) AS s FROM sales GROUP BY 1 ORDER BY 1
+  )sql");
+  ASSERT_EQ(by_alias.num_rows(), by_ordinal.num_rows());
+  for (size_t i = 0; i < by_alias.num_rows(); ++i) {
+    EXPECT_EQ(by_alias.Get(i, "s").int_val(), by_ordinal.Get(i, "s").int_val());
+  }
+}
+
+TEST_F(AggregateTest, Having) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT region, SUM(amount) AS s FROM sales
+    GROUP BY region HAVING SUM(amount) > 100
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.Get(0, "region").str(), "west");
+}
+
+TEST_F(AggregateTest, DistinctAggregate) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT COUNT(DISTINCT region) AS r, COUNT(DISTINCT product) AS p,
+           SUM(DISTINCT amount) AS s
+    FROM sales
+  )sql");
+  EXPECT_EQ(rs.Get(0, "r").int_val(), 2);
+  EXPECT_EQ(rs.Get(0, "p").int_val(), 2);
+  EXPECT_EQ(rs.Get(0, "s").int_val(), 215);  // all amounts distinct
+}
+
+TEST_F(AggregateTest, FilterClause) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT SUM(amount) FILTER (WHERE region = 'east') AS east_total,
+           COUNT(*) FILTER (WHERE amount >= 40) AS big
+    FROM sales
+  )sql");
+  EXPECT_EQ(rs.Get(0, "east_total").int_val(), 60);
+  EXPECT_EQ(rs.Get(0, "big").int_val(), 3);
+}
+
+TEST_F(AggregateTest, StddevVariance) {
+  MustExecute(&db_, "CREATE TABLE v (x DOUBLE); "
+                    "INSERT INTO v VALUES (2), (4), (4), (4), (5), (5), (7), (9)");
+  ResultSet rs =
+      MustQuery(&db_, "SELECT STDDEV(x) AS sd, VARIANCE(x) AS var FROM v");
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(rs.Get(0, "var").double_val(), 32.0 / 7, 1e-9);
+  EXPECT_NEAR(rs.Get(0, "sd").double_val(), std::sqrt(32.0 / 7), 1e-9);
+}
+
+TEST_F(AggregateTest, MinByMaxBy) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT region,
+           MAX_BY(product, amount) AS best,
+           MIN_BY(product, amount) AS worst,
+           MAX_BY(amount, saleDate) AS latest_amount
+    FROM sales WHERE product IS NOT NULL
+    GROUP BY region ORDER BY region
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.Get(0, "best").str(), "book");   // east: 30
+  EXPECT_EQ(rs.Get(0, "worst").str(), "pen");   // east: 10
+  EXPECT_EQ(rs.Get(1, "best").str(), "book");   // west: 60
+  EXPECT_EQ(rs.Get(1, "latest_amount").int_val(), 60);  // 2024-03-02
+}
+
+TEST_F(AggregateTest, Rollup) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT region, product, SUM(amount) AS s
+    FROM sales WHERE product IS NOT NULL
+    GROUP BY ROLLUP(region, product)
+  )sql");
+  // 4 leaf groups + 2 region subtotals + 1 grand total.
+  EXPECT_EQ(rs.num_rows(), 7u);
+  int64_t grand = -1;
+  for (const Row& r : rs.rows()) {
+    if (r[0].is_null() && r[1].is_null()) grand = r[2].int_val();
+  }
+  EXPECT_EQ(grand, 210);
+}
+
+TEST_F(AggregateTest, Cube) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT region, product, SUM(amount) AS s
+    FROM sales WHERE product IS NOT NULL
+    GROUP BY CUBE(region, product)
+  )sql");
+  // 4 leaves + 2 region + 2 product + 1 grand = 9.
+  EXPECT_EQ(rs.num_rows(), 9u);
+}
+
+TEST_F(AggregateTest, GroupingSetsExplicit) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT region, product, SUM(amount) AS s
+    FROM sales WHERE product IS NOT NULL
+    GROUP BY GROUPING SETS ((region), (product), ())
+  )sql");
+  EXPECT_EQ(rs.num_rows(), 5u);  // 2 regions + 2 products + grand total
+}
+
+TEST_F(AggregateTest, GroupingFunction) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT region, GROUPING(region) AS g, SUM(amount) AS s
+    FROM sales GROUP BY ROLLUP(region)
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  for (const Row& r : rs.rows()) {
+    if (r[0].is_null()) {
+      EXPECT_EQ(r[1].int_val(), 1);  // aggregated away
+    } else {
+      EXPECT_EQ(r[1].int_val(), 0);
+    }
+  }
+}
+
+TEST_F(AggregateTest, GroupingIdTwoArgs) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT region, product, GROUPING_ID(region, product) AS gid
+    FROM sales WHERE product IS NOT NULL
+    GROUP BY ROLLUP(region, product)
+  )sql");
+  // gid: 0 for leaves, 1 for region subtotal (product aggregated), 3 grand.
+  int leaves = 0, subtotals = 0, grand = 0;
+  for (const Row& r : rs.rows()) {
+    switch (r[2].int_val()) {
+      case 0: ++leaves; break;
+      case 1: ++subtotals; break;
+      case 3: ++grand; break;
+      default: FAIL() << "unexpected grouping id " << r[2].int_val();
+    }
+  }
+  EXPECT_EQ(leaves, 4);
+  EXPECT_EQ(subtotals, 2);
+  EXPECT_EQ(grand, 1);
+}
+
+TEST_F(AggregateTest, RollupPlusPlainKeyCrossProduct) {
+  // GROUP BY a, ROLLUP(b): `a` appears in every grouping set.
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT region, product, SUM(amount) AS s
+    FROM sales WHERE product IS NOT NULL
+    GROUP BY region, ROLLUP(product)
+  )sql");
+  // 4 leaves + 2 per-region totals.
+  EXPECT_EQ(rs.num_rows(), 6u);
+}
+
+TEST_F(AggregateTest, AggregateOfExpression) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT SUM(amount * 2) AS dbl, SUM(amount) * 2 AS dbl2 FROM sales
+  )sql");
+  EXPECT_EQ(rs.Get(0, "dbl").int_val(), 430);
+  EXPECT_EQ(rs.Get(0, "dbl2").int_val(), 430);
+}
+
+TEST_F(AggregateTest, NestedAggregateIsAnError) {
+  auto r = db_.Query("SELECT SUM(MAX(amount)) FROM sales");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kBind);
+}
+
+TEST_F(AggregateTest, NonGroupedColumnIsAnError) {
+  auto r = db_.Query("SELECT region, product FROM sales GROUP BY region");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kBind);
+}
+
+TEST_F(AggregateTest, AggregateInWhereIsAnError) {
+  auto r = db_.Query("SELECT region FROM sales WHERE SUM(amount) > 10");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kBind);
+}
+
+// ---------------------------------------------------------------------------
+// Window functions
+// ---------------------------------------------------------------------------
+
+TEST_F(AggregateTest, WindowWholePartition) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT region, amount,
+           SUM(amount) OVER (PARTITION BY region) AS total,
+           amount * 1.0 / SUM(amount) OVER (PARTITION BY region) AS share
+    FROM sales WHERE product IS NOT NULL
+    ORDER BY region, amount
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 6u);
+  EXPECT_EQ(rs.Get(0, "total").int_val(), 60);   // east
+  EXPECT_EQ(rs.Get(3, "total").int_val(), 150);  // west
+  EXPECT_NEAR(rs.Get(0, "share").double_val(), 10.0 / 60, 1e-9);
+}
+
+TEST_F(AggregateTest, WindowRunningSum) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT amount, SUM(amount) OVER (PARTITION BY region ORDER BY saleDate) AS run
+    FROM sales WHERE region = 'east'
+    ORDER BY saleDate
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.Get(0, "run").int_val(), 10);
+  EXPECT_EQ(rs.Get(1, "run").int_val(), 40);  // 10 + 30 (Jan 10)
+  EXPECT_EQ(rs.Get(2, "run").int_val(), 60);
+}
+
+TEST_F(AggregateTest, RowNumberAndRank) {
+  MustExecute(&db_, "CREATE TABLE scores (name VARCHAR, pts INTEGER); "
+                    "INSERT INTO scores VALUES ('a', 10), ('b', 20), "
+                    "('c', 20), ('d', 30)");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT name, ROW_NUMBER() OVER (ORDER BY pts DESC) AS rn,
+           RANK() OVER (ORDER BY pts DESC) AS rk
+    FROM scores ORDER BY rn
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.Get(0, "rn").int_val(), 1);
+  EXPECT_EQ(rs.Get(0, "rk").int_val(), 1);  // d, 30
+  EXPECT_EQ(rs.Get(1, "rk").int_val(), 2);  // b or c, 20
+  EXPECT_EQ(rs.Get(2, "rk").int_val(), 2);
+  EXPECT_EQ(rs.Get(3, "rk").int_val(), 4);  // a, 10
+}
+
+TEST_F(AggregateTest, WindowOnlyFunctionNeedsOver) {
+  auto r = db_.Query("SELECT ROW_NUMBER() FROM sales");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(AggregateTest, WindowRequiresOrderForRank) {
+  auto r = db_.Query("SELECT RANK() OVER (PARTITION BY region) FROM sales");
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace msql

@@ -1,0 +1,327 @@
+// Tests for each row of paper table 3 (the AT context modifiers), modifier
+// sequencing, and the CURRENT qualifier.
+
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "tests/paper_fixture.h"
+
+namespace msql {
+namespace {
+
+class AtModifierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LoadPaperData(&db_);
+    MustExecute(&db_, R"sql(
+      CREATE VIEW EO AS
+      SELECT *, SUM(revenue) AS MEASURE r,
+             (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE margin,
+             YEAR(orderDate) AS orderYear
+      FROM Orders
+    )sql");
+  }
+  Engine db_;
+};
+
+// ALL with no arguments sets the evaluation context to TRUE: the measure is
+// evaluated over its entire source table.
+TEST_F(AtModifierTest, AllClearsEverything) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, r AT (ALL) AS total
+    FROM EO WHERE custName = 'Alice' GROUP BY prodName
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.Get(0, "total").int_val(), 25);  // whole Orders table
+}
+
+// ALL dim removes only that dimension's terms.
+TEST_F(AtModifierTest, AllSingleDimension) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, orderYear, r,
+           r AT (ALL orderYear) AS all_years,
+           r AT (ALL prodName) AS all_products
+    FROM EO GROUP BY prodName, orderYear
+    ORDER BY prodName, orderYear
+  )sql");
+  for (const Row& row : rs.rows()) {
+    if (row[0].str() == "Happy" && row[1].int_val() == 2023) {
+      EXPECT_EQ(row[2].int_val(), 6);   // Happy 2023
+      EXPECT_EQ(row[3].int_val(), 17);  // Happy all years
+      EXPECT_EQ(row[4].int_val(), 14);  // all products in 2023: 6+5+3
+    }
+  }
+}
+
+// ALL with several dimensions.
+TEST_F(AtModifierTest, AllMultipleDimensions) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, orderYear, r AT (ALL prodName orderYear) AS total
+    FROM EO GROUP BY prodName, orderYear
+  )sql");
+  for (const Row& row : rs.rows()) {
+    EXPECT_EQ(row[2].int_val(), 25);
+  }
+}
+
+// ALL on a dimension that is not constrained is a no-op.
+TEST_F(AtModifierTest, AllUnconstrainedDimensionIsNoOp) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, r, r AT (ALL custName) AS same
+    FROM EO GROUP BY prodName ORDER BY prodName
+  )sql");
+  for (const Row& row : rs.rows()) {
+    EXPECT_EQ(row[1].int_val(), row[2].int_val());
+  }
+}
+
+// SET pins a dimension to a constant.
+TEST_F(AtModifierTest, SetConstant) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, r AT (SET prodName = 'Acme') AS acme
+    FROM EO GROUP BY prodName ORDER BY prodName
+  )sql");
+  for (const Row& row : rs.rows()) {
+    EXPECT_EQ(row[1].int_val(), 5);
+  }
+}
+
+// SET with CURRENT arithmetic (relative navigation).
+TEST_F(AtModifierTest, SetWithCurrent) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT orderYear, r,
+           r AT (SET orderYear = CURRENT orderYear - 1) AS prev
+    FROM EO GROUP BY orderYear ORDER BY orderYear
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);  // 2022, 2023, 2024
+  EXPECT_EQ(rs.Get(0, "r").int_val(), 4);
+  EXPECT_TRUE(rs.Get(0, "prev").is_null());  // no 2021 rows -> SUM NULL
+  EXPECT_EQ(rs.Get(1, "r").int_val(), 14);
+  EXPECT_EQ(rs.Get(1, "prev").int_val(), 4);
+  EXPECT_EQ(rs.Get(2, "r").int_val(), 7);
+  EXPECT_EQ(rs.Get(2, "prev").int_val(), 14);
+}
+
+// SET adds a constraint even when the dimension was unconstrained.
+TEST_F(AtModifierTest, SetAddsNewDimensionTerm) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, r AT (SET custName = 'Bob') AS bob_only
+    FROM EO GROUP BY prodName ORDER BY prodName
+  )sql");
+  // Bob's orders per product: Acme 5, Happy 4, Whizz none.
+  EXPECT_EQ(rs.Get(0, "bob_only").int_val(), 5);
+  EXPECT_EQ(rs.Get(1, "bob_only").int_val(), 4);
+  EXPECT_TRUE(rs.Get(2, "bob_only").is_null());
+}
+
+// CURRENT of an unconstrained dimension is NULL (paper section 3.5), so
+// SET dim = CURRENT other - 1 yields a NULL-pinned dimension.
+TEST_F(AtModifierTest, CurrentOfUnconstrainedDimensionIsNull) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, r AT (SET orderYear = CURRENT orderYear - 1) AS prev
+    FROM EO GROUP BY prodName ORDER BY prodName
+  )sql");
+  // orderYear is not a group key; CURRENT orderYear is NULL; NULL - 1 is
+  // NULL; no row has orderYear NULL -> empty SUM -> NULL.
+  for (const Row& row : rs.rows()) {
+    EXPECT_TRUE(row[1].is_null());
+  }
+}
+
+// VISIBLE restricts to the rows admitted by the query's WHERE clause.
+TEST_F(AtModifierTest, VisibleAddsQueryFilters) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, r AS unfiltered, r AT (VISIBLE) AS viz
+    FROM EO WHERE orderYear = 2023 GROUP BY prodName ORDER BY prodName
+  )sql");
+  // Happy: all-years 17 vs visible (2023) 6.
+  for (const Row& row : rs.rows()) {
+    if (row[0].str() == "Happy") {
+      EXPECT_EQ(row[1].int_val(), 17);
+      EXPECT_EQ(row[2].int_val(), 6);
+    }
+  }
+}
+
+// AGGREGATE(m) is EVAL(m AT (VISIBLE)).
+TEST_F(AtModifierTest, AggregateEqualsVisible) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(r) AS a, r AT (VISIBLE) AS v
+    FROM EO WHERE custName <> 'Bob' GROUP BY prodName ORDER BY prodName
+  )sql");
+  for (const Row& row : rs.rows()) {
+    EXPECT_TRUE(Value::NotDistinct(row[1], row[2]));
+  }
+}
+
+// WHERE replaces the context with an arbitrary predicate.
+TEST_F(AtModifierTest, WhereModifierReplacesContext) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, r AT (WHERE revenue >= 5) AS big_orders
+    FROM EO GROUP BY prodName ORDER BY prodName
+  )sql");
+  // Orders with revenue >= 5: 6 + 5 + 7 = 18, same for every group (the
+  // group term is replaced).
+  for (const Row& row : rs.rows()) {
+    EXPECT_EQ(row[1].int_val(), 18);
+  }
+}
+
+// WHERE with a correlation to the outer row (listing 12 query 4 style).
+TEST_F(AtModifierTest, WhereModifierWithCorrelation) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT o.prodName, o.revenue,
+           o.r AT (WHERE prodName = o.prodName) AS product_total
+    FROM EO AS o
+    ORDER BY o.prodName, o.revenue
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 5u);
+  for (const Row& row : rs.rows()) {
+    int64_t expected = row[0].str() == "Acme" ? 5
+                       : row[0].str() == "Happy" ? 17
+                                                 : 3;
+    EXPECT_EQ(row[2].int_val(), expected) << row[0].str();
+  }
+}
+
+// Modifiers apply in sequence: `AT (m1 m2)` applies m1 then m2, equivalent
+// to (cse AT (m2)) AT (m1) per section 3.5.
+TEST_F(AtModifierTest, ModifierSequencing) {
+  ResultSet combined = MustQuery(&db_, R"sql(
+    SELECT prodName, r AT (ALL SET prodName = 'Happy') AS v
+    FROM EO GROUP BY prodName ORDER BY prodName
+  )sql");
+  ResultSet nested = MustQuery(&db_, R"sql(
+    SELECT prodName, r AT (SET prodName = 'Happy') AT (ALL) AS v
+    FROM EO GROUP BY prodName ORDER BY prodName
+  )sql");
+  for (size_t i = 0; i < combined.num_rows(); ++i) {
+    EXPECT_EQ(combined.Get(i, "v").int_val(), 17);
+    EXPECT_EQ(nested.Get(i, "v").int_val(), 17);
+  }
+  // Reversed order: SET then ALL clears the SET again.
+  ResultSet cleared = MustQuery(&db_, R"sql(
+    SELECT prodName, r AT (SET prodName = 'Happy' ALL) AS v
+    FROM EO GROUP BY prodName ORDER BY prodName
+  )sql");
+  for (size_t i = 0; i < cleared.num_rows(); ++i) {
+    EXPECT_EQ(cleared.Get(i, "v").int_val(), 25);
+  }
+}
+
+// An ad hoc dimension expression: grouping by an expression of a dimension
+// and removing it with ALL using the same expression.
+TEST_F(AtModifierTest, AdHocDimensionExpression) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT YEAR(orderDate) AS y, r, r AT (ALL YEAR(orderDate)) AS total
+    FROM EO GROUP BY YEAR(orderDate) ORDER BY y
+  )sql");
+  for (const Row& row : rs.rows()) {
+    EXPECT_EQ(row[2].int_val(), 25);
+  }
+}
+
+// SET on an ad hoc dimension expression.
+TEST_F(AtModifierTest, SetOnAdHocExpression) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT YEAR(orderDate) AS y,
+           r AT (SET YEAR(orderDate) = 2023) AS y2023
+    FROM EO GROUP BY YEAR(orderDate) ORDER BY y
+  )sql");
+  for (const Row& row : rs.rows()) {
+    EXPECT_EQ(row[1].int_val(), 14);
+  }
+}
+
+// The WHERE clause of the defining query is baked into the measure and
+// cannot be removed, not even by ALL (paper section 3.5 note).
+TEST_F(AtModifierTest, BakedInDefinitionFilterSurvivesAll) {
+  MustExecute(&db_, R"sql(
+    CREATE VIEW RecentOrders AS
+    SELECT *, SUM(revenue) AS MEASURE r
+    FROM Orders WHERE YEAR(orderDate) >= 2023
+  )sql");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, r AT (ALL) AS total FROM RecentOrders GROUP BY prodName
+  )sql");
+  for (const Row& row : rs.rows()) {
+    EXPECT_EQ(row[1].int_val(), 21);  // 25 minus Bob's 2022 Happy order
+  }
+}
+
+// AT on a non-measure expression is a bind error.
+TEST_F(AtModifierTest, AtRequiresMeasure) {
+  auto r = db_.Query("SELECT revenue AT (ALL) FROM EO");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kBind);
+}
+
+// AGGREGATE on a non-measure is a bind error.
+TEST_F(AtModifierTest, AggregateRequiresMeasure) {
+  auto r = db_.Query("SELECT AGGREGATE(revenue) FROM EO GROUP BY prodName");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kBind);
+}
+
+// CURRENT outside AT is a bind error.
+TEST_F(AtModifierTest, CurrentOutsideAtIsError) {
+  auto r = db_.Query("SELECT CURRENT prodName FROM EO");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kBind);
+}
+
+// Unknown dimensions inside AT are reported.
+TEST_F(AtModifierTest, UnknownDimensionIsError) {
+  auto r = db_.Query("SELECT r AT (ALL nosuchdim) FROM EO GROUP BY prodName");
+  EXPECT_FALSE(r.ok());
+}
+
+// AT applies to every measure inside a compound expression.
+TEST_F(AtModifierTest, AtOverCompoundExpression) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, (r * 1.0) AT (ALL) AS scaled_total
+    FROM EO GROUP BY prodName
+  )sql");
+  for (const Row& row : rs.rows()) {
+    EXPECT_DOUBLE_EQ(row[1].double_val(), 25.0);
+  }
+}
+
+// Measures referenced per-row (no GROUP BY) take a fully pinned context.
+TEST_F(AtModifierTest, PerRowDefaultContext) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, revenue, r AS row_measure
+    FROM EO WHERE prodName = 'Happy' ORDER BY revenue
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  // Every dimension pinned: each row's context selects exactly the source
+  // rows identical to it, i.e. its own revenue.
+  for (size_t i = 0; i < rs.num_rows(); ++i) {
+    EXPECT_EQ(rs.Get(i, "row_measure").int_val(),
+              rs.Get(i, "revenue").int_val());
+  }
+}
+
+// HAVING can use measures.
+TEST_F(AtModifierTest, MeasureInHaving) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName FROM EO
+    GROUP BY prodName HAVING AGGREGATE(r) > 5
+    ORDER BY prodName
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.Get(0, "prodName").str(), "Happy");
+}
+
+// ORDER BY can use measures.
+TEST_F(AtModifierTest, MeasureInOrderBy) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(r) AS total FROM EO
+    GROUP BY prodName ORDER BY AGGREGATE(r) DESC
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.Get(0, "prodName").str(), "Happy");
+  EXPECT_EQ(rs.Get(2, "prodName").str(), "Whizz");
+}
+
+}  // namespace
+}  // namespace msql

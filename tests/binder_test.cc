@@ -1,0 +1,175 @@
+// Tests for name resolution: qualifier matching, scope nesting, correlation
+// depths, select-alias rules, USING disambiguation, and view isolation.
+
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "tests/paper_fixture.h"
+
+namespace msql {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&db_, R"sql(
+      CREATE TABLE t (a INTEGER, b INTEGER);
+      INSERT INTO t VALUES (1, 10), (2, 20);
+      CREATE TABLE s (a INTEGER, c INTEGER);
+      INSERT INTO s VALUES (1, 100), (3, 300);
+    )sql");
+  }
+  Engine db_;
+};
+
+TEST_F(BinderTest, QualifiedAndUnqualifiedNames) {
+  ResultSet rs = MustQuery(&db_, "SELECT t.a, a, b FROM t ORDER BY a");
+  EXPECT_EQ(rs.Get(0, 0).int_val(), 1);
+  EXPECT_EQ(rs.Get(0, 1).int_val(), 1);
+}
+
+TEST_F(BinderTest, AliasHidesTableName) {
+  // Once aliased, the original table name no longer qualifies columns.
+  auto r = db_.Query("SELECT t.a FROM t AS x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(MustQuery(&db_, "SELECT x.a FROM t AS x").num_rows() > 0);
+}
+
+TEST_F(BinderTest, CaseInsensitiveNames) {
+  ResultSet rs = MustQuery(&db_, "SELECT A, T.B FROM T ORDER BY a");
+  EXPECT_EQ(rs.num_rows(), 2u);
+}
+
+TEST_F(BinderTest, AmbiguousUnqualifiedAcrossJoin) {
+  auto r = db_.Query("SELECT a FROM t JOIN s ON t.a = s.a");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(BinderTest, UsingColumnIsNotAmbiguous) {
+  ResultSet rs = MustQuery(&db_, "SELECT a, b, c FROM t JOIN s USING (a)");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.Get(0, "a").int_val(), 1);
+}
+
+TEST_F(BinderTest, InnerScopeShadowsOuter) {
+  // The subquery's own `a` (from s) shadows the outer t.a.
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT t.a, (SELECT MAX(a) FROM s) AS inner_max FROM t ORDER BY t.a
+  )sql");
+  EXPECT_EQ(rs.Get(0, "inner_max").int_val(), 3);
+}
+
+TEST_F(BinderTest, CorrelationReachesTwoLevels) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT t.a,
+           (SELECT (SELECT MAX(s.c) FROM s WHERE s.a = t.a)) AS deep
+    FROM t ORDER BY t.a
+  )sql");
+  EXPECT_EQ(rs.Get(0, "deep").int_val(), 100);
+  EXPECT_TRUE(rs.Get(1, "deep").is_null());
+}
+
+TEST_F(BinderTest, FromSubqueryIsNotLateral) {
+  // A derived table cannot reference a sibling FROM item.
+  auto r = db_.Query(
+      "SELECT * FROM t, (SELECT t.a + 1 AS y FROM s) AS sub");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(BinderTest, SelectAliasNotVisibleInWhere) {
+  // SQL: WHERE cannot see select aliases.
+  auto r = db_.Query("SELECT a + 1 AS a1 FROM t WHERE a1 > 1");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(BinderTest, SelectAliasVisibleInGroupByOrderBy) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT a % 2 AS parity, COUNT(*) AS n FROM t
+    GROUP BY parity ORDER BY parity
+  )sql");
+  EXPECT_EQ(rs.num_rows(), 2u);
+}
+
+TEST_F(BinderTest, ColumnPreferredOverAliasInGroupBy) {
+  // `b` names both a real column and a select alias; SQL resolves GROUP BY
+  // to the real column, so the ungrouped `a` in the select list errors.
+  auto r = db_.Query("SELECT a AS b, COUNT(*) AS n FROM t GROUP BY b");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("GROUP BY"), std::string::npos);
+  // With no column collision, the alias resolves.
+  ResultSet rs = MustQuery(
+      &db_, "SELECT a AS k, COUNT(*) AS n FROM t GROUP BY k ORDER BY k");
+  EXPECT_EQ(rs.num_rows(), 2u);
+}
+
+TEST_F(BinderTest, DuplicateOutputNamesAllowed) {
+  // SQL allows duplicate output column names.
+  ResultSet rs = MustQuery(&db_, "SELECT a, a FROM t");
+  EXPECT_EQ(rs.num_columns(), 2u);
+}
+
+TEST_F(BinderTest, ViewsDoNotSeeQueryScope) {
+  MustExecute(&db_, "CREATE VIEW v AS SELECT a * 2 AS a2 FROM t");
+  // The view's body resolves against its own scope only.
+  ResultSet rs = MustQuery(&db_,
+      "SELECT s.c, v.a2 FROM s JOIN v ON s.a * 2 = v.a2");
+  EXPECT_EQ(rs.num_rows(), 1u);
+}
+
+TEST_F(BinderTest, CteShadowsTable) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    WITH t AS (SELECT 99 AS a)
+    SELECT a FROM t
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.Get(0, "a").int_val(), 99);
+}
+
+TEST_F(BinderTest, NestedCtesSeeEarlierOnes) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    WITH one AS (SELECT 1 AS x),
+         two AS (SELECT x + 1 AS y FROM one)
+    SELECT y FROM two
+  )sql");
+  EXPECT_EQ(rs.Get(0, "y").int_val(), 2);
+}
+
+TEST_F(BinderTest, TypeMismatchComparisonsRejected) {
+  EXPECT_FALSE(db_.Query("SELECT a + 'x' FROM t").ok());
+  EXPECT_FALSE(db_.Query("SELECT YEAR(a) FROM t").ok());
+  EXPECT_FALSE(db_.Query("SELECT SUM(CAST(a AS VARCHAR)) FROM t").ok());
+}
+
+TEST_F(BinderTest, StarExpansionWithQualifier) {
+  ResultSet rs = MustQuery(&db_, "SELECT s.* FROM t JOIN s USING (a)");
+  EXPECT_EQ(rs.num_columns(), 2u);  // a, c
+  auto r = db_.Query("SELECT z.* FROM t");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(BinderTest, MeasureScopeFollowsAlias) {
+  MustExecute(&db_,
+              "CREATE VIEW mv AS SELECT *, SUM(b) AS MEASURE m FROM t");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT x.a, AGGREGATE(x.m) AS v FROM mv AS x GROUP BY x.a ORDER BY x.a
+  )sql");
+  EXPECT_EQ(rs.Get(0, "v").int_val(), 10);
+  // Unqualified also works.
+  ResultSet rs2 = MustQuery(&db_, R"sql(
+    SELECT a, AGGREGATE(m) AS v FROM mv AS x GROUP BY a ORDER BY a
+  )sql");
+  EXPECT_EQ(rs2.Get(1, "v").int_val(), 20);
+}
+
+TEST_F(BinderTest, HelpfulErrorMessages) {
+  auto missing = db_.Query("SELECT nothere FROM t");
+  EXPECT_NE(missing.status().message().find("nothere"), std::string::npos);
+  auto unk_fn = db_.Query("SELECT FROB(a) FROM t");
+  EXPECT_NE(unk_fn.status().message().find("FROB"), std::string::npos);
+  auto not_grouped = db_.Query("SELECT a, b, SUM(b) FROM t GROUP BY a");
+  EXPECT_NE(not_grouped.status().message().find("GROUP BY"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace msql

@@ -1,0 +1,196 @@
+// Tests for paper section 5.4 (composability): measures referencing sibling
+// measures, measures over tables with measures, and deep nesting with the
+// closure property.
+
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "tests/paper_fixture.h"
+
+namespace msql {
+namespace {
+
+class CompositionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { LoadPaperData(&db_); }
+  Engine db_;
+};
+
+// A measure defined in terms of other measures of the same SELECT.
+TEST_F(CompositionTest, PeerMeasureReference) {
+  MustExecute(&db_, R"sql(
+    CREATE VIEW V AS SELECT *,
+      SUM(revenue) AS MEASURE rev,
+      SUM(cost) AS MEASURE cst,
+      (rev - cst) / rev AS MEASURE margin
+    FROM Orders
+  )sql");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(margin) AS m FROM V GROUP BY prodName
+    ORDER BY prodName
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_NEAR(rs.Get(0, "m").double_val(), 0.60, 1e-9);
+  EXPECT_NEAR(rs.Get(1, "m").double_val(), 8.0 / 17, 1e-9);
+}
+
+// Peer chains: a measure using a measure that itself uses a measure.
+TEST_F(CompositionTest, PeerChain) {
+  MustExecute(&db_, R"sql(
+    CREATE VIEW V AS SELECT *,
+      SUM(revenue) AS MEASURE rev,
+      rev * 2 AS MEASURE rev2,
+      rev2 + rev AS MEASURE rev3
+    FROM Orders
+  )sql");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(rev3) AS r3 FROM V GROUP BY prodName
+    ORDER BY prodName
+  )sql");
+  EXPECT_EQ(rs.Get(0, "r3").int_val(), 15);  // Acme: 5 * 3
+  EXPECT_EQ(rs.Get(1, "r3").int_val(), 51);  // Happy: 17 * 3
+}
+
+// A measure defined over a table that already has measures (section 5.4's
+// "one step at a time" semantics).
+TEST_F(CompositionTest, MeasureOverMeasureTable) {
+  MustExecute(&db_, R"sql(
+    CREATE VIEW Level1 AS
+      SELECT *, SUM(revenue) AS MEASURE rev FROM Orders;
+    CREATE VIEW Level2 AS
+      SELECT *, rev * 10 AS MEASURE rev10 FROM Level1;
+  )sql");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(rev10) AS r FROM Level2 GROUP BY prodName
+    ORDER BY prodName
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.Get(0, "r").int_val(), 50);
+  EXPECT_EQ(rs.Get(1, "r").int_val(), 170);
+  EXPECT_EQ(rs.Get(2, "r").int_val(), 30);
+}
+
+// Both the inherited measure and a new one are usable side by side.
+TEST_F(CompositionTest, InheritedAndNewMeasures) {
+  MustExecute(&db_, R"sql(
+    CREATE VIEW Level1 AS
+      SELECT *, SUM(revenue) AS MEASURE rev FROM Orders;
+    CREATE VIEW Level2 AS
+      SELECT *, COUNT(*) AS MEASURE n FROM Level1;
+  )sql");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(rev) AS r, AGGREGATE(n) AS n
+    FROM Level2 GROUP BY prodName ORDER BY prodName
+  )sql");
+  EXPECT_EQ(rs.Get(1, "r").int_val(), 17);
+  EXPECT_EQ(rs.Get(1, "n").int_val(), 3);
+}
+
+// Nesting through three query levels with filters in between: each level's
+// measure is consumed by the next.
+TEST_F(CompositionTest, DeepNestingWithIntermediateFilters) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(rev) AS visible_rev, rev AT (ALL prodName) AS all_rev
+    FROM (
+      SELECT * FROM (
+        SELECT *, SUM(revenue) AS MEASURE rev FROM Orders
+      ) AS inner1
+      WHERE custName <> 'Celia'
+    ) AS inner2
+    GROUP BY prodName ORDER BY prodName
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 2u);  // Whizz (Celia only) disappears
+  // visible: Acme 5, Happy 17 (WHERE custName... wait Celia only bought
+  // Whizz, so Happy keeps all three orders).
+  EXPECT_EQ(rs.Get(0, "visible_rev").int_val(), 5);
+  EXPECT_EQ(rs.Get(1, "visible_rev").int_val(), 17);
+  // The bare measure with ALL prodName still sees the full source: 25.
+  EXPECT_EQ(rs.Get(0, "all_rev").int_val(), 25);
+}
+
+// A query over a measure view is itself a table with measures usable in a
+// further outer query (closure).
+TEST_F(CompositionTest, ClosureThroughProjection) {
+  MustExecute(&db_, R"sql(
+    CREATE VIEW V AS SELECT *, SUM(revenue) AS MEASURE rev FROM Orders;
+    CREATE VIEW Narrow AS SELECT prodName, rev FROM V;
+  )sql");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(rev) AS r FROM Narrow GROUP BY prodName
+    ORDER BY prodName
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.Get(1, "r").int_val(), 17);
+}
+
+// Narrowing hides dimensions: after projecting prodName away, it can no
+// longer constrain the measure, but the measure still evaluates.
+TEST_F(CompositionTest, NarrowingHidesDimensions) {
+  MustExecute(&db_, R"sql(
+    CREATE VIEW V AS SELECT *, SUM(revenue) AS MEASURE rev FROM Orders;
+    CREATE VIEW CustOnly AS SELECT custName, rev FROM V;
+  )sql");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT custName, AGGREGATE(rev) AS r FROM CustOnly GROUP BY custName
+    ORDER BY custName
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.Get(0, "r").int_val(), 13);  // Alice
+  EXPECT_EQ(rs.Get(1, "r").int_val(), 9);   // Bob
+  EXPECT_EQ(rs.Get(2, "r").int_val(), 3);   // Celia
+  // prodName is gone.
+  auto bad = db_.Query("SELECT prodName FROM CustOnly");
+  EXPECT_FALSE(bad.ok());
+}
+
+// Measures composed across a join and re-exported by a wide view (paper
+// section 5.3: wide tables).
+TEST_F(CompositionTest, WideViewOverJoin) {
+  MustExecute(&db_, R"sql(
+    CREATE VIEW EC AS SELECT *, AVG(custAge) AS MEASURE avgAge FROM Customers;
+    CREATE VIEW Wide AS
+      SELECT o.prodName, o.revenue, c.custName, c.avgAge
+      FROM Orders AS o JOIN EC AS c USING (custName);
+  )sql");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(avgAge) AS a FROM Wide GROUP BY prodName
+    ORDER BY prodName
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  // Happy: reachable customers Alice + Bob, each once -> 32.
+  EXPECT_NEAR(rs.Get(1, "a").double_val(), 32.0, 1e-9);
+  // Whizz: Celia only.
+  EXPECT_NEAR(rs.Get(2, "a").double_val(), 17.0, 1e-9);
+}
+
+// Measure formulas can combine an aggregate over the current table with an
+// input measure.
+TEST_F(CompositionTest, MixedFormulaAggregateAndInputMeasure) {
+  MustExecute(&db_, R"sql(
+    CREATE VIEW L1 AS SELECT *, SUM(revenue) AS MEASURE rev FROM Orders;
+    CREATE VIEW L2 AS SELECT *, rev - SUM(cost) AS MEASURE profit FROM L1;
+  )sql");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(profit) AS p FROM L2 GROUP BY prodName
+    ORDER BY prodName
+  )sql");
+  EXPECT_EQ(rs.Get(0, "p").int_val(), 3);  // Acme 5 - 2
+  EXPECT_EQ(rs.Get(1, "p").int_val(), 8);  // Happy 17 - 9
+}
+
+// Self-referencing measures are rejected (no recursion, section 5.4).
+TEST_F(CompositionTest, RecursiveMeasureIsError) {
+  auto r = db_.Query("SELECT *, rec + SUM(revenue) AS MEASURE rec FROM Orders");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kBind);
+}
+
+// Peer measures are only visible inside other measure formulas.
+TEST_F(CompositionTest, PeerNotVisibleOutsideFormulas) {
+  auto r = db_.Query(
+      "SELECT SUM(revenue) AS MEASURE rev, rev + 1 AS plain FROM Orders");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kBind);
+}
+
+}  // namespace
+}  // namespace msql

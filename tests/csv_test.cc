@@ -1,0 +1,155 @@
+// Unit tests for the CSV reader/writer: quoting, embedded separators and
+// newlines, NULL fields, schema inference, round trips and error handling.
+
+#include "catalog/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "gtest/gtest.h"
+
+namespace msql {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = StrCat("/tmp/msql_csv_test_", ::testing::UnitTest::GetInstance()
+                                              ->current_test_info()
+                                              ->name(),
+                   ".csv");
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_, std::ios::binary);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+Schema SimpleSchema() {
+  Schema s;
+  s.AddColumn(Column("name", DataType::String()));
+  s.AddColumn(Column("qty", DataType::Int64()));
+  return s;
+}
+
+TEST_F(CsvTest, BasicAppend) {
+  WriteFile("name,qty\npen,3\nbook,5\n");
+  Table t("t", SimpleSchema());
+  ASSERT_TRUE(AppendCsv(path_, /*header=*/true, &t).ok());
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows()[0][0].str(), "pen");
+  EXPECT_EQ(t.rows()[1][1].int_val(), 5);
+}
+
+TEST_F(CsvTest, NoHeader) {
+  WriteFile("pen,3\n");
+  Table t("t", SimpleSchema());
+  ASSERT_TRUE(AppendCsv(path_, /*header=*/false, &t).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST_F(CsvTest, QuotedFields) {
+  WriteFile("name,qty\n\"a, b\",1\n\"say \"\"hi\"\"\",2\n\"line\nbreak\",3\n");
+  Table t("t", SimpleSchema());
+  ASSERT_TRUE(AppendCsv(path_, true, &t).ok());
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.rows()[0][0].str(), "a, b");
+  EXPECT_EQ(t.rows()[1][0].str(), "say \"hi\"");
+  EXPECT_EQ(t.rows()[2][0].str(), "line\nbreak");
+}
+
+TEST_F(CsvTest, EmptyFieldsBecomeNull) {
+  WriteFile("name,qty\npen,\n,4\n");
+  Table t("t", SimpleSchema());
+  ASSERT_TRUE(AppendCsv(path_, true, &t).ok());
+  EXPECT_TRUE(t.rows()[0][1].is_null());
+  EXPECT_TRUE(t.rows()[1][0].is_null());
+}
+
+TEST_F(CsvTest, CrLfLineEndings) {
+  WriteFile("name,qty\r\npen,3\r\n");
+  Table t("t", SimpleSchema());
+  ASSERT_TRUE(AppendCsv(path_, true, &t).ok());
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0].str(), "pen");
+}
+
+TEST_F(CsvTest, MissingFinalNewline) {
+  WriteFile("name,qty\npen,3");
+  Table t("t", SimpleSchema());
+  ASSERT_TRUE(AppendCsv(path_, true, &t).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST_F(CsvTest, ArityMismatchFails) {
+  WriteFile("name,qty\npen\n");
+  Table t("t", SimpleSchema());
+  EXPECT_FALSE(AppendCsv(path_, true, &t).ok());
+}
+
+TEST_F(CsvTest, BadTypeFails) {
+  WriteFile("name,qty\npen,many\n");
+  Table t("t", SimpleSchema());
+  EXPECT_FALSE(AppendCsv(path_, true, &t).ok());
+}
+
+TEST_F(CsvTest, UnterminatedQuoteFails) {
+  WriteFile("name,qty\n\"pen,3\n");
+  Table t("t", SimpleSchema());
+  EXPECT_FALSE(AppendCsv(path_, true, &t).ok());
+}
+
+TEST_F(CsvTest, MissingFileFails) {
+  Table t("t", SimpleSchema());
+  EXPECT_FALSE(AppendCsv("/nonexistent/nope.csv", true, &t).ok());
+}
+
+TEST_F(CsvTest, SchemaInference) {
+  WriteFile(
+      "i,d,s,dt,mixed\n"
+      "1,1.5,hello,2024-01-01,1\n"
+      "2,2,world,2024-02-03,x\n"
+      ",,,,\n");
+  auto schema = InferCsvSchema(path_);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value().column(0).type.kind, TypeKind::kInt64);
+  EXPECT_EQ(schema.value().column(1).type.kind, TypeKind::kDouble);
+  EXPECT_EQ(schema.value().column(2).type.kind, TypeKind::kString);
+  EXPECT_EQ(schema.value().column(3).type.kind, TypeKind::kDate);
+  EXPECT_EQ(schema.value().column(4).type.kind, TypeKind::kString);
+}
+
+TEST_F(CsvTest, InferenceOnEmptyFileFails) {
+  WriteFile("");
+  EXPECT_FALSE(InferCsvSchema(path_).ok());
+}
+
+TEST_F(CsvTest, WriteRoundTrip) {
+  Table t("t", SimpleSchema());
+  ASSERT_TRUE(t.AppendRow({Value::String("a, \"b\""), Value::Int(1)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value::Int(2)}).ok());
+  ASSERT_TRUE(WriteCsv(path_, t).ok());
+
+  Table back("back", SimpleSchema());
+  ASSERT_TRUE(AppendCsv(path_, true, &back).ok());
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.rows()[0][0].str(), "a, \"b\"");
+  EXPECT_TRUE(back.rows()[1][0].is_null());
+  EXPECT_EQ(back.rows()[1][1].int_val(), 2);
+}
+
+TEST_F(CsvTest, BlankLinesAreSkipped) {
+  WriteFile("name,qty\n\npen,3\n\n");
+  Table t("t", SimpleSchema());
+  ASSERT_TRUE(AppendCsv(path_, true, &t).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace msql

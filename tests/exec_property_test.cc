@@ -1,0 +1,200 @@
+// Property-based tests for the relational core on randomized data:
+// algebraic identities that must hold regardless of the data (join
+// commutativity, outer-join containment, filter/union cardinalities,
+// aggregation consistency, sort stability).
+
+#include <random>
+
+#include "common/string_util.h"
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "tests/paper_fixture.h"
+
+namespace msql {
+namespace {
+
+class ExecPropertyTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  void SetUp() override {
+    std::mt19937 rng(GetParam());
+    std::uniform_int_distribution<int> key(0, 9);
+    std::uniform_int_distribution<int> val(-50, 50);
+    std::uniform_int_distribution<int> null_pct(0, 9);
+
+    MustExecute(&db_, "CREATE TABLE a (k INTEGER, v INTEGER)");
+    MustExecute(&db_, "CREATE TABLE b (k INTEGER, w INTEGER)");
+    auto insert = [&](const char* table, int rows) {
+      std::string sql = StrCat("INSERT INTO ", table, " VALUES ");
+      for (int i = 0; i < rows; ++i) {
+        if (i > 0) sql += ", ";
+        bool null_key = null_pct(rng) == 0;
+        sql += StrCat("(", null_key ? "NULL" : StrCat(key(rng)), ", ",
+                      val(rng), ")");
+      }
+      MustExecute(&db_, sql);
+    };
+    insert("a", 40);
+    insert("b", 25);
+  }
+
+  int64_t Scalar(const std::string& sql) {
+    ResultSet rs = MustQuery(&db_, sql);
+    EXPECT_EQ(rs.num_rows(), 1u) << sql;
+    return rs.Get(0, 0).is_null() ? 0 : rs.Get(0, 0).int_val();
+  }
+
+  Engine db_;
+};
+
+TEST_P(ExecPropertyTest, InnerJoinIsCommutative) {
+  int64_t ab = Scalar(
+      "SELECT COUNT(*) FROM a JOIN b ON a.k = b.k");
+  int64_t ba = Scalar(
+      "SELECT COUNT(*) FROM b JOIN a ON a.k = b.k");
+  EXPECT_EQ(ab, ba);
+}
+
+TEST_P(ExecPropertyTest, HashAndNestedLoopJoinsAgree) {
+  // `a.k = b.k` takes the hash path; wrapping one side in an arithmetic
+  // no-op that still references both sides forces the nested loop.
+  int64_t hash = Scalar("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k");
+  int64_t nested = Scalar(
+      "SELECT COUNT(*) FROM a JOIN b ON a.k <= b.k AND a.k >= b.k");
+  EXPECT_EQ(hash, nested);
+}
+
+TEST_P(ExecPropertyTest, OuterJoinContainment) {
+  int64_t inner = Scalar("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k");
+  int64_t left = Scalar("SELECT COUNT(*) FROM a LEFT JOIN b ON a.k = b.k");
+  int64_t right = Scalar("SELECT COUNT(*) FROM a RIGHT JOIN b ON a.k = b.k");
+  int64_t full = Scalar("SELECT COUNT(*) FROM a FULL JOIN b ON a.k = b.k");
+  EXPECT_GE(left, inner);
+  EXPECT_GE(right, inner);
+  EXPECT_GE(full, left);
+  EXPECT_GE(full, right);
+  // FULL = INNER + left-unmatched + right-unmatched.
+  int64_t na = Scalar("SELECT COUNT(*) FROM a");
+  int64_t nb = Scalar("SELECT COUNT(*) FROM b");
+  int64_t left_unmatched = left - inner;
+  int64_t right_unmatched = right - inner;
+  EXPECT_EQ(full, inner + left_unmatched + right_unmatched);
+  EXPECT_LE(left_unmatched, na);
+  EXPECT_LE(right_unmatched, nb);
+}
+
+TEST_P(ExecPropertyTest, CrossJoinCardinality) {
+  int64_t na = Scalar("SELECT COUNT(*) FROM a");
+  int64_t nb = Scalar("SELECT COUNT(*) FROM b");
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM a, b"), na * nb);
+}
+
+TEST_P(ExecPropertyTest, FilterPartitionsRows) {
+  int64_t all = Scalar("SELECT COUNT(*) FROM a");
+  int64_t pos = Scalar("SELECT COUNT(*) FROM a WHERE v > 0");
+  int64_t nonpos = Scalar("SELECT COUNT(*) FROM a WHERE v <= 0");
+  int64_t null_v = Scalar("SELECT COUNT(*) FROM a WHERE v IS NULL");
+  EXPECT_EQ(all, pos + nonpos + null_v);
+}
+
+TEST_P(ExecPropertyTest, UnionAllAddsCardinalities) {
+  int64_t na = Scalar("SELECT COUNT(*) FROM a");
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM "
+                   "(SELECT k FROM a UNION ALL SELECT k FROM a) AS u"),
+            2 * na);
+  // UNION removes duplicates: at most the distinct count.
+  int64_t distinct = Scalar("SELECT COUNT(*) FROM "
+                            "(SELECT DISTINCT k FROM a) AS d");
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM "
+                   "(SELECT k FROM a UNION SELECT k FROM a) AS u"),
+            distinct);
+}
+
+TEST_P(ExecPropertyTest, GroupSumsEqualTotal) {
+  ResultSet rs = MustQuery(&db_, "SELECT k, SUM(v) AS s FROM a GROUP BY k");
+  int64_t total = 0;
+  for (const Row& r : rs.rows()) {
+    if (!r[1].is_null()) total += r[1].int_val();
+  }
+  EXPECT_EQ(total, Scalar("SELECT COALESCE(SUM(v), 0) FROM a"));
+}
+
+TEST_P(ExecPropertyTest, HavingIsFilterOverGroups) {
+  int64_t groups =
+      Scalar("SELECT COUNT(*) FROM (SELECT k FROM a GROUP BY k) AS g");
+  int64_t kept = Scalar(
+      "SELECT COUNT(*) FROM "
+      "(SELECT k FROM a GROUP BY k HAVING COUNT(*) >= 2) AS g");
+  EXPECT_LE(kept, groups);
+}
+
+TEST_P(ExecPropertyTest, DistinctIdempotent) {
+  int64_t once = Scalar(
+      "SELECT COUNT(*) FROM (SELECT DISTINCT k, v FROM a) AS d");
+  int64_t twice = Scalar(
+      "SELECT COUNT(*) FROM (SELECT DISTINCT k, v FROM "
+      "(SELECT DISTINCT k, v FROM a) AS d1) AS d2");
+  EXPECT_EQ(once, twice);
+}
+
+TEST_P(ExecPropertyTest, OrderByIsAPermutation) {
+  ResultSet sorted = MustQuery(&db_, "SELECT v FROM a ORDER BY v NULLS LAST");
+  ResultSet raw = MustQuery(&db_, "SELECT v FROM a");
+  ASSERT_EQ(sorted.num_rows(), raw.num_rows());
+  // Sorted is non-decreasing (NULLs at the end).
+  for (size_t i = 1; i < sorted.num_rows(); ++i) {
+    const Value& prev = sorted.Get(i - 1, 0);
+    const Value& cur = sorted.Get(i, 0);
+    if (prev.is_null()) {
+      EXPECT_TRUE(cur.is_null());
+    } else if (!cur.is_null()) {
+      EXPECT_LE(prev.int_val(), cur.int_val());
+    }
+  }
+  // Same multiset: equal sums and counts.
+  int64_t s1 = 0, s2 = 0;
+  for (size_t i = 0; i < raw.num_rows(); ++i) {
+    if (!raw.Get(i, 0).is_null()) s1 += raw.Get(i, 0).int_val();
+    if (!sorted.Get(i, 0).is_null()) s2 += sorted.Get(i, 0).int_val();
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+TEST_P(ExecPropertyTest, WindowSumMatchesGroupSum) {
+  ResultSet win = MustQuery(&db_, R"sql(
+    SELECT DISTINCT k, SUM(v) OVER (PARTITION BY k) AS s FROM a
+  )sql");
+  ResultSet grp = MustQuery(&db_,
+      "SELECT k, SUM(v) AS s FROM a GROUP BY k");
+  ASSERT_EQ(win.num_rows(), grp.num_rows());
+  // Compare as key -> sum maps.
+  for (size_t i = 0; i < grp.num_rows(); ++i) {
+    bool found = false;
+    for (size_t j = 0; j < win.num_rows(); ++j) {
+      if (Value::NotDistinct(grp.Get(i, "k"), win.Get(j, "k"))) {
+        EXPECT_TRUE(Value::NotDistinct(grp.Get(i, "s"), win.Get(j, "s")));
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_P(ExecPropertyTest, SubqueryCacheTransparent) {
+  const char* q =
+      "SELECT a.k, (SELECT SUM(b.w) FROM b WHERE b.k = a.k) AS s "
+      "FROM a ORDER BY a.k NULLS LAST, s NULLS LAST";
+  db_.options().memoize_subqueries = true;
+  ResultSet cached = MustQuery(&db_, q);
+  db_.options().memoize_subqueries = false;
+  ResultSet fresh = MustQuery(&db_, q);
+  ASSERT_EQ(cached.num_rows(), fresh.num_rows());
+  for (size_t i = 0; i < cached.num_rows(); ++i) {
+    EXPECT_TRUE(Value::NotDistinct(cached.Get(i, 1), fresh.Get(i, 1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecPropertyTest,
+                         ::testing::Values(3u, 17u, 2024u));
+
+}  // namespace
+}  // namespace msql

@@ -1,0 +1,376 @@
+// Integration tests for the relational core: scans, filters, projections,
+// joins, sorting, limits, set operations, subqueries, NULL semantics and the
+// scalar function library.
+
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "tests/paper_fixture.h"
+
+namespace msql {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&db_, R"sql(
+      CREATE TABLE nums (i INTEGER, d DOUBLE, s VARCHAR);
+      INSERT INTO nums VALUES
+        (1, 1.5, 'one'), (2, 2.5, 'two'), (3, NULL, 'three'),
+        (NULL, 4.5, NULL), (5, 5.5, 'five');
+      CREATE TABLE dept (id INTEGER, dname VARCHAR);
+      INSERT INTO dept VALUES (1, 'eng'), (2, 'sales');
+      CREATE TABLE emp (eid INTEGER, ename VARCHAR, dept_id INTEGER);
+      INSERT INTO emp VALUES
+        (10, 'ann', 1), (11, 'bob', 1), (12, 'cat', 2), (13, 'dan', NULL);
+    )sql");
+  }
+  Engine db_;
+};
+
+TEST_F(ExecTest, SelectConstant) {
+  ResultSet rs = MustQuery(&db_, "SELECT 1 + 1 AS two, 'x' AS s");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.Get(0, "two").int_val(), 2);
+  EXPECT_EQ(rs.Get(0, "s").str(), "x");
+}
+
+TEST_F(ExecTest, WhereFilter) {
+  ResultSet rs = MustQuery(&db_, "SELECT i FROM nums WHERE i >= 2");
+  EXPECT_EQ(rs.num_rows(), 3u);  // NULL i is filtered out
+}
+
+TEST_F(ExecTest, NullComparisonsAreUnknown) {
+  // NULL = NULL is unknown -> row filtered.
+  ResultSet rs = MustQuery(&db_, "SELECT i FROM nums WHERE d = NULL");
+  EXPECT_EQ(rs.num_rows(), 0u);
+  ResultSet rs2 = MustQuery(&db_, "SELECT i FROM nums WHERE d IS NULL");
+  EXPECT_EQ(rs2.num_rows(), 1u);
+  ResultSet rs3 =
+      MustQuery(&db_, "SELECT i FROM nums WHERE d IS NOT DISTINCT FROM NULL");
+  EXPECT_EQ(rs3.num_rows(), 1u);
+}
+
+TEST_F(ExecTest, ThreeValuedLogic) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT (NULL AND FALSE) AS a, (NULL AND TRUE) AS b,
+           (NULL OR TRUE) AS c, (NULL OR FALSE) AS d, (NOT NULL) AS e
+  )sql");
+  EXPECT_FALSE(rs.Get(0, "a").bool_val());
+  EXPECT_TRUE(rs.Get(0, "b").is_null());
+  EXPECT_TRUE(rs.Get(0, "c").bool_val());
+  EXPECT_TRUE(rs.Get(0, "d").is_null());
+  EXPECT_TRUE(rs.Get(0, "e").is_null());
+}
+
+TEST_F(ExecTest, InListWithNulls) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT (1 IN (1, 2)) AS a, (3 IN (1, NULL)) AS b,
+           (3 NOT IN (1, NULL)) AS c, (1 NOT IN (2, 3)) AS d
+  )sql");
+  EXPECT_TRUE(rs.Get(0, "a").bool_val());
+  EXPECT_TRUE(rs.Get(0, "b").is_null());
+  EXPECT_TRUE(rs.Get(0, "c").is_null());
+  EXPECT_TRUE(rs.Get(0, "d").bool_val());
+}
+
+TEST_F(ExecTest, InnerJoin) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT e.ename, d.dname FROM emp AS e
+    JOIN dept AS d ON e.dept_id = d.id
+    ORDER BY ename
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);  // dan has NULL dept
+  EXPECT_EQ(rs.Get(0, "ename").str(), "ann");
+  EXPECT_EQ(rs.Get(0, "dname").str(), "eng");
+}
+
+TEST_F(ExecTest, LeftJoin) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT e.ename, d.dname FROM emp AS e
+    LEFT JOIN dept AS d ON e.dept_id = d.id
+    ORDER BY ename
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.Get(3, "ename").str(), "dan");
+  EXPECT_TRUE(rs.Get(3, "dname").is_null());
+}
+
+TEST_F(ExecTest, RightJoin) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT e.ename, d.dname FROM emp AS e
+    RIGHT JOIN dept AS d ON e.dept_id = d.id AND e.eid > 11
+    ORDER BY dname, ename
+  )sql");
+  // eng has no emp with eid > 11 -> preserved with NULL ename.
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_TRUE(rs.Get(0, "ename").is_null());
+  EXPECT_EQ(rs.Get(0, "dname").str(), "eng");
+  EXPECT_EQ(rs.Get(1, "ename").str(), "cat");
+}
+
+TEST_F(ExecTest, FullOuterJoin) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT e.ename, d.dname FROM emp AS e
+    FULL JOIN dept AS d ON e.dept_id = d.id
+    ORDER BY ename NULLS LAST
+  )sql");
+  // 3 matches + dan (NULL dept) preserved; both depts matched.
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.Get(3, "ename").str(), "dan");
+  EXPECT_TRUE(rs.Get(3, "dname").is_null());
+
+  MustExecute(&db_, "INSERT INTO dept VALUES (9, 'legal')");
+  ResultSet rs2 = MustQuery(&db_, R"sql(
+    SELECT e.ename, d.dname FROM emp AS e
+    FULL JOIN dept AS d ON e.dept_id = d.id
+  )sql");
+  EXPECT_EQ(rs2.num_rows(), 5u);  // + unmatched legal with NULL ename
+}
+
+TEST_F(ExecTest, CrossJoin) {
+  ResultSet rs = MustQuery(&db_, "SELECT * FROM dept AS a, dept AS b");
+  EXPECT_EQ(rs.num_rows(), 4u);
+}
+
+TEST_F(ExecTest, JoinUsing) {
+  MustExecute(&db_, R"sql(
+    CREATE TABLE l (k INTEGER, x VARCHAR);
+    INSERT INTO l VALUES (1, 'a'), (2, 'b');
+    CREATE TABLE r (k INTEGER, y VARCHAR);
+    INSERT INTO r VALUES (2, 'B'), (3, 'C');
+  )sql");
+  ResultSet rs = MustQuery(&db_,
+                           "SELECT k, x, y FROM l JOIN r USING (k)");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.Get(0, "k").int_val(), 2);
+  EXPECT_EQ(rs.Get(0, "x").str(), "b");
+  EXPECT_EQ(rs.Get(0, "y").str(), "B");
+}
+
+TEST_F(ExecTest, NonEquiJoinFallsBackToNestedLoop) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT a.i, b.i FROM nums AS a JOIN nums AS b ON a.i < b.i
+  )sql");
+  // Pairs among {1,2,3,5}: C(4,2) = 6.
+  EXPECT_EQ(rs.num_rows(), 6u);
+}
+
+TEST_F(ExecTest, OrderByNullsPlacement) {
+  ResultSet asc = MustQuery(&db_, "SELECT i FROM nums ORDER BY i");
+  EXPECT_TRUE(asc.Get(0, "i").is_null());  // NULLS FIRST by default asc
+  ResultSet desc = MustQuery(&db_, "SELECT i FROM nums ORDER BY i DESC");
+  EXPECT_TRUE(desc.Get(desc.num_rows() - 1, "i").is_null());
+  ResultSet forced =
+      MustQuery(&db_, "SELECT i FROM nums ORDER BY i NULLS LAST");
+  EXPECT_TRUE(forced.Get(forced.num_rows() - 1, "i").is_null());
+}
+
+TEST_F(ExecTest, LimitOffset) {
+  ResultSet rs =
+      MustQuery(&db_, "SELECT i FROM nums ORDER BY i NULLS LAST LIMIT 2 OFFSET 1");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.Get(0, "i").int_val(), 2);
+  EXPECT_EQ(rs.Get(1, "i").int_val(), 3);
+}
+
+TEST_F(ExecTest, Distinct) {
+  MustExecute(&db_, "CREATE TABLE dup (x INTEGER); "
+                    "INSERT INTO dup VALUES (1), (1), (2), (NULL), (NULL)");
+  ResultSet rs = MustQuery(&db_, "SELECT DISTINCT x FROM dup ORDER BY x");
+  EXPECT_EQ(rs.num_rows(), 3u);  // NULLs collapse
+}
+
+TEST_F(ExecTest, SetOperations) {
+  ResultSet u = MustQuery(&db_,
+      "SELECT 1 AS x UNION ALL SELECT 1 UNION ALL SELECT 2");
+  EXPECT_EQ(u.num_rows(), 3u);
+  ResultSet ud = MustQuery(&db_, "SELECT 1 AS x UNION SELECT 1 UNION SELECT 2");
+  EXPECT_EQ(ud.num_rows(), 2u);
+  ResultSet ex = MustQuery(&db_,
+      "SELECT i FROM nums WHERE i IS NOT NULL EXCEPT SELECT 2 AS i");
+  EXPECT_EQ(ex.num_rows(), 3u);
+  ResultSet in = MustQuery(&db_,
+      "SELECT i FROM nums INTERSECT SELECT 2 AS i");
+  EXPECT_EQ(in.num_rows(), 1u);
+}
+
+TEST_F(ExecTest, CorrelatedScalarSubquery) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT d.dname,
+           (SELECT COUNT(*) FROM emp AS e WHERE e.dept_id = d.id) AS n
+    FROM dept AS d ORDER BY dname
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.Get(0, "n").int_val(), 2);  // eng
+  EXPECT_EQ(rs.Get(1, "n").int_val(), 1);  // sales
+}
+
+TEST_F(ExecTest, ExistsAndInSubquery) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT dname FROM dept AS d
+    WHERE EXISTS (SELECT 1 FROM emp AS e WHERE e.dept_id = d.id AND e.eid > 11)
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.Get(0, "dname").str(), "sales");
+
+  ResultSet in = MustQuery(&db_, R"sql(
+    SELECT ename FROM emp WHERE dept_id IN (SELECT id FROM dept WHERE dname = 'eng')
+    ORDER BY ename
+  )sql");
+  EXPECT_EQ(in.num_rows(), 2u);
+}
+
+TEST_F(ExecTest, ScalarSubqueryCardinalityError) {
+  auto r = db_.Query("SELECT (SELECT i FROM nums) AS x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kExecution);
+}
+
+TEST_F(ExecTest, CaseExpressions) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT i,
+           CASE WHEN i < 2 THEN 'low' WHEN i < 4 THEN 'mid' ELSE 'high' END AS b,
+           CASE i WHEN 1 THEN 'one' ELSE 'other' END AS c
+    FROM nums WHERE i IS NOT NULL ORDER BY i
+  )sql");
+  EXPECT_EQ(rs.Get(0, "b").str(), "low");
+  EXPECT_EQ(rs.Get(1, "b").str(), "mid");
+  EXPECT_EQ(rs.Get(3, "b").str(), "high");
+  EXPECT_EQ(rs.Get(0, "c").str(), "one");
+  EXPECT_EQ(rs.Get(1, "c").str(), "other");
+}
+
+TEST_F(ExecTest, ScalarFunctions) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT ABS(-5) AS a, FLOOR(2.7) AS f, CEIL(2.2) AS c, ROUND(2.456, 2) AS r,
+           MOD(7, 3) AS m, POWER(2, 10) AS p, SQRT(16.0) AS q,
+           UPPER('ab') AS u, LOWER('AB') AS l, LENGTH('abc') AS len,
+           SUBSTR('hello', 2, 3) AS sub, CONCAT('a', 1, 'b') AS cc,
+           TRIM('  x ') AS t, REPLACE('aXbX', 'X', 'y') AS rep,
+           COALESCE(NULL, NULL, 3) AS co, NULLIF(2, 2) AS ni,
+           IF(TRUE, 'y', 'n') AS iff, GREATEST(1, 9, 4) AS g, LEAST(3, 2) AS le,
+           SIGN(-2.5) AS sg, 'a' || 'b' AS cat
+  )sql");
+  EXPECT_EQ(rs.Get(0, "a").int_val(), 5);
+  EXPECT_DOUBLE_EQ(rs.Get(0, "f").double_val(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.Get(0, "c").double_val(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.Get(0, "r").double_val(), 2.46);
+  EXPECT_EQ(rs.Get(0, "m").int_val(), 1);
+  EXPECT_DOUBLE_EQ(rs.Get(0, "p").double_val(), 1024.0);
+  EXPECT_DOUBLE_EQ(rs.Get(0, "q").double_val(), 4.0);
+  EXPECT_EQ(rs.Get(0, "u").str(), "AB");
+  EXPECT_EQ(rs.Get(0, "l").str(), "ab");
+  EXPECT_EQ(rs.Get(0, "len").int_val(), 3);
+  EXPECT_EQ(rs.Get(0, "sub").str(), "ell");
+  EXPECT_EQ(rs.Get(0, "cc").str(), "a1b");
+  EXPECT_EQ(rs.Get(0, "t").str(), "x");
+  EXPECT_EQ(rs.Get(0, "rep").str(), "ayby");
+  EXPECT_EQ(rs.Get(0, "co").int_val(), 3);
+  EXPECT_TRUE(rs.Get(0, "ni").is_null());
+  EXPECT_EQ(rs.Get(0, "iff").str(), "y");
+  EXPECT_EQ(rs.Get(0, "g").int_val(), 9);
+  EXPECT_EQ(rs.Get(0, "le").int_val(), 2);
+  EXPECT_EQ(rs.Get(0, "sg").int_val(), -1);
+  EXPECT_EQ(rs.Get(0, "cat").str(), "ab");
+}
+
+TEST_F(ExecTest, DateFunctions) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT YEAR(DATE '2023-11-28') AS y, MONTH(DATE '2023-11-28') AS m,
+           DAY(DATE '2023-11-28') AS d, QUARTER(DATE '2023-11-28') AS q,
+           DAYOFWEEK(DATE '2023-11-28') AS dw,
+           DATE '2023-11-28' + 3 AS plus,
+           DATE '2023-11-28' - DATE '2023-11-25' AS diff
+  )sql");
+  EXPECT_EQ(rs.Get(0, "y").int_val(), 2023);
+  EXPECT_EQ(rs.Get(0, "m").int_val(), 11);
+  EXPECT_EQ(rs.Get(0, "d").int_val(), 28);
+  EXPECT_EQ(rs.Get(0, "q").int_val(), 4);
+  EXPECT_EQ(rs.Get(0, "dw").int_val(), 3);
+  EXPECT_EQ(rs.Get(0, "plus").ToString(), "2023-12-01");
+  EXPECT_EQ(rs.Get(0, "diff").int_val(), 3);
+}
+
+TEST_F(ExecTest, Like) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT ('hello' LIKE 'h%') AS a, ('hello' LIKE '%ell%') AS b,
+           ('hello' LIKE 'h_llo') AS c, ('hello' LIKE 'x%') AS d,
+           ('hello' NOT LIKE 'x%') AS e, ('' LIKE '%') AS f
+  )sql");
+  EXPECT_TRUE(rs.Get(0, "a").bool_val());
+  EXPECT_TRUE(rs.Get(0, "b").bool_val());
+  EXPECT_TRUE(rs.Get(0, "c").bool_val());
+  EXPECT_FALSE(rs.Get(0, "d").bool_val());
+  EXPECT_TRUE(rs.Get(0, "e").bool_val());
+  EXPECT_TRUE(rs.Get(0, "f").bool_val());
+}
+
+TEST_F(ExecTest, DivisionByZeroIsAnError) {
+  auto r = db_.Query("SELECT 1 / 0");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kExecution);
+}
+
+TEST_F(ExecTest, IntegerVsDoubleArithmetic) {
+  ResultSet rs = MustQuery(
+      &db_, "SELECT 1 + 2 AS i, 1 + 2.5 AS d, 7 / 2 AS div, -3 * 2 AS neg");
+  EXPECT_EQ(rs.Get(0, "i").kind(), TypeKind::kInt64);
+  EXPECT_EQ(rs.Get(0, "d").kind(), TypeKind::kDouble);
+  // Division is exact (DOUBLE), matching the paper's margin examples.
+  EXPECT_DOUBLE_EQ(rs.Get(0, "div").double_val(), 3.5);
+  EXPECT_EQ(rs.Get(0, "neg").int_val(), -6);
+}
+
+TEST_F(ExecTest, CteReuse) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    WITH big AS (SELECT i FROM nums WHERE i > 1)
+    SELECT (SELECT COUNT(*) FROM big) AS n, i FROM big ORDER BY i
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.Get(0, "n").int_val(), 3);
+}
+
+TEST_F(ExecTest, NestedSubqueryInFrom) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT t.x * 2 AS y FROM (SELECT i + 1 AS x FROM nums WHERE i = 1) AS t
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.Get(0, "y").int_val(), 4);
+}
+
+TEST_F(ExecTest, AmbiguousColumnIsAnError) {
+  auto r = db_.Query("SELECT id FROM dept AS a JOIN dept AS b ON a.id = b.id");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kBind);
+}
+
+TEST_F(ExecTest, UnknownColumnAndTable) {
+  EXPECT_EQ(db_.Query("SELECT nope FROM nums").status().code(),
+            ErrorCode::kBind);
+  EXPECT_EQ(db_.Query("SELECT 1 FROM missing").status().code(),
+            ErrorCode::kCatalog);
+}
+
+TEST_F(ExecTest, InsertColumnSubsetAndSelect) {
+  MustExecute(&db_, "CREATE TABLE t2 (a INTEGER, b VARCHAR, c DOUBLE)");
+  MustExecute(&db_, "INSERT INTO t2 (b, a) VALUES ('x', 1)");
+  ResultSet rs = MustQuery(&db_, "SELECT * FROM t2");
+  EXPECT_EQ(rs.Get(0, "a").int_val(), 1);
+  EXPECT_EQ(rs.Get(0, "b").str(), "x");
+  EXPECT_TRUE(rs.Get(0, "c").is_null());
+
+  MustExecute(&db_, "INSERT INTO t2 SELECT i, s, d FROM nums WHERE i = 1");
+  ResultSet rs2 = MustQuery(&db_, "SELECT COUNT(*) AS n FROM t2");
+  EXPECT_EQ(rs2.Get(0, "n").int_val(), 2);
+}
+
+TEST_F(ExecTest, InsertTypeCoercion) {
+  MustExecute(&db_, "CREATE TABLE t3 (a DOUBLE, d DATE)");
+  MustExecute(&db_, "INSERT INTO t3 VALUES (1, '2024-01-15')");
+  ResultSet rs = MustQuery(&db_, "SELECT a, YEAR(d) AS y FROM t3");
+  EXPECT_EQ(rs.Get(0, "a").kind(), TypeKind::kDouble);
+  EXPECT_EQ(rs.Get(0, "y").int_val(), 2024);
+}
+
+}  // namespace
+}  // namespace msql

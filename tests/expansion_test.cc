@@ -1,0 +1,184 @@
+// Tests for the section 4.2 textual expansion: ExpandSql rewrites measure
+// references into correlated scalar subqueries, and the rewritten SQL —
+// which contains no measure constructs — produces the same results as the
+// native measure evaluation.
+
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "tests/paper_fixture.h"
+
+namespace msql {
+namespace {
+
+class ExpansionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LoadPaperData(&db_);
+    MustExecute(&db_, R"sql(
+      CREATE VIEW EnhancedOrders AS
+      SELECT orderDate, prodName, custName, revenue, cost,
+             (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin,
+             SUM(revenue) AS MEASURE sumRevenue
+      FROM Orders
+    )sql");
+  }
+
+  // Expands `sql` and checks (a) the expansion contains no measure syntax,
+  // (b) running both yields identical results.
+  void CheckRoundTrip(const std::string& sql) {
+    auto expanded = db_.ExpandSql(sql);
+    ASSERT_TRUE(expanded.ok()) << expanded.status().ToString() << "\n  " << sql;
+    const std::string& text = expanded.value();
+    EXPECT_EQ(text.find("AGGREGATE"), std::string::npos) << text;
+    EXPECT_EQ(text.find(" AT "), std::string::npos) << text;
+    EXPECT_EQ(text.find("MEASURE"), std::string::npos) << text;
+
+    ResultSet native = MustQuery(&db_, sql);
+    ResultSet plain = MustQuery(&db_, text);
+    ASSERT_EQ(native.num_rows(), plain.num_rows()) << text;
+    ASSERT_EQ(native.num_columns(), plain.num_columns()) << text;
+    for (size_t r = 0; r < native.num_rows(); ++r) {
+      for (size_t c = 0; c < native.num_columns(); ++c) {
+        const Value& a = native.Get(r, c);
+        const Value& b = plain.Get(r, c);
+        if (a.kind() == TypeKind::kDouble && b.kind() == TypeKind::kDouble) {
+          EXPECT_NEAR(a.double_val(), b.double_val(), 1e-9) << text;
+        } else {
+          EXPECT_TRUE(Value::NotDistinct(a, b))
+              << "row " << r << " col " << c << ": " << a.ToString() << " vs "
+              << b.ToString() << "\n" << text;
+        }
+      }
+    }
+  }
+
+  Engine db_;
+};
+
+TEST_F(ExpansionTest, Listing4ExpandsToListing5Shape) {
+  auto expanded = db_.ExpandSql(R"sql(
+    SELECT prodName, AGGREGATE(profitMargin) AS pm, COUNT(*) AS c
+    FROM EnhancedOrders GROUP BY prodName
+  )sql");
+  ASSERT_TRUE(expanded.ok()) << expanded.status().ToString();
+  // The expansion is a correlated scalar subquery over the base table with
+  // the group key spelled out as a WHERE predicate (paper listing 5).
+  EXPECT_NE(expanded.value().find("FROM Orders"), std::string::npos)
+      << expanded.value();
+  EXPECT_NE(expanded.value().find("(i.prodName = o.prodName)"),
+            std::string::npos)
+      << expanded.value();
+}
+
+TEST_F(ExpansionTest, RoundTripAggregate) {
+  CheckRoundTrip(
+      "SELECT prodName, AGGREGATE(profitMargin) AS pm, COUNT(*) AS c "
+      "FROM EnhancedOrders GROUP BY prodName ORDER BY prodName");
+}
+
+TEST_F(ExpansionTest, RoundTripBareMeasureIgnoresWhere) {
+  CheckRoundTrip(
+      "SELECT prodName, sumRevenue AS r, AGGREGATE(sumRevenue) AS rv "
+      "FROM EnhancedOrders WHERE custName <> 'Bob' "
+      "GROUP BY prodName ORDER BY prodName");
+}
+
+TEST_F(ExpansionTest, RoundTripAllDimension) {
+  CheckRoundTrip(
+      "SELECT prodName, sumRevenue / sumRevenue AT (ALL prodName) AS share "
+      "FROM EnhancedOrders GROUP BY prodName ORDER BY prodName");
+}
+
+TEST_F(ExpansionTest, RoundTripAllEverything) {
+  CheckRoundTrip(
+      "SELECT prodName, sumRevenue AT (ALL) AS total "
+      "FROM EnhancedOrders GROUP BY prodName ORDER BY prodName");
+}
+
+TEST_F(ExpansionTest, RoundTripSetConstant) {
+  CheckRoundTrip(
+      "SELECT prodName, sumRevenue AT (SET prodName = 'Acme') AS acme "
+      "FROM EnhancedOrders GROUP BY prodName ORDER BY prodName");
+}
+
+TEST_F(ExpansionTest, RoundTripSetCurrentOverDerivedDim) {
+  // Listing 10 shape: grouping by an expression and navigating with CURRENT
+  // over its alias.
+  CheckRoundTrip(
+      "SELECT prodName, YEAR(orderDate) AS orderYear, "
+      "       sumRevenue / sumRevenue AT "
+      "         (SET orderYear = CURRENT orderYear - 1) AS ratio "
+      "FROM EnhancedOrders GROUP BY prodName, YEAR(orderDate) "
+      "ORDER BY prodName, orderYear");
+}
+
+TEST_F(ExpansionTest, RoundTripVisible) {
+  CheckRoundTrip(
+      "SELECT prodName, sumRevenue AT (VISIBLE) AS viz "
+      "FROM EnhancedOrders WHERE custName <> 'Bob' "
+      "GROUP BY prodName ORDER BY prodName");
+}
+
+TEST_F(ExpansionTest, RoundTripWhereModifier) {
+  CheckRoundTrip(
+      "SELECT prodName, sumRevenue AT (WHERE revenue >= 5) AS big "
+      "FROM EnhancedOrders GROUP BY prodName ORDER BY prodName");
+}
+
+TEST_F(ExpansionTest, RoundTripInlineSubqueryProvider) {
+  CheckRoundTrip(
+      "SELECT prodName, AGGREGATE(r) AS total FROM "
+      "(SELECT *, SUM(revenue) AS MEASURE r FROM Orders) AS o "
+      "GROUP BY prodName ORDER BY prodName");
+}
+
+TEST_F(ExpansionTest, RoundTripBakedInWhere) {
+  MustExecute(&db_, R"sql(
+    CREATE VIEW Recent AS
+    SELECT *, SUM(revenue) AS MEASURE r FROM Orders
+    WHERE YEAR(orderDate) >= 2023
+  )sql");
+  CheckRoundTrip(
+      "SELECT prodName, AGGREGATE(r) AS total, r AT (ALL) AS everything "
+      "FROM Recent GROUP BY prodName ORDER BY prodName");
+}
+
+TEST_F(ExpansionTest, RoundTripHavingAndMeasureExpression) {
+  CheckRoundTrip(
+      "SELECT prodName, AGGREGATE(sumRevenue) * 2 AS dbl "
+      "FROM EnhancedOrders GROUP BY prodName "
+      "HAVING AGGREGATE(sumRevenue) > 4 ORDER BY prodName");
+}
+
+TEST_F(ExpansionTest, QueryWithoutMeasuresIsUnchanged) {
+  const std::string sql = "SELECT prodName FROM Orders WHERE revenue > 3";
+  auto expanded = db_.ExpandSql(sql);
+  ASSERT_TRUE(expanded.ok());
+  ResultSet a = MustQuery(&db_, sql);
+  ResultSet b = MustQuery(&db_, expanded.value());
+  EXPECT_EQ(a.num_rows(), b.num_rows());
+}
+
+TEST_F(ExpansionTest, JoinsFallBackToNative) {
+  auto r = db_.ExpandSql(
+      "SELECT o.prodName FROM EnhancedOrders AS o JOIN Customers AS c "
+      "USING (custName) GROUP BY o.prodName");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotImplemented);
+}
+
+TEST_F(ExpansionTest, RollupFallsBackToNative) {
+  auto r = db_.ExpandSql(
+      "SELECT prodName, AGGREGATE(sumRevenue) FROM EnhancedOrders "
+      "GROUP BY ROLLUP(prodName)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotImplemented);
+}
+
+TEST_F(ExpansionTest, ExpansionOfNonSelectIsError) {
+  auto r = db_.ExpandSql("CREATE TABLE t (x INTEGER)");
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace msql

@@ -1,0 +1,199 @@
+// Direct unit tests for the function registry: lookup, type inference,
+// scalar evaluation (incl. NULL propagation exceptions) and the aggregate
+// accumulator.
+
+#include "binder/functions.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace msql {
+namespace {
+
+Value Eval(FunctionId id, std::vector<Value> args) {
+  auto r = EvalScalarFunction(id, args);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.take() : Value::Null();
+}
+
+TEST(FunctionRegistryTest, LookupIsCaseInsensitive) {
+  EXPECT_EQ(LookupScalarFunction("year"), FunctionId::kYear);
+  EXPECT_EQ(LookupScalarFunction("YeAr"), FunctionId::kYear);
+  EXPECT_EQ(LookupScalarFunction("nosuch"), FunctionId::kInvalid);
+  EXPECT_EQ(LookupAggFunction("sum"), AggId::kSum);
+  EXPECT_EQ(LookupAggFunction("ARG_MAX"), AggId::kMaxBy);
+  EXPECT_EQ(LookupAggFunction("nope"), AggId::kInvalid);
+}
+
+TEST(FunctionRegistryTest, WindowOnly) {
+  EXPECT_TRUE(IsWindowOnly(AggId::kRowNumber));
+  EXPECT_TRUE(IsWindowOnly(AggId::kRank));
+  EXPECT_FALSE(IsWindowOnly(AggId::kSum));
+}
+
+TEST(TypeInferenceTest, Arithmetic) {
+  auto t = ScalarResultType(FunctionId::kOpAdd, "+",
+                            {DataType::Int64(), DataType::Int64()});
+  EXPECT_EQ(t.value().kind, TypeKind::kInt64);
+  t = ScalarResultType(FunctionId::kOpAdd, "+",
+                       {DataType::Int64(), DataType::Double()});
+  EXPECT_EQ(t.value().kind, TypeKind::kDouble);
+  // Division is always exact.
+  t = ScalarResultType(FunctionId::kOpDiv, "/",
+                       {DataType::Int64(), DataType::Int64()});
+  EXPECT_EQ(t.value().kind, TypeKind::kDouble);
+  // Date arithmetic.
+  t = ScalarResultType(FunctionId::kOpSub, "-",
+                       {DataType::Date(), DataType::Date()});
+  EXPECT_EQ(t.value().kind, TypeKind::kInt64);
+  t = ScalarResultType(FunctionId::kOpAdd, "+",
+                       {DataType::Date(), DataType::Int64()});
+  EXPECT_EQ(t.value().kind, TypeKind::kDate);
+  // String + int is rejected.
+  EXPECT_FALSE(ScalarResultType(FunctionId::kOpAdd, "+",
+                                {DataType::String(), DataType::Int64()})
+                   .ok());
+}
+
+TEST(TypeInferenceTest, ArityChecks) {
+  EXPECT_FALSE(ScalarResultType(FunctionId::kYear, "YEAR", {}).ok());
+  EXPECT_FALSE(ScalarResultType(FunctionId::kYear, "YEAR",
+                                {DataType::Date(), DataType::Date()})
+                   .ok());
+  EXPECT_FALSE(
+      ScalarResultType(FunctionId::kYear, "YEAR", {DataType::Int64()}).ok());
+  EXPECT_FALSE(AggResultType(AggId::kSum, "SUM", {}).ok());
+  EXPECT_FALSE(AggResultType(AggId::kSum, "SUM", {DataType::String()}).ok());
+  EXPECT_FALSE(AggResultType(AggId::kMaxBy, "MAX_BY", {DataType::Int64()})
+                   .ok());
+}
+
+TEST(ScalarEvalTest, NullPropagation) {
+  EXPECT_TRUE(
+      Eval(FunctionId::kOpAdd, {Value::Null(), Value::Int(1)}).is_null());
+  EXPECT_TRUE(Eval(FunctionId::kUpper, {Value::Null()}).is_null());
+  // The NULL-aware functions do not blanket-propagate.
+  EXPECT_EQ(Eval(FunctionId::kCoalesce, {Value::Null(), Value::Int(2)})
+                .int_val(),
+            2);
+  EXPECT_FALSE(
+      Eval(FunctionId::kOpAnd, {Value::Null(), Value::Bool(false)}).is_null());
+  EXPECT_TRUE(Eval(FunctionId::kOpIsNotDistinctFrom,
+                   {Value::Null(), Value::Null()})
+                  .bool_val());
+}
+
+TEST(ScalarEvalTest, IntegerOverflowFreeBasics) {
+  EXPECT_EQ(Eval(FunctionId::kOpMul, {Value::Int(6), Value::Int(7)}).int_val(),
+            42);
+  EXPECT_EQ(Eval(FunctionId::kOpNeg, {Value::Int(5)}).int_val(), -5);
+  EXPECT_DOUBLE_EQ(
+      Eval(FunctionId::kOpDiv, {Value::Int(1), Value::Int(4)}).double_val(),
+      0.25);
+}
+
+TEST(ScalarEvalTest, ErrorsAreStatuses) {
+  EXPECT_FALSE(
+      EvalScalarFunction(FunctionId::kOpDiv, {Value::Int(1), Value::Int(0)})
+          .ok());
+  EXPECT_FALSE(
+      EvalScalarFunction(FunctionId::kMod, {Value::Int(1), Value::Int(0)})
+          .ok());
+  EXPECT_FALSE(
+      EvalScalarFunction(FunctionId::kSqrt, {Value::Double(-1)}).ok());
+  EXPECT_FALSE(EvalScalarFunction(FunctionId::kLn, {Value::Double(0)}).ok());
+}
+
+TEST(ScalarEvalTest, StringFunctions) {
+  EXPECT_EQ(Eval(FunctionId::kSubstr,
+                 {Value::String("hello"), Value::Int(2), Value::Int(2)})
+                .str(),
+            "el");
+  EXPECT_EQ(Eval(FunctionId::kSubstr, {Value::String("hi"), Value::Int(9)})
+                .str(),
+            "");
+  EXPECT_EQ(
+      Eval(FunctionId::kReplaceFn,
+           {Value::String("aaa"), Value::String("a"), Value::String("ab")})
+          .str(),
+      "ababab");
+}
+
+TEST(AggAccumulatorTest, SumKeepsIntegerType) {
+  AggAccumulator acc(AggId::kSum);
+  ASSERT_TRUE(acc.Accumulate({Value::Int(2)}).ok());
+  ASSERT_TRUE(acc.Accumulate({Value::Int(3)}).ok());
+  Value v = acc.Finish();
+  EXPECT_EQ(v.kind(), TypeKind::kInt64);
+  EXPECT_EQ(v.int_val(), 5);
+}
+
+TEST(AggAccumulatorTest, SumPromotesOnDouble) {
+  AggAccumulator acc(AggId::kSum);
+  ASSERT_TRUE(acc.Accumulate({Value::Int(2)}).ok());
+  ASSERT_TRUE(acc.Accumulate({Value::Double(0.5)}).ok());
+  Value v = acc.Finish();
+  EXPECT_EQ(v.kind(), TypeKind::kDouble);
+  EXPECT_DOUBLE_EQ(v.double_val(), 2.5);
+}
+
+TEST(AggAccumulatorTest, EmptyAggregates) {
+  EXPECT_TRUE(AggAccumulator(AggId::kSum).Finish().is_null());
+  EXPECT_TRUE(AggAccumulator(AggId::kAvg).Finish().is_null());
+  EXPECT_TRUE(AggAccumulator(AggId::kMin).Finish().is_null());
+  EXPECT_EQ(AggAccumulator(AggId::kCountStar).Finish().int_val(), 0);
+}
+
+TEST(AggAccumulatorTest, NullsAreSkipped) {
+  AggAccumulator sum(AggId::kSum);
+  ASSERT_TRUE(sum.Accumulate({Value::Null()}).ok());
+  ASSERT_TRUE(sum.Accumulate({Value::Int(7)}).ok());
+  EXPECT_EQ(sum.Finish().int_val(), 7);
+
+  AggAccumulator count(AggId::kCount);
+  ASSERT_TRUE(count.Accumulate({Value::Null()}).ok());
+  ASSERT_TRUE(count.Accumulate({Value::Int(1)}).ok());
+  EXPECT_EQ(count.Finish().int_val(), 1);
+}
+
+TEST(AggAccumulatorTest, MinMaxOnStringsAndDates) {
+  AggAccumulator mn(AggId::kMin);
+  ASSERT_TRUE(mn.Accumulate({Value::String("pear")}).ok());
+  ASSERT_TRUE(mn.Accumulate({Value::String("apple")}).ok());
+  EXPECT_EQ(mn.Finish().str(), "apple");
+
+  AggAccumulator mx(AggId::kMax);
+  ASSERT_TRUE(mx.Accumulate({Value::Date(10)}).ok());
+  ASSERT_TRUE(mx.Accumulate({Value::Date(20)}).ok());
+  EXPECT_EQ(mx.Finish().date_days(), 20);
+}
+
+TEST(AggAccumulatorTest, MinByMaxBy) {
+  AggAccumulator by(AggId::kMaxBy);
+  ASSERT_TRUE(by.Accumulate({Value::String("old"), Value::Date(1)}).ok());
+  ASSERT_TRUE(by.Accumulate({Value::String("new"), Value::Date(9)}).ok());
+  ASSERT_TRUE(by.Accumulate({Value::String("skip"), Value::Null()}).ok());
+  EXPECT_EQ(by.Finish().str(), "new");
+
+  AggAccumulator worst(AggId::kMinBy);
+  ASSERT_TRUE(worst.Accumulate({Value::String("a"), Value::Int(3)}).ok());
+  ASSERT_TRUE(worst.Accumulate({Value::String("b"), Value::Int(1)}).ok());
+  EXPECT_EQ(worst.Finish().str(), "b");
+}
+
+TEST(AggAccumulatorTest, StddevVarianceSmallCounts) {
+  AggAccumulator sd(AggId::kStddev);
+  ASSERT_TRUE(sd.Accumulate({Value::Double(5)}).ok());
+  EXPECT_TRUE(sd.Finish().is_null());  // fewer than 2 samples
+  ASSERT_TRUE(sd.Accumulate({Value::Double(7)}).ok());
+  EXPECT_NEAR(sd.Finish().double_val(), std::sqrt(2.0), 1e-9);
+}
+
+TEST(AggAccumulatorTest, WindowOnlyRejectsAccumulation) {
+  AggAccumulator rn(AggId::kRowNumber);
+  EXPECT_FALSE(rn.Accumulate({}).ok());
+}
+
+}  // namespace
+}  // namespace msql

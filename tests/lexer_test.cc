@@ -1,0 +1,120 @@
+// Unit tests for the SQL lexer.
+
+#include "parser/lexer.h"
+
+#include "gtest/gtest.h"
+
+namespace msql {
+namespace {
+
+std::vector<Token> Lex(const std::string& sql) {
+  Lexer lexer(sql);
+  auto r = lexer.Tokenize();
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.take() : std::vector<Token>{};
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto tokens = Lex("SELECT prodName FROM Orders");
+  ASSERT_EQ(tokens.size(), 5u);  // incl EOF
+  EXPECT_EQ(tokens[0].type, TokenType::kSelect);
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "prodName");
+  EXPECT_EQ(tokens[2].type, TokenType::kFrom);
+  EXPECT_EQ(tokens[4].type, TokenType::kEof);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("select SeLeCt SELECT");
+  EXPECT_EQ(tokens[0].type, TokenType::kSelect);
+  EXPECT_EQ(tokens[1].type, TokenType::kSelect);
+  EXPECT_EQ(tokens[2].type, TokenType::kSelect);
+}
+
+TEST(LexerTest, MeasureKeywords) {
+  auto tokens = Lex("AT ALL SET VISIBLE CURRENT MEASURE");
+  EXPECT_EQ(tokens[0].type, TokenType::kAt);
+  EXPECT_EQ(tokens[1].type, TokenType::kAll);
+  EXPECT_EQ(tokens[2].type, TokenType::kSet);
+  EXPECT_EQ(tokens[3].type, TokenType::kVisible);
+  EXPECT_EQ(tokens[4].type, TokenType::kCurrent);
+  EXPECT_EQ(tokens[5].type, TokenType::kMeasure);
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Lex("1 42 3.5 0.25 1e3 2.5E-2 7e x");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntegerLiteral);
+  EXPECT_EQ(tokens[0].int_value, 1);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 3.5);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.25);
+  EXPECT_DOUBLE_EQ(tokens[4].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[5].double_value, 0.025);
+  // "7e" is the integer 7 followed by identifier e (not an exponent).
+  EXPECT_EQ(tokens[6].type, TokenType::kIntegerLiteral);
+  EXPECT_EQ(tokens[7].type, TokenType::kIdentifier);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = Lex("'hello' 'it''s' ''");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+  EXPECT_EQ(tokens[2].text, "");
+}
+
+TEST(LexerTest, QuotedIdentifiers) {
+  auto tokens = Lex("\"select\" `weird name`");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "select");
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "weird name");
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Lex("= <> != < <= > >= + - * / % || ( ) , . ;");
+  TokenType expected[] = {
+      TokenType::kEq,    TokenType::kNe,      TokenType::kNe,
+      TokenType::kLt,    TokenType::kLe,      TokenType::kGt,
+      TokenType::kGe,    TokenType::kPlus,    TokenType::kMinus,
+      TokenType::kStar,  TokenType::kSlash,   TokenType::kPercent,
+      TokenType::kConcatOp, TokenType::kLParen, TokenType::kRParen,
+      TokenType::kComma, TokenType::kDot,     TokenType::kSemicolon,
+  };
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, Comments) {
+  auto tokens = Lex("SELECT -- a line comment\n 1 /* block\ncomment */ + 2");
+  EXPECT_EQ(tokens[0].type, TokenType::kSelect);
+  EXPECT_EQ(tokens[1].type, TokenType::kIntegerLiteral);
+  EXPECT_EQ(tokens[2].type, TokenType::kPlus);
+  EXPECT_EQ(tokens[3].type, TokenType::kIntegerLiteral);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = Lex("SELECT\n  foo");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, Errors) {
+  for (const char* bad : {"'unterminated", "\"unterminated", "a ! b", "@"}) {
+    Lexer lexer(bad);
+    EXPECT_FALSE(lexer.Tokenize().ok()) << bad;
+  }
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto tokens = Lex("   \n\t ");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEof);
+}
+
+}  // namespace
+}  // namespace msql

@@ -1,0 +1,276 @@
+// Property-based tests: invariants of measure semantics checked over
+// randomized datasets (parameterized by seed). Each property is the kind of
+// algebraic identity the paper's semantics imply.
+
+#include <random>
+
+#include "common/string_util.h"
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "tests/paper_fixture.h"
+
+namespace msql {
+namespace {
+
+// Builds a random Orders-like table with `n` rows.
+void LoadRandomOrders(Engine* db, uint32_t seed, int n) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> prod(0, 5);
+  std::uniform_int_distribution<int> cust(0, 3);
+  std::uniform_int_distribution<int> year(2020, 2024);
+  std::uniform_int_distribution<int> month(1, 12);
+  std::uniform_int_distribution<int> day(1, 28);
+  std::uniform_int_distribution<int> revenue(1, 100);
+
+  MustExecute(db, R"sql(
+    CREATE TABLE Orders (prodName VARCHAR, custName VARCHAR,
+                         orderDate DATE, revenue INTEGER, cost INTEGER)
+  )sql");
+  std::string insert = "INSERT INTO Orders VALUES ";
+  for (int i = 0; i < n; ++i) {
+    int rev = revenue(rng);
+    int cost = std::max(1, rev - 1 - (rev > 1 ? revenue(rng) % rev : 0));
+    if (i > 0) insert += ", ";
+    insert += StrCat("('P", prod(rng), "', 'C", cust(rng), "', DATE '",
+                     year(rng), "-", month(rng) < 10 ? "0" : "", month(rng),
+                     "-", day(rng) < 10 ? "0" : "", day(rng), "', ", rev, ", ",
+                     cost, ")");
+  }
+  MustExecute(db, insert);
+  MustExecute(db, R"sql(
+    CREATE VIEW EO AS SELECT *, SUM(revenue) AS MEASURE r,
+                             COUNT(*) AS MEASURE n,
+                             YEAR(orderDate) AS orderYear
+    FROM Orders
+  )sql");
+}
+
+class MeasurePropertyTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  void SetUp() override { LoadRandomOrders(&db_, GetParam(), 80); }
+  Engine db_;
+};
+
+// Property 1: AGGREGATE(m) over a measure equals the plain aggregate.
+TEST_P(MeasurePropertyTest, AggregateEqualsPlainSum) {
+  ResultSet measured = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(r) AS v FROM EO GROUP BY prodName
+    ORDER BY prodName
+  )sql");
+  ResultSet plain = MustQuery(&db_, R"sql(
+    SELECT prodName, SUM(revenue) AS v FROM Orders GROUP BY prodName
+    ORDER BY prodName
+  )sql");
+  ASSERT_EQ(measured.num_rows(), plain.num_rows());
+  for (size_t i = 0; i < measured.num_rows(); ++i) {
+    EXPECT_TRUE(Value::NotDistinct(measured.Get(i, "v"), plain.Get(i, "v")));
+  }
+}
+
+// Property 2: shares computed via AT (ALL dim) sum to 1.
+TEST_P(MeasurePropertyTest, SharesSumToOne) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, r * 1.0 / r AT (ALL prodName) AS share
+    FROM EO GROUP BY prodName
+  )sql");
+  double total = 0;
+  for (const Row& row : rs.rows()) total += row[1].double_val();
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// Property 3: with no WHERE clause, bare measure == VISIBLE == AGGREGATE.
+TEST_P(MeasurePropertyTest, NoFilterMakesAllCallSitesAgree) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, r AS bare, r AT (VISIBLE) AS viz, AGGREGATE(r) AS agg
+    FROM EO GROUP BY prodName
+  )sql");
+  for (const Row& row : rs.rows()) {
+    EXPECT_TRUE(Value::NotDistinct(row[1], row[2]));
+    EXPECT_TRUE(Value::NotDistinct(row[1], row[3]));
+  }
+}
+
+// Property 4: naive and memoized strategies agree (the localized-self-join
+// cache is an optimization, never a semantic change).
+TEST_P(MeasurePropertyTest, StrategiesAgree) {
+  const char* query = R"sql(
+    SELECT prodName, orderYear, AGGREGATE(r) AS v,
+           r AT (SET orderYear = CURRENT orderYear - 1) AS prev,
+           r AT (ALL) AS total
+    FROM EO WHERE custName <> 'C0'
+    GROUP BY prodName, orderYear
+    ORDER BY prodName, orderYear
+  )sql";
+  db_.options().measure_strategy = MeasureStrategy::kMemoized;
+  ResultSet memoized = MustQuery(&db_, query);
+  EXPECT_GT(db_.last_stats().measure_cache_hits, 0u);
+  db_.options().measure_strategy = MeasureStrategy::kNaive;
+  ResultSet naive = MustQuery(&db_, query);
+  EXPECT_EQ(db_.last_stats().measure_cache_hits, 0u);
+  ASSERT_EQ(memoized.num_rows(), naive.num_rows());
+  for (size_t i = 0; i < memoized.num_rows(); ++i) {
+    for (size_t c = 0; c < memoized.num_columns(); ++c) {
+      EXPECT_TRUE(Value::NotDistinct(memoized.Get(i, c), naive.Get(i, c)));
+    }
+  }
+}
+
+// Property 4b: the section 6.4 inline fast path never changes results.
+TEST_P(MeasurePropertyTest, InlineFastpathAgrees) {
+  const char* query = R"sql(
+    SELECT prodName, custName, AGGREGATE(r) AS v, AGGREGATE(n) AS c
+    FROM EO WHERE revenue > 10
+    GROUP BY ROLLUP(prodName, custName)
+    ORDER BY prodName NULLS LAST, custName NULLS LAST
+  )sql";
+  db_.options().inline_visible_contexts = true;
+  ResultSet fast = MustQuery(&db_, query);
+  db_.options().inline_visible_contexts = false;
+  ResultSet slow = MustQuery(&db_, query);
+  ASSERT_EQ(fast.num_rows(), slow.num_rows());
+  for (size_t i = 0; i < fast.num_rows(); ++i) {
+    for (size_t c = 0; c < fast.num_columns(); ++c) {
+      EXPECT_TRUE(Value::NotDistinct(fast.Get(i, c), slow.Get(i, c)));
+    }
+  }
+  // Also under a join, where the visible set deduplicates fan-out.
+  MustExecute(&db_, R"sql(
+    CREATE TABLE Customers (custName VARCHAR, custAge INTEGER);
+    INSERT INTO Customers VALUES ('C0', 20), ('C1', 30), ('C2', 40), ('C3', 50);
+    CREATE VIEW EC AS SELECT *, AVG(custAge) AS MEASURE avgAge FROM Customers
+  )sql");
+  const char* join_query = R"sql(
+    SELECT o.prodName, AGGREGATE(c.avgAge) AS a
+    FROM Orders AS o JOIN EC AS c USING (custName)
+    GROUP BY o.prodName ORDER BY o.prodName
+  )sql";
+  db_.options().inline_visible_contexts = true;
+  ResultSet jfast = MustQuery(&db_, join_query);
+  db_.options().inline_visible_contexts = false;
+  ResultSet jslow = MustQuery(&db_, join_query);
+  ASSERT_EQ(jfast.num_rows(), jslow.num_rows());
+  for (size_t i = 0; i < jfast.num_rows(); ++i) {
+    EXPECT_TRUE(Value::NotDistinct(jfast.Get(i, "a"), jslow.Get(i, "a")));
+  }
+}
+
+// Property 5: the textual expansion produces identical results.
+TEST_P(MeasurePropertyTest, ExpansionAgrees) {
+  const char* queries[] = {
+      "SELECT prodName, AGGREGATE(r) AS v FROM EO GROUP BY prodName "
+      "ORDER BY prodName",
+      "SELECT prodName, r AT (ALL prodName) AS v FROM EO GROUP BY prodName "
+      "ORDER BY prodName",
+      "SELECT custName, r AT (SET custName = 'C1') AS v FROM EO "
+      "GROUP BY custName ORDER BY custName",
+      "SELECT prodName, AGGREGATE(r) AS v FROM EO WHERE revenue > 50 "
+      "GROUP BY prodName ORDER BY prodName",
+  };
+  for (const char* q : queries) {
+    auto expanded = db_.ExpandSql(q);
+    ASSERT_TRUE(expanded.ok()) << expanded.status().ToString();
+    ResultSet native = MustQuery(&db_, q);
+    ResultSet plain = MustQuery(&db_, expanded.value());
+    ASSERT_EQ(native.num_rows(), plain.num_rows()) << q;
+    for (size_t i = 0; i < native.num_rows(); ++i) {
+      for (size_t c = 0; c < native.num_columns(); ++c) {
+        EXPECT_TRUE(
+            Value::NotDistinct(native.Get(i, c), plain.Get(i, c)))
+            << q << " row " << i;
+      }
+    }
+  }
+}
+
+// Property 6: the four listing-12 formulations agree on random data.
+TEST_P(MeasurePropertyTest, FourFormulationsAgree) {
+  ResultSet r1 = MustQuery(&db_, R"sql(
+    SELECT o.prodName, o.orderDate, o.revenue FROM Orders AS o
+    WHERE o.revenue > (SELECT AVG(revenue) FROM Orders AS o1
+                       WHERE o1.prodName = o.prodName)
+    ORDER BY prodName, orderDate, revenue
+  )sql");
+  ResultSet r3 = MustQuery(&db_, R"sql(
+    SELECT o.prodName, o.orderDate, o.revenue FROM
+      (SELECT prodName, revenue, orderDate,
+              AVG(revenue) OVER (PARTITION BY prodName) AS avgRevenue
+       FROM Orders) AS o
+    WHERE o.revenue > o.avgRevenue
+    ORDER BY prodName, orderDate, revenue
+  )sql");
+  ResultSet r4 = MustQuery(&db_, R"sql(
+    SELECT o.prodName, o.orderDate, o.revenue FROM
+      (SELECT prodName, orderDate, revenue,
+              AVG(revenue) AS MEASURE avgRevenue FROM Orders) AS o
+    WHERE o.revenue > o.avgRevenue AT (WHERE prodName = o.prodName)
+    ORDER BY prodName, orderDate, revenue
+  )sql");
+  ASSERT_EQ(r1.num_rows(), r3.num_rows());
+  ASSERT_EQ(r1.num_rows(), r4.num_rows());
+  for (size_t i = 0; i < r1.num_rows(); ++i) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_TRUE(Value::NotDistinct(r1.Get(i, c), r3.Get(i, c)));
+      EXPECT_TRUE(Value::NotDistinct(r1.Get(i, c), r4.Get(i, c)));
+    }
+  }
+}
+
+// Property 7: in a ROLLUP, the grand-total AGGREGATE equals the sum of the
+// per-group AGGREGATEs (additive measure).
+TEST_P(MeasurePropertyTest, RollupTotalEqualsSumOfLeaves) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(r) AS v FROM EO GROUP BY ROLLUP(prodName)
+  )sql");
+  int64_t leaves = 0, total = -1;
+  for (const Row& row : rs.rows()) {
+    if (row[0].is_null()) {
+      total = row[1].int_val();
+    } else {
+      leaves += row[1].int_val();
+    }
+  }
+  EXPECT_EQ(leaves, total);
+}
+
+// Property 8: COUNT measure with VISIBLE equals COUNT(*) per group when the
+// measure table is the query table (same grain).
+TEST_P(MeasurePropertyTest, CountMeasureMatchesCountStar) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT custName, COUNT(*) AS cs, AGGREGATE(n) AS cm
+    FROM EO WHERE revenue > 20 GROUP BY custName
+  )sql");
+  for (const Row& row : rs.rows()) {
+    EXPECT_TRUE(Value::NotDistinct(row[1], row[2]));
+  }
+}
+
+// Property 9: SET to the current value is the identity.
+TEST_P(MeasurePropertyTest, SetToCurrentIsIdentity) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT orderYear, AGGREGATE(r) AS v,
+           r AT (SET orderYear = CURRENT orderYear) AS same
+    FROM EO GROUP BY orderYear
+  )sql");
+  for (const Row& row : rs.rows()) {
+    EXPECT_TRUE(Value::NotDistinct(row[1], row[2]));
+  }
+}
+
+// Property 10: ALL on every group dimension equals AT (ALL) when the query
+// has no WHERE clause.
+TEST_P(MeasurePropertyTest, AllDimsEqualsAll) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, custName,
+           r AT (ALL prodName custName) AS cleared, r AT (ALL) AS everything
+    FROM EO GROUP BY prodName, custName
+  )sql");
+  for (const Row& row : rs.rows()) {
+    EXPECT_TRUE(Value::NotDistinct(row[2], row[3]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeasurePropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace
+}  // namespace msql

@@ -1,0 +1,176 @@
+// Tests for NULL handling in measure semantics — paper footnote 1: the
+// evaluation context uses IS NOT DISTINCT FROM, so NULL dimension values
+// form real groups that measures resolve correctly. Also covers measures
+// over empty tables (the section 6.5 question) and NULL-producing contexts.
+
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "tests/paper_fixture.h"
+
+namespace msql {
+namespace {
+
+class NullSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&db_, R"sql(
+      CREATE TABLE Orders (prodName VARCHAR, region VARCHAR, revenue INTEGER);
+      INSERT INTO Orders VALUES
+        ('pen',  'east', 10),
+        ('pen',  NULL,   20),
+        (NULL,   'east', 30),
+        (NULL,   NULL,   40),
+        ('book', 'west', 50);
+      CREATE VIEW EO AS SELECT *, SUM(revenue) AS MEASURE r,
+                               COUNT(*) AS MEASURE n
+      FROM Orders
+    )sql");
+  }
+  Engine db_;
+};
+
+// Paper footnote 1: grouping by a NULLable dimension, the NULL group's
+// context must match the NULL rows (IS NOT DISTINCT FROM, not =).
+TEST_F(NullSemanticsTest, NullGroupKeyMatchesNullRows) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(r) AS rev, AGGREGATE(n) AS cnt
+    FROM EO GROUP BY prodName ORDER BY prodName
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);  // NULL, book, pen
+  // NULLS FIRST: the NULL product group.
+  EXPECT_TRUE(rs.Get(0, "prodName").is_null());
+  EXPECT_EQ(rs.Get(0, "rev").int_val(), 70);  // 30 + 40
+  EXPECT_EQ(rs.Get(0, "cnt").int_val(), 2);
+  EXPECT_EQ(rs.Get(1, "rev").int_val(), 50);  // book
+  EXPECT_EQ(rs.Get(2, "rev").int_val(), 30);  // pen
+}
+
+// The bare measure agrees with a plain GROUP BY over NULL keys.
+TEST_F(NullSemanticsTest, MeasureAgreesWithPlainGroupByOnNulls) {
+  ResultSet m = MustQuery(&db_, R"sql(
+    SELECT prodName, region, AGGREGATE(r) AS v
+    FROM EO GROUP BY prodName, region ORDER BY prodName, region
+  )sql");
+  ResultSet p = MustQuery(&db_, R"sql(
+    SELECT prodName, region, SUM(revenue) AS v
+    FROM Orders GROUP BY prodName, region ORDER BY prodName, region
+  )sql");
+  ASSERT_EQ(m.num_rows(), p.num_rows());
+  for (size_t i = 0; i < m.num_rows(); ++i) {
+    EXPECT_TRUE(Value::NotDistinct(m.Get(i, "v"), p.Get(i, "v")));
+  }
+}
+
+// SET dim = NULL pins the dimension to the NULL group.
+TEST_F(NullSemanticsTest, SetToNullSelectsNullGroup) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, r AT (SET prodName = NULL) AS null_group
+    FROM EO GROUP BY prodName ORDER BY prodName
+  )sql");
+  for (const Row& row : rs.rows()) {
+    EXPECT_EQ(row[1].int_val(), 70);
+  }
+}
+
+// ROLLUP: the subtotal row (key aggregated away) differs from the genuine
+// NULL-key group; GROUPING() tells them apart and each gets the right
+// measure context.
+TEST_F(NullSemanticsTest, RollupDistinguishesNullGroupFromTotal) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, GROUPING(prodName) AS g, AGGREGATE(r) AS v
+    FROM EO GROUP BY ROLLUP(prodName)
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 4u);  // pen, book, NULL-group, grand total
+  bool saw_null_group = false, saw_total = false;
+  for (const Row& row : rs.rows()) {
+    if (row[0].is_null() && row[1].int_val() == 0) {
+      saw_null_group = true;
+      EXPECT_EQ(row[2].int_val(), 70);
+    }
+    if (row[0].is_null() && row[1].int_val() == 1) {
+      saw_total = true;
+      EXPECT_EQ(row[2].int_val(), 150);
+    }
+  }
+  EXPECT_TRUE(saw_null_group);
+  EXPECT_TRUE(saw_total);
+}
+
+// Measures over an empty table (the question raised in section 6.5): SUM
+// yields NULL, COUNT yields 0; contexts over no rows never error.
+TEST_F(NullSemanticsTest, MeasureOverEmptyTable) {
+  MustExecute(&db_, R"sql(
+    CREATE TABLE Nothing (k VARCHAR, v INTEGER);
+    CREATE VIEW EN AS SELECT *, SUM(v) AS MEASURE s, COUNT(*) AS MEASURE c
+    FROM Nothing
+  )sql");
+  // Grand total over an empty table: aggregate query with an empty grouping
+  // set still emits one row.
+  ResultSet rs = MustQuery(&db_, "SELECT AGGREGATE(s) AS s, AGGREGATE(c) AS c FROM EN");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_TRUE(rs.Get(0, "s").is_null());
+  EXPECT_EQ(rs.Get(0, "c").int_val(), 0);
+  // Grouped: no groups, no rows.
+  ResultSet grouped = MustQuery(&db_, "SELECT k, AGGREGATE(s) FROM EN GROUP BY k");
+  EXPECT_EQ(grouped.num_rows(), 0u);
+}
+
+// A context that admits no rows: SUM is NULL, COUNT is 0 (SQL aggregate
+// semantics carry through the measure).
+TEST_F(NullSemanticsTest, EmptyContext) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName,
+           r AT (SET prodName = 'ghost') AS sum_empty,
+           n AT (SET prodName = 'ghost') AS count_empty
+    FROM EO GROUP BY prodName ORDER BY prodName
+  )sql");
+  for (const Row& row : rs.rows()) {
+    EXPECT_TRUE(row[1].is_null());
+    EXPECT_EQ(row[2].int_val(), 0);
+  }
+}
+
+// NULL-valued SET expressions (e.g. CURRENT of an unpinned dim) pin the
+// dimension to NULL rather than erroring.
+TEST_F(NullSemanticsTest, NullSetValue) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT region, r AT (SET prodName = CURRENT prodName) AS v
+    FROM EO GROUP BY region ORDER BY region
+  )sql");
+  // prodName is unpinned at this call site, so CURRENT prodName is NULL and
+  // the context becomes {region = current, prodName IS NULL}: the region
+  // group term remains alongside the SET term.
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_TRUE(rs.Get(0, "region").is_null());   // NULL region, NULL product
+  EXPECT_EQ(rs.Get(0, "v").int_val(), 40);
+  EXPECT_EQ(rs.Get(1, "region").str(), "east");  // east, NULL product
+  EXPECT_EQ(rs.Get(1, "v").int_val(), 30);
+  EXPECT_EQ(rs.Get(2, "region").str(), "west");  // west has no NULL product
+  EXPECT_TRUE(rs.Get(2, "v").is_null());
+}
+
+// Measures whose formula arguments contain NULLs skip them like SQL
+// aggregates do.
+TEST_F(NullSemanticsTest, NullsInsideAggregateArguments) {
+  MustExecute(&db_, R"sql(
+    CREATE TABLE T (k VARCHAR, v INTEGER);
+    INSERT INTO T VALUES ('a', 1), ('a', NULL), ('b', NULL);
+    CREATE VIEW ET AS SELECT *, SUM(v) AS MEASURE s, AVG(v) AS MEASURE a,
+                             COUNT(v) AS MEASURE cv, COUNT(*) AS MEASURE cs
+    FROM T
+  )sql");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT k, AGGREGATE(s) AS s, AGGREGATE(a) AS a,
+           AGGREGATE(cv) AS cv, AGGREGATE(cs) AS cs
+    FROM ET GROUP BY k ORDER BY k
+  )sql");
+  EXPECT_EQ(rs.Get(0, "s").int_val(), 1);
+  EXPECT_DOUBLE_EQ(rs.Get(0, "a").double_val(), 1.0);
+  EXPECT_EQ(rs.Get(0, "cv").int_val(), 1);
+  EXPECT_EQ(rs.Get(0, "cs").int_val(), 2);
+  EXPECT_TRUE(rs.Get(1, "s").is_null());  // b: only NULLs
+  EXPECT_EQ(rs.Get(1, "cv").int_val(), 0);
+}
+
+}  // namespace
+}  // namespace msql

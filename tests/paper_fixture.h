@@ -1,0 +1,44 @@
+#ifndef MSQL_TESTS_PAPER_FIXTURE_H_
+#define MSQL_TESTS_PAPER_FIXTURE_H_
+
+#include <string>
+
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+
+namespace msql {
+
+// Loads the paper's tables 1 and 2 (Customers, Orders) into an engine.
+inline void LoadPaperData(Engine* db) {
+  Status st = db->Execute(R"sql(
+    CREATE TABLE Customers (custName VARCHAR, custAge INTEGER);
+    INSERT INTO Customers VALUES
+      ('Alice', 23), ('Bob', 41), ('Celia', 17);
+    CREATE TABLE Orders (prodName VARCHAR, custName VARCHAR,
+                         orderDate DATE, revenue INTEGER, cost INTEGER);
+    INSERT INTO Orders VALUES
+      ('Happy', 'Alice', DATE '2023-11-28', 6, 4),
+      ('Acme',  'Bob',   DATE '2023-11-27', 5, 2),
+      ('Happy', 'Alice', DATE '2024-11-28', 7, 4),
+      ('Whizz', 'Celia', DATE '2023-11-25', 3, 1),
+      ('Happy', 'Bob',   DATE '2022-11-27', 4, 1);
+  )sql");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+// Runs a query, failing the test on error.
+inline ResultSet MustQuery(Engine* db, const std::string& sql) {
+  auto result = db->Query(sql);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n  in: " << sql;
+  return result.ok() ? result.take() : ResultSet();
+}
+
+// Executes statements, failing the test on error.
+inline void MustExecute(Engine* db, const std::string& sql) {
+  Status st = db->Execute(sql);
+  ASSERT_TRUE(st.ok()) << st.ToString() << "\n  in: " << sql;
+}
+
+}  // namespace msql
+
+#endif  // MSQL_TESTS_PAPER_FIXTURE_H_

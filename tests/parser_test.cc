@@ -1,0 +1,274 @@
+// Unit tests for the recursive-descent parser: statement shapes, operator
+// precedence, the paper's AT / AS MEASURE / CURRENT extensions, and error
+// reporting. Round trips rely on Expr/Stmt::ToString.
+
+#include "parser/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace msql {
+namespace {
+
+StmtPtr MustParse(const std::string& sql) {
+  auto r = Parser::Parse(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n  in: " << sql;
+  return r.ok() ? r.take() : nullptr;
+}
+
+std::string ExprString(const std::string& expr_sql) {
+  auto r = Parser::ParseExpression(expr_sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n  in: " << expr_sql;
+  return r.ok() ? r.value()->ToString() : "";
+}
+
+TEST(ParserTest, SimpleSelect) {
+  StmtPtr stmt = MustParse("SELECT a, b FROM t WHERE a > 1");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->kind, StmtKind::kSelect);
+  EXPECT_EQ(stmt->select->select_list.size(), 2u);
+  EXPECT_NE(stmt->select->where, nullptr);
+}
+
+TEST(ParserTest, Precedence) {
+  EXPECT_EQ(ExprString("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(ExprString("(1 + 2) * 3"), "((1 + 2) * 3)");
+  EXPECT_EQ(ExprString("a OR b AND c"), "(a OR (b AND c))");
+  EXPECT_EQ(ExprString("NOT a = b"), "(NOT (a = b))");
+  EXPECT_EQ(ExprString("-a + b"), "((-a) + b)");
+  EXPECT_EQ(ExprString("a = b AND c < d"), "((a = b) AND (c < d))");
+}
+
+TEST(ParserTest, AtBindsTighterThanDivision) {
+  // Paper listing 6 relies on this.
+  std::string s = ExprString("sumRevenue / sumRevenue AT (ALL prodName)");
+  EXPECT_EQ(s, "(sumRevenue / sumRevenue AT (ALL prodName))");
+}
+
+TEST(ParserTest, AtModifierKinds) {
+  auto r = Parser::ParseExpression(
+      "m AT (ALL VISIBLE SET y = CURRENT y - 1 WHERE a = b ALL x, z)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Expr& e = *r.value();
+  ASSERT_EQ(e.kind, ExprKind::kAt);
+  ASSERT_EQ(e.at_modifiers.size(), 5u);
+  EXPECT_EQ(e.at_modifiers[0].kind, AtModifier::Kind::kAll);
+  EXPECT_EQ(e.at_modifiers[1].kind, AtModifier::Kind::kVisible);
+  EXPECT_EQ(e.at_modifiers[2].kind, AtModifier::Kind::kSet);
+  EXPECT_EQ(e.at_modifiers[3].kind, AtModifier::Kind::kWhere);
+  EXPECT_EQ(e.at_modifiers[4].kind, AtModifier::Kind::kAllDims);
+  EXPECT_EQ(e.at_modifiers[4].dims.size(), 2u);
+}
+
+TEST(ParserTest, AtSetWithCurrentExpression) {
+  std::string s =
+      ExprString("profitMargin AT (SET orderYear = CURRENT orderYear - 1)");
+  EXPECT_EQ(s,
+            "profitMargin AT (SET orderYear = (CURRENT orderYear - 1))");
+}
+
+TEST(ParserTest, ChainedAt) {
+  auto r = Parser::ParseExpression("m AT (ALL) AT (VISIBLE)");
+  ASSERT_TRUE(r.ok());
+  const Expr& outer = *r.value();
+  EXPECT_EQ(outer.kind, ExprKind::kAt);
+  EXPECT_EQ(outer.left->kind, ExprKind::kAt);
+}
+
+TEST(ParserTest, AsMeasure) {
+  StmtPtr stmt = MustParse(
+      "SELECT *, SUM(revenue) AS MEASURE sumRevenue FROM Orders");
+  ASSERT_NE(stmt, nullptr);
+  const auto& items = stmt->select->select_list;
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_TRUE(items[0].is_star);
+  EXPECT_TRUE(items[1].is_measure);
+  EXPECT_EQ(items[1].alias, "sumRevenue");
+}
+
+TEST(ParserTest, CreateView) {
+  StmtPtr stmt = MustParse(
+      "CREATE OR REPLACE VIEW v AS SELECT a FROM t");
+  EXPECT_EQ(stmt->kind, StmtKind::kCreateView);
+  EXPECT_TRUE(stmt->or_replace);
+  EXPECT_EQ(stmt->name, "v");
+}
+
+TEST(ParserTest, CreateTableAndDrop) {
+  StmtPtr stmt = MustParse(
+      "CREATE TABLE IF NOT EXISTS t (a INTEGER, b VARCHAR(20), c DATE)");
+  EXPECT_EQ(stmt->kind, StmtKind::kCreateTable);
+  EXPECT_TRUE(stmt->if_not_exists);
+  ASSERT_EQ(stmt->columns.size(), 3u);
+  EXPECT_EQ(stmt->columns[2].type_name, "DATE");
+
+  StmtPtr drop = MustParse("DROP TABLE IF EXISTS t");
+  EXPECT_EQ(drop->kind, StmtKind::kDrop);
+  EXPECT_TRUE(drop->if_exists);
+}
+
+TEST(ParserTest, Insert) {
+  StmtPtr stmt = MustParse(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)");
+  EXPECT_EQ(stmt->kind, StmtKind::kInsert);
+  EXPECT_EQ(stmt->insert_columns.size(), 2u);
+  EXPECT_EQ(stmt->insert_rows.size(), 2u);
+
+  StmtPtr sel = MustParse("INSERT INTO t SELECT * FROM s");
+  EXPECT_NE(sel->insert_select, nullptr);
+}
+
+TEST(ParserTest, JoinVariants) {
+  StmtPtr stmt = MustParse(
+      "SELECT * FROM a JOIN b ON a.x = b.x "
+      "LEFT JOIN c USING (y) CROSS JOIN d");
+  const TableRef* from = stmt->select->from.get();
+  ASSERT_EQ(from->kind, TableRefKind::kJoin);
+  EXPECT_EQ(from->join_type, JoinType::kCross);
+  EXPECT_EQ(from->left->join_type, JoinType::kLeft);
+  EXPECT_EQ(from->left->using_cols.size(), 1u);
+}
+
+TEST(ParserTest, GroupByRollupAndGroupingSets) {
+  StmtPtr stmt = MustParse(
+      "SELECT a, b, COUNT(*) FROM t "
+      "GROUP BY ROLLUP(a, b)");
+  ASSERT_EQ(stmt->select->group_by.size(), 1u);
+  EXPECT_EQ(stmt->select->group_by[0].kind, GroupItem::Kind::kRollup);
+  EXPECT_EQ(stmt->select->group_by[0].exprs.size(), 2u);
+
+  StmtPtr gs = MustParse(
+      "SELECT a, b FROM t GROUP BY GROUPING SETS ((a), (a, b), ())");
+  EXPECT_EQ(gs->select->group_by[0].kind, GroupItem::Kind::kGroupingSets);
+  EXPECT_EQ(gs->select->group_by[0].sets.size(), 3u);
+
+  StmtPtr cube = MustParse("SELECT a FROM t GROUP BY CUBE(a, b)");
+  EXPECT_EQ(cube->select->group_by[0].kind, GroupItem::Kind::kCube);
+}
+
+TEST(ParserTest, WithClause) {
+  StmtPtr stmt = MustParse(
+      "WITH x AS (SELECT 1 AS a), y AS (SELECT a FROM x) "
+      "SELECT * FROM y");
+  EXPECT_EQ(stmt->select->ctes.size(), 2u);
+}
+
+TEST(ParserTest, SetOperations) {
+  StmtPtr stmt = MustParse("SELECT a FROM t UNION ALL SELECT b FROM s");
+  EXPECT_EQ(stmt->select->set_op, SetOpKind::kUnionAll);
+  StmtPtr u = MustParse("SELECT a FROM t UNION SELECT b FROM s");
+  EXPECT_EQ(u->select->set_op, SetOpKind::kUnion);
+  StmtPtr e = MustParse("SELECT a FROM t EXCEPT SELECT b FROM s");
+  EXPECT_EQ(e->select->set_op, SetOpKind::kExcept);
+}
+
+TEST(ParserTest, WindowFunctions) {
+  StmtPtr stmt = MustParse(
+      "SELECT AVG(x) OVER (PARTITION BY p ORDER BY d DESC) FROM t");
+  const Expr& e = *stmt->select->select_list[0].expr;
+  ASSERT_NE(e.over, nullptr);
+  EXPECT_EQ(e.over->partition_by.size(), 1u);
+  ASSERT_EQ(e.over->order_by.size(), 1u);
+  EXPECT_TRUE(e.over->order_by[0].second);
+}
+
+TEST(ParserTest, CaseCastBetweenInLike) {
+  EXPECT_EQ(ExprString("CASE WHEN a THEN 1 ELSE 2 END"),
+            "CASE WHEN a THEN 1 ELSE 2 END");
+  EXPECT_EQ(ExprString("CAST(a AS INTEGER)"), "CAST(a AS INTEGER)");
+  EXPECT_EQ(ExprString("a BETWEEN 1 AND 3"), "(a BETWEEN 1 AND 3)");
+  EXPECT_EQ(ExprString("a NOT BETWEEN 1 AND 3"), "(a NOT BETWEEN 1 AND 3)");
+  EXPECT_EQ(ExprString("a IN (1, 2)"), "(a IN (1, 2))");
+  EXPECT_EQ(ExprString("a NOT IN (1)"), "(a NOT IN (1))");
+  EXPECT_EQ(ExprString("a LIKE 'x%'"), "(a LIKE 'x%')");
+  EXPECT_EQ(ExprString("a IS NULL"), "(a IS NULL)");
+  EXPECT_EQ(ExprString("a IS NOT NULL"), "(a IS NOT NULL)");
+  EXPECT_EQ(ExprString("a IS DISTINCT FROM b"), "(a IS DISTINCT FROM b)");
+}
+
+TEST(ParserTest, DateLiteral) {
+  auto r = Parser::ParseExpression("DATE '2024-02-29'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->literal.kind(), TypeKind::kDate);
+  EXPECT_FALSE(Parser::ParseExpression("DATE '2023-02-29'").ok());
+}
+
+TEST(ParserTest, CountVariants) {
+  auto star = Parser::ParseExpression("COUNT(*)");
+  ASSERT_TRUE(star.ok());
+  EXPECT_TRUE(star.value()->star_arg);
+  auto distinct = Parser::ParseExpression("COUNT(DISTINCT x)");
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_TRUE(distinct.value()->distinct);
+  auto filtered = Parser::ParseExpression("SUM(x) FILTER (WHERE x > 0)");
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_NE(filtered.value()->filter, nullptr);
+}
+
+TEST(ParserTest, Subqueries) {
+  EXPECT_NE(MustParse("SELECT (SELECT MAX(x) FROM t) AS m"), nullptr);
+  EXPECT_NE(MustParse("SELECT * FROM t WHERE EXISTS (SELECT 1 FROM s)"),
+            nullptr);
+  EXPECT_NE(MustParse("SELECT * FROM t WHERE a IN (SELECT b FROM s)"),
+            nullptr);
+  EXPECT_NE(MustParse("SELECT * FROM (SELECT a FROM t) AS sub"), nullptr);
+}
+
+TEST(ParserTest, MultipleStatements) {
+  Parser parser("SELECT 1; SELECT 2;; SELECT 3");
+  auto r = parser.ParseStatements();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+TEST(ParserTest, OrderByOptions) {
+  StmtPtr stmt = MustParse(
+      "SELECT a FROM t ORDER BY a DESC NULLS LAST, 1 ASC LIMIT 5 OFFSET 2");
+  ASSERT_EQ(stmt->select->order_by.size(), 2u);
+  EXPECT_TRUE(stmt->select->order_by[0].desc);
+  EXPECT_EQ(stmt->select->order_by[0].nulls_first, false);
+  EXPECT_NE(stmt->select->limit, nullptr);
+  EXPECT_NE(stmt->select->offset, nullptr);
+}
+
+TEST(ParserTest, ErrorMessagesCarryPosition) {
+  auto r = Parser::Parse("SELECT FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ParserTest, Errors) {
+  for (const char* bad : {
+           "SELECT",
+           "SELECT a FROM",
+           "SELECT a FROM t WHERE",
+           "SELECT a b c FROM t",
+           "CREATE VIEW v",
+           "INSERT t VALUES (1)",
+           "SELECT a FROM t GROUP",
+           "SELECT m AT () extra" /* trailing input */,
+           "SELECT m AT (FOO) FROM t",
+           "SELECT CASE END",
+       }) {
+    EXPECT_FALSE(Parser::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const char* queries[] = {
+      "SELECT a, SUM(b) AS s FROM t WHERE c > 1 GROUP BY a HAVING SUM(b) > 2",
+      "SELECT *, SUM(revenue) AS MEASURE r FROM Orders",
+      "SELECT prodName, AGGREGATE(profitMargin) FROM EnhancedOrders GROUP BY prodName",
+      "SELECT a FROM t JOIN s USING (k) WHERE a <> 'Bob'",
+  };
+  for (const char* q : queries) {
+    StmtPtr stmt = MustParse(q);
+    ASSERT_NE(stmt, nullptr);
+    std::string printed = stmt->ToString();
+    StmtPtr reparsed = MustParse(printed);
+    ASSERT_NE(reparsed, nullptr) << printed;
+    EXPECT_EQ(reparsed->ToString(), printed) << q;
+  }
+}
+
+}  // namespace
+}  // namespace msql

@@ -1,0 +1,146 @@
+// Tests for the binder/planner layer observed through EXPLAIN: operator
+// placement, measure propagation markers, grouping-set counts, and join
+// algorithm selection hints.
+
+#include "binder/binder.h"
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+#include "tests/paper_fixture.h"
+
+namespace msql {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LoadPaperData(&db_);
+    MustExecute(&db_,
+                "CREATE VIEW EO AS SELECT *, SUM(revenue) AS MEASURE r "
+                "FROM Orders");
+  }
+
+  std::string Plan(const std::string& sql) {
+    auto r = db_.Explain(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n  in: " << sql;
+    return r.ok() ? r.value() : "";
+  }
+
+  Engine db_;
+};
+
+TEST_F(PlanTest, SimpleSelectIsProjectOverScan) {
+  std::string plan = Plan("SELECT prodName FROM Orders");
+  EXPECT_NE(plan.find("Project"), std::string::npos);
+  EXPECT_NE(plan.find("Scan Orders"), std::string::npos);
+  EXPECT_EQ(plan.find("Aggregate"), std::string::npos);
+}
+
+TEST_F(PlanTest, WhereBecomesFilter) {
+  std::string plan = Plan("SELECT prodName FROM Orders WHERE revenue > 3");
+  EXPECT_NE(plan.find("Filter (revenue > 3)"), std::string::npos);
+}
+
+TEST_F(PlanTest, GroupByBecomesAggregate) {
+  std::string plan =
+      Plan("SELECT prodName, SUM(revenue) FROM Orders GROUP BY prodName");
+  EXPECT_NE(plan.find("Aggregate keys=[prodName] outs=[SUM(revenue)]"),
+            std::string::npos);
+}
+
+TEST_F(PlanTest, HavingIsFilterAboveAggregate) {
+  std::string plan = Plan(
+      "SELECT prodName FROM Orders GROUP BY prodName HAVING COUNT(*) > 1");
+  size_t filter = plan.find("Filter");
+  size_t agg = plan.find("Aggregate");
+  ASSERT_NE(filter, std::string::npos);
+  ASSERT_NE(agg, std::string::npos);
+  EXPECT_LT(filter, agg);  // filter printed above (before) the aggregate
+}
+
+TEST_F(PlanTest, RollupProducesMultipleSets) {
+  std::string plan = Plan(
+      "SELECT prodName, custName, COUNT(*) FROM Orders "
+      "GROUP BY ROLLUP(prodName, custName)");
+  EXPECT_NE(plan.find("sets=3"), std::string::npos);
+}
+
+TEST_F(PlanTest, MeasureViewCarriesMeasureMarker) {
+  std::string plan = Plan("SELECT prodName, r FROM EO");
+  EXPECT_NE(plan.find("measures=[r]"), std::string::npos);
+}
+
+TEST_F(PlanTest, MeasureEvalAppearsInAggregateOuts) {
+  std::string plan =
+      Plan("SELECT prodName, AGGREGATE(r) FROM EO GROUP BY prodName");
+  EXPECT_NE(plan.find("r AT (VISIBLE)"), std::string::npos);
+}
+
+TEST_F(PlanTest, FilterPropagatesMeasures) {
+  std::string plan = Plan("SELECT prodName, r FROM EO WHERE revenue > 3");
+  // Both the filter node and the project above it should carry the measure.
+  size_t first = plan.find("measures=[r]");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(plan.find("measures=[r]", first + 1), std::string::npos);
+}
+
+TEST_F(PlanTest, JoinShowsTypeAndCondition) {
+  std::string plan = Plan(
+      "SELECT o.prodName FROM Orders AS o "
+      "LEFT JOIN Customers AS c ON o.custName = c.custName");
+  EXPECT_NE(plan.find("Join LEFT ON"), std::string::npos);
+}
+
+TEST_F(PlanTest, SortBelowProjectForGroupedQuery) {
+  std::string plan = Plan(
+      "SELECT prodName, SUM(revenue) AS s FROM Orders "
+      "GROUP BY prodName ORDER BY s DESC");
+  size_t project = plan.find("Project");
+  size_t sort = plan.find("Sort");
+  ASSERT_NE(project, std::string::npos);
+  ASSERT_NE(sort, std::string::npos);
+  EXPECT_LT(project, sort);  // Project on top, Sort beneath
+}
+
+TEST_F(PlanTest, WindowNodeForOverClause) {
+  std::string plan = Plan(
+      "SELECT revenue, SUM(revenue) OVER (PARTITION BY prodName) FROM Orders");
+  EXPECT_NE(plan.find("Window"), std::string::npos);
+  EXPECT_NE(plan.find("PARTITION BY prodName"), std::string::npos);
+}
+
+TEST_F(PlanTest, LimitAndDistinctNodes) {
+  std::string plan = Plan("SELECT DISTINCT prodName FROM Orders LIMIT 2");
+  EXPECT_NE(plan.find("Limit"), std::string::npos);
+  EXPECT_NE(plan.find("Distinct"), std::string::npos);
+}
+
+TEST_F(PlanTest, SetOpNode) {
+  std::string plan = Plan(
+      "SELECT prodName FROM Orders UNION SELECT custName FROM Customers");
+  EXPECT_NE(plan.find("SetOp UNION"), std::string::npos);
+}
+
+TEST_F(PlanTest, ViewExpansionInlinesThePlan) {
+  // The view is not a black box: EXPLAIN shows the expanded tree down to
+  // the base-table scan.
+  std::string plan = Plan("SELECT prodName FROM EO");
+  EXPECT_NE(plan.find("Scan Orders"), std::string::npos);
+}
+
+TEST_F(PlanTest, BinderIsReusableAcrossStatements) {
+  // One binder instance can bind successive statements without state leaks.
+  Binder binder(&db_.catalog(), "");
+  for (const char* sql :
+       {"SELECT prodName FROM Orders",
+        "SELECT prodName, AGGREGATE(r) FROM EO GROUP BY prodName",
+        "SELECT COUNT(*) FROM Customers"}) {
+    auto stmt = Parser::Parse(sql);
+    ASSERT_TRUE(stmt.ok());
+    auto plan = binder.Bind(*stmt.value()->select);
+    EXPECT_TRUE(plan.ok()) << sql << ": " << plan.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace msql

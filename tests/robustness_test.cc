@@ -1,0 +1,210 @@
+// Robustness: exotic combinations must either work or fail with a clean
+// Status — never crash, hang, or silently corrupt. Also pins down the
+// engine's documented choices for constructs the paper leaves open.
+
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "tests/paper_fixture.h"
+
+namespace msql {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LoadPaperData(&db_);
+    MustExecute(&db_,
+                "CREATE VIEW EO AS SELECT *, SUM(revenue) AS MEASURE r "
+                "FROM Orders");
+  }
+
+  // The query must either succeed or return a Status (no crash).
+  void NoCrash(const std::string& sql) {
+    auto r = db_.Query(sql);
+    (void)r;
+    SUCCEED();
+  }
+
+  Engine db_;
+};
+
+TEST_F(RobustnessTest, DeepModifierChains) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName,
+           r AT (ALL) AT (SET prodName = 'Happy') AT (ALL)
+             AT (SET prodName = 'Acme') AS v
+    FROM EO GROUP BY prodName
+  )sql");
+  // Per section 3.5, (cse AT (m2)) AT (m1) applies m1 first: the chain
+  // applies outermost-first, so the innermost AT (ALL) acts last and clears
+  // the context entirely.
+  for (const Row& row : rs.rows()) {
+    EXPECT_EQ(row[1].int_val(), 25);
+  }
+}
+
+TEST_F(RobustnessTest, ManyModifiersInOneAt) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName,
+           r AT (ALL SET custName = 'Alice' SET custName = 'Bob'
+                 ALL custName VISIBLE WHERE revenue > 0) AS v
+    FROM EO GROUP BY prodName
+  )sql");
+  for (const Row& row : rs.rows()) {
+    EXPECT_EQ(row[1].int_val(), 25);  // WHERE replaces everything
+  }
+}
+
+TEST_F(RobustnessTest, MeasureInsideCaseAndArithmetic) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName,
+           CASE WHEN AGGREGATE(r) > 10 THEN 'big' ELSE 'small' END AS size,
+           AGGREGATE(r) * 2 + 1 AS scaled
+    FROM EO GROUP BY prodName ORDER BY prodName
+  )sql");
+  EXPECT_EQ(rs.Get(0, "size").str(), "small");
+  EXPECT_EQ(rs.Get(1, "size").str(), "big");
+  EXPECT_EQ(rs.Get(1, "scaled").int_val(), 35);
+}
+
+TEST_F(RobustnessTest, TwoMeasureRefsInOneExpression) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(r) - r AT (ALL) AS below_total
+    FROM EO GROUP BY prodName ORDER BY prodName
+  )sql");
+  EXPECT_EQ(rs.Get(0, "below_total").int_val(), 5 - 25);
+}
+
+TEST_F(RobustnessTest, UnionOfMeasureQueries) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(r) AS v FROM EO GROUP BY prodName
+    UNION ALL
+    SELECT custName, AGGREGATE(r) AS v FROM EO GROUP BY custName
+  )sql");
+  EXPECT_EQ(rs.num_rows(), 6u);  // 3 products + 3 customers
+}
+
+TEST_F(RobustnessTest, MeasureViewInCte) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    WITH m AS (SELECT *, SUM(cost) AS MEASURE c FROM Orders)
+    SELECT prodName, AGGREGATE(c) AS cost FROM m GROUP BY prodName
+    ORDER BY prodName
+  )sql");
+  EXPECT_EQ(rs.Get(1, "cost").int_val(), 9);  // Happy costs 4+4+1
+}
+
+TEST_F(RobustnessTest, SubqueryReturningMeasureTable) {
+  // A measure survives two levels of derived tables with filters.
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(r) AS v
+    FROM (SELECT * FROM (SELECT * FROM EO WHERE revenue > 2) AS a
+          WHERE custName <> 'Celia') AS b
+    GROUP BY prodName ORDER BY prodName
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.Get(1, "v").int_val(), 17);  // Happy: all orders visible
+}
+
+TEST_F(RobustnessTest, SelfJoinOfMeasureView) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT a.prodName, AGGREGATE(a.r) AS ra, AGGREGATE(b.r) AS rb
+    FROM EO AS a JOIN EO AS b ON a.prodName = b.prodName
+    GROUP BY a.prodName ORDER BY a.prodName
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  // Both sides carry the same measure; grain preserved on each side.
+  for (size_t i = 0; i < rs.num_rows(); ++i) {
+    EXPECT_TRUE(Value::NotDistinct(rs.Get(i, "ra"), rs.Get(i, "rb")));
+  }
+  EXPECT_EQ(rs.Get(1, "ra").int_val(), 17);
+}
+
+TEST_F(RobustnessTest, MeasureOverValueslessSelect) {
+  // FROM-less SELECT with AGGREGATE of nothing is a bind error, not a crash.
+  NoCrash("SELECT AGGREGATE(nothing)");
+}
+
+TEST_F(RobustnessTest, GracefulErrorsForExoticMisuse) {
+  for (const char* bad : {
+           "SELECT r AT (SET r = 1) FROM EO GROUP BY prodName",
+           "SELECT r AT (WHERE r > 1) FROM EO GROUP BY prodName",
+           "SELECT AGGREGATE(r + revenue) FROM EO",
+           "SELECT CURRENT prodName FROM EO GROUP BY prodName",
+           "SELECT prodName FROM EO GROUP BY r",
+       }) {
+    auto result = db_.Query(bad);
+    EXPECT_FALSE(result.ok()) << bad;
+  }
+}
+
+TEST_F(RobustnessTest, AggregateOfMeasureExpression) {
+  // AGGREGATE over an expression of a measure: allowed, the VISIBLE
+  // modifier distributes to the inner measure references.
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(r * 2) AS v FROM EO GROUP BY prodName
+    ORDER BY prodName
+  )sql");
+  EXPECT_EQ(rs.Get(0, "v").int_val(), 10);
+}
+
+TEST_F(RobustnessTest, WindowAndMeasureSideBySide) {
+  // A window function and a bare measure in the same (non-grouped) query.
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, revenue,
+           SUM(revenue) OVER (PARTITION BY prodName) AS win_total,
+           r AT (WHERE prodName = o.prodName) AS measure_total
+    FROM EO AS o ORDER BY prodName, revenue
+  )sql");
+  for (size_t i = 0; i < rs.num_rows(); ++i) {
+    EXPECT_TRUE(
+        Value::NotDistinct(rs.Get(i, "win_total"), rs.Get(i, "measure_total")));
+  }
+}
+
+TEST_F(RobustnessTest, LongInListAndManyColumns) {
+  std::string in_list = "SELECT prodName FROM Orders WHERE revenue IN (";
+  for (int i = 0; i < 500; ++i) {
+    if (i > 0) in_list += ",";
+    in_list += std::to_string(i);
+  }
+  in_list += ")";
+  ResultSet rs = MustQuery(&db_, in_list);
+  EXPECT_EQ(rs.num_rows(), 5u);
+
+  std::string wide = "SELECT ";
+  for (int i = 0; i < 200; ++i) {
+    if (i > 0) wide += ", ";
+    wide += "revenue + " + std::to_string(i) + " AS c" + std::to_string(i);
+  }
+  wide += " FROM Orders";
+  ResultSet rs2 = MustQuery(&db_, wide);
+  EXPECT_EQ(rs2.num_columns(), 200u);
+}
+
+TEST_F(RobustnessTest, EmptyStringAndUnicodePassThrough) {
+  MustExecute(&db_, "CREATE TABLE s (t VARCHAR); "
+                    "INSERT INTO s VALUES (''), ('naïve — ünïcødé')");
+  ResultSet rs = MustQuery(&db_, "SELECT t, LENGTH(t) AS l FROM s ORDER BY t");
+  EXPECT_EQ(rs.Get(0, "t").str(), "");
+  EXPECT_EQ(rs.Get(1, "t").str(), "naïve — ünïcødé");
+}
+
+TEST_F(RobustnessTest, HavingWithoutGroupBy) {
+  ResultSet rs = MustQuery(
+      &db_, "SELECT SUM(revenue) AS s FROM Orders HAVING SUM(revenue) > 10");
+  EXPECT_EQ(rs.num_rows(), 1u);
+  ResultSet none = MustQuery(
+      &db_, "SELECT SUM(revenue) AS s FROM Orders HAVING SUM(revenue) > 100");
+  EXPECT_EQ(none.num_rows(), 0u);
+}
+
+TEST_F(RobustnessTest, OrderByMeasurePassthroughPerRow) {
+  // Sorting a non-grouped query by a measure evaluates it per row.
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, revenue FROM EO ORDER BY r DESC, prodName
+  )sql");
+  EXPECT_EQ(rs.num_rows(), 5u);
+}
+
+}  // namespace
+}  // namespace msql

@@ -1,0 +1,131 @@
+// Tests for paper section 5.5: the grant-based security model. A view with
+// measures can be granted without exposing the underlying tables or hidden
+// columns; views run with definer's rights.
+
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "tests/paper_fixture.h"
+
+namespace msql {
+namespace {
+
+class SecurityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.SetUser("owner");
+    LoadPaperData(&db_);
+    // The view hides custName and the raw revenue/cost columns; it exposes
+    // only prodName plus measures.
+    MustExecute(&db_, R"sql(
+      CREATE VIEW ProductMargins AS
+      SELECT prodName,
+             (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE margin,
+             SUM(revenue) AS MEASURE rev
+      FROM Orders
+    )sql");
+  }
+  Engine db_;
+};
+
+TEST_F(SecurityTest, OwnerSeesEverything) {
+  ResultSet rs = MustQuery(&db_, "SELECT COUNT(*) AS n FROM Orders");
+  EXPECT_EQ(rs.Get(0, "n").int_val(), 5);
+}
+
+TEST_F(SecurityTest, StrangerIsDeniedBaseTableAndView) {
+  db_.SetUser("mallory");
+  EXPECT_EQ(db_.Query("SELECT * FROM Orders").status().code(),
+            ErrorCode::kPermission);
+  EXPECT_EQ(db_.Query("SELECT prodName FROM ProductMargins").status().code(),
+            ErrorCode::kPermission);
+}
+
+TEST_F(SecurityTest, GranteeCanUseViewButNotBaseTable) {
+  ASSERT_TRUE(db_.Grant("ProductMargins", "analyst").ok());
+  db_.SetUser("analyst");
+  // Direct base-table access still denied.
+  EXPECT_EQ(db_.Query("SELECT * FROM Orders").status().code(),
+            ErrorCode::kPermission);
+  // The view works, including measure evaluation that internally reads
+  // Orders (definer's rights).
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(margin) AS m FROM ProductMargins
+    GROUP BY prodName ORDER BY prodName
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_NEAR(rs.Get(1, "m").double_val(), 8.0 / 17, 1e-9);
+}
+
+TEST_F(SecurityTest, HiddenColumnsAreNotReachable) {
+  ASSERT_TRUE(db_.Grant("ProductMargins", "analyst").ok());
+  db_.SetUser("analyst");
+  // revenue / cost / custName are not projected by the view.
+  for (const char* col : {"revenue", "cost", "custName"}) {
+    auto r = db_.Query(std::string("SELECT ") + col + " FROM ProductMargins");
+    EXPECT_FALSE(r.ok()) << col;
+    EXPECT_EQ(r.status().code(), ErrorCode::kBind) << col;
+  }
+  // Nor can AT constrain them: they are not dimensions of the view.
+  auto r = db_.Query(
+      "SELECT rev AT (SET custName = 'Bob') FROM ProductMargins "
+      "GROUP BY prodName");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SecurityTest, MeasureIsAHologramNotARowSet) {
+  // The paper's hologram analogy: the grantee can interrogate the measure
+  // along visible dimensions only, but gets consistent totals.
+  ASSERT_TRUE(db_.Grant("ProductMargins", "analyst").ok());
+  db_.SetUser("analyst");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(rev) AS r, rev AT (ALL) AS total
+    FROM ProductMargins GROUP BY prodName ORDER BY prodName
+  )sql");
+  int64_t sum = 0;
+  for (const Row& row : rs.rows()) {
+    sum += row[1].int_val();
+    EXPECT_EQ(row[2].int_val(), 25);
+  }
+  EXPECT_EQ(sum, 25);
+}
+
+TEST_F(SecurityTest, GrantOnMissingObjectFails) {
+  EXPECT_EQ(db_.Grant("nope", "x").code(), ErrorCode::kCatalog);
+}
+
+TEST_F(SecurityTest, DdlByStrangerOnOwnedTableFails) {
+  db_.SetUser("mallory");
+  EXPECT_EQ(db_.Execute("INSERT INTO Orders VALUES ('X','Y',DATE '2024-01-01',1,1)")
+                .code(),
+            ErrorCode::kPermission);
+}
+
+TEST_F(SecurityTest, ViewOverViewKeepsDefinerRights) {
+  ASSERT_TRUE(db_.Grant("ProductMargins", "analyst").ok());
+  db_.SetUser("analyst");
+  // The analyst builds their own view on top of the granted view.
+  MustExecute(&db_, R"sql(
+    CREATE VIEW MyReport AS SELECT prodName, rev FROM ProductMargins
+  )sql");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT prodName, AGGREGATE(rev) AS r FROM MyReport GROUP BY prodName
+    ORDER BY prodName
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.Get(1, "r").int_val(), 17);
+  // A third user still cannot see MyReport.
+  db_.SetUser("other");
+  EXPECT_EQ(db_.Query("SELECT * FROM MyReport").status().code(),
+            ErrorCode::kPermission);
+}
+
+TEST_F(SecurityTest, ExpansionRespectsAccess) {
+  db_.SetUser("mallory");
+  auto r = db_.ExpandSql(
+      "SELECT prodName, AGGREGATE(rev) FROM ProductMargins GROUP BY prodName");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kPermission);
+}
+
+}  // namespace
+}  // namespace msql

@@ -1,0 +1,148 @@
+// Tests for paper section 5.3 (wide tables) and section 6.3 (grain
+// management): semi-additive measures (inventory rolled up with MAX_BY over
+// time and SUM over other dimensions), non-additive ratio measures, and
+// per-level formulas via GROUPING.
+
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "tests/paper_fixture.h"
+
+namespace msql {
+namespace {
+
+class WideTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // An inventory fact table: items on hand per warehouse per day.
+    MustExecute(&db_, R"sql(
+      CREATE TABLE Inventory (warehouse VARCHAR, product VARCHAR,
+                              day DATE, onHand INTEGER);
+      INSERT INTO Inventory VALUES
+        ('W1', 'pen',  DATE '2024-01-01', 100),
+        ('W1', 'pen',  DATE '2024-01-02', 80),
+        ('W1', 'book', DATE '2024-01-01', 50),
+        ('W1', 'book', DATE '2024-01-02', 70),
+        ('W2', 'pen',  DATE '2024-01-01', 10),
+        ('W2', 'pen',  DATE '2024-01-03', 30);
+      CREATE TABLE Returns (product VARCHAR, sold INTEGER, returned INTEGER);
+      INSERT INTO Returns VALUES
+        ('pen', 200, 10), ('book', 100, 30);
+    )sql");
+  }
+  Engine db_;
+};
+
+// Semi-additive measure: per (warehouse, product) take the LAST value over
+// time (MAX_BY on day), which then sums across warehouses/products.
+TEST_F(WideTableTest, SemiAdditiveInventory) {
+  MustExecute(&db_, R"sql(
+    CREATE VIEW Stock AS
+    SELECT *, MAX_BY(onHand, day) AS MEASURE lastOnHand
+    FROM Inventory
+  )sql");
+  // Per warehouse+product: latest snapshot.
+  ResultSet leaf = MustQuery(&db_, R"sql(
+    SELECT warehouse, product, AGGREGATE(lastOnHand) AS stock
+    FROM Stock GROUP BY warehouse, product
+    ORDER BY warehouse, product
+  )sql");
+  ASSERT_EQ(leaf.num_rows(), 3u);
+  EXPECT_EQ(leaf.Get(0, "stock").int_val(), 70);  // W1 book (Jan 2)
+  EXPECT_EQ(leaf.Get(1, "stock").int_val(), 80);  // W1 pen (Jan 2)
+  EXPECT_EQ(leaf.Get(2, "stock").int_val(), 30);  // W2 pen (Jan 3)
+
+  // Summing the per-leaf snapshots across warehouses needs an explicit
+  // second aggregation step (the PER-clause pattern of section 6.3).
+  ResultSet total = MustQuery(&db_, R"sql(
+    SELECT product, SUM(stock) AS total FROM (
+      SELECT warehouse, product, AGGREGATE(lastOnHand) AS stock
+      FROM Stock GROUP BY warehouse, product
+    ) AS leaves
+    GROUP BY product ORDER BY product
+  )sql");
+  ASSERT_EQ(total.num_rows(), 2u);
+  EXPECT_EQ(total.Get(0, "total").int_val(), 70);    // book
+  EXPECT_EQ(total.Get(1, "total").int_val(), 110);   // pen: 80 + 30
+}
+
+// Non-additive measure: return rate is a ratio of sums, never a sum of
+// ratios.
+TEST_F(WideTableTest, NonAdditiveReturnRate) {
+  MustExecute(&db_, R"sql(
+    CREATE VIEW R AS
+    SELECT *, SUM(returned) * 1.0 / SUM(sold) AS MEASURE returnRate
+    FROM Returns
+  )sql");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT product, AGGREGATE(returnRate) AS rate,
+           returnRate AT (ALL) AS overall
+    FROM R GROUP BY product ORDER BY product
+  )sql");
+  EXPECT_NEAR(rs.Get(0, "rate").double_val(), 0.30, 1e-9);  // book
+  EXPECT_NEAR(rs.Get(1, "rate").double_val(), 0.05, 1e-9);  // pen
+  // Overall rate is 40/300, NOT the average of the two rates.
+  for (const Row& row : rs.rows()) {
+    EXPECT_NEAR(row[2].double_val(), 40.0 / 300, 1e-9);
+  }
+}
+
+// Per-level formulas: GROUPING distinguishes the subtotal level, enabling a
+// different formula at each level (section 5.3's custom measures).
+TEST_F(WideTableTest, PerLevelFormulaViaGrouping) {
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT warehouse,
+           CASE WHEN GROUPING(warehouse) = 1
+                THEN AVG(onHand) ELSE SUM(onHand) * 1.0 END AS metric
+    FROM Inventory
+    GROUP BY ROLLUP(warehouse)
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  for (const Row& row : rs.rows()) {
+    if (row[0].is_null()) {
+      EXPECT_NEAR(row[1].double_val(), 340.0 / 6, 1e-9);  // grand: AVG
+    } else if (row[0].str() == "W1") {
+      EXPECT_NEAR(row[1].double_val(), 300.0, 1e-9);      // leaf: SUM
+    }
+  }
+}
+
+// A wide view joining facts to a dimension table exposes measures that
+// remain correct regardless of denormalization (section 5.3's thesis).
+TEST_F(WideTableTest, WideViewAvoidsDoubleCounting) {
+  MustExecute(&db_, R"sql(
+    CREATE TABLE Products (product VARCHAR, category VARCHAR);
+    INSERT INTO Products VALUES ('pen', 'stationery'), ('book', 'media');
+    CREATE VIEW FactReturns AS
+      SELECT *, SUM(sold) AS MEASURE totalSold FROM Returns;
+    CREATE VIEW Wide AS
+      SELECT f.product, f.sold, f.returned, f.totalSold, p.category
+      FROM FactReturns AS f JOIN Products AS p ON f.product = p.product;
+  )sql");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT category, AGGREGATE(totalSold) AS sold
+    FROM Wide GROUP BY category ORDER BY category
+  )sql");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.Get(0, "sold").int_val(), 100);  // media/book
+  EXPECT_EQ(rs.Get(1, "sold").int_val(), 200);  // stationery/pen
+}
+
+// A measure can roll up with MIN/MAX semantics too.
+TEST_F(WideTableTest, MinMaxMeasures) {
+  MustExecute(&db_, R"sql(
+    CREATE VIEW S AS SELECT *, MIN(onHand) AS MEASURE lo,
+                            MAX(onHand) AS MEASURE hi
+    FROM Inventory
+  )sql");
+  ResultSet rs = MustQuery(&db_, R"sql(
+    SELECT warehouse, AGGREGATE(lo) AS lo, AGGREGATE(hi) AS hi
+    FROM S GROUP BY warehouse ORDER BY warehouse
+  )sql");
+  EXPECT_EQ(rs.Get(0, "lo").int_val(), 50);
+  EXPECT_EQ(rs.Get(0, "hi").int_val(), 100);
+  EXPECT_EQ(rs.Get(1, "lo").int_val(), 10);
+  EXPECT_EQ(rs.Get(1, "hi").int_val(), 30);
+}
+
+}  // namespace
+}  // namespace msql

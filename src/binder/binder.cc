@@ -261,11 +261,11 @@ Result<PlanPtr> Binder::BindBaseTable(const std::string& name,
 
   // View: expand with definer's rights (paper section 5.5 — users granted
   // the view need no access to the underlying tables).
-  if (++view_depth_ > 32) {
+  if (++view_depth_ > max_recursion_depth_) {
     --view_depth_;
-    return Status(ErrorCode::kBind, "view nesting too deep (cycle?)");
+    return RecursionLimitExceeded("view expansion", max_recursion_depth_);
   }
-  Binder view_binder(catalog_, entry->owner);
+  Binder view_binder(catalog_, entry->owner, max_recursion_depth_);
   view_binder.view_depth_ = view_depth_;
   auto result = view_binder.BindSelectStmt(*entry->view_ast, nullptr);
   --view_depth_;

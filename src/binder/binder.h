@@ -21,8 +21,14 @@ namespace msql {
 // construction.
 class Binder {
  public:
-  Binder(const Catalog* catalog, std::string user)
-      : catalog_(catalog), user_(std::move(user)) {}
+  // `max_recursion_depth` drives the view-expansion depth guard; it is the
+  // same EngineOptions::max_recursion_depth that bounds plan execution and
+  // measure evaluation, so every layer trips the same kResourceExhausted.
+  Binder(const Catalog* catalog, std::string user,
+         int max_recursion_depth = 64)
+      : catalog_(catalog),
+        user_(std::move(user)),
+        max_recursion_depth_(max_recursion_depth) {}
 
   // Binds a full query (WITH / set ops / ORDER BY / LIMIT).
   Result<PlanPtr> Bind(const SelectStmt& stmt);
@@ -127,7 +133,8 @@ class Binder {
   std::map<std::string, const BoundExpr*> peer_measures_;
   bool in_measure_formula_ = false;
 
-  // View-expansion depth guard.
+  // View-expansion depth guard, bounded by max_recursion_depth_.
+  int max_recursion_depth_ = 64;
   int view_depth_ = 0;
 
   // USING column names collected while binding the current FROM clause.

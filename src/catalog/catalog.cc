@@ -1,5 +1,6 @@
 #include "catalog/catalog.h"
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace msql {
@@ -8,6 +9,7 @@ std::string Catalog::Key(const std::string& name) { return ToLower(name); }
 
 Status Catalog::CreateTable(const std::string& name, Schema schema,
                             bool if_not_exists, const std::string& owner) {
+  MSQL_FAULT_POINT("catalog.create_table");
   auto it = entries_.find(Key(name));
   if (it != entries_.end()) {
     if (if_not_exists) return Status::Ok();
@@ -24,6 +26,7 @@ Status Catalog::CreateTable(const std::string& name, Schema schema,
 
 Status Catalog::CreateView(const std::string& name, SelectStmtPtr ast,
                            bool or_replace, const std::string& owner) {
+  MSQL_FAULT_POINT("catalog.create_view");
   auto it = entries_.find(Key(name));
   if (it != entries_.end()) {
     if (!or_replace || it->second.kind != CatalogEntry::Kind::kView) {
@@ -43,6 +46,7 @@ Status Catalog::CreateView(const std::string& name, SelectStmtPtr ast,
 }
 
 Status Catalog::Drop(const std::string& name, bool is_view, bool if_exists) {
+  MSQL_FAULT_POINT("catalog.drop");
   auto it = entries_.find(Key(name));
   if (it == entries_.end()) {
     if (if_exists) return Status::Ok();

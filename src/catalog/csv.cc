@@ -4,20 +4,32 @@
 #include <fstream>
 
 #include "common/date.h"
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace msql {
 
 namespace {
 
+// One parsed CSV record plus the 1-based source line it starts on, so
+// errors downstream (arity, cast) can cite the offending line.
+struct CsvRecord {
+  size_t line = 0;
+  std::vector<std::string> fields;
+};
+
 // Parses the full CSV text into records of fields (RFC-4180-ish).
-Result<std::vector<std::vector<std::string>>> ParseCsvText(
-    const std::string& text) {
-  std::vector<std::vector<std::string>> records;
+// Malformed input — an unterminated quoted field or an embedded NUL —
+// fails with kIo and the source line of the defect.
+Result<std::vector<CsvRecord>> ParseCsvText(const std::string& text) {
+  std::vector<CsvRecord> records;
   std::vector<std::string> record;
   std::string field;
   bool in_quotes = false;
   bool field_started = false;
+  size_t line = 1;          // current 1-based source line
+  size_t record_line = 1;   // line the current record started on
+  size_t quote_line = 0;    // line the open quote was seen on
   size_t i = 0;
   auto end_field = [&]() {
     record.push_back(field);
@@ -28,12 +40,17 @@ Result<std::vector<std::vector<std::string>>> ParseCsvText(
     end_field();
     // Skip blank lines.
     if (!(record.size() == 1 && record[0].empty())) {
-      records.push_back(record);
+      records.push_back(CsvRecord{record_line, record});
     }
     record.clear();
   };
   while (i < text.size()) {
     char c = text[i];
+    if (c == '\0') {
+      return Status(ErrorCode::kIo,
+                    StrCat("CSV line ", line,
+                           ": embedded NUL byte (binary data?)"));
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
@@ -43,17 +60,21 @@ Result<std::vector<std::vector<std::string>>> ParseCsvText(
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++line;
         field += c;
       }
     } else if (c == '"' && !field_started) {
       in_quotes = true;
       field_started = true;
+      quote_line = line;
     } else if (c == ',') {
       end_field();
     } else if (c == '\r') {
       // swallow
     } else if (c == '\n') {
       end_record();
+      ++line;
+      record_line = line;
     } else {
       field += c;
       field_started = true;
@@ -61,7 +82,9 @@ Result<std::vector<std::vector<std::string>>> ParseCsvText(
     ++i;
   }
   if (in_quotes) {
-    return Status(ErrorCode::kIo, "unterminated quoted field in CSV");
+    return Status(ErrorCode::kIo,
+                  StrCat("CSV line ", quote_line,
+                         ": unterminated quoted field"));
   }
   if (field_started || !record.empty() || !field.empty()) {
     if (!field.empty() || !record.empty()) end_record();
@@ -96,15 +119,17 @@ bool LooksLikeDate(const std::string& s) { return ParseDate(s).ok(); }
 }  // namespace
 
 Status AppendCsv(const std::string& path, bool header, Table* table) {
+  MSQL_FAULT_POINT("csv.append");
   MSQL_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
   MSQL_ASSIGN_OR_RETURN(auto records, ParseCsvText(text));
   size_t start = header ? 1 : 0;
   for (size_t r = start; r < records.size(); ++r) {
-    const auto& fields = records[r];
+    const auto& fields = records[r].fields;
     if (fields.size() != table->schema().size()) {
       return Status(ErrorCode::kIo,
-                    StrCat("CSV record ", r + 1, " has ", fields.size(),
-                           " fields, expected ", table->schema().size()));
+                    StrCat("CSV line ", records[r].line, ": record has ",
+                           fields.size(), " fields, expected ",
+                           table->schema().size()));
     }
     Row row;
     row.reserve(fields.size());
@@ -113,10 +138,15 @@ Status AppendCsv(const std::string& path, bool header, Table* table) {
         row.push_back(Value::Null());
         continue;
       }
-      MSQL_ASSIGN_OR_RETURN(
-          Value v,
-          Value::String(fields[c]).CastTo(table->schema().column(c).type.kind));
-      row.push_back(std::move(v));
+      auto cast =
+          Value::String(fields[c]).CastTo(table->schema().column(c).type.kind);
+      if (!cast.ok()) {
+        return Status(ErrorCode::kIo,
+                      StrCat("CSV line ", records[r].line, ", column '",
+                             table->schema().column(c).name,
+                             "': ", cast.status().message()));
+      }
+      row.push_back(std::move(cast.value()));
     }
     MSQL_RETURN_IF_ERROR(table->AppendRow(std::move(row)));
   }
@@ -124,19 +154,21 @@ Status AppendCsv(const std::string& path, bool header, Table* table) {
 }
 
 Result<Schema> InferCsvSchema(const std::string& path) {
+  MSQL_FAULT_POINT("csv.infer");
   MSQL_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
   MSQL_ASSIGN_OR_RETURN(auto records, ParseCsvText(text));
   if (records.empty()) {
     return Status(ErrorCode::kIo, "CSV file '" + path + "' is empty");
   }
-  const auto& names = records[0];
+  const auto& names = records[0].fields;
   Schema schema;
   for (size_t c = 0; c < names.size(); ++c) {
     bool all_int = true, all_double = true, all_date = true, any = false;
     for (size_t r = 1; r < records.size(); ++r) {
-      if (c >= records[r].size() || records[r][c].empty()) continue;
+      const auto& fields = records[r].fields;
+      if (c >= fields.size() || fields[c].empty()) continue;
       any = true;
-      const std::string& s = records[r][c];
+      const std::string& s = fields[c];
       all_int = all_int && LooksLikeInt(s);
       all_double = all_double && LooksLikeDouble(s);
       all_date = all_date && LooksLikeDate(s);
@@ -151,6 +183,7 @@ Result<Schema> InferCsvSchema(const std::string& path) {
 }
 
 Status WriteCsv(const std::string& path, const Table& table) {
+  MSQL_FAULT_POINT("csv.write");
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     return Status(ErrorCode::kIo, "cannot write file '" + path + "'");

@@ -1,0 +1,38 @@
+#include "common/fault_injection.h"
+
+#include "common/string_util.h"
+
+namespace msql {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector instance;
+  return instance;
+}
+
+void FaultInjector::ArmAt(int64_t fail_at, ErrorCode code) {
+  active_ = true;
+  fired_ = false;
+  fail_at_ = fail_at;
+  hits_ = 0;
+  code_ = code;
+  fired_site_.clear();
+}
+
+void FaultInjector::Reset() {
+  active_ = false;
+  fired_ = false;
+  fail_at_ = 0;
+  hits_ = 0;
+  fired_site_.clear();
+}
+
+Status FaultInjector::Checkpoint(const char* site) {
+  ++hits_;
+  if (fired_ || fail_at_ <= 0 || hits_ != fail_at_) return Status::Ok();
+  fired_ = true;
+  fired_site_ = site;
+  return Status(code_, StrCat("injected fault at checkpoint '", site,
+                              "' (hit ", hits_, ")"));
+}
+
+}  // namespace msql

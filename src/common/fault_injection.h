@@ -1,0 +1,76 @@
+#ifndef MSQL_COMMON_FAULT_INJECTION_H_
+#define MSQL_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace msql {
+
+// Deterministic fault-injection harness. The engine is instrumented with
+// named checkpoints (MSQL_FAULT_POINT) on its fallible paths: statement
+// dispatch, binding, plan execution, subquery and measure evaluation,
+// catalog mutation and CSV import/export. The injector is compiled
+// unconditionally but is a no-op (one predictable branch per checkpoint)
+// until armed.
+//
+// Armed with ArmAt(n), the nth checkpoint reached (1-based) returns an
+// injected non-OK Status exactly once; every other checkpoint passes.
+// Armed with ArmAt(0) the injector only counts checkpoints, which lets a
+// sweep test first measure how many checkpoints a workload crosses and then
+// step the failure through every one of them:
+//
+//   auto& fi = FaultInjector::Instance();
+//   fi.ArmAt(0); RunWorkload(); int64_t n = fi.hits(); fi.Reset();
+//   for (int64_t i = 1; i <= n; ++i) {
+//     fi.ArmAt(i);
+//     RunWorkload();          // must fail cleanly, never crash
+//     fi.Reset();
+//     CheckEngineStillWorks();
+//   }
+//
+// The injector is a process-wide singleton intended for single-threaded
+// test use; arming it while queries run on other threads is unsupported.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  // Arms the injector: fire at the `fail_at`th checkpoint (1-based) with
+  // `code`. fail_at <= 0 counts checkpoints without ever firing.
+  void ArmAt(int64_t fail_at, ErrorCode code = ErrorCode::kExecution);
+
+  // Disarms and zeroes the hit counter.
+  void Reset();
+
+  bool active() const { return active_; }
+  int64_t hits() const { return hits_; }
+  bool fired() const { return fired_; }
+  // Checkpoint name that fired, for sweep diagnostics. Empty if none.
+  const std::string& fired_site() const { return fired_site_; }
+
+  // Called by MSQL_FAULT_POINT at each checkpoint while active.
+  Status Checkpoint(const char* site);
+
+ private:
+  bool active_ = false;
+  bool fired_ = false;
+  int64_t fail_at_ = 0;
+  int64_t hits_ = 0;
+  ErrorCode code_ = ErrorCode::kExecution;
+  std::string fired_site_;
+};
+
+}  // namespace msql
+
+// Names a fault-injection checkpoint on a fallible path. Expands to a
+// single branch when the injector is disarmed (the default).
+#define MSQL_FAULT_POINT(site)                                        \
+  do {                                                                \
+    if (::msql::FaultInjector::Instance().active()) {                 \
+      MSQL_RETURN_IF_ERROR(                                           \
+          ::msql::FaultInjector::Instance().Checkpoint(site));        \
+    }                                                                 \
+  } while (0)
+
+#endif  // MSQL_COMMON_FAULT_INJECTION_H_

@@ -22,8 +22,18 @@ const char* ErrorCodeName(ErrorCode code) {
       return "io error";
     case ErrorCode::kPermission:
       return "permission denied";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kResourceExhausted:
+      return "resource exhausted";
   }
   return "unknown error";
+}
+
+Status RecursionLimitExceeded(const char* what, int limit) {
+  return Status(ErrorCode::kResourceExhausted,
+                std::string(what) + " recursion limit exceeded (max depth " +
+                    std::to_string(limit) + ")");
 }
 
 std::string Status::ToString() const {

@@ -18,6 +18,8 @@ enum class ErrorCode {
   kNotImplemented,
   kIo,              // CSV import/export failures
   kPermission,      // access denied (security model of paper section 5.5)
+  kCancelled,       // cooperative cancellation / deadline (query guard)
+  kResourceExhausted, // memory / row / recursion budget exceeded
 };
 
 // Human-readable label for an error code ("parse error", ...).
@@ -45,6 +47,11 @@ class Status {
   ErrorCode code_;
   std::string message_;
 };
+
+// Uniform kResourceExhausted status for every recursion/depth guard in the
+// engine (plan execution, measure evaluation, view expansion), so all
+// layers trip with the same message shape.
+Status RecursionLimitExceeded(const char* what, int limit);
 
 // Result<T> is a Status plus, on success, a value of type T (a minimal
 // StatusOr). Use `MSQL_ASSIGN_OR_RETURN` to unwrap.

@@ -4,6 +4,7 @@
 
 #include "binder/binder.h"
 #include "catalog/csv.h"
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "exec/executor.h"
 #include "measure/cse.h"
@@ -29,12 +30,27 @@ Result<ResultSet> Engine::Query(const std::string& sql) {
   return out;
 }
 
+Result<ResultSet> Engine::Query(const std::string& sql,
+                                CancelTokenPtr cancel) {
+  // Install the token for the duration of this call; restore on exit so
+  // Query-within-Query (COPY of a view) keeps its own scope.
+  CancelTokenPtr saved = std::move(active_cancel_);
+  active_cancel_ = std::move(cancel);
+  Result<ResultSet> result = Query(sql);
+  active_cancel_ = std::move(saved);
+  return result;
+}
+
 Result<ResultSet> Engine::RunSelect(const SelectStmt& select) {
-  Binder binder(&catalog_, user_);
+  MSQL_FAULT_POINT("engine.select");
+  Binder binder(&catalog_, user_, options_.max_recursion_depth);
   MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(select));
 
   last_stats_ = ExecState{};
   last_stats_.options = options_;
+  last_stats_.guard.Arm(options_.timeout_ms, options_.max_memory_bytes,
+                        options_.max_result_rows, active_cancel_,
+                        cancel_generation_);
   Executor executor(&last_stats_);
   MSQL_ASSIGN_OR_RETURN(RelationPtr rel, executor.Execute(*plan, {}));
 
@@ -45,6 +61,7 @@ Result<ResultSet> Engine::RunSelect(const SelectStmt& select) {
     names.push_back(rel->schema.column(i).name);
     types.push_back(rel->schema.column(i).type);
   }
+  MSQL_RETURN_IF_ERROR(last_stats_.guard.ChargeRows(rel->rows.size(), visible));
   std::vector<Row> rows;
   rows.reserve(rel->rows.size());
   for (const Row& r : rel->rows) {
@@ -58,6 +75,7 @@ Result<ResultSet> Engine::RunSelect(const SelectStmt& select) {
   for (const RtMeasure& m : rel->measures) {
     if (m.column < 0 || static_cast<size_t>(m.column) >= visible) continue;
     for (size_t r = 0; r < rel->rows.size(); ++r) {
+      MSQL_RETURN_IF_ERROR(last_stats_.guard.Check());
       Frame frame{&rel->rows[r], static_cast<int64_t>(r), rel.get()};
       MSQL_ASSIGN_OR_RETURN(EvalContext ctx,
                             BuildRowContext(m, frame, &last_stats_));
@@ -69,6 +87,7 @@ Result<ResultSet> Engine::RunSelect(const SelectStmt& select) {
 }
 
 Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out) {
+  MSQL_FAULT_POINT("engine.stmt");
   switch (stmt.kind) {
     case StmtKind::kSelect: {
       MSQL_ASSIGN_OR_RETURN(*out, RunSelect(*stmt.select));
@@ -89,7 +108,7 @@ Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out) {
     }
     case StmtKind::kCreateView: {
       // Validate eagerly so errors surface at CREATE time.
-      Binder binder(&catalog_, user_);
+      Binder binder(&catalog_, user_, options_.max_recursion_depth);
       MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*stmt.view_select));
       (void)plan;
       return catalog_.CreateView(stmt.name, stmt.view_select->Clone(),
@@ -146,7 +165,7 @@ Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out) {
               {Value::String(c.name), Value::String(c.type.ToString())});
         }
       } else {
-        Binder binder(&catalog_, user_);
+        Binder binder(&catalog_, user_, options_.max_recursion_depth);
         MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*entry->view_ast));
         for (size_t i = 0; i < plan->schema.num_visible(); ++i) {
           const Column& c = plan->schema.column(i);
@@ -246,7 +265,7 @@ Result<std::string> Engine::Explain(const std::string& sql) {
   } else {
     return Status(ErrorCode::kInvalidArgument, "EXPLAIN requires a SELECT");
   }
-  Binder binder(&catalog_, user_);
+  Binder binder(&catalog_, user_, options_.max_recursion_depth);
   MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*select));
   return plan->ToString();
 }

@@ -1,10 +1,13 @@
 #ifndef MSQL_ENGINE_ENGINE_H_
 #define MSQL_ENGINE_ENGINE_H_
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/query_guard.h"
 #include "common/status.h"
 #include "engine/result_set.h"
 #include "exec/exec_state.h"
@@ -36,6 +39,24 @@ class Engine {
 
   // Runs a single statement and returns its result set (empty for DDL/DML).
   Result<ResultSet> Query(const std::string& sql);
+
+  // As Query, but the statement observes `cancel`: calling Cancel() on the
+  // token from any thread makes the query unwind with kCancelled at its
+  // next guard checkpoint. Tokens are single-use handles created with
+  // NewCancelToken(); a null token behaves like plain Query.
+  Result<ResultSet> Query(const std::string& sql, CancelTokenPtr cancel);
+
+  // Creates a cancellation token to pass to Query.
+  static CancelTokenPtr NewCancelToken() {
+    return std::make_shared<CancelToken>();
+  }
+
+  // Cancels every statement currently executing on this engine (from any
+  // thread); each unwinds with kCancelled. Statements started after the
+  // call are unaffected.
+  void CancelAll() {
+    cancel_generation_->fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Binds a SELECT and renders its logical plan.
   Result<std::string> Explain(const std::string& sql);
@@ -78,6 +99,13 @@ class Engine {
   EngineOptions options_;
   std::string user_;
   ExecState last_stats_;
+
+  // Cancellation plumbing: the token installed by the Query overload for
+  // the duration of that call, and the engine-wide generation counter
+  // bumped by CancelAll. Guards snapshot the generation when armed.
+  CancelTokenPtr active_cancel_;
+  std::shared_ptr<std::atomic<uint64_t>> cancel_generation_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
 };
 
 }  // namespace msql

@@ -34,6 +34,7 @@ Result<Value> EvalAggCall(AggId agg, const std::vector<BoundExprPtr>& args,
   for (const Frame& f : outer) stack.push_back(f);
 
   for (int64_t idx : rows) {
+    MSQL_RETURN_IF_ERROR(state->guard.Check());
     stack[0] = Frame{&rel.rows[idx], idx, &rel};
     if (filter != nullptr) {
       MSQL_ASSIGN_OR_RETURN(bool keep, ev.EvalPredicate(*filter, stack));

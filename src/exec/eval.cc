@@ -36,6 +36,7 @@ Result<bool> Evaluator::EvalPredicate(const BoundExpr& e,
 }
 
 Result<Value> Evaluator::Eval(const BoundExpr& e, const RowStack& stack) {
+  MSQL_RETURN_IF_ERROR(state_->guard.Check());
   switch (e.kind) {
     case BoundExprKind::kLiteral:
       return e.literal;

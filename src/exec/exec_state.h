@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/query_guard.h"
 #include "common/value.h"
 
 namespace msql {
@@ -25,14 +26,29 @@ struct EngineOptions {
   // Cache correlated scalar subquery results by their free-variable values
   // (the WinMagic-adjacent optimization discussed in section 5.1).
   bool memoize_subqueries = true;
-  // Guard rails.
+  // Guard rails (see docs/ROBUSTNESS.md). Zero means unlimited. The depth
+  // limit drives every recursion guard: plan execution, measure evaluation
+  // and view expansion all trip kResourceExhausted at this depth.
   int max_recursion_depth = 64;
+  // Wall-clock budget per statement; exceeding it returns kCancelled.
+  int64_t timeout_ms = 0;
+  // Approximate bytes of materialized relations; exceeding returns
+  // kResourceExhausted.
+  uint64_t max_memory_bytes = 0;
+  // Total rows materialized across all operators of a statement (a proxy
+  // for total work and peak memory); exceeding returns kResourceExhausted.
+  uint64_t max_result_rows = 0;
 };
 
 // Per-query mutable execution state: option snapshot, caches, counters. The
 // counters feed the benchmark harness (cache hit rates, source scans).
 struct ExecState {
   EngineOptions options;
+
+  // Resource governor for this query; armed by Engine::RunSelect. Row
+  // loops call guard.Check(), materialization points call
+  // guard.ChargeRows().
+  QueryGuard guard;
 
   std::unordered_map<std::string, Value> measure_cache;
   std::unordered_map<std::string, Value> subquery_cache;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "exec/agg_eval.h"
 #include "measure/cse.h"
@@ -26,9 +27,12 @@ using GroupMap = std::unordered_map<Row, std::vector<int64_t>, KeyHash, KeyEq>;
 
 Result<RelationPtr> Executor::Execute(const LogicalPlan& plan,
                                       const RowStack& outer) {
+  MSQL_FAULT_POINT("exec.plan");
+  MSQL_RETURN_IF_ERROR(state_->guard.Check());
   if (++state_->depth > state_->options.max_recursion_depth) {
     --state_->depth;
-    return Status(ErrorCode::kExecution, "plan recursion limit exceeded");
+    return RecursionLimitExceeded("plan execution",
+                                  state_->options.max_recursion_depth);
   }
   struct DepthGuard {
     ExecState* s;
@@ -101,6 +105,8 @@ Result<RelationPtr> Executor::ExecScan(const LogicalPlan& plan) {
   auto rel = std::make_shared<Relation>();
   rel->schema = plan.schema;
   rel->rows = plan.table->rows();
+  MSQL_RETURN_IF_ERROR(
+      state_->guard.ChargeRows(rel->rows.size(), rel->schema.size()));
   return RelationPtr(rel);
 }
 
@@ -113,12 +119,14 @@ Result<RelationPtr> Executor::ExecValues(const LogicalPlan& plan,
   stack.push_back(Frame{});
   for (const Frame& f : outer) stack.push_back(f);
   for (const auto& row_exprs : plan.values_rows) {
+    MSQL_RETURN_IF_ERROR(state_->guard.Check());
     Row row;
     row.reserve(row_exprs.size());
     for (const auto& e : row_exprs) {
       MSQL_ASSIGN_OR_RETURN(Value v, ev.Eval(*e, stack));
       row.push_back(std::move(v));
     }
+    MSQL_RETURN_IF_ERROR(state_->guard.ChargeRows(1, row.size()));
     rel->rows.push_back(std::move(row));
   }
   return RelationPtr(rel);
@@ -135,6 +143,7 @@ Result<RelationPtr> Executor::ExecProject(const LogicalPlan& plan,
   stack.push_back(Frame{});
   for (const Frame& f : outer) stack.push_back(f);
   for (int64_t i = 0; i < static_cast<int64_t>(child->rows.size()); ++i) {
+    MSQL_RETURN_IF_ERROR(state_->guard.Check());
     stack[0] = Frame{&child->rows[i], i, child.get()};
     Row row;
     row.reserve(plan.exprs.size());
@@ -142,6 +151,7 @@ Result<RelationPtr> Executor::ExecProject(const LogicalPlan& plan,
       MSQL_ASSIGN_OR_RETURN(Value v, ev.Eval(*e, stack));
       row.push_back(std::move(v));
     }
+    MSQL_RETURN_IF_ERROR(state_->guard.ChargeRows(1, row.size()));
     rel->rows.push_back(std::move(row));
   }
   MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {child}, rel.get()));
@@ -158,9 +168,14 @@ Result<RelationPtr> Executor::ExecFilter(const LogicalPlan& plan,
   stack.push_back(Frame{});
   for (const Frame& f : outer) stack.push_back(f);
   for (int64_t i = 0; i < static_cast<int64_t>(child->rows.size()); ++i) {
+    MSQL_RETURN_IF_ERROR(state_->guard.Check());
     stack[0] = Frame{&child->rows[i], i, child.get()};
     MSQL_ASSIGN_OR_RETURN(bool keep, ev.EvalPredicate(*plan.predicate, stack));
-    if (keep) rel->rows.push_back(child->rows[i]);
+    if (keep) {
+      MSQL_RETURN_IF_ERROR(
+          state_->guard.ChargeRows(1, child->rows[i].size()));
+      rel->rows.push_back(child->rows[i]);
+    }
   }
   MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {child}, rel.get()));
   return RelationPtr(rel);
@@ -295,6 +310,7 @@ Result<RelationPtr> Executor::ExecJoin(const LogicalPlan& plan,
     // Hash join: build on the right side.
     GroupMap table;
     for (int64_t j = 0; j < static_cast<int64_t>(right->rows.size()); ++j) {
+      MSQL_RETURN_IF_ERROR(state_->guard.Check());
       Row combined = combine(null_left, right->rows[j]);
       stack[0] = Frame{&combined, -1, nullptr};
       Row key;
@@ -309,6 +325,7 @@ Result<RelationPtr> Executor::ExecJoin(const LogicalPlan& plan,
       table[std::move(key)].push_back(j);
     }
     for (const Row& l : left->rows) {
+      MSQL_RETURN_IF_ERROR(state_->guard.Check());
       Row probe_combined = combine(l, null_right);
       stack[0] = Frame{&probe_combined, -1, nullptr};
       Row key;
@@ -324,17 +341,22 @@ Result<RelationPtr> Executor::ExecJoin(const LogicalPlan& plan,
         auto it = table.find(key);
         if (it != table.end()) {
           for (int64_t j : it->second) {
+            MSQL_RETURN_IF_ERROR(state_->guard.Check());
             Row combined = combine(l, right->rows[j]);
             MSQL_ASSIGN_OR_RETURN(bool ok, eval_residual(combined));
             if (ok) {
               matched = true;
               if (keep_right) right_matched[j] = 1;
+              MSQL_RETURN_IF_ERROR(
+                  state_->guard.ChargeRows(1, combined.size()));
               rel->rows.push_back(std::move(combined));
             }
           }
         }
       }
       if (!matched && keep_left) {
+        MSQL_RETURN_IF_ERROR(
+            state_->guard.ChargeRows(1, rel->schema.size()));
         rel->rows.push_back(combine(l, null_right));
       }
     }
@@ -343,6 +365,7 @@ Result<RelationPtr> Executor::ExecJoin(const LogicalPlan& plan,
     for (const Row& l : left->rows) {
       bool matched = false;
       for (size_t j = 0; j < right->rows.size(); ++j) {
+        MSQL_RETURN_IF_ERROR(state_->guard.Check());
         Row combined = combine(l, right->rows[j]);
         bool ok = true;
         if (plan.join_condition != nullptr) {
@@ -353,10 +376,14 @@ Result<RelationPtr> Executor::ExecJoin(const LogicalPlan& plan,
         if (ok) {
           matched = true;
           if (keep_right) right_matched[j] = 1;
+          MSQL_RETURN_IF_ERROR(
+              state_->guard.ChargeRows(1, combined.size()));
           rel->rows.push_back(std::move(combined));
         }
       }
       if (!matched && keep_left) {
+        MSQL_RETURN_IF_ERROR(
+            state_->guard.ChargeRows(1, rel->schema.size()));
         rel->rows.push_back(combine(l, null_right));
       }
     }
@@ -364,7 +391,10 @@ Result<RelationPtr> Executor::ExecJoin(const LogicalPlan& plan,
   // RIGHT / FULL OUTER: emit right rows no left row matched.
   if (keep_right) {
     for (size_t j = 0; j < right->rows.size(); ++j) {
+      MSQL_RETURN_IF_ERROR(state_->guard.Check());
       if (!right_matched[j]) {
+        MSQL_RETURN_IF_ERROR(
+            state_->guard.ChargeRows(1, rel->schema.size()));
         rel->rows.push_back(combine(null_left, right->rows[j]));
       }
     }
@@ -389,6 +419,7 @@ Result<RelationPtr> Executor::ExecAggregate(const LogicalPlan& plan,
     stack.push_back(Frame{});
     for (const Frame& f : outer) stack.push_back(f);
     for (int64_t i = 0; i < static_cast<int64_t>(child->rows.size()); ++i) {
+      MSQL_RETURN_IF_ERROR(state_->guard.Check());
       stack[0] = Frame{&child->rows[i], i, child.get()};
       Row& kv = key_values[i];
       kv.reserve(num_keys);
@@ -404,6 +435,7 @@ Result<RelationPtr> Executor::ExecAggregate(const LogicalPlan& plan,
     GroupMap groups;
     std::vector<Row> group_order;  // preserve first-seen order
     for (int64_t i = 0; i < static_cast<int64_t>(child->rows.size()); ++i) {
+      MSQL_RETURN_IF_ERROR(state_->guard.Check());
       Row key;
       key.reserve(set.size());
       for (int k : set) key.push_back(key_values[i][k]);
@@ -428,6 +460,7 @@ Result<RelationPtr> Executor::ExecAggregate(const LogicalPlan& plan,
     }
 
     for (const Row& key : group_order) {
+      MSQL_RETURN_IF_ERROR(state_->guard.Check());
       const std::vector<int64_t>& rows = groups.find(key)->second;
       Row out;
       out.reserve(plan.schema.size());
@@ -502,6 +535,7 @@ Result<RelationPtr> Executor::ExecAggregate(const LogicalPlan& plan,
       }
       // Hidden grouping id.
       out.push_back(Value::Int(grouping_id));
+      MSQL_RETURN_IF_ERROR(state_->guard.ChargeRows(1, out.size()));
       rel->rows.push_back(std::move(out));
     }
   }
@@ -513,6 +547,8 @@ Result<RelationPtr> Executor::ExecSort(const LogicalPlan& plan,
   MSQL_ASSIGN_OR_RETURN(RelationPtr child, Execute(*plan.children[0], outer));
   auto rel = std::make_shared<Relation>();
   rel->schema = plan.schema;
+  MSQL_RETURN_IF_ERROR(
+      state_->guard.ChargeRows(child->rows.size(), plan.schema.size()));
   rel->rows = child->rows;
 
   // Evaluate sort keys per row.
@@ -523,6 +559,7 @@ Result<RelationPtr> Executor::ExecSort(const LogicalPlan& plan,
   std::vector<Row> keys(rel->rows.size());
   std::vector<size_t> order(rel->rows.size());
   for (int64_t i = 0; i < static_cast<int64_t>(rel->rows.size()); ++i) {
+    MSQL_RETURN_IF_ERROR(state_->guard.Check());
     order[i] = i;
     stack[0] = Frame{&rel->rows[i], i, child.get()};
     for (const SortKeyDef& k : plan.sort_keys) {
@@ -577,6 +614,9 @@ Result<RelationPtr> Executor::ExecLimit(const LogicalPlan& plan,
   rel->schema = plan.schema;
   for (int64_t i = offset; i < static_cast<int64_t>(child->rows.size()); ++i) {
     if (limit >= 0 && static_cast<int64_t>(rel->rows.size()) >= limit) break;
+    MSQL_RETURN_IF_ERROR(state_->guard.Check());
+    MSQL_RETURN_IF_ERROR(
+        state_->guard.ChargeRows(1, child->rows[i].size()));
     rel->rows.push_back(child->rows[i]);
   }
   MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {child}, rel.get()));
@@ -591,9 +631,13 @@ Result<RelationPtr> Executor::ExecDistinct(const LogicalPlan& plan,
   const size_t width = plan.schema.size();  // visible only
   GroupMap seen;
   for (const Row& r : child->rows) {
+    MSQL_RETURN_IF_ERROR(state_->guard.Check());
     Row key(r.begin(), r.begin() + width);
     auto [it, inserted] = seen.emplace(std::move(key), std::vector<int64_t>{});
-    if (inserted) rel->rows.push_back(Row(r.begin(), r.begin() + width));
+    if (inserted) {
+      MSQL_RETURN_IF_ERROR(state_->guard.ChargeRows(1, width));
+      rel->rows.push_back(Row(r.begin(), r.begin() + width));
+    }
     (void)it;
   }
   return RelationPtr(rel);
@@ -611,6 +655,8 @@ Result<RelationPtr> Executor::ExecSetOp(const LogicalPlan& plan,
   };
   switch (plan.set_op) {
     case SetOpKind::kUnionAll:
+      MSQL_RETURN_IF_ERROR(state_->guard.ChargeRows(
+          left->rows.size() + right->rows.size(), width));
       for (const Row& r : left->rows) rel->rows.push_back(truncate(r));
       for (const Row& r : right->rows) rel->rows.push_back(truncate(r));
       break;
@@ -618,10 +664,14 @@ Result<RelationPtr> Executor::ExecSetOp(const LogicalPlan& plan,
       GroupMap seen;
       for (const auto* side : {&left->rows, &right->rows}) {
         for (const Row& r : *side) {
+          MSQL_RETURN_IF_ERROR(state_->guard.Check());
           Row key = truncate(r);
           auto [it, inserted] = seen.emplace(key, std::vector<int64_t>{});
           (void)it;
-          if (inserted) rel->rows.push_back(std::move(key));
+          if (inserted) {
+            MSQL_RETURN_IF_ERROR(state_->guard.ChargeRows(1, width));
+            rel->rows.push_back(std::move(key));
+          }
         }
       }
       break;
@@ -629,30 +679,40 @@ Result<RelationPtr> Executor::ExecSetOp(const LogicalPlan& plan,
     case SetOpKind::kExcept: {
       GroupMap right_set;
       for (const Row& r : right->rows) {
+        MSQL_RETURN_IF_ERROR(state_->guard.Check());
         right_set.emplace(truncate(r), std::vector<int64_t>{});
       }
       GroupMap emitted;
       for (const Row& r : left->rows) {
+        MSQL_RETURN_IF_ERROR(state_->guard.Check());
         Row key = truncate(r);
         if (right_set.count(key)) continue;
         auto [it, inserted] = emitted.emplace(key, std::vector<int64_t>{});
         (void)it;
-        if (inserted) rel->rows.push_back(std::move(key));
+        if (inserted) {
+          MSQL_RETURN_IF_ERROR(state_->guard.ChargeRows(1, width));
+          rel->rows.push_back(std::move(key));
+        }
       }
       break;
     }
     case SetOpKind::kIntersect: {
       GroupMap right_set;
       for (const Row& r : right->rows) {
+        MSQL_RETURN_IF_ERROR(state_->guard.Check());
         right_set.emplace(truncate(r), std::vector<int64_t>{});
       }
       GroupMap emitted;
       for (const Row& r : left->rows) {
+        MSQL_RETURN_IF_ERROR(state_->guard.Check());
         Row key = truncate(r);
         if (!right_set.count(key)) continue;
         auto [it, inserted] = emitted.emplace(key, std::vector<int64_t>{});
         (void)it;
-        if (inserted) rel->rows.push_back(std::move(key));
+        if (inserted) {
+          MSQL_RETURN_IF_ERROR(state_->guard.ChargeRows(1, width));
+          rel->rows.push_back(std::move(key));
+        }
       }
       break;
     }
@@ -685,6 +745,7 @@ Result<RelationPtr> Executor::ExecWindow(const LogicalPlan& plan,
     GroupMap partitions;
     std::vector<Row> order_seen;
     for (int64_t i = 0; i < static_cast<int64_t>(n); ++i) {
+      MSQL_RETURN_IF_ERROR(state_->guard.Check());
       stack[0] = Frame{&child->rows[i], i, child.get()};
       Row key;
       key.reserve(def.partition_by.size());
@@ -711,6 +772,7 @@ Result<RelationPtr> Executor::ExecWindow(const LogicalPlan& plan,
       // Sort the partition by the ORDER BY keys.
       std::vector<Row> okeys(rows.size());
       for (size_t r = 0; r < rows.size(); ++r) {
+        MSQL_RETURN_IF_ERROR(state_->guard.Check());
         stack[0] = Frame{&child->rows[rows[r]], rows[r], child.get()};
         for (const auto& [e, desc] : def.order_by) {
           MSQL_ASSIGN_OR_RETURN(Value v, ev.Eval(*e, stack));
@@ -772,7 +834,10 @@ Result<RelationPtr> Executor::ExecWindow(const LogicalPlan& plan,
   auto rel = std::make_shared<Relation>();
   rel->schema = plan.schema;
   rel->rows.reserve(n);
+  MSQL_RETURN_IF_ERROR(
+      state_->guard.ChargeRows(n, cv + num_windows + ch));
   for (size_t i = 0; i < n; ++i) {
+    MSQL_RETURN_IF_ERROR(state_->guard.Check());
     Row row;
     row.reserve(cv + num_windows + ch);
     const Row& src = child->rows[i];
@@ -790,6 +855,8 @@ Result<RelationPtr> Executor::ExecWindow(const LogicalPlan& plan,
 Result<Value> EvalSubqueryExpr(const BoundExpr& e, const RowStack& stack,
                                Evaluator* ev) {
   ExecState* state = ev->state();
+  MSQL_FAULT_POINT("exec.subquery");
+  MSQL_RETURN_IF_ERROR(state->guard.Check());
   ++state->subquery_execs;
 
   std::string cache_key;

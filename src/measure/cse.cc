@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "exec/agg_eval.h"
 
@@ -177,11 +178,13 @@ Status ApplyModifiers(const RtMeasure& m,
 
 Result<Value> EvaluateMeasure(const RtMeasure& m, const EvalContext& ctx,
                               ExecState* state) {
+  MSQL_FAULT_POINT("measure.eval");
+  MSQL_RETURN_IF_ERROR(state->guard.Check());
   ++state->measure_evals;
   if (++state->depth > state->options.max_recursion_depth) {
     --state->depth;
-    return Status(ErrorCode::kExecution,
-                  "measure evaluation recursion limit exceeded");
+    return RecursionLimitExceeded("measure evaluation",
+                                  state->options.max_recursion_depth);
   }
   struct DepthGuard {
     ExecState* s;
@@ -233,6 +236,7 @@ Result<Value> EvaluateMeasure(const RtMeasure& m, const EvalContext& ctx,
   std::vector<int64_t> selected;
   RowStack stack(1);
   for (int64_t i = 0; i < static_cast<int64_t>(src.rows.size()); ++i) {
+    MSQL_RETURN_IF_ERROR(state->guard.Check());
     bool admit = true;
     for (const ContextTerm& term : ctx.terms()) {
       switch (term.kind) {

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace msql {
@@ -486,6 +487,7 @@ Result<ExprPtr> RewriteOuterExpr(const Expr& e, const ExpansionCtx& cx) {
 Result<std::string> ExpandMeasures(const SelectStmt& query,
                                    const Catalog& catalog,
                                    const std::string& user) {
+  MSQL_FAULT_POINT("measure.expand");
   if (query.set_op != SetOpKind::kNone || !query.ctes.empty()) {
     return NotImpl("set operations or WITH clauses");
   }

@@ -87,22 +87,58 @@ TEST_F(CsvTest, MissingFinalNewline) {
   EXPECT_EQ(t.num_rows(), 1u);
 }
 
-TEST_F(CsvTest, ArityMismatchFails) {
-  WriteFile("name,qty\npen\n");
+TEST_F(CsvTest, ArityMismatchFailsWithLineNumber) {
+  WriteFile("name,qty\npen,3\nbook\n");
   Table t("t", SimpleSchema());
-  EXPECT_FALSE(AppendCsv(path_, true, &t).ok());
+  Status st = AppendCsv(path_, true, &t);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kIo);
+  // The short record is on source line 3.
+  EXPECT_NE(st.message().find("line 3"), std::string::npos) << st.ToString();
 }
 
-TEST_F(CsvTest, BadTypeFails) {
-  WriteFile("name,qty\npen,many\n");
+TEST_F(CsvTest, BadTypeFailsWithLineAndColumn) {
+  WriteFile("name,qty\npen,3\npen,many\n");
   Table t("t", SimpleSchema());
-  EXPECT_FALSE(AppendCsv(path_, true, &t).ok());
+  Status st = AppendCsv(path_, true, &t);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kIo);
+  EXPECT_NE(st.message().find("line 3"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("'qty'"), std::string::npos) << st.ToString();
 }
 
-TEST_F(CsvTest, UnterminatedQuoteFails) {
-  WriteFile("name,qty\n\"pen,3\n");
+TEST_F(CsvTest, UnterminatedQuoteReportsOpeningLine) {
+  WriteFile("name,qty\npen,3\n\"book,5\nmore,6\n");
   Table t("t", SimpleSchema());
-  EXPECT_FALSE(AppendCsv(path_, true, &t).ok());
+  Status st = AppendCsv(path_, true, &t);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kIo);
+  // The quote opens on line 3; the error must cite it, not EOF.
+  EXPECT_NE(st.message().find("line 3"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("unterminated"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(CsvTest, EmbeddedNulByteFailsWithLineNumber) {
+  std::string content = "name,qty\npen,3\nbo";
+  content.push_back('\0');
+  content += "ok,5\n";
+  WriteFile(content);
+  Table t("t", SimpleSchema());
+  Status st = AppendCsv(path_, true, &t);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kIo);
+  EXPECT_NE(st.message().find("NUL"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("line 3"), std::string::npos) << st.ToString();
+}
+
+TEST_F(CsvTest, ArityLineNumberCountsQuotedNewlines) {
+  // A quoted field spanning lines 2-3 must not shift later line numbers.
+  WriteFile("name,qty\n\"a\nb\",1\nshort\n");
+  Table t("t", SimpleSchema());
+  Status st = AppendCsv(path_, true, &t);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 4"), std::string::npos) << st.ToString();
 }
 
 TEST_F(CsvTest, MissingFileFails) {

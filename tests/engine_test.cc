@@ -216,7 +216,8 @@ TEST_F(EngineTest, RecursionGuard) {
   for (int i = 0; i < 80; ++i) q = "SELECT x FROM (" + q + ") AS t" ;
   auto r = db_.Query(q);
   EXPECT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), ErrorCode::kExecution);
+  EXPECT_EQ(r.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("recursion limit"), std::string::npos);
 }
 
 }  // namespace

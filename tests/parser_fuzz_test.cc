@@ -2,6 +2,7 @@
 // truncations of valid queries, and deep nesting must always produce a
 // Status (parse or bind error) or a result — never a crash or a hang.
 
+#include <cstdlib>
 #include <random>
 
 #include "engine/engine.h"
@@ -11,6 +12,16 @@
 
 namespace msql {
 namespace {
+
+// Fixed, deterministic iteration budget so ctest/CI runs are comparable;
+// MSQL_FUZZ_ITERS overrides it for longer local fuzzing sessions.
+int IterBudget(int default_iters) {
+  if (const char* env = std::getenv("MSQL_FUZZ_ITERS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return default_iters;
+}
 
 const char* kFragments[] = {
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "HAVING", "AS",
@@ -28,7 +39,8 @@ TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
   std::mt19937 rng(GetParam());
   std::uniform_int_distribution<size_t> pick(0, std::size(kFragments) - 1);
   std::uniform_int_distribution<int> len(1, 40);
-  for (int q = 0; q < 500; ++q) {
+  const int iters = IterBudget(500);
+  for (int q = 0; q < iters; ++q) {
     std::string sql;
     int n = len(rng);
     for (int i = 0; i < n; ++i) {
@@ -50,7 +62,8 @@ TEST_P(ParserFuzzTest, RandomSoupThroughTheFullEngine) {
   std::mt19937 rng(GetParam() * 7919 + 13);
   std::uniform_int_distribution<size_t> pick(0, std::size(kFragments) - 1);
   std::uniform_int_distribution<int> len(1, 30);
-  for (int q = 0; q < 200; ++q) {
+  const int iters = IterBudget(200);
+  for (int q = 0; q < iters; ++q) {
     std::string sql = "SELECT ";
     int n = len(rng);
     for (int i = 0; i < n; ++i) {

@@ -206,5 +206,90 @@ TEST_F(RobustnessTest, OrderByMeasurePassthroughPerRow) {
   EXPECT_EQ(rs.num_rows(), 5u);
 }
 
+// --- unified recursion guards ----------------------------------------------
+// Binder view expansion, plan execution and measure evaluation all run
+// against EngineOptions::max_recursion_depth and trip the same
+// kResourceExhausted "recursion limit exceeded" shape.
+
+TEST_F(RobustnessTest, SelfReferentialViewTripsRecursionGuard) {
+  // CREATE OR REPLACE makes v refer to itself: binding it must hit the
+  // view-expansion depth guard, not overflow the stack.
+  MustExecute(&db_, "CREATE VIEW v AS SELECT * FROM Orders");
+  MustExecute(&db_, "CREATE OR REPLACE VIEW v AS SELECT * FROM v");
+  auto r = db_.Query("SELECT * FROM v");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("recursion limit"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(RobustnessTest, DeepViewStackTripsRecursionGuard) {
+  // CREATE VIEW binds its definition, so stacking views eventually trips
+  // the view-expansion guard at creation time; everything below the limit
+  // keeps working.
+  MustExecute(&db_, "CREATE VIEW v0 AS SELECT * FROM Orders");
+  Status trip;
+  int deepest = 0;
+  for (int i = 1; i <= 80; ++i) {
+    Status st = db_.Execute("CREATE VIEW v" + std::to_string(i) +
+                            " AS SELECT * FROM v" + std::to_string(i - 1));
+    if (!st.ok()) {
+      trip = st;
+      break;
+    }
+    deepest = i;
+  }
+  ASSERT_FALSE(trip.ok()) << "80-deep view stack never tripped the guard";
+  EXPECT_EQ(trip.code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(trip.message().find("recursion limit"), std::string::npos)
+      << trip.ToString();
+  // A view comfortably below the limit is still usable (views near the
+  // limit also spend executor depth, one plan node per inlined view).
+  EXPECT_GT(deepest, 30);
+  ResultSet rs = MustQuery(&db_, "SELECT COUNT(*) AS n FROM v30");
+  EXPECT_EQ(rs.Get(0, "n").int_val(), 5);
+}
+
+TEST_F(RobustnessTest, SmallDepthOptionBoundsBothLayers) {
+  // The same option drives the binder and the executor.
+  Engine db;
+  db.options().max_recursion_depth = 4;
+  LoadPaperData(&db);
+
+  // Deep view chain: trips in the binder (CREATE VIEW binds its
+  // definition, so the chain fails as soon as it exceeds the option).
+  MustExecute(&db, "CREATE VIEW w0 AS SELECT * FROM Orders");
+  Status bind_trip;
+  for (int i = 1; i <= 6 && bind_trip.ok(); ++i) {
+    bind_trip = db.Execute("CREATE VIEW w" + std::to_string(i) +
+                           " AS SELECT * FROM w" + std::to_string(i - 1));
+  }
+  ASSERT_FALSE(bind_trip.ok());
+  EXPECT_EQ(bind_trip.code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(bind_trip.message().find("view expansion"), std::string::npos)
+      << bind_trip.ToString();
+
+  // Deep derived-table nesting: trips in the executor.
+  std::string q = "SELECT revenue FROM Orders";
+  for (int i = 0; i < 8; ++i) {
+    q = "SELECT revenue FROM (" + q + ") AS t" + std::to_string(i);
+  }
+  auto exec_trip = db.Query(q);
+  ASSERT_FALSE(exec_trip.ok());
+  EXPECT_EQ(exec_trip.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(exec_trip.status().message().find("plan execution"),
+            std::string::npos)
+      << exec_trip.status().ToString();
+}
+
+TEST_F(RobustnessTest, QueryWorksAfterRecursionTrip) {
+  MustExecute(&db_, "CREATE VIEW u AS SELECT * FROM Orders");
+  MustExecute(&db_, "CREATE OR REPLACE VIEW u AS SELECT * FROM u");
+  ASSERT_FALSE(db_.Query("SELECT * FROM u").ok());
+  // The engine is unharmed: the next query over the base table succeeds.
+  ResultSet rs = MustQuery(&db_, "SELECT COUNT(*) AS n FROM Orders");
+  EXPECT_EQ(rs.Get(0, "n").int_val(), 5);
+}
+
 }  // namespace
 }  // namespace msql

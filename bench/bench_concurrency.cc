@@ -1,0 +1,188 @@
+// Concurrency benchmark: queries/sec for a read-only paper-listing
+// workload at 1/2/4/8 sessions, with a cold and a warm shared measure
+// cache. Emits BENCH_concurrency.json via bench/json_writer.h.
+//
+// Unlike the other benches this binary has its own main (the run shape —
+// one timed region spanning N threads — does not fit the per-iteration
+// google-benchmark model). Unknown flags such as --benchmark_min_time
+// are ignored so the CI smoke-run can invoke every bench uniformly.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "json_writer.h"
+#include "runtime/session.h"
+#include "workload.h"
+
+namespace msql::bench {
+namespace {
+
+// Measure-heavy read-only shapes from the paper's listings: grand-total
+// ratios, AT (ALL dim), year-over-year AT (SET ...) and a plain grouped
+// AGGREGATE. The first three force per-context source evaluations, which
+// is exactly the work the shared cache elides when warm.
+const char* const kWorkload[] = {
+    "SELECT prodName, AGGREGATE(sumRevenue) * 1.0 / (sumRevenue AT (ALL)) "
+    "AS share FROM EO GROUP BY prodName ORDER BY prodName",
+    "SELECT prodName, orderYear, AGGREGATE(sumRevenue) AS rev, "
+    "sumRevenue AT (ALL orderYear) AS product_total "
+    "FROM EO GROUP BY prodName, orderYear ORDER BY prodName, orderYear",
+    "SELECT custName, orderYear, AGGREGATE(sumRevenue) AS rev, "
+    "AGGREGATE(sumRevenue AT (SET orderYear = orderYear - 1)) AS prev "
+    "FROM EO GROUP BY custName, orderYear ORDER BY custName, orderYear",
+    "SELECT custName, orderYear, AGGREGATE(margin) AS margin, "
+    "sumRevenue AT (ALL orderYear) AS cust_total "
+    "FROM EO GROUP BY custName, orderYear ORDER BY custName, orderYear",
+};
+constexpr int kWorkloadSize = static_cast<int>(std::size(kWorkload));
+
+struct RunResult {
+  int sessions = 0;
+  bool warm = false;
+  int queries = 0;
+  double seconds = 0;
+  double qps = 0;
+};
+
+// Runs the whole workload `passes` times on each of `n` concurrent
+// sessions and returns the aggregate queries/sec.
+RunResult TimeRun(Engine* db, int n, int passes, bool warm) {
+  std::vector<SessionPtr> sessions;
+  sessions.reserve(n);
+  for (int i = 0; i < n; ++i) sessions.push_back(db->CreateSession());
+
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int p = 0; p < passes; ++p) {
+        for (int q = 0; q < kWorkloadSize; ++q) {
+          // Stagger starting offsets so sessions are not in lockstep.
+          auto r = sessions[i]->Query(kWorkload[(q + i) % kWorkloadSize]);
+          if (!r.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "bench_concurrency: %d queries failed\n",
+                 failures.load());
+    std::abort();
+  }
+
+  RunResult res;
+  res.sessions = n;
+  res.warm = warm;
+  res.queries = n * passes * kWorkloadSize;
+  res.seconds = elapsed.count();
+  res.qps = res.queries / res.seconds;
+  return res;
+}
+
+int Main(int argc, char** argv) {
+  int rows = 6000;
+  int warm_passes = 3;
+  for (int i = 1; i < argc; ++i) {
+    // Unknown flags (e.g. google-benchmark's) are silently ignored.
+    if (std::strncmp(argv[i], "--rows=", 7) == 0) rows = std::atoi(argv[i] + 7);
+    if (std::strncmp(argv[i], "--passes=", 9) == 0)
+      warm_passes = std::atoi(argv[i] + 9);
+  }
+
+  Engine db;
+  LoadOrders(&db, rows, /*products=*/50, /*customers=*/200);
+  LoadCustomers(&db, /*customers=*/200);
+
+  std::vector<RunResult> runs;
+  for (int n : {1, 2, 4, 8}) {
+    // Cold: empty shared cache, one pass — fills are part of the cost.
+    db.shared_cache().Clear();
+    runs.push_back(TimeRun(&db, n, /*passes=*/1, /*warm=*/false));
+    // Warm: the cache the cold run just filled stays in place.
+    runs.push_back(TimeRun(&db, n, warm_passes, /*warm=*/true));
+  }
+
+  double cold1_qps = 0, warm8_qps = 0;
+  std::printf("%-10s %-6s %10s %10s %12s\n", "sessions", "cache", "queries",
+              "seconds", "queries/sec");
+  for (const RunResult& r : runs) {
+    std::printf("%-10d %-6s %10d %10.3f %12.1f\n", r.sessions,
+                r.warm ? "warm" : "cold", r.queries, r.seconds, r.qps);
+    if (r.sessions == 1 && !r.warm) cold1_qps = r.qps;
+    if (r.sessions == 8 && r.warm) warm8_qps = r.qps;
+  }
+  const double speedup = cold1_qps > 0 ? warm8_qps / cold1_qps : 0;
+  std::printf("8-session warm vs 1-session cold: %.2fx\n", speedup);
+
+  const EngineStats stats = db.stats();
+  std::ofstream out("BENCH_concurrency.json");
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("bench");
+  w.String("concurrency");
+  w.Key("rows");
+  w.Int(rows);
+  w.Key("workload_queries");
+  w.Int(kWorkloadSize);
+  w.Key("runs");
+  w.BeginArray();
+  for (const RunResult& r : runs) {
+    w.BeginObject();
+    w.Key("sessions");
+    w.Int(r.sessions);
+    w.Key("cache");
+    w.String(r.warm ? "warm" : "cold");
+    w.Key("queries");
+    w.Int(r.queries);
+    w.Key("seconds");
+    w.Double(r.seconds);
+    w.Key("qps");
+    w.Double(r.qps);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("speedup_8_sessions_warm_vs_1_cold");
+  w.Double(speedup);
+  w.Key("shared_cache");
+  w.BeginObject();
+  w.Key("hits");
+  w.Int(static_cast<int64_t>(stats.shared_cache_hits));
+  w.Key("misses");
+  w.Int(static_cast<int64_t>(stats.shared_cache_misses));
+  w.Key("insertions");
+  w.Int(static_cast<int64_t>(stats.shared_cache_insertions));
+  w.Key("evictions");
+  w.Int(static_cast<int64_t>(stats.shared_cache_evictions));
+  w.Key("entries");
+  w.Int(static_cast<int64_t>(stats.shared_cache_entries));
+  w.Key("bytes");
+  w.Int(static_cast<int64_t>(stats.shared_cache_bytes));
+  w.EndObject();
+  w.EndObject();
+  out << "\n";
+  std::printf("wrote BENCH_concurrency.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace msql::bench
+
+int main(int argc, char** argv) { return msql::bench::Main(argc, argv); }

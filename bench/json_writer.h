@@ -1,0 +1,108 @@
+#ifndef MSQL_BENCH_JSON_WRITER_H_
+#define MSQL_BENCH_JSON_WRITER_H_
+
+// Minimal streaming JSON writer for benchmark result files
+// (BENCH_*.json). Comma placement is handled by a scope stack, so call
+// sites just open scopes and emit key/value pairs:
+//
+//   JsonWriter w(out);
+//   w.BeginObject();
+//   w.Key("bench"); w.String("concurrency");
+//   w.Key("runs"); w.BeginArray();
+//   ...
+//   w.EndArray();
+//   w.EndObject();
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace msql::bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  void Key(const std::string& name) {
+    Separate();
+    WriteEscaped(name);
+    out_ << ": ";
+    have_key_ = true;
+  }
+
+  void String(const std::string& v) {
+    Separate();
+    WriteEscaped(v);
+  }
+  void Int(int64_t v) {
+    Separate();
+    out_ << v;
+  }
+  void Double(double v) {
+    Separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ << buf;
+  }
+  void Bool(bool v) {
+    Separate();
+    out_ << (v ? "true" : "false");
+  }
+
+ private:
+  void Open(char c) {
+    Separate();
+    out_ << c;
+    needs_comma_.push_back(false);
+  }
+  void Close(char c) {
+    if (!needs_comma_.empty()) needs_comma_.pop_back();
+    out_ << c;
+    if (!needs_comma_.empty()) needs_comma_.back() = true;
+  }
+  // Emits the separator a value/key needs in the current scope.
+  void Separate() {
+    if (have_key_) {
+      have_key_ = false;  // value directly after its key
+      return;
+    }
+    if (!needs_comma_.empty()) {
+      if (needs_comma_.back()) out_ << ", ";
+      needs_comma_.back() = true;
+    }
+  }
+  void WriteEscaped(const std::string& s) {
+    out_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ << buf;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  std::vector<bool> needs_comma_;
+  bool have_key_ = false;
+};
+
+}  // namespace msql::bench
+
+#endif  // MSQL_BENCH_JSON_WRITER_H_

@@ -222,13 +222,16 @@ std::vector<PlanMeasure> Binder::PropagateSameSchema(const LogicalPlan& child) {
 
 Status Binder::CheckAccessAndGet(const std::string& name,
                                  const CatalogEntry** out) {
-  const CatalogEntry* entry = catalog_->Find(name);
+  Catalog::EntryPtr entry = catalog_->Find(name);
   if (entry == nullptr) {
     return Status(ErrorCode::kCatalog, "table or view '" + name +
                                            "' does not exist");
   }
   MSQL_RETURN_IF_ERROR(catalog_->CheckAccess(*entry, user_));
-  *out = entry;
+  // Pin the snapshot for the binder's lifetime so the raw pointer survives
+  // a concurrent DROP / CREATE OR REPLACE.
+  pinned_entries_.push_back(entry);
+  *out = entry.get();
   return Status::Ok();
 }
 

@@ -114,6 +114,11 @@ class Binder {
   const Catalog* catalog_;
   std::string user_;
 
+  // Catalog entries resolved during this bind, pinned so the raw pointers
+  // handed around the binder stay valid even if a concurrent DROP/REPLACE
+  // republishes the registry mid-bind (entries are immutable snapshots).
+  std::vector<Catalog::EntryPtr> pinned_entries_;
+
   // CTEs visible during binding, innermost last.
   std::vector<std::map<std::string, const SelectStmt*>> cte_stack_;
 

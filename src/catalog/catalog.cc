@@ -1,5 +1,7 @@
 #include "catalog/catalog.h"
 
+#include <mutex>
+
 #include "common/fault_injection.h"
 #include "common/string_util.h"
 
@@ -10,49 +12,58 @@ std::string Catalog::Key(const std::string& name) { return ToLower(name); }
 Status Catalog::CreateTable(const std::string& name, Schema schema,
                             bool if_not_exists, const std::string& owner) {
   MSQL_FAULT_POINT("catalog.create_table");
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(Key(name));
   if (it != entries_.end()) {
     if (if_not_exists) return Status::Ok();
     return Status(ErrorCode::kCatalog, "object '" + name + "' already exists");
   }
-  CatalogEntry entry;
-  entry.kind = CatalogEntry::Kind::kTable;
-  entry.name = name;
-  entry.table = std::make_shared<Table>(name, std::move(schema));
-  entry.owner = owner;
+  auto entry = std::make_shared<CatalogEntry>();
+  entry->kind = CatalogEntry::Kind::kTable;
+  entry->name = name;
+  entry->table = std::make_shared<Table>(name, std::move(schema));
+  entry->owner = owner;
   entries_.emplace(Key(name), std::move(entry));
+  BumpGeneration();
   return Status::Ok();
 }
 
 Status Catalog::CreateView(const std::string& name, SelectStmtPtr ast,
                            bool or_replace, const std::string& owner) {
   MSQL_FAULT_POINT("catalog.create_view");
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(Key(name));
   if (it != entries_.end()) {
-    if (!or_replace || it->second.kind != CatalogEntry::Kind::kView) {
+    if (!or_replace || it->second->kind != CatalogEntry::Kind::kView) {
       return Status(ErrorCode::kCatalog,
                     "object '" + name + "' already exists");
     }
-    it->second.view_ast = std::move(ast);
+    // Republish a fresh immutable entry; running queries keep the old one.
+    auto entry = std::make_shared<CatalogEntry>(*it->second);
+    entry->view_ast = std::move(ast);
+    it->second = std::move(entry);
+    BumpGeneration();
     return Status::Ok();
   }
-  CatalogEntry entry;
-  entry.kind = CatalogEntry::Kind::kView;
-  entry.name = name;
-  entry.view_ast = std::move(ast);
-  entry.owner = owner;
+  auto entry = std::make_shared<CatalogEntry>();
+  entry->kind = CatalogEntry::Kind::kView;
+  entry->name = name;
+  entry->view_ast = std::move(ast);
+  entry->owner = owner;
   entries_.emplace(Key(name), std::move(entry));
+  BumpGeneration();
   return Status::Ok();
 }
 
 Status Catalog::Drop(const std::string& name, bool is_view, bool if_exists) {
   MSQL_FAULT_POINT("catalog.drop");
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(Key(name));
   if (it == entries_.end()) {
     if (if_exists) return Status::Ok();
     return Status(ErrorCode::kCatalog, "object '" + name + "' does not exist");
   }
-  const bool entry_is_view = it->second.kind == CatalogEntry::Kind::kView;
+  const bool entry_is_view = it->second->kind == CatalogEntry::Kind::kView;
   if (entry_is_view != is_view) {
     return Status(ErrorCode::kCatalog,
                   StrCat("'", name, "' is a ",
@@ -60,17 +71,14 @@ Status Catalog::Drop(const std::string& name, bool is_view, bool if_exists) {
                          is_view ? "view" : "table"));
   }
   entries_.erase(it);
+  BumpGeneration();
   return Status::Ok();
 }
 
-const CatalogEntry* Catalog::Find(const std::string& name) const {
+Catalog::EntryPtr Catalog::Find(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(Key(name));
-  return it == entries_.end() ? nullptr : &it->second;
-}
-
-CatalogEntry* Catalog::FindMutable(const std::string& name) {
-  auto it = entries_.find(Key(name));
-  return it == entries_.end() ? nullptr : &it->second;
+  return it == entries_.end() ? nullptr : it->second;
 }
 
 Status Catalog::CheckAccess(const CatalogEntry& entry,
@@ -84,18 +92,23 @@ Status Catalog::CheckAccess(const CatalogEntry& entry,
 }
 
 Status Catalog::Grant(const std::string& object, const std::string& user) {
-  CatalogEntry* entry = FindMutable(object);
-  if (entry == nullptr) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(Key(object));
+  if (it == entries_.end()) {
     return Status(ErrorCode::kCatalog,
                   "object '" + object + "' does not exist");
   }
+  auto entry = std::make_shared<CatalogEntry>(*it->second);
   entry->grantees.insert(user);
+  it->second = std::move(entry);
+  BumpGeneration();
   return Status::Ok();
 }
 
 std::vector<std::string> Catalog::ListNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
-  for (const auto& [key, entry] : entries_) names.push_back(entry.name);
+  for (const auto& [key, entry] : entries_) names.push_back(entry->name);
   return names;
 }
 

@@ -202,7 +202,8 @@ Status WriteCsv(const std::string& path, const Table& table) {
     out << quote(table.schema().column(c).name);
   }
   out << '\n';
-  for (const Row& row : table.rows()) {
+  const Table::RowsSnapshot rows = table.snapshot();
+  for (const Row& row : *rows) {
     for (size_t c = 0; c < row.size(); ++c) {
       if (c > 0) out << ',';
       if (!row[c].is_null()) out << quote(row[c].ToString());

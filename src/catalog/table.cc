@@ -4,21 +4,59 @@
 
 namespace msql {
 
-Status Table::AppendRow(Row row) {
-  if (row.size() != schema_.size()) {
+Status Table::CoerceRow(Row* row) const {
+  if (row->size() != schema_.size()) {
     return Status(ErrorCode::kExecution,
                   StrCat("INSERT into ", name_, " expects ", schema_.size(),
-                         " values, got ", row.size()));
+                         " values, got ", row->size()));
   }
-  for (size_t i = 0; i < row.size(); ++i) {
-    if (row[i].is_null()) continue;
+  for (size_t i = 0; i < row->size(); ++i) {
+    if ((*row)[i].is_null()) continue;
     const TypeKind want = schema_.column(i).type.kind;
-    if (row[i].kind() != want) {
-      MSQL_ASSIGN_OR_RETURN(row[i], row[i].CastTo(want));
+    if ((*row)[i].kind() != want) {
+      MSQL_ASSIGN_OR_RETURN((*row)[i], (*row)[i].CastTo(want));
     }
   }
-  rows_.push_back(std::move(row));
   return Status::Ok();
+}
+
+std::vector<Row>* Table::MutableRowsLocked() {
+  // Copy if the current vector was ever handed out via snapshot(). A
+  // use_count() check would be cheaper but is not sound: use_count() is a
+  // relaxed load, so observing 1 does not order this writer's mutation
+  // after a dying reader's final buffer reads. The flag only changes
+  // under mu_, so the (pessimistic) decision is race-free.
+  if (snapshotted_) {
+    rows_ = std::make_shared<std::vector<Row>>(*rows_);
+    snapshotted_ = false;
+  }
+  return rows_.get();
+}
+
+Status Table::AppendRow(Row row) {
+  MSQL_RETURN_IF_ERROR(CoerceRow(&row));
+  std::lock_guard<std::mutex> lock(mu_);
+  MutableRowsLocked()->push_back(std::move(row));
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::Ok();
+}
+
+Status Table::AppendRows(std::vector<Row> rows) {
+  for (Row& row : rows) {
+    MSQL_RETURN_IF_ERROR(CoerceRow(&row));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Row>* storage = MutableRowsLocked();
+  storage->reserve(storage->size() + rows.size());
+  for (Row& row : rows) storage->push_back(std::move(row));
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::Ok();
+}
+
+void Table::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_ = std::make_shared<std::vector<Row>>();
+  generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 }  // namespace msql

@@ -1,7 +1,10 @@
 #ifndef MSQL_CATALOG_TABLE_H_
 #define MSQL_CATALOG_TABLE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,26 +15,68 @@ namespace msql {
 
 // An in-memory base table: schema plus row storage. Row values are stored
 // already coerced to the column types.
+//
+// Thread safety: writers and readers synchronize on an internal mutex;
+// readers take an immutable copy-on-write snapshot of the row vector
+// (a shared_ptr copy — O(1)), so a running scan never observes a
+// concurrent INSERT and DML never blocks behind a long query. The
+// generation counter increments on every data mutation and feeds the
+// engine's cross-query cache invalidation.
 class Table {
  public:
+  using RowsSnapshot = std::shared_ptr<const std::vector<Row>>;
+
   Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        rows_(std::make_shared<std::vector<Row>>()) {}
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  const std::vector<Row>& rows() const { return rows_; }
-  size_t num_rows() const { return rows_.size(); }
 
-  // Appends a row, coercing each value to the column type. Fails if arity or
-  // types do not match.
+  // Immutable snapshot of the current rows. Cheap; the data is shared until
+  // the next write, which copies (never mutates) a vector that has
+  // outstanding snapshots.
+  RowsSnapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshotted_ = true;
+    return rows_;
+  }
+
+  size_t num_rows() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rows_->size();
+  }
+
+  // Data version: bumped on every append / clear.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // Appends rows, coercing each value to the column types. Fails (without
+  // appending anything from the failing row on) if arity or types do not
+  // match. AppendRows takes the write lock once for the whole batch.
   Status AppendRow(Row row);
+  Status AppendRows(std::vector<Row> rows);
 
-  void Clear() { rows_.clear(); }
+  void Clear();
 
  private:
+  // Coerces one row to the schema; returns it via `row`.
+  Status CoerceRow(Row* row) const;
+
+  // Returns the storage vector, private to this writer. mu_ held. Copies
+  // the rows first if the current vector was ever snapshotted.
+  std::vector<Row>* MutableRowsLocked();
+
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
+  mutable std::mutex mu_;
+  std::shared_ptr<std::vector<Row>> rows_;
+  // True while `rows_` may be referenced outside mu_ (a snapshot was
+  // handed out since the last copy). Guarded by mu_.
+  mutable bool snapshotted_ = false;
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace msql

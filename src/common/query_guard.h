@@ -80,6 +80,17 @@ class QueryGuard {
     return Status::Ok();
   }
 
+  // Charges raw bytes against the memory budget (cross-query cache fills,
+  // out-of-row allocations).
+  Status ChargeBytes(uint64_t bytes) {
+    if (!armed_) return Status::Ok();
+    bytes_charged_ += bytes;
+    if (max_bytes_ != 0 && bytes_charged_ > max_bytes_) {
+      return BudgetExceeded();
+    }
+    return Status::Ok();
+  }
+
   // Totals since Arm(); exposed for tests and diagnostics.
   uint64_t rows_charged() const { return rows_charged_; }
   uint64_t bytes_charged() const { return bytes_charged_; }

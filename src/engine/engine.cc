@@ -10,48 +10,119 @@
 #include "measure/cse.h"
 #include "measure/expand.h"
 #include "parser/parser.h"
+#include "runtime/session.h"
 
 namespace msql {
 
 Status Engine::Execute(const std::string& sql) {
+  return ExecuteWith(sql, DefaultContext(nullptr));
+}
+
+Status Engine::ExecuteWith(const std::string& sql, const QueryContext& ctx) {
   Parser parser(sql);
   MSQL_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, parser.ParseStatements());
   for (const StmtPtr& stmt : stmts) {
     ResultSet ignored;
-    MSQL_RETURN_IF_ERROR(ExecuteStmt(*stmt, &ignored));
+    MSQL_RETURN_IF_ERROR(ExecuteStmt(*stmt, &ignored, ctx));
   }
   return Status::Ok();
 }
 
 Result<ResultSet> Engine::Query(const std::string& sql) {
-  MSQL_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::Parse(sql));
-  ResultSet out;
-  MSQL_RETURN_IF_ERROR(ExecuteStmt(*stmt, &out));
-  return out;
+  return QueryWith(sql, DefaultContext(nullptr));
 }
 
 Result<ResultSet> Engine::Query(const std::string& sql,
                                 CancelTokenPtr cancel) {
-  // Install the token for the duration of this call; restore on exit so
-  // Query-within-Query (COPY of a view) keeps its own scope.
-  CancelTokenPtr saved = std::move(active_cancel_);
-  active_cancel_ = std::move(cancel);
-  Result<ResultSet> result = Query(sql);
-  active_cancel_ = std::move(saved);
+  return QueryWith(sql, DefaultContext(std::move(cancel)));
+}
+
+Result<ResultSet> Engine::QueryWith(const std::string& sql,
+                                    const QueryContext& ctx) {
+  MSQL_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::Parse(sql));
+  ResultSet out;
+  MSQL_RETURN_IF_ERROR(ExecuteStmt(*stmt, &out, ctx));
+  return out;
+}
+
+SessionPtr Engine::CreateSession() {
+  const uint64_t id =
+      next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  return SessionPtr(new Session(this, id, options_, user_));
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.queries = stats_.queries.load(std::memory_order_relaxed);
+  s.measure_evals = stats_.measure_evals.load(std::memory_order_relaxed);
+  s.measure_cache_hits =
+      stats_.measure_cache_hits.load(std::memory_order_relaxed);
+  s.measure_source_scans =
+      stats_.measure_source_scans.load(std::memory_order_relaxed);
+  s.subquery_execs = stats_.subquery_execs.load(std::memory_order_relaxed);
+  s.subquery_cache_hits =
+      stats_.subquery_cache_hits.load(std::memory_order_relaxed);
+  s.shared_cache_hits =
+      stats_.shared_cache_hits.load(std::memory_order_relaxed);
+  s.shared_cache_misses =
+      stats_.shared_cache_misses.load(std::memory_order_relaxed);
+  const SharedMeasureCache::Stats cache = shared_cache_.stats();
+  s.shared_cache_insertions = cache.insertions;
+  s.shared_cache_evictions = cache.evictions;
+  s.shared_cache_entries = cache.entries;
+  s.shared_cache_bytes = cache.bytes;
+  return s;
+}
+
+void Engine::AccumulateStats(ExecState&& state) {
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);
+  stats_.measure_evals.fetch_add(state.measure_evals,
+                                 std::memory_order_relaxed);
+  stats_.measure_cache_hits.fetch_add(state.measure_cache_hits,
+                                      std::memory_order_relaxed);
+  stats_.measure_source_scans.fetch_add(state.measure_source_scans,
+                                        std::memory_order_relaxed);
+  stats_.subquery_execs.fetch_add(state.subquery_execs,
+                                  std::memory_order_relaxed);
+  stats_.subquery_cache_hits.fetch_add(state.subquery_cache_hits,
+                                       std::memory_order_relaxed);
+  stats_.shared_cache_hits.fetch_add(state.shared_cache_hits,
+                                     std::memory_order_relaxed);
+  stats_.shared_cache_misses.fetch_add(state.shared_cache_misses,
+                                       std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(last_stats_mu_);
+  last_stats_ = std::move(state);
+}
+
+void Engine::NoteCatalogMutation() {
+  catalog_.BumpGeneration();
+  shared_cache_.InvalidateOlderThan(catalog_.generation());
+}
+
+Result<ResultSet> Engine::RunSelect(const SelectStmt& select,
+                                    const QueryContext& ctx) {
+  ExecState state;
+  Result<ResultSet> result = RunSelectImpl(select, ctx, &state);
+  AccumulateStats(std::move(state));
   return result;
 }
 
-Result<ResultSet> Engine::RunSelect(const SelectStmt& select) {
+Result<ResultSet> Engine::RunSelectImpl(const SelectStmt& select,
+                                        const QueryContext& ctx,
+                                        ExecState* state) {
   MSQL_FAULT_POINT("engine.select");
-  Binder binder(&catalog_, user_, options_.max_recursion_depth);
+  Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth);
   MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(select));
 
-  last_stats_ = ExecState{};
-  last_stats_.options = options_;
-  last_stats_.guard.Arm(options_.timeout_ms, options_.max_memory_bytes,
-                        options_.max_result_rows, active_cancel_,
-                        cancel_generation_);
-  Executor executor(&last_stats_);
+  state->options = ctx.options;
+  if (ctx.options.measure_strategy == MeasureStrategy::kMemoized) {
+    state->shared_cache = &shared_cache_;
+    state->catalog_generation = catalog_.generation();
+  }
+  state->guard.Arm(ctx.options.timeout_ms, ctx.options.max_memory_bytes,
+                   ctx.options.max_result_rows, ctx.cancel,
+                   cancel_generation_);
+  Executor executor(state);
   MSQL_ASSIGN_OR_RETURN(RelationPtr rel, executor.Execute(*plan, {}));
 
   const size_t visible = rel->schema.num_visible();
@@ -61,7 +132,7 @@ Result<ResultSet> Engine::RunSelect(const SelectStmt& select) {
     names.push_back(rel->schema.column(i).name);
     types.push_back(rel->schema.column(i).type);
   }
-  MSQL_RETURN_IF_ERROR(last_stats_.guard.ChargeRows(rel->rows.size(), visible));
+  MSQL_RETURN_IF_ERROR(state->guard.ChargeRows(rel->rows.size(), visible));
   std::vector<Row> rows;
   rows.reserve(rel->rows.size());
   for (const Row& r : rel->rows) {
@@ -75,22 +146,23 @@ Result<ResultSet> Engine::RunSelect(const SelectStmt& select) {
   for (const RtMeasure& m : rel->measures) {
     if (m.column < 0 || static_cast<size_t>(m.column) >= visible) continue;
     for (size_t r = 0; r < rel->rows.size(); ++r) {
-      MSQL_RETURN_IF_ERROR(last_stats_.guard.Check());
+      MSQL_RETURN_IF_ERROR(state->guard.Check());
       Frame frame{&rel->rows[r], static_cast<int64_t>(r), rel.get()};
-      MSQL_ASSIGN_OR_RETURN(EvalContext ctx,
-                            BuildRowContext(m, frame, &last_stats_));
-      MSQL_ASSIGN_OR_RETURN(Value v, EvaluateMeasure(m, ctx, &last_stats_));
+      MSQL_ASSIGN_OR_RETURN(EvalContext ctx2,
+                            BuildRowContext(m, frame, state));
+      MSQL_ASSIGN_OR_RETURN(Value v, EvaluateMeasure(m, ctx2, state));
       rows[r][m.column] = std::move(v);
     }
   }
   return ResultSet(std::move(names), std::move(types), std::move(rows));
 }
 
-Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out) {
+Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out,
+                           const QueryContext& ctx) {
   MSQL_FAULT_POINT("engine.stmt");
   switch (stmt.kind) {
     case StmtKind::kSelect: {
-      MSQL_ASSIGN_OR_RETURN(*out, RunSelect(*stmt.select));
+      MSQL_ASSIGN_OR_RETURN(*out, RunSelect(*stmt.select, ctx));
       return Status::Ok();
     }
     case StmtKind::kCreateTable: {
@@ -103,21 +175,29 @@ Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out) {
         }
         schema.AddColumn(Column(col.name, DataType(kind)));
       }
-      return catalog_.CreateTable(stmt.name, std::move(schema),
-                                  stmt.if_not_exists, user_);
+      MSQL_RETURN_IF_ERROR(catalog_.CreateTable(
+          stmt.name, std::move(schema), stmt.if_not_exists, ctx.user));
+      NoteCatalogMutation();
+      return Status::Ok();
     }
     case StmtKind::kCreateView: {
       // Validate eagerly so errors surface at CREATE time.
-      Binder binder(&catalog_, user_, options_.max_recursion_depth);
+      Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth);
       MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*stmt.view_select));
       (void)plan;
-      return catalog_.CreateView(stmt.name, stmt.view_select->Clone(),
-                                 stmt.or_replace, user_);
+      MSQL_RETURN_IF_ERROR(catalog_.CreateView(
+          stmt.name, stmt.view_select->Clone(), stmt.or_replace, ctx.user));
+      NoteCatalogMutation();
+      return Status::Ok();
     }
-    case StmtKind::kDrop:
-      return catalog_.Drop(stmt.name, stmt.drop_is_view, stmt.if_exists);
+    case StmtKind::kDrop: {
+      MSQL_RETURN_IF_ERROR(
+          catalog_.Drop(stmt.name, stmt.drop_is_view, stmt.if_exists));
+      NoteCatalogMutation();
+      return Status::Ok();
+    }
     case StmtKind::kInsert:
-      return ExecuteInsert(stmt);
+      return ExecuteInsert(stmt, ctx);
     case StmtKind::kExplain: {
       MSQL_ASSIGN_OR_RETURN(std::string text, Explain(stmt.select->ToString()));
       std::vector<Row> rows;
@@ -132,17 +212,17 @@ Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out) {
         return LoadCsv(stmt.name, stmt.copy_path);
       }
       // Export: base tables dump storage directly; views are materialized.
-      const CatalogEntry* entry = catalog_.Find(stmt.name);
+      const auto entry = catalog_.Find(stmt.name);
       if (entry == nullptr) {
         return Status(ErrorCode::kCatalog,
                       "object '" + stmt.name + "' does not exist");
       }
-      MSQL_RETURN_IF_ERROR(catalog_.CheckAccess(*entry, user_));
+      MSQL_RETURN_IF_ERROR(catalog_.CheckAccess(*entry, ctx.user));
       if (entry->kind == CatalogEntry::Kind::kTable) {
         return WriteCsv(stmt.copy_path, *entry->table);
       }
       MSQL_ASSIGN_OR_RETURN(ResultSet rs,
-                            Query("SELECT * FROM " + stmt.name));
+                            QueryWith("SELECT * FROM " + stmt.name, ctx));
       std::ofstream file(stmt.copy_path, std::ios::binary);
       if (!file) {
         return Status(ErrorCode::kIo,
@@ -152,12 +232,12 @@ Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out) {
       return Status::Ok();
     }
     case StmtKind::kDescribe: {
-      const CatalogEntry* entry = catalog_.Find(stmt.name);
+      const auto entry = catalog_.Find(stmt.name);
       if (entry == nullptr) {
         return Status(ErrorCode::kCatalog,
                       "object '" + stmt.name + "' does not exist");
       }
-      MSQL_RETURN_IF_ERROR(catalog_.CheckAccess(*entry, user_));
+      MSQL_RETURN_IF_ERROR(catalog_.CheckAccess(*entry, ctx.user));
       std::vector<Row> rows;
       if (entry->kind == CatalogEntry::Kind::kTable) {
         for (const Column& c : entry->table->schema().columns()) {
@@ -165,7 +245,7 @@ Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out) {
               {Value::String(c.name), Value::String(c.type.ToString())});
         }
       } else {
-        Binder binder(&catalog_, user_, options_.max_recursion_depth);
+        Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth);
         MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*entry->view_ast));
         for (size_t i = 0; i < plan->schema.num_visible(); ++i) {
           const Column& c = plan->schema.column(i);
@@ -182,13 +262,13 @@ Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out) {
   return Status(ErrorCode::kInvalidArgument, "unsupported statement");
 }
 
-Status Engine::ExecuteInsert(const Stmt& stmt) {
-  CatalogEntry* entry = catalog_.FindMutable(stmt.insert_table);
+Status Engine::ExecuteInsert(const Stmt& stmt, const QueryContext& ctx) {
+  const auto entry = catalog_.Find(stmt.insert_table);
   if (entry == nullptr || entry->kind != CatalogEntry::Kind::kTable) {
     return Status(ErrorCode::kCatalog,
                   "table '" + stmt.insert_table + "' does not exist");
   }
-  MSQL_RETURN_IF_ERROR(catalog_.CheckAccess(*entry, user_));
+  MSQL_RETURN_IF_ERROR(catalog_.CheckAccess(*entry, ctx.user));
   Table* table = entry->table.get();
   const Schema& schema = table->schema();
 
@@ -208,7 +288,10 @@ Status Engine::ExecuteInsert(const Stmt& stmt) {
     }
   }
 
-  auto append = [&](const Row& values) -> Status {
+  // Collect the full batch first so the table mutation is one locked
+  // append and one generation bump.
+  std::vector<Row> batch;
+  auto stage = [&](const Row& values) -> Status {
     if (values.size() != positions.size()) {
       return Status(ErrorCode::kExecution,
                     StrCat("INSERT expects ", positions.size(),
@@ -218,42 +301,43 @@ Status Engine::ExecuteInsert(const Stmt& stmt) {
     for (size_t i = 0; i < positions.size(); ++i) {
       row[positions[i]] = values[i];
     }
-    return table->AppendRow(std::move(row));
+    batch.push_back(std::move(row));
+    return Status::Ok();
   };
 
   if (stmt.insert_select != nullptr) {
-    MSQL_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*stmt.insert_select));
-    for (const Row& r : rs.rows()) MSQL_RETURN_IF_ERROR(append(r));
-    return Status::Ok();
-  }
-
-  // INSERT ... VALUES rows are constant expressions; evaluate each row by
-  // reusing the FROM-less SELECT path.
-  for (const auto& row_exprs : stmt.insert_rows) {
-    SelectStmt values_select;
-    for (const ExprPtr& e : row_exprs) {
-      SelectItem item;
-      item.expr = e->Clone();
-      values_select.select_list.push_back(std::move(item));
+    MSQL_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*stmt.insert_select, ctx));
+    for (const Row& r : rs.rows()) MSQL_RETURN_IF_ERROR(stage(r));
+  } else {
+    // INSERT ... VALUES rows are constant expressions; evaluate each row by
+    // reusing the FROM-less SELECT path.
+    for (const auto& row_exprs : stmt.insert_rows) {
+      SelectStmt values_select;
+      for (const ExprPtr& e : row_exprs) {
+        SelectItem item;
+        item.expr = e->Clone();
+        values_select.select_list.push_back(std::move(item));
+      }
+      MSQL_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(values_select, ctx));
+      if (rs.num_rows() != 1) {
+        return Status(ErrorCode::kExecution, "VALUES row evaluation failed");
+      }
+      MSQL_RETURN_IF_ERROR(stage(rs.rows()[0]));
     }
-    MSQL_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(values_select));
-    if (rs.num_rows() != 1) {
-      return Status(ErrorCode::kExecution, "VALUES row evaluation failed");
-    }
-    MSQL_RETURN_IF_ERROR(append(rs.rows()[0]));
   }
+  MSQL_RETURN_IF_ERROR(table->AppendRows(std::move(batch)));
+  NoteCatalogMutation();
   return Status::Ok();
 }
 
 Status Engine::InsertRows(const std::string& table, std::vector<Row> rows) {
-  CatalogEntry* entry = catalog_.FindMutable(table);
+  const auto entry = catalog_.Find(table);
   if (entry == nullptr || entry->kind != CatalogEntry::Kind::kTable) {
     return Status(ErrorCode::kCatalog, "table '" + table + "' does not exist");
   }
   MSQL_RETURN_IF_ERROR(catalog_.CheckAccess(*entry, user_));
-  for (Row& row : rows) {
-    MSQL_RETURN_IF_ERROR(entry->table->AppendRow(std::move(row)));
-  }
+  MSQL_RETURN_IF_ERROR(entry->table->AppendRows(std::move(rows)));
+  NoteCatalogMutation();
   return Status::Ok();
 }
 
@@ -281,23 +365,28 @@ Result<std::string> Engine::ExpandSql(const std::string& sql) {
 
 Status Engine::LoadCsv(const std::string& table, const std::string& path,
                        bool header) {
-  CatalogEntry* entry = catalog_.FindMutable(table);
+  const auto entry = catalog_.Find(table);
   if (entry == nullptr || entry->kind != CatalogEntry::Kind::kTable) {
     return Status(ErrorCode::kCatalog, "table '" + table + "' does not exist");
   }
   MSQL_RETURN_IF_ERROR(catalog_.CheckAccess(*entry, user_));
-  return AppendCsv(path, header, entry->table.get());
+  MSQL_RETURN_IF_ERROR(AppendCsv(path, header, entry->table.get()));
+  NoteCatalogMutation();
+  return Status::Ok();
 }
 
 Status Engine::ImportCsv(const std::string& table, const std::string& path) {
   MSQL_ASSIGN_OR_RETURN(Schema schema, InferCsvSchema(path));
   MSQL_RETURN_IF_ERROR(
       catalog_.CreateTable(table, schema, /*if_not_exists=*/false, user_));
+  NoteCatalogMutation();
   return LoadCsv(table, path, /*header=*/true);
 }
 
 Status Engine::Grant(const std::string& object, const std::string& user) {
-  return catalog_.Grant(object, user);
+  MSQL_RETURN_IF_ERROR(catalog_.Grant(object, user));
+  NoteCatalogMutation();
+  return Status::Ok();
 }
 
 }  // namespace msql

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,8 +12,41 @@
 #include "common/status.h"
 #include "engine/result_set.h"
 #include "exec/exec_state.h"
+#include "runtime/shared_cache.h"
 
 namespace msql {
+
+class Session;
+using SessionPtr = std::shared_ptr<Session>;
+
+// Everything one statement needs from its caller: an option snapshot, the
+// user it runs as, and its cancellation token. Sessions build one per
+// query; the engine-level convenience API snapshots its own options/user.
+// Taking options by value is what makes concurrent queries with different
+// settings (strategy ablations, per-session budgets) race-free.
+struct QueryContext {
+  EngineOptions options;
+  std::string user;
+  CancelTokenPtr cancel;
+};
+
+// Engine-wide execution statistics, aggregated atomically across every
+// query on every session/thread. `shared_*` mirrors the
+// SharedMeasureCache's own counters for one-stop monitoring.
+struct EngineStats {
+  uint64_t queries = 0;
+  uint64_t measure_evals = 0;
+  uint64_t measure_cache_hits = 0;
+  uint64_t measure_source_scans = 0;
+  uint64_t subquery_execs = 0;
+  uint64_t subquery_cache_hits = 0;
+  uint64_t shared_cache_hits = 0;
+  uint64_t shared_cache_misses = 0;
+  uint64_t shared_cache_insertions = 0;
+  uint64_t shared_cache_evictions = 0;
+  uint64_t shared_cache_entries = 0;
+  uint64_t shared_cache_bytes = 0;
+};
 
 // The public entry point: an in-memory SQL engine implementing the msql
 // dialect — a practical SQL subset extended with the measure features of
@@ -26,6 +60,15 @@ namespace msql {
 //              "FROM Orders");
 //   auto rs = db.Query("SELECT prodName, AGGREGATE(r) FROM EO "
 //                      "GROUP BY prodName");
+//
+// Concurrency (docs/CONCURRENCY.md): N threads may call Query/Execute —
+// directly or through per-client Sessions (CreateSession) — while others
+// run DDL/DML. Queries read catalog and table-data snapshots, so a scan
+// never races an INSERT; measure and subquery results are shared across
+// queries through a bounded, generation-invalidated SharedMeasureCache.
+// The only single-threaded affordances are the mutable `options()` /
+// `SetUser` engine-level defaults and `last_stats()`, which must not be
+// used while queries run on other threads (sessions carry their own).
 class Engine {
  public:
   Engine() = default;
@@ -46,14 +89,24 @@ class Engine {
   // NewCancelToken(); a null token behaves like plain Query.
   Result<ResultSet> Query(const std::string& sql, CancelTokenPtr cancel);
 
+  // Fully-specified variants; the building blocks for Session.
+  Result<ResultSet> QueryWith(const std::string& sql, const QueryContext& ctx);
+  Status ExecuteWith(const std::string& sql, const QueryContext& ctx);
+
+  // Creates an independent client session: its own option snapshot, user,
+  // and cancellation scope, sharing this engine's catalog and cross-query
+  // cache. Sessions may issue queries concurrently with each other and
+  // with engine-level calls. The engine must outlive its sessions.
+  SessionPtr CreateSession();
+
   // Creates a cancellation token to pass to Query.
   static CancelTokenPtr NewCancelToken() {
     return std::make_shared<CancelToken>();
   }
 
   // Cancels every statement currently executing on this engine (from any
-  // thread); each unwinds with kCancelled. Statements started after the
-  // call are unaffected.
+  // thread, across all sessions); each unwinds with kCancelled. Statements
+  // started after the call are unaffected.
   void CancelAll() {
     cancel_generation_->fetch_add(1, std::memory_order_relaxed);
   }
@@ -85,25 +138,67 @@ class Engine {
   EngineOptions& options() { return options_; }
   const Catalog& catalog() const { return catalog_; }
 
+  // Engine-wide counters, aggregated atomically across all sessions and
+  // threads. Safe to read at any time.
+  EngineStats stats() const;
+
+  // The cross-query measure/subquery cache (docs/CONCURRENCY.md). Exposed
+  // for sizing (set_max_bytes) and monitoring.
+  SharedMeasureCache& shared_cache() { return shared_cache_; }
+
   // Execution statistics of the most recent Query/Execute call: measure
   // cache hits, source scans, subquery executions. Used by the benchmark
-  // harness.
+  // harness. Not synchronized: read only while no query is in flight.
   const ExecState& last_stats() const { return last_stats_; }
 
  private:
-  Status ExecuteStmt(const Stmt& stmt, ResultSet* out);
-  Status ExecuteInsert(const Stmt& stmt);
-  Result<ResultSet> RunSelect(const SelectStmt& select);
+  friend class Session;
+
+  Status ExecuteStmt(const Stmt& stmt, ResultSet* out,
+                     const QueryContext& ctx);
+  Status ExecuteInsert(const Stmt& stmt, const QueryContext& ctx);
+  Result<ResultSet> RunSelect(const SelectStmt& select,
+                              const QueryContext& ctx);
+  Result<ResultSet> RunSelectImpl(const SelectStmt& select,
+                                  const QueryContext& ctx, ExecState* state);
+
+  // Engine-level calls snapshot the mutable defaults into a context.
+  QueryContext DefaultContext(CancelTokenPtr cancel) const {
+    return QueryContext{options_, user_, std::move(cancel)};
+  }
+
+  // Folds a finished query's counters into stats_ and publishes
+  // last_stats_; then invalidated caches etc. are already handled.
+  void AccumulateStats(ExecState&& state);
+
+  // Called after any DML/DDL: bumps the data generation and drops
+  // cross-query cache entries computed against older data.
+  void NoteCatalogMutation();
 
   Catalog catalog_;
   EngineOptions options_;
   std::string user_;
+  SharedMeasureCache shared_cache_;
+
+  std::mutex last_stats_mu_;
   ExecState last_stats_;
 
-  // Cancellation plumbing: the token installed by the Query overload for
-  // the duration of that call, and the engine-wide generation counter
-  // bumped by CancelAll. Guards snapshot the generation when armed.
-  CancelTokenPtr active_cancel_;
+  struct AtomicStats {
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> measure_evals{0};
+    std::atomic<uint64_t> measure_cache_hits{0};
+    std::atomic<uint64_t> measure_source_scans{0};
+    std::atomic<uint64_t> subquery_execs{0};
+    std::atomic<uint64_t> subquery_cache_hits{0};
+    std::atomic<uint64_t> shared_cache_hits{0};
+    std::atomic<uint64_t> shared_cache_misses{0};
+  };
+  mutable AtomicStats stats_;
+
+  std::atomic<uint64_t> next_session_id_{1};
+
+  // Cancellation plumbing: the engine-wide generation counter bumped by
+  // CancelAll. Guards snapshot the generation when armed.
   std::shared_ptr<std::atomic<uint64_t>> cancel_generation_ =
       std::make_shared<std::atomic<uint64_t>>(0);
 };

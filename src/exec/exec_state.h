@@ -10,6 +10,9 @@
 
 namespace msql {
 
+class SharedMeasureCache;  // runtime/shared_cache.h
+struct LogicalPlan;        // plan/plan.h
+
 // How measure evaluations are executed. kNaive re-scans the measure source
 // for every evaluation; kMemoized caches by evaluation-context signature —
 // the paper's "localized self-join" strategy (section 5.1), where per-group
@@ -53,6 +56,19 @@ struct ExecState {
   std::unordered_map<std::string, Value> measure_cache;
   std::unordered_map<std::string, Value> subquery_cache;
 
+  // Engine-wide cross-query result cache (may be null: uncached engine or
+  // naive strategy). Consulted by the measure evaluator and the subquery
+  // memoizer on a local-cache miss; fills are tagged with
+  // `catalog_generation`, the catalog data version snapshotted when this
+  // query started, so entries computed against concurrently mutated data
+  // are rejected by the cache.
+  SharedMeasureCache* shared_cache = nullptr;
+  uint64_t catalog_generation = 0;
+
+  // Per-query memo of structural plan fingerprints (cross-query cache key
+  // components); keyed by node identity, which is stable within one query.
+  std::unordered_map<const LogicalPlan*, std::string> plan_fingerprints;
+
   int depth = 0;
 
   // Instrumentation.
@@ -61,6 +77,8 @@ struct ExecState {
   uint64_t measure_source_scans = 0; // full passes over a measure source
   uint64_t subquery_execs = 0;
   uint64_t subquery_cache_hits = 0;
+  uint64_t shared_cache_hits = 0;    // cross-query cache hits (this query)
+  uint64_t shared_cache_misses = 0;
 };
 
 }  // namespace msql

@@ -7,6 +7,8 @@
 #include "common/string_util.h"
 #include "exec/agg_eval.h"
 #include "measure/cse.h"
+#include "runtime/fingerprint.h"
+#include "runtime/shared_cache.h"
 
 namespace msql {
 
@@ -68,7 +70,7 @@ Result<RelationPtr> Executor::Execute(const LogicalPlan& plan,
 
 Status Executor::BuildMeasures(const LogicalPlan& plan,
                                const std::vector<RelationPtr>& children,
-                               Relation* out) {
+                               bool shareable, Relation* out) {
   for (const PlanMeasure& pm : plan.measures) {
     RtMeasure m;
     m.name = pm.name;
@@ -82,6 +84,19 @@ Status Executor::BuildMeasures(const LogicalPlan& plan,
       }
       m.formula = pm.formula;
       m.source = children[0];
+      // The source was just materialized from plan.children[0]; when that
+      // happened without correlation frames its contents are a pure
+      // function of (catalog generation, plan structure), so the measure
+      // can participate in the cross-query cache under a structural key.
+      if (shareable && state_->shared_cache != nullptr &&
+          !plan.children.empty() && pm.formula != nullptr) {
+        const LogicalPlan* src = plan.children[0].get();
+        auto [it, inserted] =
+            state_->plan_fingerprints.emplace(src, std::string());
+        if (inserted) it->second = FingerprintPlan(*src);
+        m.fingerprint = std::make_shared<const std::string>(
+            StrCat(it->second, "|", FingerprintExpr(*pm.formula)));
+      }
     } else {
       if (pm.child_index < 0 ||
           static_cast<size_t>(pm.child_index) >= children.size()) {
@@ -95,6 +110,7 @@ Status Executor::BuildMeasures(const LogicalPlan& plan,
       const RtMeasure& cm = child.measures[pm.child_slot];
       m.formula = cm.formula;
       m.source = cm.source;
+      m.fingerprint = cm.fingerprint;
     }
     out->measures.push_back(std::move(m));
   }
@@ -102,9 +118,12 @@ Status Executor::BuildMeasures(const LogicalPlan& plan,
 }
 
 Result<RelationPtr> Executor::ExecScan(const LogicalPlan& plan) {
+  MSQL_FAULT_POINT("catalog.snapshot");
   auto rel = std::make_shared<Relation>();
   rel->schema = plan.schema;
-  rel->rows = plan.table->rows();
+  // Copy from a COW snapshot: concurrent INSERTs republish the row vector,
+  // so the scan never observes a partially appended batch.
+  rel->rows = *plan.table->snapshot();
   MSQL_RETURN_IF_ERROR(
       state_->guard.ChargeRows(rel->rows.size(), rel->schema.size()));
   return RelationPtr(rel);
@@ -154,7 +173,7 @@ Result<RelationPtr> Executor::ExecProject(const LogicalPlan& plan,
     MSQL_RETURN_IF_ERROR(state_->guard.ChargeRows(1, row.size()));
     rel->rows.push_back(std::move(row));
   }
-  MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {child}, rel.get()));
+  MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {child}, outer.empty(), rel.get()));
   return RelationPtr(rel);
 }
 
@@ -177,7 +196,7 @@ Result<RelationPtr> Executor::ExecFilter(const LogicalPlan& plan,
       rel->rows.push_back(child->rows[i]);
     }
   }
-  MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {child}, rel.get()));
+  MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {child}, outer.empty(), rel.get()));
   return RelationPtr(rel);
 }
 
@@ -399,7 +418,7 @@ Result<RelationPtr> Executor::ExecJoin(const LogicalPlan& plan,
       }
     }
   }
-  MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {left, right}, rel.get()));
+  MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {left, right}, outer.empty(), rel.get()));
   return RelationPtr(rel);
 }
 
@@ -584,7 +603,7 @@ Result<RelationPtr> Executor::ExecSort(const LogicalPlan& plan,
   sorted.reserve(rel->rows.size());
   for (size_t i : order) sorted.push_back(std::move(rel->rows[i]));
   rel->rows = std::move(sorted);
-  MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {child}, rel.get()));
+  MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {child}, outer.empty(), rel.get()));
   return RelationPtr(rel);
 }
 
@@ -619,7 +638,7 @@ Result<RelationPtr> Executor::ExecLimit(const LogicalPlan& plan,
         state_->guard.ChargeRows(1, child->rows[i].size()));
     rel->rows.push_back(child->rows[i]);
   }
-  MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {child}, rel.get()));
+  MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {child}, outer.empty(), rel.get()));
   return RelationPtr(rel);
 }
 
@@ -848,7 +867,7 @@ Result<RelationPtr> Executor::ExecWindow(const LogicalPlan& plan,
     for (size_t c = 0; c < ch; ++c) row.push_back(src[cv + c]);
     rel->rows.push_back(std::move(row));
   }
-  MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {child}, rel.get()));
+  MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {child}, outer.empty(), rel.get()));
   return RelationPtr(rel);
 }
 
@@ -861,23 +880,54 @@ Result<Value> EvalSubqueryExpr(const BoundExpr& e, const RowStack& stack,
 
   std::string cache_key;
   const bool memoize = state->options.memoize_subqueries;
+  const bool scalar_like = e.kind == BoundExprKind::kSubquery ||
+                           e.kind == BoundExprKind::kExists;
+  std::string shared_key;
   if (memoize) {
     cache_key = StrCat(reinterpret_cast<uintptr_t>(e.subplan.get()), "|");
+    std::string literals;
     for (const auto& fv : e.free_vars) {
       MSQL_ASSIGN_OR_RETURN(Value v, ev->Eval(*fv, stack));
-      cache_key += v.ToSqlLiteral();
-      cache_key += ",";
+      literals += v.ToSqlLiteral();
+      literals += ",";
     }
+    cache_key += literals;
     auto it = state->subquery_cache.find(cache_key);
     if (it != state->subquery_cache.end()) {
       ++state->subquery_cache_hits;
-      if (e.kind == BoundExprKind::kSubquery ||
-          e.kind == BoundExprKind::kExists) {
-        return it->second;
-      }
+      if (scalar_like) return it->second;
       // IN-subquery results depend on the probe value too; skip caching.
     }
+    // Cross-query layer: free-variable *values* are part of the key, so
+    // even correlated subqueries share safely under a structural plan
+    // fingerprint (pointer keys above are meaningless across binds).
+    if (scalar_like && state->shared_cache != nullptr) {
+      auto [fp, inserted] =
+          state->plan_fingerprints.emplace(e.subplan.get(), std::string());
+      if (inserted) fp->second = FingerprintPlan(*e.subplan);
+      shared_key = StrCat("q|", state->catalog_generation, "|",
+                          e.kind == BoundExprKind::kExists ? "e" : "s",
+                          e.negated ? "!" : "", "|", fp->second, "|", literals);
+      Value v;
+      if (state->shared_cache->Lookup(shared_key, &v)) {
+        ++state->shared_cache_hits;
+        state->subquery_cache.emplace(cache_key, v);
+        return v;
+      }
+      ++state->shared_cache_misses;
+    }
   }
+
+  auto publish = [&](const Value& v) -> Status {
+    state->subquery_cache.emplace(cache_key, v);
+    if (!shared_key.empty()) {
+      MSQL_FAULT_POINT("runtime.shared_cache_fill");
+      MSQL_RETURN_IF_ERROR(state->guard.ChargeBytes(
+          SharedMeasureCache::ApproxEntryBytes(shared_key, v)));
+      state->shared_cache->Insert(shared_key, v, state->catalog_generation);
+    }
+    return Status::Ok();
+  };
 
   Executor exec(state);
   MSQL_ASSIGN_OR_RETURN(RelationPtr result, exec.Execute(*e.subplan, stack));
@@ -889,12 +939,12 @@ Result<Value> EvalSubqueryExpr(const BoundExpr& e, const RowStack& stack,
                       "scalar subquery returned more than one row");
       }
       Value v = result->rows.empty() ? Value::Null() : result->rows[0][0];
-      if (memoize) state->subquery_cache.emplace(cache_key, v);
+      if (memoize) MSQL_RETURN_IF_ERROR(publish(v));
       return v;
     }
     case BoundExprKind::kExists: {
       Value v = Value::Bool(result->rows.empty() == e.negated);
-      if (memoize) state->subquery_cache.emplace(cache_key, v);
+      if (memoize) MSQL_RETURN_IF_ERROR(publish(v));
       return v;
     }
     case BoundExprKind::kInSubquery: {

@@ -43,10 +43,13 @@ class Executor {
                                  const RowStack& outer);
 
   // Builds the runtime measure bindings of a node's output from its
-  // PlanMeasure descriptors and already-built child relations.
+  // PlanMeasure descriptors and already-built child relations. `shareable`
+  // is true when the node materialized without outer correlation frames, in
+  // which case newly defined measures get a structural fingerprint making
+  // them eligible for the cross-query SharedMeasureCache.
   Status BuildMeasures(const LogicalPlan& plan,
                        const std::vector<RelationPtr>& children,
-                       Relation* out);
+                       bool shareable, Relation* out);
 
   ExecState* state_;
 };

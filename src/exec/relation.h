@@ -28,6 +28,11 @@ struct RtMeasure {
   std::unordered_map<int, std::shared_ptr<BoundExpr>> provenance;
   int rowid_col = -1;
   int column = -1;  // the measure's own column in the carrying relation
+  // Stable structural identity "sourcePlanFP|formulaFP" for the cross-query
+  // SharedMeasureCache. Null when the measure is not shareable (correlated
+  // source, sharing disabled); shared between a measure and its
+  // join/filter/projection propagated copies.
+  std::shared_ptr<const std::string> fingerprint;
 };
 
 // A fully materialized intermediate or final result: schema (visible columns

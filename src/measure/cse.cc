@@ -6,10 +6,24 @@
 #include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "exec/agg_eval.h"
+#include "runtime/shared_cache.h"
 
 namespace msql {
 
 namespace {
+
+// Publishes a freshly computed measure value into the cross-query cache
+// (no-op when the evaluation was not shareable). The entry's memory is
+// charged against the query's budget before insertion.
+Status PublishShared(const std::string& shared_key, const Value& result,
+                     ExecState* state) {
+  if (shared_key.empty()) return Status::Ok();
+  MSQL_FAULT_POINT("runtime.shared_cache_fill");
+  MSQL_RETURN_IF_ERROR(state->guard.ChargeBytes(
+      SharedMeasureCache::ApproxEntryBytes(shared_key, result)));
+  state->shared_cache->Insert(shared_key, result, state->catalog_generation);
+  return Status::Ok();
+}
 
 // Clones `e`, rewriting nodes per TranslateToSource's contract.
 Result<BoundExprPtr> TranslateRec(const BoundExpr& e, const RtMeasure& m,
@@ -194,14 +208,32 @@ Result<Value> EvaluateMeasure(const RtMeasure& m, const EvalContext& ctx,
   const bool memoize =
       state->options.measure_strategy == MeasureStrategy::kMemoized;
   std::string key;
+  std::string shared_key;
   if (memoize) {
+    const std::string signature = ctx.Signature();
     key = StrCat(reinterpret_cast<uintptr_t>(m.source.get()), "|",
-                 reinterpret_cast<uintptr_t>(m.formula.get()), "|",
-                 ctx.Signature());
+                 reinterpret_cast<uintptr_t>(m.formula.get()), "|", signature);
     auto it = state->measure_cache.find(key);
     if (it != state->measure_cache.end()) {
       ++state->measure_cache_hits;
       return it->second;
+    }
+    // Cross-query layer (docs/CONCURRENCY.md): the fingerprint replaces the
+    // per-bind pointers with a structural identity stable across queries,
+    // and the catalog generation pins the data version. Signatures that
+    // render an embedded subquery are skipped — that rendering is not
+    // injective, so two different predicates could alias one key.
+    if (state->shared_cache != nullptr && m.fingerprint != nullptr &&
+        signature.find("<subquery>") == std::string::npos) {
+      shared_key = StrCat("m|", state->catalog_generation, "|",
+                          *m.fingerprint, "|", signature);
+      Value v;
+      if (state->shared_cache->Lookup(shared_key, &v)) {
+        ++state->shared_cache_hits;
+        state->measure_cache.emplace(std::move(key), v);
+        return v;
+      }
+      ++state->shared_cache_misses;
     }
   }
 
@@ -226,7 +258,10 @@ Result<Value> EvaluateMeasure(const RtMeasure& m, const EvalContext& ctx,
     MSQL_ASSIGN_OR_RETURN(Value result,
                           EvalFormulaOverRows(*m.formula, src, selected,
                                               state));
-    if (memoize) state->measure_cache.emplace(std::move(key), result);
+    if (memoize) {
+      MSQL_RETURN_IF_ERROR(PublishShared(shared_key, result, state));
+      state->measure_cache.emplace(std::move(key), result);
+    }
     return result;
   }
 
@@ -266,7 +301,10 @@ Result<Value> EvaluateMeasure(const RtMeasure& m, const EvalContext& ctx,
 
   MSQL_ASSIGN_OR_RETURN(Value result,
                         EvalFormulaOverRows(*m.formula, src, selected, state));
-  if (memoize) state->measure_cache.emplace(std::move(key), result);
+  if (memoize) {
+    MSQL_RETURN_IF_ERROR(PublishShared(shared_key, result, state));
+    state->measure_cache.emplace(std::move(key), result);
+  }
   return result;
 }
 

@@ -56,7 +56,7 @@ Status ResolveProviderSelect(const SelectStmt& select, const Catalog& catalog,
   // The defining FROM must bottom out at a base table; a chain of measure
   // views is composition, which the textual expansion does not cover.
   if (select.from->kind == TableRefKind::kBaseTable) {
-    const CatalogEntry* entry = catalog.Find(select.from->table_name);
+    const auto entry = catalog.Find(select.from->table_name);
     if (entry == nullptr) {
       return Status(ErrorCode::kCatalog, "table or view '" +
                                              select.from->table_name +
@@ -96,7 +96,7 @@ Status ResolveProvider(const TableRef& from, const Catalog& catalog,
   if (depth > 8) return NotImpl("deeply nested providers");
   switch (from.kind) {
     case TableRefKind::kBaseTable: {
-      const CatalogEntry* entry = catalog.Find(from.table_name);
+      const auto entry = catalog.Find(from.table_name);
       if (entry == nullptr) {
         return Status(ErrorCode::kCatalog,
                       "table or view '" + from.table_name +

@@ -1,0 +1,31 @@
+#ifndef MSQL_RUNTIME_FINGERPRINT_H_
+#define MSQL_RUNTIME_FINGERPRINT_H_
+
+#include <string>
+
+#include "binder/bound_expr.h"
+#include "plan/plan.h"
+
+namespace msql {
+
+// Deterministic structural renderings of bound plans and expressions, used
+// as the cross-query identity component of SharedMeasureCache keys.
+//
+// The per-query caches key on pointer identity (`m.source.get()`), which is
+// free within one query but meaningless across queries: every bind produces
+// fresh objects. These fingerprints instead render the full structure —
+// every expression (including subquery subplans, which BoundExpr::ToString
+// elides as "(<subquery>)"), schema, join/set-op/sort details and the
+// measures riding on each node — so two independently bound queries over
+// the same catalog state produce byte-identical fingerprints exactly when
+// their subtrees compute the same relation.
+//
+// Fingerprints deliberately exclude volatile identities (pointers, table
+// data); data versioning is carried separately by the catalog generation in
+// the cache key.
+std::string FingerprintPlan(const LogicalPlan& plan);
+std::string FingerprintExpr(const BoundExpr& expr);
+
+}  // namespace msql
+
+#endif  // MSQL_RUNTIME_FINGERPRINT_H_

@@ -1,0 +1,65 @@
+#include "runtime/scheduler.h"
+
+#include "common/string_util.h"
+
+namespace msql {
+
+QueryScheduler::QueryScheduler(SchedulerOptions options)
+    : options_(options), pool_(options.num_threads) {}
+
+QueryScheduler::~QueryScheduler() {
+  Drain();
+  pool_.Shutdown();
+}
+
+Result<QueryScheduler::QueryFuture> QueryScheduler::Submit(
+    const SessionPtr& session, std::string sql) {
+  // Optimistically reserve the global and per-session slots; undo on
+  // rejection. fetch_add-then-check keeps both caps exact under races.
+  const size_t pending = pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (pending >= options_.max_pending) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    return Status(ErrorCode::kResourceExhausted,
+                  StrCat("scheduler admission queue full (max_pending=",
+                         options_.max_pending, ")"));
+  }
+  const int inflight =
+      session->inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (inflight >= options_.max_inflight_per_session) {
+    session->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    return Status(
+        ErrorCode::kResourceExhausted,
+        StrCat("session ", session->id(), " at its in-flight limit (",
+               options_.max_inflight_per_session, ")"));
+  }
+
+  auto task = std::make_shared<std::packaged_task<Result<ResultSet>()>>(
+      [session, sql = std::move(sql)] { return session->Query(sql); });
+  QueryFuture future = task->get_future();
+
+  const bool submitted = pool_.Submit([this, session, task] {
+    (*task)();
+    session->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    drain_cv_.notify_all();
+  });
+  if (!submitted) {
+    session->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    return Status(ErrorCode::kCancelled, "scheduler is shut down");
+  }
+  return future;
+}
+
+void QueryScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace msql

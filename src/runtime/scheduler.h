@@ -1,0 +1,66 @@
+#ifndef MSQL_RUNTIME_SCHEDULER_H_
+#define MSQL_RUNTIME_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "engine/engine.h"
+#include "runtime/session.h"
+#include "runtime/thread_pool.h"
+
+namespace msql {
+
+struct SchedulerOptions {
+  // Worker threads executing admitted queries.
+  int num_threads = 4;
+  // Admitted-but-unfinished statement cap across all sessions; submissions
+  // beyond it are rejected with kResourceExhausted (load shedding, not
+  // unbounded queueing).
+  size_t max_pending = 256;
+  // Per-session concurrent statement cap.
+  int max_inflight_per_session = 8;
+};
+
+// Admission-controlled concurrent query execution: a fixed worker pool fed
+// by Submit(), which either admits a statement (returning a future for its
+// result) or rejects it immediately with kResourceExhausted when the global
+// pending cap or the session's in-flight cap is hit. Cancellation composes:
+// Session::Cancel() and Engine::CancelAll() both reach admitted queries
+// through the per-query tokens / engine cancel generation.
+class QueryScheduler {
+ public:
+  using QueryFuture = std::future<Result<ResultSet>>;
+
+  explicit QueryScheduler(SchedulerOptions options = {});
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  // Admits `sql` for execution on `session`'s behalf. On admission the
+  // returned future eventually holds the statement's result (possibly an
+  // error status); on rejection the Result carries kResourceExhausted.
+  Result<QueryFuture> Submit(const SessionPtr& session, std::string sql);
+
+  // Blocks until every admitted statement has finished.
+  void Drain();
+
+  size_t pending() const { return pending_.load(std::memory_order_acquire); }
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  SchedulerOptions options_;
+  std::atomic<size_t> pending_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  ThreadPool pool_;  // last member: workers stop before the rest dies
+};
+
+}  // namespace msql
+
+#endif  // MSQL_RUNTIME_SCHEDULER_H_

@@ -1,0 +1,45 @@
+#include "runtime/session.h"
+
+#include <algorithm>
+
+namespace msql {
+
+QueryContext Session::MakeContext(CancelTokenPtr* token_out) {
+  auto token = std::make_shared<CancelToken>();
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    active_tokens_.push_back(token);
+  }
+  *token_out = token;
+  return QueryContext{options_, user_, std::move(token)};
+}
+
+void Session::ReleaseToken(const CancelTokenPtr& token) {
+  std::lock_guard<std::mutex> lock(tokens_mu_);
+  active_tokens_.erase(
+      std::remove(active_tokens_.begin(), active_tokens_.end(), token),
+      active_tokens_.end());
+}
+
+Result<ResultSet> Session::Query(const std::string& sql) {
+  CancelTokenPtr token;
+  QueryContext ctx = MakeContext(&token);
+  Result<ResultSet> result = engine_->QueryWith(sql, ctx);
+  ReleaseToken(token);
+  return result;
+}
+
+Status Session::Execute(const std::string& sql) {
+  CancelTokenPtr token;
+  QueryContext ctx = MakeContext(&token);
+  Status status = engine_->ExecuteWith(sql, ctx);
+  ReleaseToken(token);
+  return status;
+}
+
+void Session::Cancel() {
+  std::lock_guard<std::mutex> lock(tokens_mu_);
+  for (const CancelTokenPtr& token : active_tokens_) token->Cancel();
+}
+
+}  // namespace msql

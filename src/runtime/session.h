@@ -1,0 +1,74 @@
+#ifndef MSQL_RUNTIME_SESSION_H_
+#define MSQL_RUNTIME_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace msql {
+
+// One client's connection to an Engine: an options snapshot, a user, and a
+// cancellation scope. Created with Engine::CreateSession(). Many sessions
+// may issue queries concurrently (each Session::Query call is safe against
+// every other session and against engine-level DDL/DML); a single session
+// may also run several queries at once through QueryScheduler.
+//
+// `options()` / `SetUser` configure this session only, and — like their
+// engine-level counterparts — must not be called while this session has a
+// query in flight.
+class Session {
+ public:
+  // Runs one statement as this session.
+  Result<ResultSet> Query(const std::string& sql);
+
+  // Runs one or more ';'-separated statements, discarding row results.
+  Status Execute(const std::string& sql);
+
+  // Cancels every statement currently executing on this session (from any
+  // thread). Statements started after the call are unaffected.
+  void Cancel();
+
+  EngineOptions& options() { return options_; }
+  void SetUser(std::string user) { user_ = std::move(user); }
+  const std::string& user() const { return user_; }
+  uint64_t id() const { return id_; }
+  Engine& engine() { return *engine_; }
+
+  // Queries currently executing on this session (scheduler admission).
+  int inflight() const { return inflight_.load(std::memory_order_acquire); }
+
+ private:
+  friend class Engine;
+  friend class QueryScheduler;
+
+  Session(Engine* engine, uint64_t id, EngineOptions options,
+          std::string user)
+      : engine_(engine),
+        id_(id),
+        options_(std::move(options)),
+        user_(std::move(user)) {}
+
+  // Builds the per-query context with a fresh cancel token, registered so
+  // Cancel() can reach it.
+  QueryContext MakeContext(CancelTokenPtr* token_out);
+  void ReleaseToken(const CancelTokenPtr& token);
+
+  Engine* engine_;
+  uint64_t id_;
+  EngineOptions options_;
+  std::string user_;
+
+  std::mutex tokens_mu_;
+  std::vector<CancelTokenPtr> active_tokens_;
+
+  std::atomic<int> inflight_{0};
+};
+
+}  // namespace msql
+
+#endif  // MSQL_RUNTIME_SESSION_H_

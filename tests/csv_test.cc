@@ -43,8 +43,8 @@ TEST_F(CsvTest, BasicAppend) {
   Table t("t", SimpleSchema());
   ASSERT_TRUE(AppendCsv(path_, /*header=*/true, &t).ok());
   ASSERT_EQ(t.num_rows(), 2u);
-  EXPECT_EQ(t.rows()[0][0].str(), "pen");
-  EXPECT_EQ(t.rows()[1][1].int_val(), 5);
+  EXPECT_EQ((*t.snapshot())[0][0].str(), "pen");
+  EXPECT_EQ((*t.snapshot())[1][1].int_val(), 5);
 }
 
 TEST_F(CsvTest, NoHeader) {
@@ -59,17 +59,17 @@ TEST_F(CsvTest, QuotedFields) {
   Table t("t", SimpleSchema());
   ASSERT_TRUE(AppendCsv(path_, true, &t).ok());
   ASSERT_EQ(t.num_rows(), 3u);
-  EXPECT_EQ(t.rows()[0][0].str(), "a, b");
-  EXPECT_EQ(t.rows()[1][0].str(), "say \"hi\"");
-  EXPECT_EQ(t.rows()[2][0].str(), "line\nbreak");
+  EXPECT_EQ((*t.snapshot())[0][0].str(), "a, b");
+  EXPECT_EQ((*t.snapshot())[1][0].str(), "say \"hi\"");
+  EXPECT_EQ((*t.snapshot())[2][0].str(), "line\nbreak");
 }
 
 TEST_F(CsvTest, EmptyFieldsBecomeNull) {
   WriteFile("name,qty\npen,\n,4\n");
   Table t("t", SimpleSchema());
   ASSERT_TRUE(AppendCsv(path_, true, &t).ok());
-  EXPECT_TRUE(t.rows()[0][1].is_null());
-  EXPECT_TRUE(t.rows()[1][0].is_null());
+  EXPECT_TRUE((*t.snapshot())[0][1].is_null());
+  EXPECT_TRUE((*t.snapshot())[1][0].is_null());
 }
 
 TEST_F(CsvTest, CrLfLineEndings) {
@@ -77,7 +77,7 @@ TEST_F(CsvTest, CrLfLineEndings) {
   Table t("t", SimpleSchema());
   ASSERT_TRUE(AppendCsv(path_, true, &t).ok());
   ASSERT_EQ(t.num_rows(), 1u);
-  EXPECT_EQ(t.rows()[0][0].str(), "pen");
+  EXPECT_EQ((*t.snapshot())[0][0].str(), "pen");
 }
 
 TEST_F(CsvTest, MissingFinalNewline) {
@@ -175,9 +175,9 @@ TEST_F(CsvTest, WriteRoundTrip) {
   Table back("back", SimpleSchema());
   ASSERT_TRUE(AppendCsv(path_, true, &back).ok());
   ASSERT_EQ(back.num_rows(), 2u);
-  EXPECT_EQ(back.rows()[0][0].str(), "a, \"b\"");
-  EXPECT_TRUE(back.rows()[1][0].is_null());
-  EXPECT_EQ(back.rows()[1][1].int_val(), 2);
+  EXPECT_EQ((*back.snapshot())[0][0].str(), "a, \"b\"");
+  EXPECT_TRUE((*back.snapshot())[1][0].is_null());
+  EXPECT_EQ((*back.snapshot())[1][1].int_val(), 2);
 }
 
 TEST_F(CsvTest, BlankLinesAreSkipped) {

@@ -65,7 +65,7 @@ class FaultInjectionTest : public ::testing::Test {
           "ON o.custName = c.custName GROUP BY c.custName");
     query("SELECT prodName FROM Orders WHERE revenue > "
           "(SELECT AVG(revenue) FROM Orders)");
-    if (const CatalogEntry* e = db.catalog().Find("Orders");
+    if (const auto e = db.catalog().Find("Orders");
         e != nullptr && e->table != nullptr) {
       statuses.push_back(WriteCsv(out_path_, *e->table));
     }

@@ -1,0 +1,490 @@
+// Unit tests for the concurrency runtime: ThreadPool, SharedMeasureCache
+// (LRU bounds, generation invalidation, stats), QueryScheduler admission
+// control, Session basics, engine-wide stats aggregation, and the
+// generation counters that drive cross-query cache invalidation.
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "binder/binder.h"
+#include "catalog/catalog.h"
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+#include "runtime/fingerprint.h"
+#include "runtime/scheduler.h"
+#include "runtime/session.h"
+#include "runtime/shared_cache.h"
+#include "runtime/thread_pool.h"
+
+namespace msql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(pool.Submit([&count] { ++count; }));
+    }
+    pool.Shutdown();  // drains the queue before joining
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(pool.Submit([&count] { ++count; }));
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+// ---------------------------------------------------------------------------
+// SharedMeasureCache
+// ---------------------------------------------------------------------------
+
+TEST(SharedCacheTest, LookupAfterInsertHits) {
+  SharedMeasureCache cache;
+  cache.Insert("k1", Value::Int(42), /*generation=*/1);
+  Value v;
+  ASSERT_TRUE(cache.Lookup("k1", &v));
+  EXPECT_EQ(v.int_val(), 42);
+  EXPECT_FALSE(cache.Lookup("nope", &v));
+  auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_GT(s.bytes, 0u);
+}
+
+TEST(SharedCacheTest, ReplacesSameKey) {
+  SharedMeasureCache cache;
+  cache.Insert("k", Value::Int(1), 1);
+  cache.Insert("k", Value::Int(2), 1);
+  Value v;
+  ASSERT_TRUE(cache.Lookup("k", &v));
+  EXPECT_EQ(v.int_val(), 2);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(SharedCacheTest, EvictsLeastRecentlyUsed) {
+  // Budget fits ~2 entries; key "a" is kept hot by a lookup, so inserting a
+  // third entry must evict "b", the least recently used.
+  SharedMeasureCache cache(
+      2 * SharedMeasureCache::ApproxEntryBytes("a", Value::Int(0)) + 8);
+  cache.Insert("a", Value::Int(1), 1);
+  cache.Insert("b", Value::Int(2), 1);
+  Value v;
+  ASSERT_TRUE(cache.Lookup("a", &v));  // refresh "a"
+  cache.Insert("c", Value::Int(3), 1);
+  EXPECT_TRUE(cache.Lookup("a", &v));
+  EXPECT_FALSE(cache.Lookup("b", &v));
+  EXPECT_TRUE(cache.Lookup("c", &v));
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes, cache.max_bytes());
+}
+
+TEST(SharedCacheTest, OversizedEntryRejected) {
+  SharedMeasureCache cache(16);  // smaller than any entry
+  cache.Insert("key", Value::Int(1), 1);
+  Value v;
+  EXPECT_FALSE(cache.Lookup("key", &v));
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(SharedCacheTest, InvalidationPurgesOldGenerations) {
+  SharedMeasureCache cache;
+  cache.Insert("old", Value::Int(1), 1);
+  cache.Insert("new", Value::Int(2), 5);
+  cache.InvalidateOlderThan(5);
+  Value v;
+  EXPECT_FALSE(cache.Lookup("old", &v));
+  EXPECT_TRUE(cache.Lookup("new", &v));
+}
+
+TEST(SharedCacheTest, StaleInsertRejectedAfterInvalidation) {
+  // The race this closes: a query snapshots generation 1, a mutation bumps
+  // to 2 and invalidates, then the query tries to publish. The publish must
+  // be dropped or the next reader would see pre-mutation data forever.
+  SharedMeasureCache cache;
+  cache.InvalidateOlderThan(2);
+  cache.Insert("k", Value::Int(1), 1);
+  Value v;
+  EXPECT_FALSE(cache.Lookup("k", &v));
+  EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST(SharedCacheTest, ClearKeepsInvalidationFloor) {
+  SharedMeasureCache cache;
+  cache.InvalidateOlderThan(3);
+  cache.Clear();
+  cache.Insert("k", Value::Int(1), 2);  // still stale
+  Value v;
+  EXPECT_FALSE(cache.Lookup("k", &v));
+}
+
+TEST(SharedCacheTest, ShrinkingBudgetEvicts) {
+  SharedMeasureCache cache;
+  for (int i = 0; i < 10; ++i) {
+    cache.Insert("key" + std::to_string(i), Value::Int(i), 1);
+  }
+  EXPECT_EQ(cache.stats().entries, 10u);
+  cache.set_max_bytes(
+      3 * SharedMeasureCache::ApproxEntryBytes("key0", Value::Int(0)) + 8);
+  EXPECT_LE(cache.stats().bytes, cache.max_bytes());
+  EXPECT_LT(cache.stats().entries, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Generation counters (Table / Catalog)
+// ---------------------------------------------------------------------------
+
+TEST(GenerationTest, TableMutationsBumpGeneration) {
+  Schema s;
+  s.AddColumn(Column("x", DataType::Int64()));
+  Table t("t", s);
+  const uint64_t g0 = t.generation();
+  ASSERT_TRUE(t.AppendRow({Value::Int(1)}).ok());
+  EXPECT_GT(t.generation(), g0);
+  const uint64_t g1 = t.generation();
+  ASSERT_TRUE(t.AppendRows({{Value::Int(2)}, {Value::Int(3)}}).ok());
+  EXPECT_GT(t.generation(), g1);
+  const uint64_t g2 = t.generation();
+  t.Clear();
+  EXPECT_GT(t.generation(), g2);
+}
+
+TEST(GenerationTest, SnapshotUnaffectedByLaterWrites) {
+  Schema s;
+  s.AddColumn(Column("x", DataType::Int64()));
+  Table t("t", s);
+  ASSERT_TRUE(t.AppendRow({Value::Int(1)}).ok());
+  Table::RowsSnapshot snap = t.snapshot();
+  ASSERT_TRUE(t.AppendRow({Value::Int(2)}).ok());
+  t.Clear();
+  EXPECT_EQ(snap->size(), 1u);  // the snapshot is frozen
+  EXPECT_EQ((*snap)[0][0].int_val(), 1);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(GenerationTest, CatalogDdlBumpsGeneration) {
+  Catalog c;
+  const uint64_t g0 = c.generation();
+  Schema s;
+  s.AddColumn(Column("x", DataType::Int64()));
+  ASSERT_TRUE(c.CreateTable("t", s, false, "").ok());
+  const uint64_t g1 = c.generation();
+  EXPECT_GT(g1, g0);
+  ASSERT_TRUE(c.Grant("t", "alice").ok());
+  const uint64_t g2 = c.generation();
+  EXPECT_GT(g2, g1);
+  ASSERT_TRUE(c.Drop("t", false, false).ok());
+  EXPECT_GT(c.generation(), g2);
+}
+
+TEST(GenerationTest, DroppedEntrySnapshotStaysValid) {
+  Catalog c;
+  Schema s;
+  s.AddColumn(Column("x", DataType::Int64()));
+  ASSERT_TRUE(c.CreateTable("t", s, false, "").ok());
+  Catalog::EntryPtr entry = c.Find("t");
+  ASSERT_NE(entry, nullptr);
+  ASSERT_TRUE(c.Drop("t", false, false).ok());
+  EXPECT_EQ(c.Find("t"), nullptr);
+  // The pinned snapshot (as a running query would hold) is still usable.
+  EXPECT_EQ(entry->name, "t");
+  ASSERT_NE(entry->table, nullptr);
+  EXPECT_EQ(entry->table->num_rows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(FingerprintTest, IndependentBindsOfSameSqlAgree) {
+  Engine db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE T (a INTEGER, b VARCHAR)").ok());
+  Binder b1(&db.catalog(), "");
+  Binder b2(&db.catalog(), "");
+  auto parse = [](const std::string& sql) {
+    auto stmt = Parser::Parse(sql);
+    EXPECT_TRUE(stmt.ok());
+    return stmt.take();
+  };
+  auto s1 = parse("SELECT a, COUNT(*) FROM T WHERE b = 'x' GROUP BY a");
+  auto s2 = parse("SELECT a, COUNT(*) FROM T WHERE b = 'x' GROUP BY a");
+  auto p1 = b1.Bind(*s1->select);
+  auto p2 = b2.Bind(*s2->select);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(FingerprintPlan(*p1.value()), FingerprintPlan(*p2.value()));
+}
+
+TEST(FingerprintTest, DifferentPredicatesDiffer) {
+  Engine db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE T (a INTEGER, b VARCHAR)").ok());
+  Binder binder(&db.catalog(), "");
+  auto bind = [&](const std::string& sql) {
+    auto stmt = Parser::Parse(sql);
+    EXPECT_TRUE(stmt.ok());
+    auto plan = binder.Bind(*stmt.value()->select);
+    EXPECT_TRUE(plan.ok());
+    return FingerprintPlan(*plan.value());
+  };
+  EXPECT_NE(bind("SELECT a FROM T WHERE a > 1"),
+            bind("SELECT a FROM T WHERE a > 2"));
+  EXPECT_NE(bind("SELECT a FROM T"), bind("SELECT b FROM T"));
+}
+
+// ---------------------------------------------------------------------------
+// Sessions + engine stats
+// ---------------------------------------------------------------------------
+
+void SeedOrders(Engine* db) {
+  ASSERT_TRUE(
+      db->Execute("CREATE TABLE Orders (prodName VARCHAR, revenue INTEGER)")
+          .ok());
+  ASSERT_TRUE(db->Execute("INSERT INTO Orders VALUES ('Happy', 6), "
+                          "('Acme', 5), ('Happy', 4), ('Whizz', 3)")
+                  .ok());
+  ASSERT_TRUE(
+      db->Execute("CREATE VIEW EO AS SELECT *, SUM(revenue) AS MEASURE r "
+                  "FROM Orders")
+          .ok());
+}
+
+TEST(SessionTest, IndependentOptionSnapshots) {
+  Engine db;
+  SeedOrders(&db);
+  SessionPtr memoized = db.CreateSession();
+  SessionPtr naive = db.CreateSession();
+  naive->options().measure_strategy = MeasureStrategy::kNaive;
+  // Engine-level default mutated after session creation: sessions keep
+  // their snapshot.
+  db.options().max_result_rows = 1;
+
+  const std::string q =
+      "SELECT prodName, AGGREGATE(r) FROM EO GROUP BY prodName";
+  auto r1 = memoized->Query(q);
+  auto r2 = naive->Query(q);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r1.value().ToCsv(), r2.value().ToCsv());
+  EXPECT_EQ(r1.value().num_rows(), 3u);
+}
+
+TEST(SessionTest, PerSessionUser) {
+  Engine db;
+  db.SetUser("owner");
+  SeedOrders(&db);
+  SessionPtr other = db.CreateSession();
+  other->SetUser("mallory");
+  EXPECT_FALSE(other->Query("SELECT * FROM Orders").ok());
+  ASSERT_TRUE(db.Grant("Orders", "mallory").ok());
+  EXPECT_TRUE(other->Query("SELECT * FROM Orders").ok());
+}
+
+TEST(SessionTest, CancelStopsOwnQueriesOnly) {
+  Engine db;
+  SeedOrders(&db);
+  SessionPtr s1 = db.CreateSession();
+  SessionPtr s2 = db.CreateSession();
+  s1->Cancel();  // no queries in flight: no-op
+  auto r = s2->Query("SELECT COUNT(*) FROM Orders");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows()[0][0].int_val(), 4);
+}
+
+TEST(EngineStatsTest, AggregatesAcrossQueries) {
+  Engine db;
+  SeedOrders(&db);
+  const std::string q =
+      "SELECT prodName, AGGREGATE(r) FROM EO GROUP BY prodName";
+  ASSERT_TRUE(db.Query(q).ok());
+  const EngineStats s1 = db.stats();
+  EXPECT_GT(s1.queries, 0u);
+  EXPECT_GT(s1.measure_evals, 0u);
+  ASSERT_TRUE(db.Query(q).ok());
+  const EngineStats s2 = db.stats();
+  EXPECT_GT(s2.queries, s1.queries);
+  EXPECT_GT(s2.measure_evals, s1.measure_evals);
+}
+
+TEST(EngineStatsTest, SharedCacheServesRepeatQueries) {
+  Engine db;
+  SeedOrders(&db);
+  // The ratio query forces dimension-context evaluations (source scans),
+  // not just the row-id fast path.
+  const std::string q =
+      "SELECT prodName, AGGREGATE(r) / (r AT (ALL)) FROM EO "
+      "GROUP BY prodName";
+  ASSERT_TRUE(db.Query(q).ok());
+  const EngineStats cold = db.stats();
+  EXPECT_GT(cold.shared_cache_insertions, 0u);
+  EXPECT_GT(cold.measure_source_scans, 0u);
+
+  ASSERT_TRUE(db.Query(q).ok());
+  const EngineStats warm = db.stats();
+  EXPECT_GT(warm.shared_cache_hits, cold.shared_cache_hits);
+  // The warm run answered every measure evaluation from the shared cache:
+  // no new source scans, no new fills.
+  EXPECT_EQ(warm.measure_source_scans, cold.measure_source_scans);
+  EXPECT_EQ(warm.shared_cache_insertions, cold.shared_cache_insertions);
+}
+
+TEST(EngineStatsTest, NaiveStrategySkipsSharedCache) {
+  Engine db;
+  db.options().measure_strategy = MeasureStrategy::kNaive;
+  SeedOrders(&db);
+  const std::string q =
+      "SELECT prodName, AGGREGATE(r) FROM EO GROUP BY prodName";
+  ASSERT_TRUE(db.Query(q).ok());
+  ASSERT_TRUE(db.Query(q).ok());
+  const EngineStats s = db.stats();
+  EXPECT_EQ(s.shared_cache_insertions, 0u);
+  EXPECT_EQ(s.shared_cache_hits, 0u);
+  EXPECT_EQ(s.shared_cache_misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cache invalidation (satellite: DML/DDL must never serve stale measures)
+// ---------------------------------------------------------------------------
+
+int64_t TotalRevenue(Engine* db) {
+  auto r = db->Query("SELECT AGGREGATE(r) FROM EO");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value().rows()[0][0].int_val();
+}
+
+TEST(CacheInvalidationTest, InsertInvalidatesMeasureResults) {
+  Engine db;
+  SeedOrders(&db);
+  EXPECT_EQ(TotalRevenue(&db), 18);
+  // Warm the cache, then mutate; the second read must see the new row.
+  ASSERT_TRUE(db.Execute("INSERT INTO Orders VALUES ('New', 100)").ok());
+  EXPECT_EQ(TotalRevenue(&db), 118);
+  ASSERT_TRUE(db.InsertRows("Orders", {{Value::String("Bulk"),
+                                        Value::Int(1000)}})
+                  .ok());
+  EXPECT_EQ(TotalRevenue(&db), 1118);
+}
+
+TEST(CacheInvalidationTest, DdlInvalidatesMeasureResults) {
+  Engine db;
+  SeedOrders(&db);
+  EXPECT_EQ(TotalRevenue(&db), 18);
+  // Replacing the view changes the measure definition under the same name.
+  ASSERT_TRUE(
+      db.Execute("CREATE OR REPLACE VIEW EO AS "
+                 "SELECT *, SUM(revenue * 2) AS MEASURE r FROM Orders")
+          .ok());
+  EXPECT_EQ(TotalRevenue(&db), 36);
+}
+
+TEST(CacheInvalidationTest, MatchesUncachedEngineAfterEveryMutation) {
+  Engine cached;
+  Engine naive;
+  naive.options().measure_strategy = MeasureStrategy::kNaive;
+  SeedOrders(&cached);
+  SeedOrders(&naive);
+  const std::string q =
+      "SELECT prodName, AGGREGATE(r), AGGREGATE(r) / (r AT (ALL)) "
+      "FROM EO GROUP BY prodName ORDER BY prodName";
+  for (int i = 0; i < 5; ++i) {
+    auto rc = cached.Query(q);
+    auto rn = naive.Query(q);
+    ASSERT_TRUE(rc.ok() && rn.ok());
+    EXPECT_EQ(rc.value().ToCsv(), rn.value().ToCsv()) << "round " << i;
+    const std::string ins = "INSERT INTO Orders VALUES ('P" +
+                            std::to_string(i) + "', " + std::to_string(i + 1) +
+                            ")";
+    ASSERT_TRUE(cached.Execute(ins).ok());
+    ASSERT_TRUE(naive.Execute(ins).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QueryScheduler
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, ExecutesSubmittedQueries) {
+  Engine db;
+  SeedOrders(&db);
+  SchedulerOptions opts;
+  opts.num_threads = 2;
+  QueryScheduler scheduler(opts);
+  SessionPtr session = db.CreateSession();
+  std::vector<QueryScheduler::QueryFuture> futures;
+  for (int i = 0; i < 8; ++i) {
+    auto f = scheduler.Submit(session,
+                              "SELECT prodName, AGGREGATE(r) FROM EO "
+                              "GROUP BY prodName");
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    futures.push_back(f.take());
+  }
+  for (auto& f : futures) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().num_rows(), 3u);
+  }
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.pending(), 0u);
+  EXPECT_EQ(session->inflight(), 0);
+}
+
+TEST(SchedulerTest, RejectsWhenQueueFull) {
+  Engine db;
+  SeedOrders(&db);
+  SchedulerOptions opts;
+  opts.max_pending = 0;  // admit nothing: deterministic rejection
+  QueryScheduler scheduler(opts);
+  SessionPtr session = db.CreateSession();
+  auto f = scheduler.Submit(session, "SELECT 1");
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(SchedulerTest, RejectsOverPerSessionLimit) {
+  Engine db;
+  SeedOrders(&db);
+  SchedulerOptions opts;
+  opts.max_inflight_per_session = 0;
+  QueryScheduler scheduler(opts);
+  SessionPtr session = db.CreateSession();
+  auto f = scheduler.Submit(session, "SELECT 1");
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(scheduler.pending(), 0u);  // reservation rolled back
+  EXPECT_EQ(session->inflight(), 0);
+}
+
+TEST(SchedulerTest, QueryErrorsTravelThroughFuture) {
+  Engine db;
+  QueryScheduler scheduler;
+  SessionPtr session = db.CreateSession();
+  auto f = scheduler.Submit(session, "SELECT * FROM NoSuchTable");
+  ASSERT_TRUE(f.ok());
+  auto r = f.take().get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kCatalog);
+}
+
+}  // namespace
+}  // namespace msql

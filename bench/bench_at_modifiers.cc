@@ -22,12 +22,14 @@ void RunQuery(benchmark::State& state, const std::string& select_item) {
              static_cast<int>(state.range(1)), /*customers=*/50);
   std::string query = "SELECT prodName, " + select_item +
                       " AS v FROM EO GROUP BY prodName";
+  std::shared_ptr<const msql::QueryStats> stats;
   for (auto _ : state) {
     ResultSet rs = CheckResult(db.Query(query), "query");
+    stats = rs.stats();
     benchmark::DoNotOptimize(rs);
   }
   state.counters["source_scans"] =
-      static_cast<double>(db.last_stats().measure_source_scans);
+      static_cast<double>(stats == nullptr ? 0 : stats->measure_source_scans);
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 

@@ -33,12 +33,14 @@ void RunWithOptions(benchmark::State& state, const EngineOptions& options) {
   Engine db(options);
   LoadOrders(&db, static_cast<int>(state.range(0)),
              static_cast<int>(state.range(1)), /*customers=*/50);
+  std::shared_ptr<const msql::QueryStats> stats;
   for (auto _ : state) {
     ResultSet rs = CheckResult(db.Query(kWorkloadQuery), "query");
+    stats = rs.stats();
     benchmark::DoNotOptimize(rs);
   }
   state.counters["rows_charged"] =
-      static_cast<double>(db.last_stats().guard.rows_charged());
+      static_cast<double>(stats == nullptr ? 0 : stats->rows_charged);
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 

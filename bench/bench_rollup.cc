@@ -23,14 +23,16 @@ void RunGrouped(benchmark::State& state, const std::string& group_clause) {
       "SELECT prodName, custName, orderYear, AGGREGATE(sumRevenue) AS rev "
       "FROM EO GROUP BY " + group_clause;
   size_t out_rows = 0;
+  std::shared_ptr<const msql::QueryStats> stats;
   for (auto _ : state) {
     ResultSet rs = CheckResult(db.Query(query), "rollup query");
     out_rows = rs.num_rows();
+    stats = rs.stats();
     benchmark::DoNotOptimize(rs);
   }
   state.counters["out_rows"] = static_cast<double>(out_rows);
   state.counters["source_scans"] =
-      static_cast<double>(db.last_stats().measure_source_scans);
+      static_cast<double>(stats == nullptr ? 0 : stats->measure_source_scans);
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 

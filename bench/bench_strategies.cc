@@ -39,16 +39,18 @@ void RunWithStrategy(benchmark::State& state, MeasureStrategy strategy) {
   Engine db(options);
   LoadOrders(&db, static_cast<int>(state.range(0)),
              static_cast<int>(state.range(1)), /*customers=*/50);
+  std::shared_ptr<const msql::QueryStats> stats;
   for (auto _ : state) {
     ResultSet rs = CheckResult(db.Query(kMeasureQuery), "query");
+    stats = rs.stats();
     benchmark::DoNotOptimize(rs);
   }
   state.counters["measure_evals"] =
-      static_cast<double>(db.last_stats().measure_evals);
+      static_cast<double>(stats == nullptr ? 0 : stats->measure_evals);
   state.counters["cache_hits"] =
-      static_cast<double>(db.last_stats().measure_cache_hits);
+      static_cast<double>(stats == nullptr ? 0 : stats->measure_cache_hits);
   state.counters["source_scans"] =
-      static_cast<double>(db.last_stats().measure_source_scans);
+      static_cast<double>(stats == nullptr ? 0 : stats->measure_source_scans);
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
@@ -71,12 +73,14 @@ void RunAggregateOnly(benchmark::State& state, bool inline_fastpath) {
   const char* query =
       "SELECT prodName, AGGREGATE(sumRevenue) AS rev, "
       "AGGREGATE(margin) AS margin FROM EO GROUP BY prodName";
+  std::shared_ptr<const msql::QueryStats> stats;
   for (auto _ : state) {
     ResultSet rs = CheckResult(db.Query(query), "aggregate-only query");
+    stats = rs.stats();
     benchmark::DoNotOptimize(rs);
   }
   state.counters["source_scans"] =
-      static_cast<double>(db.last_stats().measure_source_scans);
+      static_cast<double>(stats == nullptr ? 0 : stats->measure_source_scans);
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
@@ -93,14 +97,16 @@ void BM_StrategyExpandedSql(benchmark::State& state) {
              static_cast<int>(state.range(1)), /*customers=*/50);
   std::string expanded =
       CheckResult(db.ExpandSql(kMeasureQuery), "expansion of strategy query");
+  std::shared_ptr<const msql::QueryStats> stats;
   for (auto _ : state) {
     ResultSet rs = CheckResult(db.Query(expanded), "expanded query");
+    stats = rs.stats();
     benchmark::DoNotOptimize(rs);
   }
   state.counters["subq_execs"] =
-      static_cast<double>(db.last_stats().subquery_execs);
+      static_cast<double>(stats == nullptr ? 0 : stats->subquery_execs);
   state.counters["subq_hits"] =
-      static_cast<double>(db.last_stats().subquery_cache_hits);
+      static_cast<double>(stats == nullptr ? 0 : stats->subquery_cache_hits);
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 

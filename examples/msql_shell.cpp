@@ -5,7 +5,8 @@
 //   \d NAME       describe a table or view
 //   \explain SQL  show the logical plan
 //   \expand SQL   show the section-4.2 measure expansion
-//   \stats        execution statistics of the last query
+//   \stats        engine-wide execution statistics
+//   \metrics      Prometheus-style metrics exposition
 //
 //   build/examples/msql_shell [file.sql ...]
 // Files given on the command line are executed before the prompt starts.
@@ -21,7 +22,7 @@
 
 namespace {
 
-void PrintStats(const msql::ExecState& stats) {
+void PrintStats(const msql::EngineStats& stats) {
   std::printf(
       "measure evals: %llu (cache hits %llu, source scans %llu); "
       "subqueries: %llu (cache hits %llu)\n",
@@ -72,7 +73,11 @@ bool HandleMetaCommand(msql::Engine* db, const std::string& line) {
     return true;
   }
   if (line == "\\stats") {
-    PrintStats(db->last_stats());
+    PrintStats(db->stats());
+    return true;
+  }
+  if (line == "\\metrics") {
+    std::printf("%s", db->MetricsText().c_str());
     return true;
   }
   std::printf("unknown meta command: %s\n", line.c_str());

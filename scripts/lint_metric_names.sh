@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Lints every metric name registered against obs::MetricsRegistry
+# (GetCounter / GetGauge / GetHistogram call sites in src/ and bench/)
+# for the naming conventions documented in docs/OBSERVABILITY.md:
+#
+#   - every name matches ^msql_[a-z][a-z0-9_]*$ (prometheus-safe, one
+#     namespace prefix, no camelCase)
+#   - counters end in _total
+#   - histograms end in a unit suffix: _ms, _bytes, _rows or _depth
+#   - gauges end in _active, _entries, _bytes, _ratio or _pending
+#
+# Exits non-zero listing every violation. Run from the repository root.
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Extracts the first string literal of every Get<Kind>( call. Multiline
+# call sites put the name on the line after the open paren, so flatten
+# each file to one line before matching.
+extract() { # $1 = method name
+  find src bench -name '*.cc' -o -name '*.h' | while read -r f; do
+    tr '\n' ' ' < "$f"
+    echo
+  done |
+    grep -oE "$1\\( *\"[^\"]+\"" |
+    sed -E 's/.*"([^"]+)"/\1/' | sort -u
+}
+
+check() { # $1 = kind, $2 = suffix regex, $3..$n = names
+  local kind="$1" suffix="$2"
+  shift 2
+  for name in "$@"; do
+    if ! [[ "$name" =~ ^msql_[a-z][a-z0-9_]*$ ]]; then
+      echo "BAD NAME  ($kind): '$name' does not match ^msql_[a-z][a-z0-9_]*$"
+      fail=1
+    elif ! [[ "$name" =~ $suffix ]]; then
+      echo "BAD SUFFIX ($kind): '$name' must match $suffix"
+      fail=1
+    fi
+  done
+}
+
+mapfile -t counters < <(extract GetCounter)
+mapfile -t gauges < <(extract GetGauge)
+mapfile -t histograms < <(extract GetHistogram)
+
+if [ "${#counters[@]}" -eq 0 ] || [ "${#gauges[@]}" -eq 0 ] ||
+   [ "${#histograms[@]}" -eq 0 ]; then
+  echo "lint_metric_names: found no registrations — extraction broken?"
+  exit 1
+fi
+
+check counter '_total$' "${counters[@]}"
+check gauge '(_active|_entries|_bytes|_ratio|_pending)$' "${gauges[@]}"
+check histogram '(_ms|_bytes|_rows|_depth)$' "${histograms[@]}"
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint_metric_names: FAILED"
+  exit 1
+fi
+total=$(( ${#counters[@]} + ${#gauges[@]} + ${#histograms[@]} ))
+echo "lint_metric_names: OK ($total metric names checked)"

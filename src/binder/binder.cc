@@ -270,6 +270,9 @@ Result<PlanPtr> Binder::BindBaseTable(const std::string& name,
   }
   Binder view_binder(catalog_, entry->owner, max_recursion_depth_);
   view_binder.view_depth_ = view_depth_;
+  // Measure expansion inside the view counts toward the outer query's
+  // measure-expand trace span.
+  view_binder.measure_expand_us_ = measure_expand_us_;
   auto result = view_binder.BindSelectStmt(*entry->view_ast, nullptr);
   --view_depth_;
   if (!result.ok()) return result.status();
@@ -929,7 +932,10 @@ Result<PlanPtr> Binder::BindSelectCore(const SelectStmt& stmt, Scope* outer) {
       project->exprs.push_back(BRowIndex());
     }
 
-    // Measure descriptors.
+    // Measure descriptors. Timed into the measure-expand trace span when
+    // the engine is tracing this bind (and only if measures are involved).
+    ExpandTimer expand_timer(measure_outs.empty() ? nullptr
+                                                  : measure_expand_us_);
     for (const MeasureOut& mo : measure_outs) {
       PlanMeasure pm;
       pm.name = mo.name;

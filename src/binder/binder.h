@@ -1,6 +1,7 @@
 #ifndef MSQL_BINDER_BINDER_H_
 #define MSQL_BINDER_BINDER_H_
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
@@ -32,6 +33,15 @@ class Binder {
 
   // Binds a full query (WITH / set ops / ORDER BY / LIMIT).
   Result<PlanPtr> Bind(const SelectStmt& stmt);
+
+  // Tracing hook (docs/OBSERVABILITY.md): accumulates microseconds spent in
+  // measure binding/expansion (PlanMeasure construction, AT-modifier
+  // binding) into `*us`. The caller initializes `*us` to a negative
+  // sentinel; it stays negative when no measure work happened, so the
+  // trace only gets a measure-expand span for queries that expand measures.
+  void set_measure_expand_accumulator(int64_t* us) {
+    measure_expand_us_ = us;
+  }
 
  private:
   // One name-resolution scope: the FROM relation of a SELECT (or a pseudo
@@ -108,6 +118,31 @@ class Binder {
   Status BindGroupBy(const SelectStmt& stmt, Scope* scope, AggState* st);
 
   // --- helpers ---
+  // RAII accumulator feeding the measure-expand trace span: adds the scope's
+  // elapsed microseconds to `*out` on destruction, clearing the negative
+  // "never ran" sentinel first. Null-safe, so untraced binds pay only the
+  // null check.
+  class ExpandTimer {
+   public:
+    explicit ExpandTimer(int64_t* out)
+        : out_(out),
+          start_(out == nullptr ? std::chrono::steady_clock::time_point()
+                                : std::chrono::steady_clock::now()) {}
+    ~ExpandTimer() {
+      if (out_ == nullptr) return;
+      if (*out_ < 0) *out_ = 0;
+      *out_ += std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count();
+    }
+    ExpandTimer(const ExpandTimer&) = delete;
+    ExpandTimer& operator=(const ExpandTimer&) = delete;
+
+   private:
+    int64_t* out_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
   static std::vector<PlanMeasure> PropagateSameSchema(const LogicalPlan& child);
   Status CheckAccessAndGet(const std::string& name, const CatalogEntry** out);
 
@@ -148,6 +183,10 @@ class Binder {
   // Select aliases of the SELECT cores currently being bound (innermost
   // last); consulted for ad-hoc dimensions in AT modifiers.
   std::vector<std::map<std::string, const Expr*>> select_alias_stack_;
+
+  // Measure-expansion time accumulator; null unless the engine is tracing
+  // this bind.
+  int64_t* measure_expand_us_ = nullptr;
 
   // Window calls collected while binding the current SELECT core.
   std::vector<WindowDef> pending_windows_;

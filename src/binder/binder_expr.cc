@@ -471,6 +471,7 @@ Result<BoundExprPtr> Binder::BindSubqueryExpr(const Expr& e, Scope* scope,
 }
 
 Result<BoundExprPtr> Binder::BindAt(const Expr& e, Scope* scope) {
+  ExpandTimer expand_timer(measure_expand_us_);
   MSQL_ASSIGN_OR_RETURN(BoundExprPtr operand, BindExpr(*e.left, scope));
   int measure_count = 0;
   VisitNodes(operand.get(), [&](BoundExpr* n) {

@@ -1,0 +1,41 @@
+#ifndef MSQL_COMMON_QUERY_STATS_H_
+#define MSQL_COMMON_QUERY_STATS_H_
+
+#include <cstdint>
+
+namespace msql {
+
+// Immutable per-query execution statistics, snapshotted from the query's
+// ExecState when it finishes. Returned on the result path
+// (ResultSet::stats()) and attached to the query's trace, replacing the
+// racy engine-global Engine::last_stats() accessor: each concurrent query
+// gets its own copy instead of clobbering shared mutable state.
+struct QueryStats {
+  // Measure evaluation (measure/cse.cc).
+  uint64_t measure_evals = 0;        // evaluations requested
+  uint64_t measure_cache_hits = 0;   // per-query memo hits
+  uint64_t measure_source_scans = 0; // full passes over a measure source
+  uint64_t measure_inline_evals = 0; // row-id-only fast-path evaluations
+
+  // Correlated scalar subqueries (exec/executor.cc).
+  uint64_t subquery_execs = 0;
+  uint64_t subquery_cache_hits = 0;
+
+  // Cross-query SharedMeasureCache traffic attributable to this query.
+  uint64_t shared_cache_hits = 0;
+  uint64_t shared_cache_misses = 0;
+
+  // Resource-governor charges (common/query_guard.h).
+  uint64_t rows_charged = 0;
+  uint64_t bytes_charged = 0;
+
+  // Recursion depth at completion; 0 after a clean unwind.
+  int depth = 0;
+
+  // Wall time of the whole select pipeline (bind through render).
+  int64_t total_us = 0;
+};
+
+}  // namespace msql
+
+#endif  // MSQL_COMMON_QUERY_STATS_H_

@@ -1,6 +1,8 @@
 #include "engine/engine.h"
 
+#include <chrono>
 #include <fstream>
+#include <iostream>
 
 #include "binder/binder.h"
 #include "catalog/csv.h"
@@ -14,11 +16,97 @@
 
 namespace msql {
 
+namespace {
+
+int64_t ElapsedUsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+void Engine::InitObs() {
+  ins_.queries = metrics_.GetCounter(
+      "msql_queries_total", "SELECT statements executed");
+  ins_.query_errors = metrics_.GetCounter(
+      "msql_query_errors_total", "SELECT statements that returned an error");
+  ins_.measure_evals = metrics_.GetCounter(
+      "msql_measure_evals_total", "Measure evaluations requested");
+  ins_.measure_cache_hits = metrics_.GetCounter(
+      "msql_measure_cache_hits_total", "Measure evaluations served from the "
+      "per-query context cache");
+  ins_.measure_source_scans = metrics_.GetCounter(
+      "msql_measure_source_scans_total",
+      "Full passes over a measure's source relation");
+  ins_.measure_inline_evals = metrics_.GetCounter(
+      "msql_measure_inline_evals_total",
+      "Measure evaluations taking the row-id inline fast path");
+  ins_.subquery_execs = metrics_.GetCounter(
+      "msql_subquery_execs_total", "Correlated subquery executions");
+  ins_.subquery_cache_hits = metrics_.GetCounter(
+      "msql_subquery_cache_hits_total",
+      "Correlated subquery results served from the memo cache");
+  ins_.shared_cache_hits = metrics_.GetCounter(
+      "msql_shared_cache_hits_total", "Cross-query shared cache hits");
+  ins_.shared_cache_misses = metrics_.GetCounter(
+      "msql_shared_cache_misses_total", "Cross-query shared cache misses");
+  ins_.shared_cache_insertions = metrics_.GetCounter(
+      "msql_shared_cache_insertions_total", "Cross-query shared cache fills");
+  ins_.shared_cache_evictions = metrics_.GetCounter(
+      "msql_shared_cache_evictions_total",
+      "Cross-query shared cache entries evicted (LRU or invalidation)");
+  ins_.shared_cache_invalidations = metrics_.GetCounter(
+      "msql_shared_cache_invalidations_total",
+      "Generation invalidations of the cross-query shared cache");
+  ins_.sessions_created = metrics_.GetCounter(
+      "msql_sessions_created_total", "Sessions created over engine lifetime");
+  ins_.slow_queries = metrics_.GetCounter(
+      "msql_slow_queries_total",
+      "Traced queries at or above the slow-query threshold");
+  ins_.obs_sink_errors = metrics_.GetCounter(
+      "msql_obs_sink_errors_total",
+      "Trace sink emissions that failed (queries are unaffected)");
+  ins_.sessions_active = metrics_.GetGauge(
+      "msql_sessions_active", "Sessions currently alive");
+  ins_.shared_cache_entries = metrics_.GetGauge(
+      "msql_shared_cache_entries", "Cross-query shared cache entries");
+  ins_.shared_cache_bytes = metrics_.GetGauge(
+      "msql_shared_cache_bytes", "Cross-query shared cache approximate bytes");
+  ins_.shared_cache_hit_ratio = metrics_.GetGauge(
+      "msql_shared_cache_hit_ratio",
+      "Cross-query shared cache hits / lookups over engine lifetime");
+  ins_.query_duration_ms = metrics_.GetHistogram(
+      "msql_query_duration_ms", "SELECT wall time",
+      obs::MetricsRegistry::LatencyBucketsMs());
+
+  // Built-in sinks. The ring buffer always exists (RecentTraces() reports
+  // empty until tracing is enabled); the slow-query log only when asked.
+  ring_sink_ =
+      std::make_shared<obs::RingBufferSink>(options_.trace_ring_capacity);
+  trace_collector_.AddSink(ring_sink_);
+  slow_log_threshold_ms_ = options_.slow_query_log_ms;
+  if (options_.slow_query_log_ms >= 0) {
+    std::shared_ptr<obs::SlowQueryLogSink> slow;
+    if (options_.slow_query_log_path.empty()) {
+      slow = std::make_shared<obs::SlowQueryLogSink>(
+          options_.slow_query_log_ms, &std::cerr);
+    } else {
+      slow = obs::SlowQueryLogSink::OpenFile(options_.slow_query_log_ms,
+                                             options_.slow_query_log_path);
+    }
+    trace_collector_.AddSink(std::move(slow));
+  }
+}
+
 Status Engine::Execute(const std::string& sql) {
   return ExecuteWith(sql, DefaultContext(nullptr));
 }
 
 Status Engine::ExecuteWith(const std::string& sql, const QueryContext& ctx) {
+  if (ctx.options.enable_tracing && ctx.trace == nullptr) {
+    return ExecuteTraced(sql, ctx);
+  }
   Parser parser(sql);
   MSQL_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, parser.ParseStatements());
   for (const StmtPtr& stmt : stmts) {
@@ -39,33 +127,119 @@ Result<ResultSet> Engine::Query(const std::string& sql,
 
 Result<ResultSet> Engine::QueryWith(const std::string& sql,
                                     const QueryContext& ctx) {
+  if (ctx.options.enable_tracing && ctx.trace == nullptr) {
+    return QueryTraced(sql, ctx);
+  }
   MSQL_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::Parse(sql));
   ResultSet out;
   MSQL_RETURN_IF_ERROR(ExecuteStmt(*stmt, &out, ctx));
   return out;
 }
 
+Result<ResultSet> Engine::QueryTraced(const std::string& sql,
+                                      const QueryContext& ctx) {
+  auto trace = std::make_shared<obs::QueryTrace>(
+      next_query_id_.fetch_add(1, std::memory_order_relaxed), sql,
+      ctx.session_id, ctx.user);
+  if (ctx.queue_wait_us > 0) {
+    // The wait happened before the trace clock started; render it as a
+    // negative-offset child of the root.
+    trace->set_queue_wait_us(ctx.queue_wait_us);
+    trace->AddCompletedSpan("queue-wait", -ctx.queue_wait_us,
+                            ctx.queue_wait_us);
+  }
+  QueryContext tctx = ctx;
+  tctx.trace = trace.get();
+
+  Result<ResultSet> result = [&]() -> Result<ResultSet> {
+    StmtPtr stmt;
+    {
+      obs::ScopedSpan span(trace.get(), "parse");
+      Result<StmtPtr> parsed = Parser::Parse(sql);
+      if (!parsed.ok()) {
+        span.set_status(parsed.status());
+        return parsed.status();
+      }
+      stmt = parsed.take();
+    }
+    ResultSet out;
+    MSQL_RETURN_IF_ERROR(ExecuteStmt(*stmt, &out, tctx));
+    return out;
+  }();
+
+  FinishTrace(std::move(trace),
+              result.ok() ? Status::Ok() : result.status(),
+              result.ok() ? result.value().num_rows() : 0);
+  return result;
+}
+
+Status Engine::ExecuteTraced(const std::string& sql, const QueryContext& ctx) {
+  auto trace = std::make_shared<obs::QueryTrace>(
+      next_query_id_.fetch_add(1, std::memory_order_relaxed), sql,
+      ctx.session_id, ctx.user);
+  if (ctx.queue_wait_us > 0) {
+    trace->set_queue_wait_us(ctx.queue_wait_us);
+    trace->AddCompletedSpan("queue-wait", -ctx.queue_wait_us,
+                            ctx.queue_wait_us);
+  }
+  QueryContext tctx = ctx;
+  tctx.trace = trace.get();
+
+  uint64_t rows = 0;
+  Status st = [&]() -> Status {
+    std::vector<StmtPtr> stmts;
+    {
+      obs::ScopedSpan span(trace.get(), "parse");
+      Parser parser(sql);
+      Result<std::vector<StmtPtr>> parsed = parser.ParseStatements();
+      if (!parsed.ok()) {
+        span.set_status(parsed.status());
+        return parsed.status();
+      }
+      stmts = parsed.take();
+    }
+    for (const StmtPtr& stmt : stmts) {
+      ResultSet ignored;
+      MSQL_RETURN_IF_ERROR(ExecuteStmt(*stmt, &ignored, tctx));
+      rows += ignored.num_rows();
+    }
+    return Status::Ok();
+  }();
+
+  FinishTrace(std::move(trace), st, rows);
+  return st;
+}
+
+void Engine::FinishTrace(std::shared_ptr<obs::QueryTrace> trace,
+                         const Status& st, uint64_t rows_returned) {
+  trace->Finish(st, rows_returned);
+  if (slow_log_threshold_ms_ >= 0 &&
+      trace->total_us() >= slow_log_threshold_ms_ * 1000) {
+    ins_.slow_queries->Increment();
+  }
+  trace_collector_.Publish(std::move(trace), ins_.obs_sink_errors);
+}
+
 SessionPtr Engine::CreateSession() {
   const uint64_t id =
       next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  ins_.sessions_created->Increment();
+  ins_.sessions_active->Add(1.0);
   return SessionPtr(new Session(this, id, options_, user_));
 }
 
+void Engine::NoteSessionDestroyed() { ins_.sessions_active->Add(-1.0); }
+
 EngineStats Engine::stats() const {
   EngineStats s;
-  s.queries = stats_.queries.load(std::memory_order_relaxed);
-  s.measure_evals = stats_.measure_evals.load(std::memory_order_relaxed);
-  s.measure_cache_hits =
-      stats_.measure_cache_hits.load(std::memory_order_relaxed);
-  s.measure_source_scans =
-      stats_.measure_source_scans.load(std::memory_order_relaxed);
-  s.subquery_execs = stats_.subquery_execs.load(std::memory_order_relaxed);
-  s.subquery_cache_hits =
-      stats_.subquery_cache_hits.load(std::memory_order_relaxed);
-  s.shared_cache_hits =
-      stats_.shared_cache_hits.load(std::memory_order_relaxed);
-  s.shared_cache_misses =
-      stats_.shared_cache_misses.load(std::memory_order_relaxed);
+  s.queries = ins_.queries->value();
+  s.measure_evals = ins_.measure_evals->value();
+  s.measure_cache_hits = ins_.measure_cache_hits->value();
+  s.measure_source_scans = ins_.measure_source_scans->value();
+  s.subquery_execs = ins_.subquery_execs->value();
+  s.subquery_cache_hits = ins_.subquery_cache_hits->value();
+  s.shared_cache_hits = ins_.shared_cache_hits->value();
+  s.shared_cache_misses = ins_.shared_cache_misses->value();
   const SharedMeasureCache::Stats cache = shared_cache_.stats();
   s.shared_cache_insertions = cache.insertions;
   s.shared_cache_evictions = cache.evictions;
@@ -74,22 +248,46 @@ EngineStats Engine::stats() const {
   return s;
 }
 
+std::string Engine::MetricsText() {
+  // Fold the shared cache's internally-kept counters into the registry as
+  // deltas since the last exposition, and refresh the gauges.
+  const SharedMeasureCache::Stats cache = shared_cache_.stats();
+  {
+    std::lock_guard<std::mutex> lock(metrics_sync_mu_);
+    ins_.shared_cache_insertions->Increment(cache.insertions -
+                                            synced_cache_.insertions);
+    ins_.shared_cache_evictions->Increment(cache.evictions -
+                                           synced_cache_.evictions);
+    ins_.shared_cache_invalidations->Increment(cache.invalidations -
+                                               synced_cache_.invalidations);
+    synced_cache_ = cache;
+  }
+  ins_.shared_cache_entries->Set(static_cast<double>(cache.entries));
+  ins_.shared_cache_bytes->Set(static_cast<double>(cache.bytes));
+  const uint64_t lookups = cache.hits + cache.misses;
+  ins_.shared_cache_hit_ratio->Set(
+      lookups == 0 ? 0.0 : static_cast<double>(cache.hits) / lookups);
+  return metrics_.Text();
+}
+
+std::vector<obs::TracePtr> Engine::RecentTraces() const {
+  return ring_sink_->Recent();
+}
+
+void Engine::AddTraceSink(std::shared_ptr<obs::TraceSink> sink) {
+  trace_collector_.AddSink(std::move(sink));
+}
+
 void Engine::AccumulateStats(ExecState&& state) {
-  stats_.queries.fetch_add(1, std::memory_order_relaxed);
-  stats_.measure_evals.fetch_add(state.measure_evals,
-                                 std::memory_order_relaxed);
-  stats_.measure_cache_hits.fetch_add(state.measure_cache_hits,
-                                      std::memory_order_relaxed);
-  stats_.measure_source_scans.fetch_add(state.measure_source_scans,
-                                        std::memory_order_relaxed);
-  stats_.subquery_execs.fetch_add(state.subquery_execs,
-                                  std::memory_order_relaxed);
-  stats_.subquery_cache_hits.fetch_add(state.subquery_cache_hits,
-                                       std::memory_order_relaxed);
-  stats_.shared_cache_hits.fetch_add(state.shared_cache_hits,
-                                     std::memory_order_relaxed);
-  stats_.shared_cache_misses.fetch_add(state.shared_cache_misses,
-                                       std::memory_order_relaxed);
+  ins_.queries->Increment();
+  ins_.measure_evals->Increment(state.measure_evals);
+  ins_.measure_cache_hits->Increment(state.measure_cache_hits);
+  ins_.measure_source_scans->Increment(state.measure_source_scans);
+  ins_.measure_inline_evals->Increment(state.measure_inline_evals);
+  ins_.subquery_execs->Increment(state.subquery_execs);
+  ins_.subquery_cache_hits->Increment(state.subquery_cache_hits);
+  ins_.shared_cache_hits->Increment(state.shared_cache_hits);
+  ins_.shared_cache_misses->Increment(state.shared_cache_misses);
   std::lock_guard<std::mutex> lock(last_stats_mu_);
   last_stats_ = std::move(state);
 }
@@ -100,61 +298,125 @@ void Engine::NoteCatalogMutation() {
 }
 
 Result<ResultSet> Engine::RunSelect(const SelectStmt& select,
-                                    const QueryContext& ctx) {
+                                    const QueryContext& ctx, PlanPtr* plan_out,
+                                    obs::PlanProfile* profile) {
   ExecState state;
-  Result<ResultSet> result = RunSelectImpl(select, ctx, &state);
+  state.profile = profile;
+  const auto start = std::chrono::steady_clock::now();
+  Result<ResultSet> result = RunSelectImpl(select, ctx, &state, plan_out);
+  const int64_t total_us = ElapsedUsSince(start);
+
+  // Per-query stats travel with the result (and the trace, when present) —
+  // the race-free replacement for the deprecated Engine::last_stats().
+  auto stats = std::make_shared<QueryStats>();
+  stats->measure_evals = state.measure_evals;
+  stats->measure_cache_hits = state.measure_cache_hits;
+  stats->measure_source_scans = state.measure_source_scans;
+  stats->measure_inline_evals = state.measure_inline_evals;
+  stats->subquery_execs = state.subquery_execs;
+  stats->subquery_cache_hits = state.subquery_cache_hits;
+  stats->shared_cache_hits = state.shared_cache_hits;
+  stats->shared_cache_misses = state.shared_cache_misses;
+  stats->rows_charged = state.guard.rows_charged();
+  stats->bytes_charged = state.guard.bytes_charged();
+  stats->depth = state.depth;
+  stats->total_us = total_us;
+  if (ctx.trace != nullptr) ctx.trace->set_stats(*stats);
+  if (result.ok()) result.value().set_stats(std::move(stats));
+
+  ins_.query_duration_ms->Observe(static_cast<double>(total_us) / 1000.0);
+  if (!result.ok()) ins_.query_errors->Increment();
   AccumulateStats(std::move(state));
   return result;
 }
 
 Result<ResultSet> Engine::RunSelectImpl(const SelectStmt& select,
                                         const QueryContext& ctx,
-                                        ExecState* state) {
+                                        ExecState* state, PlanPtr* plan_out) {
   MSQL_FAULT_POINT("engine.select");
   Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth);
-  MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(select));
-
-  state->options = ctx.options;
-  if (ctx.options.measure_strategy == MeasureStrategy::kMemoized) {
-    state->shared_cache = &shared_cache_;
-    state->catalog_generation = catalog_.generation();
-  }
-  state->guard.Arm(ctx.options.timeout_ms, ctx.options.max_memory_bytes,
-                   ctx.options.max_result_rows, ctx.cancel,
-                   cancel_generation_);
-  Executor executor(state);
-  MSQL_ASSIGN_OR_RETURN(RelationPtr rel, executor.Execute(*plan, {}));
-
-  const size_t visible = rel->schema.num_visible();
-  std::vector<std::string> names;
-  std::vector<DataType> types;
-  for (size_t i = 0; i < visible; ++i) {
-    names.push_back(rel->schema.column(i).name);
-    types.push_back(rel->schema.column(i).type);
-  }
-  MSQL_RETURN_IF_ERROR(state->guard.ChargeRows(rel->rows.size(), visible));
-  std::vector<Row> rows;
-  rows.reserve(rel->rows.size());
-  for (const Row& r : rel->rows) {
-    rows.emplace_back(r.begin(), r.begin() + visible);
-  }
-
-  // Measure columns surviving to the top level are rendered at the result's
-  // own grain: each cell is the measure evaluated with every dimension
-  // pinned to its row (the default per-row evaluation context). Inside
-  // nested queries the placeholder NULLs are never read, preserving closure.
-  for (const RtMeasure& m : rel->measures) {
-    if (m.column < 0 || static_cast<size_t>(m.column) >= visible) continue;
-    for (size_t r = 0; r < rel->rows.size(); ++r) {
-      MSQL_RETURN_IF_ERROR(state->guard.Check());
-      Frame frame{&rel->rows[r], static_cast<int64_t>(r), rel.get()};
-      MSQL_ASSIGN_OR_RETURN(EvalContext ctx2,
-                            BuildRowContext(m, frame, state));
-      MSQL_ASSIGN_OR_RETURN(Value v, EvaluateMeasure(m, ctx2, state));
-      rows[r][m.column] = std::move(v);
+  PlanPtr plan;
+  int64_t expand_us = -1;  // sentinel: no measure expansion happened
+  {
+    obs::ScopedSpan span(ctx.trace, "bind");
+    if (ctx.trace != nullptr) {
+      binder.set_measure_expand_accumulator(&expand_us);
     }
+    Result<PlanPtr> bound = binder.Bind(select);
+    if (!bound.ok()) {
+      span.set_status(bound.status());
+      return bound.status();
+    }
+    plan = bound.take();
   }
-  return ResultSet(std::move(names), std::move(types), std::move(rows));
+  if (ctx.trace != nullptr && expand_us >= 0) {
+    // Measure expansion ran inside bind, which just closed; back-date the
+    // span so it nests where it happened.
+    ctx.trace->AddCompletedSpan("measure-expand",
+                                ctx.trace->ElapsedUs() - expand_us, expand_us);
+  }
+  if (plan_out != nullptr) *plan_out = plan;
+
+  {
+    obs::ScopedSpan span(ctx.trace, "plan");
+    state->options = ctx.options;
+    if (ctx.options.measure_strategy == MeasureStrategy::kMemoized) {
+      state->shared_cache = &shared_cache_;
+      state->catalog_generation = catalog_.generation();
+    }
+    state->guard.Arm(ctx.options.timeout_ms, ctx.options.max_memory_bytes,
+                     ctx.options.max_result_rows, ctx.cancel,
+                     cancel_generation_);
+  }
+
+  RelationPtr rel;
+  {
+    obs::ScopedSpan span(ctx.trace, "execute", &state->guard);
+    Executor executor(state);
+    Result<RelationPtr> executed = executor.Execute(*plan, {});
+    if (!executed.ok()) {
+      span.set_status(executed.status());
+      return executed.status();
+    }
+    rel = executed.take();
+  }
+
+  obs::ScopedSpan render_span(ctx.trace, "render", &state->guard);
+  Result<ResultSet> rendered = [&]() -> Result<ResultSet> {
+    const size_t visible = rel->schema.num_visible();
+    std::vector<std::string> names;
+    std::vector<DataType> types;
+    for (size_t i = 0; i < visible; ++i) {
+      names.push_back(rel->schema.column(i).name);
+      types.push_back(rel->schema.column(i).type);
+    }
+    MSQL_RETURN_IF_ERROR(state->guard.ChargeRows(rel->rows.size(), visible));
+    std::vector<Row> rows;
+    rows.reserve(rel->rows.size());
+    for (const Row& r : rel->rows) {
+      rows.emplace_back(r.begin(), r.begin() + visible);
+    }
+
+    // Measure columns surviving to the top level are rendered at the
+    // result's own grain: each cell is the measure evaluated with every
+    // dimension pinned to its row (the default per-row evaluation context).
+    // Inside nested queries the placeholder NULLs are never read,
+    // preserving closure.
+    for (const RtMeasure& m : rel->measures) {
+      if (m.column < 0 || static_cast<size_t>(m.column) >= visible) continue;
+      for (size_t r = 0; r < rel->rows.size(); ++r) {
+        MSQL_RETURN_IF_ERROR(state->guard.Check());
+        Frame frame{&rel->rows[r], static_cast<int64_t>(r), rel.get()};
+        MSQL_ASSIGN_OR_RETURN(EvalContext ctx2,
+                              BuildRowContext(m, frame, state));
+        MSQL_ASSIGN_OR_RETURN(Value v, EvaluateMeasure(m, ctx2, state));
+        rows[r][m.column] = std::move(v);
+      }
+    }
+    return ResultSet(std::move(names), std::move(types), std::move(rows));
+  }();
+  if (!rendered.ok()) render_span.set_status(rendered.status());
+  return rendered;
 }
 
 Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out,
@@ -199,7 +461,28 @@ Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out,
     case StmtKind::kInsert:
       return ExecuteInsert(stmt, ctx);
     case StmtKind::kExplain: {
-      MSQL_ASSIGN_OR_RETURN(std::string text, Explain(stmt.select->ToString()));
+      obs::ExplainOptions eopts;
+      eopts.strategy = ctx.options.measure_strategy;
+      eopts.inline_visible_contexts = ctx.options.inline_visible_contexts;
+      std::string text;
+      if (stmt.explain_analyze) {
+        // EXPLAIN ANALYZE really runs the statement: the profile maps plan
+        // nodes to observed rows/time/cache activity, and the summary is
+        // the query's own stats.
+        obs::PlanProfile profile;
+        PlanPtr plan;
+        MSQL_ASSIGN_OR_RETURN(
+            ResultSet rs, RunSelect(*stmt.select, ctx, &plan, &profile));
+        eopts.profile = &profile;
+        text = obs::RenderPlanTree(*plan, eopts);
+        if (rs.stats() != nullptr) {
+          text += obs::RenderAnalyzeSummary(*rs.stats(), eopts);
+        }
+      } else {
+        Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth);
+        MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*stmt.select));
+        text = obs::RenderPlanTree(*plan, eopts);
+      }
       std::vector<Row> rows;
       for (const std::string& line : Split(text, '\n')) {
         if (!line.empty()) rows.push_back({Value::String(line)});
@@ -351,7 +634,10 @@ Result<std::string> Engine::Explain(const std::string& sql) {
   }
   Binder binder(&catalog_, user_, options_.max_recursion_depth);
   MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*select));
-  return plan->ToString();
+  obs::ExplainOptions eopts;
+  eopts.strategy = options_.measure_strategy;
+  eopts.inline_visible_contexts = options_.inline_visible_contexts;
+  return obs::RenderPlanTree(*plan, eopts);
 }
 
 Result<std::string> Engine::ExpandSql(const std::string& sql) {

@@ -9,9 +9,13 @@
 
 #include "catalog/catalog.h"
 #include "common/query_guard.h"
+#include "common/query_stats.h"
 #include "common/status.h"
 #include "engine/result_set.h"
 #include "exec/exec_state.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/shared_cache.h"
 
 namespace msql {
@@ -28,11 +32,21 @@ struct QueryContext {
   EngineOptions options;
   std::string user;
   CancelTokenPtr cancel;
+
+  // Observability (docs/OBSERVABILITY.md). `session_id` labels traces (0 =
+  // engine-level call); `queue_wait_us` is filled by the scheduler so the
+  // trace records its queue time; `trace` is set internally by the engine
+  // when `options.enable_tracing` is on.
+  uint64_t session_id = 0;
+  int64_t queue_wait_us = 0;
+  obs::QueryTrace* trace = nullptr;
 };
 
 // Engine-wide execution statistics, aggregated atomically across every
 // query on every session/thread. `shared_*` mirrors the
-// SharedMeasureCache's own counters for one-stop monitoring.
+// SharedMeasureCache's own counters for one-stop monitoring. Backed by the
+// MetricsRegistry (Engine::metrics()); this struct remains as a convenient
+// programmatic snapshot.
 struct EngineStats {
   uint64_t queries = 0;
   uint64_t measure_evals = 0;
@@ -67,12 +81,21 @@ struct EngineStats {
 // never races an INSERT; measure and subquery results are shared across
 // queries through a bounded, generation-invalidated SharedMeasureCache.
 // The only single-threaded affordances are the mutable `options()` /
-// `SetUser` engine-level defaults and `last_stats()`, which must not be
-// used while queries run on other threads (sessions carry their own).
+// `SetUser` engine-level defaults and the deprecated `last_stats()`; use
+// the per-query ResultSet::stats() instead.
+//
+// Observability (docs/OBSERVABILITY.md): with options().enable_tracing set,
+// every statement produces a QueryTrace of nested phase spans, retained in
+// a ring buffer (RecentTraces()) and optionally appended to a JSON
+// slow-query log. EXPLAIN ANALYZE <select> runs the statement and renders
+// its plan annotated with per-operator rows/time/cache stats. MetricsText()
+// exposes engine counters, gauges and histograms in Prometheus text format.
 class Engine {
  public:
-  Engine() = default;
-  explicit Engine(EngineOptions options) : options_(options) {}
+  Engine() { InitObs(); }
+  explicit Engine(EngineOptions options) : options_(std::move(options)) {
+    InitObs();
+  }
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -111,7 +134,8 @@ class Engine {
     cancel_generation_->fetch_add(1, std::memory_order_relaxed);
   }
 
-  // Binds a SELECT and renders its logical plan.
+  // Binds a SELECT and renders its logical plan, including per-node
+  // measure-expansion notes (the same renderer EXPLAIN ANALYZE annotates).
   Result<std::string> Explain(const std::string& sql);
 
   // Expands every measure reference in a SELECT into plain SQL (correlated
@@ -142,13 +166,32 @@ class Engine {
   // threads. Safe to read at any time.
   EngineStats stats() const;
 
+  // The engine's metric registry: counters, gauges and histograms with
+  // stable pointers for lock-free updates. Safe to use from any thread.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  // Prometheus-style text exposition of every registered metric, after
+  // syncing the SharedMeasureCache counters/gauges into the registry.
+  std::string MetricsText();
+
+  // The last N traces (newest first) of queries run with tracing enabled;
+  // N is EngineOptions::trace_ring_capacity at engine construction.
+  std::vector<obs::TracePtr> RecentTraces() const;
+
+  // Registers an additional trace sink (monitoring exporters, tests). The
+  // collector already owns the ring buffer and, when configured, the
+  // slow-query log. Sink failures never fail queries; they increment
+  // msql_obs_sink_errors_total.
+  void AddTraceSink(std::shared_ptr<obs::TraceSink> sink);
+
   // The cross-query measure/subquery cache (docs/CONCURRENCY.md). Exposed
   // for sizing (set_max_bytes) and monitoring.
   SharedMeasureCache& shared_cache() { return shared_cache_; }
 
-  // Execution statistics of the most recent Query/Execute call: measure
-  // cache hits, source scans, subquery executions. Used by the benchmark
-  // harness. Not synchronized: read only while no query is in flight.
+  // Execution statistics of the most recent Query/Execute call. Deprecated:
+  // engine-global mutable state that concurrent sessions clobber — read the
+  // per-query ResultSet::stats() (or QueryTrace::stats()) instead.
+  [[deprecated("racy under concurrent sessions; use ResultSet::stats()")]]
   const ExecState& last_stats() const { return last_stats_; }
 
  private:
@@ -157,23 +200,44 @@ class Engine {
   Status ExecuteStmt(const Stmt& stmt, ResultSet* out,
                      const QueryContext& ctx);
   Status ExecuteInsert(const Stmt& stmt, const QueryContext& ctx);
-  Result<ResultSet> RunSelect(const SelectStmt& select,
-                              const QueryContext& ctx);
+  Result<ResultSet> RunSelect(const SelectStmt& select, const QueryContext& ctx,
+                              PlanPtr* plan_out = nullptr,
+                              obs::PlanProfile* profile = nullptr);
   Result<ResultSet> RunSelectImpl(const SelectStmt& select,
-                                  const QueryContext& ctx, ExecState* state);
+                                  const QueryContext& ctx, ExecState* state,
+                                  PlanPtr* plan_out);
+
+  // Traced variants of QueryWith/ExecuteWith: wrap parsing and execution in
+  // a QueryTrace and publish it to the sinks on completion.
+  Result<ResultSet> QueryTraced(const std::string& sql,
+                                const QueryContext& ctx);
+  Status ExecuteTraced(const std::string& sql, const QueryContext& ctx);
+  void FinishTrace(std::shared_ptr<obs::QueryTrace> trace, const Status& st,
+                   uint64_t rows_returned);
 
   // Engine-level calls snapshot the mutable defaults into a context.
   QueryContext DefaultContext(CancelTokenPtr cancel) const {
-    return QueryContext{options_, user_, std::move(cancel)};
+    QueryContext ctx;
+    ctx.options = options_;
+    ctx.user = user_;
+    ctx.cancel = std::move(cancel);
+    return ctx;
   }
 
-  // Folds a finished query's counters into stats_ and publishes
-  // last_stats_; then invalidated caches etc. are already handled.
+  // Registers the engine's metrics (caching the instrument pointers) and
+  // installs the built-in trace sinks.
+  void InitObs();
+
+  // Folds a finished query's counters into the metrics registry and
+  // publishes last_stats_ for the deprecated accessor.
   void AccumulateStats(ExecState&& state);
 
   // Called after any DML/DDL: bumps the data generation and drops
   // cross-query cache entries computed against older data.
   void NoteCatalogMutation();
+
+  // Session lifecycle accounting (msql_sessions_active).
+  void NoteSessionDestroyed();
 
   Catalog catalog_;
   EngineOptions options_;
@@ -183,19 +247,49 @@ class Engine {
   std::mutex last_stats_mu_;
   ExecState last_stats_;
 
-  struct AtomicStats {
-    std::atomic<uint64_t> queries{0};
-    std::atomic<uint64_t> measure_evals{0};
-    std::atomic<uint64_t> measure_cache_hits{0};
-    std::atomic<uint64_t> measure_source_scans{0};
-    std::atomic<uint64_t> subquery_execs{0};
-    std::atomic<uint64_t> subquery_cache_hits{0};
-    std::atomic<uint64_t> shared_cache_hits{0};
-    std::atomic<uint64_t> shared_cache_misses{0};
+  // Observability. Cached instrument pointers make the per-query
+  // accounting lock-free (registration happens once, in InitObs).
+  obs::MetricsRegistry metrics_;
+  struct Instruments {
+    obs::Counter* queries = nullptr;
+    obs::Counter* query_errors = nullptr;
+    obs::Counter* measure_evals = nullptr;
+    obs::Counter* measure_cache_hits = nullptr;
+    obs::Counter* measure_source_scans = nullptr;
+    obs::Counter* measure_inline_evals = nullptr;
+    obs::Counter* subquery_execs = nullptr;
+    obs::Counter* subquery_cache_hits = nullptr;
+    obs::Counter* shared_cache_hits = nullptr;
+    obs::Counter* shared_cache_misses = nullptr;
+    obs::Counter* shared_cache_insertions = nullptr;
+    obs::Counter* shared_cache_evictions = nullptr;
+    obs::Counter* shared_cache_invalidations = nullptr;
+    obs::Counter* sessions_created = nullptr;
+    obs::Counter* slow_queries = nullptr;
+    obs::Counter* obs_sink_errors = nullptr;
+    obs::Gauge* sessions_active = nullptr;
+    obs::Gauge* shared_cache_entries = nullptr;
+    obs::Gauge* shared_cache_bytes = nullptr;
+    obs::Gauge* shared_cache_hit_ratio = nullptr;
+    obs::Histogram* query_duration_ms = nullptr;
   };
-  mutable AtomicStats stats_;
+  Instruments ins_;
+
+  obs::TraceCollector trace_collector_;
+  std::shared_ptr<obs::RingBufferSink> ring_sink_;
+
+  // MetricsText() folds SharedMeasureCache counter deltas into the
+  // registry; `synced_cache_` remembers what was already folded.
+  std::mutex metrics_sync_mu_;
+  SharedMeasureCache::Stats synced_cache_;
+
+  // Snapshot of EngineOptions::slow_query_log_ms at construction, so the
+  // msql_slow_queries_total counter agrees with the configured sink even if
+  // options() is mutated later.
+  int64_t slow_log_threshold_ms_ = -1;
 
   std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<uint64_t> next_query_id_{1};
 
   // Cancellation plumbing: the engine-wide generation counter bumped by
   // CancelAll. Guards snapshot the generation when armed.

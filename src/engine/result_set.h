@@ -1,9 +1,11 @@
 #ifndef MSQL_ENGINE_RESULT_SET_H_
 #define MSQL_ENGINE_RESULT_SET_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/query_stats.h"
 #include "common/types.h"
 #include "common/value.h"
 
@@ -45,10 +47,20 @@ class ResultSet {
   // Comma-separated rendering with a header row.
   std::string ToCsv() const;
 
+  // Execution statistics of the query that produced this result (null for
+  // DDL/DML and default-constructed results). Per-query and immutable, so
+  // safe to read from any thread — unlike the deprecated engine-global
+  // Engine::last_stats().
+  const std::shared_ptr<const QueryStats>& stats() const { return stats_; }
+  void set_stats(std::shared_ptr<const QueryStats> stats) {
+    stats_ = std::move(stats);
+  }
+
  private:
   std::vector<std::string> names_;
   std::vector<DataType> types_;
   std::vector<Row> rows_;
+  std::shared_ptr<const QueryStats> stats_;
 };
 
 }  // namespace msql

@@ -7,6 +7,7 @@
 
 #include "common/query_guard.h"
 #include "common/value.h"
+#include "obs/op_profile.h"
 
 namespace msql {
 
@@ -41,6 +42,19 @@ struct EngineOptions {
   // Total rows materialized across all operators of a statement (a proxy
   // for total work and peak memory); exceeding returns kResourceExhausted.
   uint64_t max_result_rows = 0;
+  // Observability (docs/OBSERVABILITY.md). Tracing is off by default and
+  // zero-cost when disabled: the traced path is only entered when this is
+  // set, so the hot path pays one branch.
+  bool enable_tracing = false;
+  // Traces retained for Engine::RecentTraces() (engine-level: the ring is
+  // sized when the engine is constructed).
+  size_t trace_ring_capacity = 64;
+  // Queries with total wall time >= this threshold are appended to the
+  // slow-query log as JSON lines (0 logs every traced query). Negative
+  // disables the sink. Engine-level: read at engine construction.
+  int64_t slow_query_log_ms = -1;
+  // Slow-query log destination; empty means stderr.
+  std::string slow_query_log_path;
 };
 
 // Per-query mutable execution state: option snapshot, caches, counters. The
@@ -69,12 +83,17 @@ struct ExecState {
   // components); keyed by node identity, which is stable within one query.
   std::unordered_map<const LogicalPlan*, std::string> plan_fingerprints;
 
+  // Per-operator runtime profile (EXPLAIN ANALYZE). Null — the default —
+  // keeps the executor's profiling hook to a single branch per operator.
+  obs::PlanProfile* profile = nullptr;
+
   int depth = 0;
 
   // Instrumentation.
   uint64_t measure_evals = 0;        // measure evaluations requested
   uint64_t measure_cache_hits = 0;
   uint64_t measure_source_scans = 0; // full passes over a measure source
+  uint64_t measure_inline_evals = 0; // row-id-only fast path (section 6.4)
   uint64_t subquery_execs = 0;
   uint64_t subquery_cache_hits = 0;
   uint64_t shared_cache_hits = 0;    // cross-query cache hits (this query)

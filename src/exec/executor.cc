@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 
 #include "common/fault_injection.h"
@@ -41,6 +42,51 @@ Result<RelationPtr> Executor::Execute(const LogicalPlan& plan,
     ~DepthGuard() { --s->depth; }
   } guard{state_};
 
+  if (state_->profile == nullptr) return Dispatch(plan, outer);
+  return DispatchProfiled(plan, outer);
+}
+
+// EXPLAIN ANALYZE accounting: wall time and the deltas of the ExecState
+// instrumentation counters across this node's execution (inclusive of the
+// subtree; the renderer subtracts children). Recorded after Dispatch so the
+// map reference cannot be invalidated by recursive insertions.
+Result<RelationPtr> Executor::DispatchProfiled(const LogicalPlan& plan,
+                                               const RowStack& outer) {
+  struct Snapshot {
+    uint64_t measure_evals, measure_cache_hits, measure_source_scans,
+        measure_inline_evals, subquery_execs, subquery_cache_hits,
+        shared_cache_hits, shared_cache_misses;
+  };
+  const Snapshot snap{state_->measure_evals,        state_->measure_cache_hits,
+                      state_->measure_source_scans, state_->measure_inline_evals,
+                      state_->subquery_execs,       state_->subquery_cache_hits,
+                      state_->shared_cache_hits,    state_->shared_cache_misses};
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<RelationPtr> result = Dispatch(plan, outer);
+  const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  obs::OpStats& op = (*state_->profile)[&plan];
+  op.invocations += 1;
+  op.time_us += us;
+  op.measure_evals += state_->measure_evals - snap.measure_evals;
+  op.measure_cache_hits += state_->measure_cache_hits - snap.measure_cache_hits;
+  op.measure_source_scans +=
+      state_->measure_source_scans - snap.measure_source_scans;
+  op.measure_inline_evals +=
+      state_->measure_inline_evals - snap.measure_inline_evals;
+  op.subquery_execs += state_->subquery_execs - snap.subquery_execs;
+  op.subquery_cache_hits +=
+      state_->subquery_cache_hits - snap.subquery_cache_hits;
+  op.shared_cache_hits += state_->shared_cache_hits - snap.shared_cache_hits;
+  op.shared_cache_misses +=
+      state_->shared_cache_misses - snap.shared_cache_misses;
+  if (result.ok()) op.rows_out += result.value()->rows.size();
+  return result;
+}
+
+Result<RelationPtr> Executor::Dispatch(const LogicalPlan& plan,
+                                       const RowStack& outer) {
   switch (plan.kind) {
     case PlanKind::kScanTable:
       return ExecScan(plan);

@@ -23,6 +23,12 @@ class Executor {
   Result<RelationPtr> Execute(const LogicalPlan& plan, const RowStack& outer);
 
  private:
+  // The operator switch. Execute() wraps it with the guard/depth checks
+  // and, when ExecState::profile is set, per-node runtime accounting.
+  Result<RelationPtr> Dispatch(const LogicalPlan& plan, const RowStack& outer);
+  Result<RelationPtr> DispatchProfiled(const LogicalPlan& plan,
+                                       const RowStack& outer);
+
   Result<RelationPtr> ExecScan(const LogicalPlan& plan);
   Result<RelationPtr> ExecValues(const LogicalPlan& plan,
                                  const RowStack& outer);

@@ -247,6 +247,7 @@ Result<Value> EvaluateMeasure(const RtMeasure& m, const EvalContext& ctx,
     if (term.kind != ContextTerm::Kind::kRowIds) rowids_only = false;
   }
   if (rowids_only && !ctx.terms().empty()) {
+    ++state->measure_inline_evals;
     std::vector<int64_t> selected = *ctx.terms()[0].rowids;
     for (size_t t = 1; t < ctx.terms().size(); ++t) {
       const auto& other = *ctx.terms()[t].rowids;

@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace msql::obs {
+
+namespace {
+
+// Prometheus sample values: shortest representation that round-trips the
+// integral cases cleanly ("42", not "42.000000").
+std::string FormatSample(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double v) {
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    out.push_back(b.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it != families_.end()) {
+    return it->second.kind == Kind::kCounter ? it->second.counter.get()
+                                             : nullptr;
+  }
+  Family f;
+  f.kind = Kind::kCounter;
+  f.help = help;
+  f.counter = std::make_unique<Counter>();
+  Counter* out = f.counter.get();
+  families_.emplace(name, std::move(f));
+  return out;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it != families_.end()) {
+    return it->second.kind == Kind::kGauge ? it->second.gauge.get() : nullptr;
+  }
+  Family f;
+  f.kind = Kind::kGauge;
+  f.help = help;
+  f.gauge = std::make_unique<Gauge>();
+  Gauge* out = f.gauge.get();
+  families_.emplace(name, std::move(f));
+  return out;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it != families_.end()) {
+    return it->second.kind == Kind::kHistogram ? it->second.histogram.get()
+                                               : nullptr;
+  }
+  Family f;
+  f.kind = Kind::kHistogram;
+  f.help = help;
+  f.histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram* out = f.histogram.get();
+  families_.emplace(name, std::move(f));
+  return out;
+}
+
+std::string MetricsRegistry::Text() const {
+  std::ostringstream os;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, f] : families_) {
+    if (!f.help.empty()) os << "# HELP " << name << " " << f.help << "\n";
+    switch (f.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << name << " counter\n";
+        os << name << " " << f.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n";
+        os << name << " " << FormatSample(f.gauge->value()) << "\n";
+        break;
+      case Kind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        const std::vector<uint64_t> counts = f.histogram->bucket_counts();
+        const std::vector<double>& bounds = f.histogram->bounds();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < bounds.size(); ++i) {
+          cumulative += counts[i];
+          os << name << "_bucket{le=\"" << FormatSample(bounds[i]) << "\"} "
+             << cumulative << "\n";
+        }
+        cumulative += counts[bounds.size()];
+        os << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        os << name << "_sum " << FormatSample(f.histogram->sum()) << "\n";
+        os << name << "_count " << f.histogram->count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::vector<double> MetricsRegistry::LatencyBucketsMs() {
+  return {0.05, 0.1, 0.25, 0.5, 1,    2.5,  5,    10,
+          25,   50,  100,  250, 500,  1000, 2500, 10000};
+}
+
+std::vector<double> MetricsRegistry::DepthBuckets() {
+  return {0, 1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+}  // namespace msql::obs

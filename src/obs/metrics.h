@@ -1,0 +1,116 @@
+#ifndef MSQL_OBS_METRICS_H_
+#define MSQL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace msql::obs {
+
+// Lock-light metrics primitives. Registration (GetCounter / GetGauge /
+// GetHistogram) takes the registry mutex once and returns a stable pointer;
+// callers cache the pointer and every subsequent update is a relaxed atomic
+// on the hot path — no lock, no lookup.
+//
+// Naming conventions (enforced by scripts/lint_metric_names.sh):
+//   * snake_case with the `msql_` prefix,
+//   * counters end in `_total`,
+//   * histograms end in a unit suffix (`_ms`, `_bytes`, `_rows`, `_depth`).
+
+// Monotonic event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+// Point-in-time value (may go down; fractional values allowed, e.g. hit
+// ratios).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+// with an implicit +Inf overflow bucket. Observe() is one binary search plus
+// three relaxed atomics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket counts (not cumulative); last element is the +Inf bucket.
+  std::vector<uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+// Engine-wide metric registry with Prometheus-style text exposition. A name
+// registers exactly one kind; re-registering an existing name returns the
+// existing instrument (help/bounds of the first registration win), and a
+// kind mismatch returns nullptr.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds);
+
+  // Prometheus text exposition: `# HELP` / `# TYPE` headers followed by the
+  // samples; histograms render cumulative `_bucket{le="..."}` series plus
+  // `_sum` / `_count`.
+  std::string Text() const;
+
+  // Default latency buckets, in milliseconds (0.05ms .. 10s).
+  static std::vector<double> LatencyBucketsMs();
+  // Default small-integer buckets for queue depths and similar.
+  static std::vector<double> DepthBuckets();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;  // ordered => stable exposition
+};
+
+}  // namespace msql::obs
+
+#endif  // MSQL_OBS_METRICS_H_

@@ -1,0 +1,192 @@
+#ifndef MSQL_OBS_TRACE_H_
+#define MSQL_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/query_stats.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace msql {
+class QueryGuard;  // common/query_guard.h
+}  // namespace msql
+
+namespace msql::obs {
+
+// One timed phase of a query (parse, bind, measure-expand, plan,
+// queue-wait, execute, render), nested: children are sub-phases opened
+// while this span was the innermost open one. Offsets are relative to the
+// trace start; `guard_bytes` is the query-guard memory charged while the
+// span was open (0 for spans without a guard, e.g. parse).
+struct TraceSpan {
+  std::string name;
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+  uint64_t guard_bytes = 0;
+  // Empty while the span completed cleanly; otherwise the error-code label
+  // of the Status it unwound with ("cancelled", "resource exhausted", ...).
+  std::string outcome;
+  std::vector<std::unique_ptr<TraceSpan>> children;
+};
+
+// The full record of one query: identity, span tree, outcome, per-query
+// execution stats. Built single-threaded by the executing query, sealed by
+// Finish(), then published to sinks as shared_ptr<const QueryTrace>.
+class QueryTrace {
+ public:
+  QueryTrace(uint64_t id, std::string sql, uint64_t session_id,
+             std::string user);
+
+  // Span stack used by ScopedSpan: opens a child of the innermost open
+  // span. The returned pointer stays valid until CloseSpan (children are
+  // heap-allocated, so sibling growth never moves them).
+  TraceSpan* OpenSpan(const char* name);
+  void CloseSpan(TraceSpan* span, uint64_t guard_bytes, const Status& status);
+
+  // Records an interval measured elsewhere (queue wait, binder's
+  // measure-expand accumulator) as a child of the innermost open span.
+  void AddCompletedSpan(const char* name, int64_t start_us,
+                        int64_t duration_us);
+
+  // Seals the trace with the statement's outcome.
+  void Finish(const Status& status, uint64_t rows_returned);
+
+  uint64_t id() const { return id_; }
+  const std::string& sql() const { return sql_; }
+  uint64_t session_id() const { return session_id_; }
+  const std::string& user() const { return user_; }
+  const TraceSpan& root() const { return root_; }
+  int64_t total_us() const { return total_us_; }
+  int64_t queue_wait_us() const { return queue_wait_us_; }
+  void set_queue_wait_us(int64_t us) { queue_wait_us_ = us; }
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode error_code() const { return code_; }
+  const std::string& error_message() const { return error_; }
+  uint64_t rows_returned() const { return rows_returned_; }
+  const QueryStats& stats() const { return stats_; }
+  void set_stats(const QueryStats& s) { stats_ = s; }
+
+  // Microseconds since this trace started.
+  int64_t ElapsedUs() const;
+
+  // One JSON object (no trailing newline): the slow-query log line format
+  // documented in docs/OBSERVABILITY.md.
+  void ToJson(std::ostream& out) const;
+
+ private:
+  uint64_t id_;
+  std::string sql_;
+  uint64_t session_id_;
+  std::string user_;
+  std::chrono::steady_clock::time_point start_;
+  TraceSpan root_;
+  std::vector<TraceSpan*> open_;  // innermost open span last
+  int64_t total_us_ = 0;
+  int64_t queue_wait_us_ = 0;
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string error_;
+  uint64_t rows_returned_ = 0;
+  QueryStats stats_;
+};
+
+using TracePtr = std::shared_ptr<const QueryTrace>;
+
+// RAII span: opens on construction, closes on destruction. Null-safe — a
+// null trace makes every operation a no-op, which is what keeps disabled
+// tracing one branch per phase. With a guard, records the guard-charged
+// byte delta over the span's lifetime.
+class ScopedSpan {
+ public:
+  ScopedSpan(QueryTrace* trace, const char* name,
+             const QueryGuard* guard = nullptr);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Marks the span's outcome; unset means it completed cleanly.
+  void set_status(const Status& st) {
+    if (trace_ != nullptr && !st.ok()) status_ = st;
+  }
+
+ private:
+  QueryTrace* trace_;
+  TraceSpan* span_ = nullptr;
+  const QueryGuard* guard_;
+  uint64_t bytes_at_open_ = 0;
+  Status status_;
+};
+
+// Destination for finished traces. Emit() may fail (I/O, injected fault);
+// failures never fail the query — the collector counts them.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual Status Emit(const TracePtr& trace) = 0;
+};
+
+// Keeps the last `capacity` traces in memory for Engine::RecentTraces().
+class RingBufferSink : public TraceSink {
+ public:
+  explicit RingBufferSink(size_t capacity);
+
+  Status Emit(const TracePtr& trace) override;
+
+  // Newest first.
+  std::vector<TracePtr> Recent() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TracePtr> traces_;  // front = newest
+};
+
+// Appends traces at or above a total-time threshold as JSON lines
+// (one object per line). threshold_ms 0 logs every trace.
+class SlowQueryLogSink : public TraceSink {
+ public:
+  // `out` is borrowed and must outlive the sink.
+  SlowQueryLogSink(int64_t threshold_ms, std::ostream* out);
+
+  // Opens `path` for appending; if the file cannot be opened, Emit()
+  // reports the failure (degrading gracefully via the collector).
+  static std::shared_ptr<SlowQueryLogSink> OpenFile(int64_t threshold_ms,
+                                                    const std::string& path);
+
+  Status Emit(const TracePtr& trace) override;
+
+  int64_t threshold_ms() const { return threshold_ms_; }
+
+ private:
+  int64_t threshold_ms_;
+  std::unique_ptr<std::ostream> owned_;  // set by OpenFile
+  std::ostream* out_;
+  std::mutex mu_;
+};
+
+// Fans finished traces out to the registered sinks. Sink failures — real or
+// injected at the `obs.trace_sink` checkpoint — are swallowed and counted
+// on `err_counter` (metric msql_obs_sink_errors_total): a broken sink must
+// never fail a healthy query.
+class TraceCollector {
+ public:
+  void AddSink(std::shared_ptr<TraceSink> sink);
+  bool HasSinks() const;
+  void Publish(const TracePtr& trace, Counter* err_counter);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<TraceSink>> sinks_;
+};
+
+}  // namespace msql::obs
+
+#endif  // MSQL_OBS_TRACE_H_

@@ -444,7 +444,8 @@ std::string Stmt::ToString() const {
       return s + Join(rows_s, ", ");
     }
     case StmtKind::kExplain:
-      return "EXPLAIN " + select->ToString();
+      return (explain_analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ") +
+             select->ToString();
     case StmtKind::kDescribe:
       return "DESCRIBE " + name;
     case StmtKind::kCopy:

@@ -245,6 +245,10 @@ struct Stmt {
 
   SelectStmtPtr select;  // kSelect / kExplain payload
 
+  // kExplain: EXPLAIN ANALYZE runs the query and annotates the plan with
+  // per-operator runtime statistics (src/obs/explain.cc).
+  bool explain_analyze = false;
+
   // kCreateTable
   std::string name;
   std::vector<ColumnDef> columns;

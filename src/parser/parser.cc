@@ -108,6 +108,12 @@ Result<StmtPtr> Parser::ParseStatement() {
       Advance();
       auto stmt = std::make_unique<Stmt>();
       stmt->kind = StmtKind::kExplain;
+      // ANALYZE is not reserved; accept it as a modifier identifier.
+      if (Check(TokenType::kIdentifier) &&
+          EqualsIgnoreCase(Peek().text, "ANALYZE")) {
+        Advance();
+        stmt->explain_analyze = true;
+      }
       MSQL_ASSIGN_OR_RETURN(stmt->select, ParseSelectStmt());
       return stmt;
     }

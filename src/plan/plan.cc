@@ -25,9 +25,8 @@ const char* PlanKindName(PlanKind kind) {
 
 }  // namespace
 
-std::string LogicalPlan::ToString(int indent) const {
-  std::string pad(static_cast<size_t>(indent) * 2, ' ');
-  std::string s = pad + PlanKindName(kind);
+std::string LogicalPlan::NodeLabel() const {
+  std::string s = PlanKindName(kind);
   switch (kind) {
     case PlanKind::kScanTable:
       s += " " + table->name();
@@ -119,6 +118,12 @@ std::string LogicalPlan::ToString(int indent) const {
     for (const auto& m : measures) ms.push_back(m.name);
     s += " measures=[" + Join(ms, ", ") + "]";
   }
+  return s;
+}
+
+std::string LogicalPlan::ToString(int indent) const {
+  std::string s(static_cast<size_t>(indent) * 2, ' ');
+  s += NodeLabel();
   s += "\n";
   for (const auto& child : children) {
     s += child->ToString(indent + 1);

@@ -140,6 +140,11 @@ struct LogicalPlan {
   // kWindow. Output schema: child visible ++ window cols ++ child hidden.
   std::vector<WindowDef> windows;
 
+  // One-line operator label, without indentation, children or newline.
+  // Shared by ToString and the obs EXPLAIN / EXPLAIN ANALYZE renderer
+  // (src/obs/explain.cc), so both outputs agree on the node text.
+  std::string NodeLabel() const;
+
   // EXPLAIN rendering.
   std::string ToString(int indent = 0) const;
 };

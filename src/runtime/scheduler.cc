@@ -1,5 +1,7 @@
 #include "runtime/scheduler.h"
 
+#include <chrono>
+
 #include "common/string_util.h"
 
 namespace msql {
@@ -12,13 +14,35 @@ QueryScheduler::~QueryScheduler() {
   pool_.Shutdown();
 }
 
+QueryScheduler::SchedMetrics QueryScheduler::MetricsFor(Engine& engine) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  if (metrics_engine_ != &engine) {
+    obs::MetricsRegistry& reg = engine.metrics();
+    cached_metrics_.rejections = reg.GetCounter(
+        "msql_scheduler_admission_rejections_total",
+        "Submissions rejected by the global or per-session admission caps");
+    cached_metrics_.queue_wait_ms = reg.GetHistogram(
+        "msql_scheduler_queue_wait_ms",
+        "Time admitted statements waited for a worker",
+        obs::MetricsRegistry::LatencyBucketsMs());
+    cached_metrics_.queue_depth = reg.GetHistogram(
+        "msql_scheduler_queue_depth",
+        "Admitted-but-unfinished statements observed at each admission",
+        obs::MetricsRegistry::DepthBuckets());
+    metrics_engine_ = &engine;
+  }
+  return cached_metrics_;
+}
+
 Result<QueryScheduler::QueryFuture> QueryScheduler::Submit(
     const SessionPtr& session, std::string sql) {
+  const SchedMetrics metrics = MetricsFor(session->engine());
   // Optimistically reserve the global and per-session slots; undo on
   // rejection. fetch_add-then-check keeps both caps exact under races.
   const size_t pending = pending_.fetch_add(1, std::memory_order_acq_rel);
   if (pending >= options_.max_pending) {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics.rejections->Increment();
     return Status(ErrorCode::kResourceExhausted,
                   StrCat("scheduler admission queue full (max_pending=",
                          options_.max_pending, ")"));
@@ -28,14 +52,25 @@ Result<QueryScheduler::QueryFuture> QueryScheduler::Submit(
   if (inflight >= options_.max_inflight_per_session) {
     session->inflight_.fetch_sub(1, std::memory_order_acq_rel);
     pending_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics.rejections->Increment();
     return Status(
         ErrorCode::kResourceExhausted,
         StrCat("session ", session->id(), " at its in-flight limit (",
                options_.max_inflight_per_session, ")"));
   }
+  metrics.queue_depth->Observe(static_cast<double>(pending + 1));
 
+  const auto enqueued = std::chrono::steady_clock::now();
+  obs::Histogram* queue_wait_ms = metrics.queue_wait_ms;
   auto task = std::make_shared<std::packaged_task<Result<ResultSet>()>>(
-      [session, sql = std::move(sql)] { return session->Query(sql); });
+      [session, sql = std::move(sql), enqueued, queue_wait_ms] {
+        const int64_t wait_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - enqueued)
+                .count();
+        queue_wait_ms->Observe(static_cast<double>(wait_us) / 1000.0);
+        return session->QueryScheduled(sql, wait_us);
+      });
   QueryFuture future = task->get_future();
 
   const bool submitted = pool_.Submit([this, session, task] {

@@ -54,10 +54,25 @@ class QueryScheduler {
   const SchedulerOptions& options() const { return options_; }
 
  private:
+  // Scheduler metrics live in the engine's registry (one scheduler may in
+  // principle serve sessions of several engines; instruments are re-resolved
+  // when the engine changes, cached otherwise).
+  struct SchedMetrics {
+    obs::Counter* rejections = nullptr;
+    obs::Histogram* queue_wait_ms = nullptr;
+    obs::Histogram* queue_depth = nullptr;
+  };
+  SchedMetrics MetricsFor(Engine& engine);
+
   SchedulerOptions options_;
   std::atomic<size_t> pending_{0};
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;
+
+  std::mutex metrics_mu_;
+  Engine* metrics_engine_ = nullptr;
+  SchedMetrics cached_metrics_;
+
   ThreadPool pool_;  // last member: workers stop before the rest dies
 };
 

@@ -4,6 +4,8 @@
 
 namespace msql {
 
+Session::~Session() { engine_->NoteSessionDestroyed(); }
+
 QueryContext Session::MakeContext(CancelTokenPtr* token_out) {
   auto token = std::make_shared<CancelToken>();
   {
@@ -11,7 +13,12 @@ QueryContext Session::MakeContext(CancelTokenPtr* token_out) {
     active_tokens_.push_back(token);
   }
   *token_out = token;
-  return QueryContext{options_, user_, std::move(token)};
+  QueryContext ctx;
+  ctx.options = options_;
+  ctx.user = user_;
+  ctx.cancel = std::move(token);
+  ctx.session_id = id_;
+  return ctx;
 }
 
 void Session::ReleaseToken(const CancelTokenPtr& token) {
@@ -24,6 +31,16 @@ void Session::ReleaseToken(const CancelTokenPtr& token) {
 Result<ResultSet> Session::Query(const std::string& sql) {
   CancelTokenPtr token;
   QueryContext ctx = MakeContext(&token);
+  Result<ResultSet> result = engine_->QueryWith(sql, ctx);
+  ReleaseToken(token);
+  return result;
+}
+
+Result<ResultSet> Session::QueryScheduled(const std::string& sql,
+                                          int64_t queue_wait_us) {
+  CancelTokenPtr token;
+  QueryContext ctx = MakeContext(&token);
+  ctx.queue_wait_us = queue_wait_us;
   Result<ResultSet> result = engine_->QueryWith(sql, ctx);
   ReleaseToken(token);
   return result;

@@ -23,6 +23,9 @@ namespace msql {
 // query in flight.
 class Session {
  public:
+  // Session lifetime is tracked by the engine (msql_sessions_active).
+  ~Session();
+
   // Runs one statement as this session.
   Result<ResultSet> Query(const std::string& sql);
 
@@ -57,6 +60,12 @@ class Session {
   // Cancel() can reach it.
   QueryContext MakeContext(CancelTokenPtr* token_out);
   void ReleaseToken(const CancelTokenPtr& token);
+
+  // Query() as dispatched by QueryScheduler, which measured how long the
+  // statement sat in the admission queue; the wait lands in the query's
+  // trace as a queue-wait span.
+  Result<ResultSet> QueryScheduled(const std::string& sql,
+                                   int64_t queue_wait_us);
 
   Engine* engine_;
   uint64_t id_;

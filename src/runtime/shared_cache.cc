@@ -34,7 +34,10 @@ void SharedMeasureCache::Insert(const std::string& key, const Value& value,
 
 void SharedMeasureCache::InvalidateOlderThan(uint64_t generation) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (generation > min_generation_) min_generation_ = generation;
+  if (generation > min_generation_) {
+    min_generation_ = generation;
+    ++counters_.invalidations;
+  }
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->generation < min_generation_) {
       index_.erase(it->key);

@@ -42,6 +42,7 @@ class SharedMeasureCache {
     uint64_t insertions = 0;
     uint64_t rejected = 0;   // stale-generation or oversized inserts
     uint64_t evictions = 0;  // LRU + invalidation removals
+    uint64_t invalidations = 0;  // generation-floor raises (DDL/DML)
     uint64_t entries = 0;
     uint64_t bytes = 0;
   };

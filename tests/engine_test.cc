@@ -92,13 +92,18 @@ TEST_F(EngineTest, LastStatsInstrumentation) {
   LoadPaperData(&db_);
   MustExecute(&db_,
               "CREATE VIEW V AS SELECT *, SUM(revenue) AS MEASURE r FROM Orders");
-  MustQuery(&db_, "SELECT prodName, AGGREGATE(r) FROM V GROUP BY prodName");
-  EXPECT_GT(db_.last_stats().measure_evals, 0u);
+  ResultSet agg =
+      MustQuery(&db_, "SELECT prodName, AGGREGATE(r) FROM V GROUP BY prodName");
+  ASSERT_NE(agg.stats(), nullptr);
+  EXPECT_GT(agg.stats()->measure_evals, 0u);
   // AGGREGATE call sites take the inline fast path: no source scans.
-  EXPECT_EQ(db_.last_stats().measure_source_scans, 0u);
+  EXPECT_EQ(agg.stats()->measure_source_scans, 0u);
+  EXPECT_GT(agg.stats()->measure_inline_evals, 0u);
   // Contexts that are not row-id-only do scan the source.
-  MustQuery(&db_, "SELECT prodName, r AT (ALL) FROM V GROUP BY prodName");
-  EXPECT_GT(db_.last_stats().measure_source_scans, 0u);
+  ResultSet all =
+      MustQuery(&db_, "SELECT prodName, r AT (ALL) FROM V GROUP BY prodName");
+  ASSERT_NE(all.stats(), nullptr);
+  EXPECT_GT(all.stats()->measure_source_scans, 0u);
 }
 
 TEST_F(EngineTest, SubqueryMemoization) {
@@ -110,11 +115,13 @@ TEST_F(EngineTest, SubqueryMemoization) {
     FROM Orders AS o
   )sql";
   db_.options().memoize_subqueries = true;
-  MustQuery(&db_, q);
-  EXPECT_GT(db_.last_stats().subquery_cache_hits, 0u);
+  ResultSet memoized = MustQuery(&db_, q);
+  ASSERT_NE(memoized.stats(), nullptr);
+  EXPECT_GT(memoized.stats()->subquery_cache_hits, 0u);
   db_.options().memoize_subqueries = false;
-  MustQuery(&db_, q);
-  EXPECT_EQ(db_.last_stats().subquery_cache_hits, 0u);
+  ResultSet plain = MustQuery(&db_, q);
+  ASSERT_NE(plain.stats(), nullptr);
+  EXPECT_EQ(plain.stats()->subquery_cache_hits, 0u);
 }
 
 TEST_F(EngineTest, CsvRoundTrip) {

@@ -1,0 +1,181 @@
+// EXPLAIN / EXPLAIN ANALYZE rendering over the paper's fixtures: plain
+// EXPLAIN annotates measure expansion per plan node; ANALYZE runs the query
+// and adds per-operator actual rows / wall time / cache activity, including
+// which expansion strategy fired (docs/OBSERVABILITY.md).
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+#include "tests/paper_fixture.h"
+
+namespace msql {
+namespace {
+
+class ExplainAnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { LoadPaperData(&db_); }
+
+  // Runs EXPLAIN [ANALYZE] through the statement path and splices the
+  // one-column result back into the rendered text.
+  std::string Render(const std::string& stmt) {
+    auto r = db_.Query(stmt);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n  in: " << stmt;
+    if (!r.ok()) return "";
+    EXPECT_EQ(r.value().column_names(), std::vector<std::string>{"plan"});
+    std::string text;
+    for (size_t i = 0; i < r.value().num_rows(); ++i) {
+      text += r.value().Get(i, 0).str();
+      text += "\n";
+    }
+    return text;
+  }
+
+  // The line of `text` containing `needle` ("" when absent).
+  static std::string LineWith(const std::string& text,
+                              const std::string& needle) {
+    size_t pos = text.find(needle);
+    if (pos == std::string::npos) return "";
+    size_t begin = text.rfind('\n', pos);
+    begin = begin == std::string::npos ? 0 : begin + 1;
+    size_t end = text.find('\n', pos);
+    return text.substr(begin, end - begin);
+  }
+
+  Engine db_;
+};
+
+// Paper Listing 4: profitMargin measure over EnhancedOrders, grouped by
+// product. 5 source rows aggregate into 3 product groups.
+const char* kListing4 = R"sql(
+  SELECT prodName, AGGREGATE(profitMargin) AS profitMargin, COUNT(*) AS c
+  FROM (SELECT orderDate, prodName,
+               (SUM(revenue) - SUM(cost)) / SUM(revenue)
+               AS MEASURE profitMargin
+        FROM Orders) AS EnhancedOrders
+  GROUP BY prodName
+  ORDER BY prodName
+)sql";
+
+// Paper Listing 8: VISIBLE totals under ROLLUP with a WHERE filter.
+const char* kListing8 = R"sql(
+  SELECT o.prodName,
+         COUNT(*) AS c,
+         AGGREGATE(o.sumRevenue) AS rAgg,
+         o.sumRevenue AT (VISIBLE) AS rViz,
+         o.sumRevenue AS r
+  FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue
+        FROM Orders) AS o
+  WHERE o.custName <> 'Bob'
+  GROUP BY ROLLUP(o.prodName)
+)sql";
+
+TEST_F(ExplainAnalyzeTest, PlainExplainAnnotatesExpansionWithoutRunning) {
+  std::string text = Render(std::string("EXPLAIN ") + kListing4);
+  // The defining node shows the measure formula it expands to.
+  EXPECT_NE(text.find("expands=[profitMargin :="), std::string::npos);
+  // The evaluating Aggregate shows the configured strategy.
+  EXPECT_NE(text.find("measure_eval=memoized+inline"), std::string::npos);
+  // Plain EXPLAIN never executes: no actuals, no summary.
+  EXPECT_EQ(text.find("actual time="), std::string::npos);
+  EXPECT_EQ(text.find("Execution:"), std::string::npos);
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeListing4ReportsPerOperatorActuals) {
+  std::string text = Render(std::string("EXPLAIN ANALYZE ") + kListing4);
+
+  // Every operator line carries actuals.
+  EXPECT_NE(text.find("actual time="), std::string::npos);
+
+  // The base scan saw the 5 Orders rows.
+  std::string scan = LineWith(text, "Scan Orders");
+  ASSERT_FALSE(scan.empty());
+  EXPECT_NE(scan.find("rows=5"), std::string::npos) << scan;
+  EXPECT_NE(scan.find("loops=1"), std::string::npos) << scan;
+
+  // The Aggregate produced the 3 product groups and evaluated the measure
+  // per group via the inline fast path (no source scans).
+  std::string agg = LineWith(text, "Aggregate");
+  ASSERT_FALSE(agg.empty());
+  EXPECT_NE(agg.find("rows=3"), std::string::npos) << agg;
+  EXPECT_NE(agg.find("[measures:"), std::string::npos) << agg;
+  EXPECT_NE(agg.find("evals=3"), std::string::npos) << agg;
+  EXPECT_NE(agg.find("fired=inline"), std::string::npos) << agg;
+  EXPECT_NE(agg.find("measure_eval=memoized+inline"), std::string::npos)
+      << agg;
+
+  // The summary block reflects the whole query.
+  EXPECT_NE(text.find("Execution: total="), std::string::npos);
+  EXPECT_NE(text.find("rows_charged="), std::string::npos);
+  EXPECT_NE(text.find("Measures: evals=3"), std::string::npos);
+  EXPECT_NE(text.find("strategy=memoized+inline"), std::string::npos);
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeListing8CountsRollupGroupsAndScans) {
+  std::string text = Render(std::string("EXPLAIN ANALYZE ") + kListing8);
+
+  // 5 source rows scanned; the WHERE filter keeps 3 (Bob's 2 drop out).
+  std::string scan = LineWith(text, "Scan Orders");
+  ASSERT_FALSE(scan.empty());
+  EXPECT_NE(scan.find("rows=5"), std::string::npos) << scan;
+  std::string filter = LineWith(text, "Filter");
+  ASSERT_FALSE(filter.empty());
+  EXPECT_NE(filter.find("rows=3"), std::string::npos) << filter;
+
+  // ROLLUP(prodName) over {Happy, Whizz}: 2 leaf groups + grand total.
+  std::string agg = LineWith(text, "Aggregate");
+  ASSERT_FALSE(agg.empty());
+  EXPECT_NE(agg.find("rows=3"), std::string::npos) << agg;
+  EXPECT_NE(agg.find("sets=2"), std::string::npos) << agg;
+
+  // The bare measure (`o.sumRevenue AS r`) ignores the WHERE filter, so it
+  // re-scans the measure source; ANALYZE attributes the scans.
+  EXPECT_NE(text.find("scans="), std::string::npos);
+  std::string measures = LineWith(text, "[measures:");
+  ASSERT_FALSE(measures.empty());
+
+  // Results were actually produced (ANALYZE executes the query).
+  EXPECT_NE(text.find("Execution: total="), std::string::npos);
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeWithNaiveStrategyReportsScans) {
+  db_.options().measure_strategy = MeasureStrategy::kNaive;
+  db_.options().inline_visible_contexts = false;
+  std::string text = Render(std::string("EXPLAIN ANALYZE ") + kListing4);
+  EXPECT_NE(text.find("measure_eval=naive"), std::string::npos);
+  // Without the inline fast path every evaluation scans the source.
+  std::string agg = LineWith(text, "[measures:");
+  ASSERT_FALSE(agg.empty());
+  EXPECT_NE(agg.find("fired=scan"), std::string::npos) << agg;
+  EXPECT_NE(text.find("strategy=naive"), std::string::npos);
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeResultMatchesDirectExecution) {
+  // ANALYZE must not perturb results: the listing still returns its table.
+  ResultSet direct = MustQuery(&db_, kListing4);
+  ASSERT_EQ(direct.num_rows(), 3u);
+  std::string text = Render(std::string("EXPLAIN ANALYZE ") + kListing4);
+  EXPECT_NE(text.find("Execution:"), std::string::npos);
+  ResultSet again = MustQuery(&db_, kListing4);
+  ASSERT_EQ(again.num_rows(), 3u);
+  for (size_t i = 0; i < direct.num_rows(); ++i) {
+    for (size_t c = 0; c < direct.num_columns(); ++c) {
+      EXPECT_TRUE(Value::NotDistinct(direct.Get(i, c), again.Get(i, c)));
+    }
+  }
+}
+
+TEST_F(ExplainAnalyzeTest, ExplainAnalyzeParsesAndRoundTrips) {
+  auto stmt = Parser::Parse("EXPLAIN ANALYZE SELECT 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt.value()->explain_analyze);
+  EXPECT_EQ(stmt.value()->ToString().rfind("EXPLAIN ANALYZE ", 0), 0u);
+  auto plain = Parser::Parse("EXPLAIN SELECT 1");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain.value()->explain_analyze);
+}
+
+}  // namespace
+}  // namespace msql

@@ -132,6 +132,91 @@ TEST_F(FaultInjectionTest, SweepFailsCleanlyAtEveryCheckpoint) {
   }
 }
 
+TEST_F(FaultInjectionTest, ObsSweepDegradesGracefully) {
+  // With tracing and the slow-query log enabled, the workload crosses the
+  // observability checkpoints (obs.trace_sink, obs.slow_log_write). A fault
+  // injected there must NOT fail the query: trace publication degrades to a
+  // bump of msql_obs_sink_errors_total. Faults at every other checkpoint
+  // still surface exactly once as before.
+  const std::string log_path = testing::TempDir() + "/msql_fault_slow.jsonl";
+  struct RunResult {
+    std::vector<Status> statuses;
+    uint64_t sink_errors = 0;
+  };
+  auto run = [&]() {
+    EngineOptions options;
+    options.enable_tracing = true;
+    options.slow_query_log_ms = 0;  // log every traced query
+    options.slow_query_log_path = log_path;
+    Engine db(options);
+    RunResult result;
+    result.statuses.push_back(db.ImportCsv("Orders", csv_path_));
+    result.statuses.push_back(db.Execute(
+        "CREATE VIEW EO AS SELECT *, SUM(revenue) AS MEASURE r FROM Orders"));
+    result.statuses.push_back(
+        db.Query("SELECT prodName, AGGREGATE(r) FROM EO GROUP BY prodName")
+            .status());
+    result.statuses.push_back(
+        db.Query("SELECT custName, r AT (ALL) AS total FROM EO "
+                 "GROUP BY custName")
+            .status());
+    if (obs::Counter* c = db.metrics().GetCounter("msql_obs_sink_errors_total");
+        c != nullptr) {
+      result.sink_errors = c->value();
+    }
+    return result;
+  };
+
+  auto& fi = FaultInjector::Instance();
+  fi.ArmAt(0);  // count-only
+  {
+    RunResult clean = run();
+    for (const Status& st : clean.statuses) {
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+    EXPECT_EQ(clean.sink_errors, 0u);
+  }
+  const int64_t n = fi.hits();
+  fi.Reset();
+  ASSERT_GT(n, 0);
+
+  int obs_checkpoints = 0;
+  for (int64_t i = 1; i <= n; ++i) {
+    fi.ArmAt(i);
+    RunResult result = run();
+    EXPECT_TRUE(fi.fired()) << "checkpoint " << i << " never reached";
+    const std::string fired_site = fi.fired_site();
+    fi.Reset();
+
+    int injected = 0;
+    for (const Status& st : result.statuses) {
+      if (!st.ok() &&
+          st.message().find("injected fault") != std::string::npos) {
+        ++injected;
+      }
+    }
+    if (fired_site.rfind("obs.", 0) == 0) {
+      // Observability faults degrade: no query fails, the error counter
+      // records the dropped trace.
+      ++obs_checkpoints;
+      EXPECT_EQ(injected, 0)
+          << "checkpoint " << i << " ('" << fired_site
+          << "'): an observability fault leaked into a query Status";
+      EXPECT_GE(result.sink_errors, 1u)
+          << "checkpoint " << i << " ('" << fired_site
+          << "'): sink failure was not counted";
+    } else {
+      EXPECT_EQ(injected, 1)
+          << "checkpoint " << i << " ('" << fired_site
+          << "'): injected fault did not surface exactly once";
+    }
+  }
+  // The traced workload crosses both trace-sink publication and the
+  // slow-log write; losing these means the degradation path is untested.
+  EXPECT_GE(obs_checkpoints, 2);
+  std::remove(log_path.c_str());
+}
+
 TEST_F(FaultInjectionTest, EngineSurvivesMidWorkloadFault) {
   // Same engine, not a fresh one: a fault in one statement must not poison
   // later statements on the same engine instance.

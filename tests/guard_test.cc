@@ -133,11 +133,15 @@ TEST(GuardTest, EngineUsableAfterGuardedAbort) {
               "CREATE VIEW EO AS SELECT *, SUM(revenue) AS MEASURE r "
               "FROM Orders");
   db.options().max_result_rows = 3;
+  db.options().enable_tracing = true;  // failed queries report via the trace
   auto r = db.Query("SELECT prodName, AGGREGATE(r) FROM EO GROUP BY prodName");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), ErrorCode::kResourceExhausted);
   // Counters must be consistent: the abort unwound every Execute frame.
-  EXPECT_EQ(db.last_stats().depth, 0);
+  auto traces = db.RecentTraces();
+  ASSERT_FALSE(traces.empty());
+  EXPECT_EQ(traces[0]->stats().depth, 0);
+  db.options().enable_tracing = false;
   // Lifting the budget, the same engine answers the same query correctly.
   db.options().max_result_rows = 0;
   ResultSet rs = MustQuery(
@@ -182,10 +186,12 @@ TEST(GuardTest, GenerousLimitsDoNotChangeResults) {
 TEST(GuardTest, ChargeAccountingIsVisible) {
   Engine db;
   LoadInts(&db, 100, 10);
-  ASSERT_TRUE(db.Query("SELECT k, SUM(v) FROM T GROUP BY k").ok());
+  auto r = db.Query("SELECT k, SUM(v) FROM T GROUP BY k");
+  ASSERT_TRUE(r.ok());
+  ASSERT_NE(r.value().stats(), nullptr);
   // The scan alone accounts for >= 100 rows; grouping adds 10 more.
-  EXPECT_GE(db.last_stats().guard.rows_charged(), 110u);
-  EXPECT_GT(db.last_stats().guard.bytes_charged(), 0u);
+  EXPECT_GE(r.value().stats()->rows_charged, 110u);
+  EXPECT_GT(r.value().stats()->bytes_charged, 0u);
 }
 
 }  // namespace

@@ -103,10 +103,12 @@ TEST_P(MeasurePropertyTest, StrategiesAgree) {
   )sql";
   db_.options().measure_strategy = MeasureStrategy::kMemoized;
   ResultSet memoized = MustQuery(&db_, query);
-  EXPECT_GT(db_.last_stats().measure_cache_hits, 0u);
+  ASSERT_NE(memoized.stats(), nullptr);
+  EXPECT_GT(memoized.stats()->measure_cache_hits, 0u);
   db_.options().measure_strategy = MeasureStrategy::kNaive;
   ResultSet naive = MustQuery(&db_, query);
-  EXPECT_EQ(db_.last_stats().measure_cache_hits, 0u);
+  ASSERT_NE(naive.stats(), nullptr);
+  EXPECT_EQ(naive.stats()->measure_cache_hits, 0u);
   ASSERT_EQ(memoized.num_rows(), naive.num_rows());
   for (size_t i = 0; i < memoized.num_rows(); ++i) {
     for (size_t c = 0; c < memoized.num_columns(); ++c) {

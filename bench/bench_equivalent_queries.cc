@@ -4,9 +4,11 @@
 // window and measure forms scan Orders once; the correlated-subquery form is
 // only competitive with result memoization (the WinMagic observation); the
 // self-join pays a second scan plus the join.
+// Emits BENCH_equivalent_queries.json (bench_reporter.h).
 //
 // Args: {rows, products}.
 
+#include "bench_reporter.h"
 #include "benchmark/benchmark.h"
 #include "workload.h"
 
@@ -106,3 +108,5 @@ BENCHMARK(BM_Measure)->SIZES;
 BENCHMARK(EquivalenceCheck)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+MSQL_BENCH_REPORTER_MAIN("equivalent_queries")

@@ -1,0 +1,204 @@
+// Grouped-strategy speedup gate: a bare measure under GROUP BY produces
+// one all-dimension context per group; the memoized strategy answers each
+// with its own scan of the measure source (O(G x R) row visits), while the
+// grouped strategy partitions the source ONCE into a hash index keyed on
+// the dimension tuple and answers every context with an O(1) probe
+// (O(R + G)). See docs/PERFORMANCE.md.
+//
+// Times the two strategies on the same engine with rounds interleaved
+// round-robin (machine-wide drift cancels out of the paired ratio, the
+// same trick as bench_obs_overhead). The shared measure cache is cleared
+// before every timed query so each run pays the full cold-cache evaluation
+// the strategies actually differ on.
+//
+// Gate (full runs only): grouped must be >= 5x faster than memoized on the
+// 100-group x 100k-row workload. Emits BENCH_grouped_strategy.json.
+//
+// Own-main bench: the interleaved round structure and the process-exit
+// gate do not fit the per-iteration google-benchmark model. `--smoke` or
+// any --benchmark* flag shrinks the run and skips the gate.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "json_writer.h"
+#include "workload.h"
+
+namespace msql::bench {
+namespace {
+
+// Two bare measures per product group: 2 x `products` all-dimension
+// contexts, all sharing one context shape, over one measure source.
+const char* const kGroupedQuery =
+    "SELECT prodName, sumRevenue AS rev, orderCount AS cnt "
+    "FROM EO GROUP BY prodName ORDER BY prodName";
+
+struct StrategyResult {
+  std::string name;
+  double median_qps = 0;
+  double best_qps = 0;
+  uint64_t source_scans = 0;
+  uint64_t grouped_builds = 0;
+  uint64_t grouped_probes = 0;
+  uint64_t parallel_tasks = 0;
+  std::vector<double> round_qps;
+};
+
+// Queries/sec for `passes` cold-cache executions, recording the last
+// run's evaluation counters into `res`.
+double TimeRound(Engine* db, int passes, StrategyResult* res) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int p = 0; p < passes; ++p) {
+    db->shared_cache().Clear();
+    ResultSet rs = CheckResult(db->Query(kGroupedQuery), "grouped workload");
+    if (const auto& stats = rs.stats(); stats != nullptr) {
+      res->source_scans = stats->measure_source_scans;
+      res->grouped_builds = stats->measure_grouped_builds;
+      res->grouped_probes = stats->measure_grouped_probes;
+      res->parallel_tasks = stats->measure_parallel_tasks;
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return passes / elapsed.count();
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+// Median of the per-round grouped/memoized qps ratios. Rounds are paired
+// in time, so the ratio cancels drift that absolute medians would not.
+double PairedSpeedup(const StrategyResult& memoized,
+                     const StrategyResult& grouped) {
+  std::vector<double> ratios;
+  for (size_t i = 0; i < memoized.round_qps.size(); ++i) {
+    if (memoized.round_qps[i] > 0) {
+      ratios.push_back(grouped.round_qps[i] / memoized.round_qps[i]);
+    }
+  }
+  return Median(ratios);
+}
+
+int Main(int argc, char** argv) {
+  int rows = 100000;
+  int groups = 100;
+  int rounds = 7;
+  int passes = 1;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0 ||
+        std::strncmp(argv[i], "--benchmark", 11) == 0) {
+      smoke = true;
+    }
+    if (std::strncmp(argv[i], "--rows=", 7) == 0) rows = std::atoi(argv[i] + 7);
+    if (std::strncmp(argv[i], "--rounds=", 9) == 0)
+      rounds = std::atoi(argv[i] + 9);
+  }
+  if (smoke) {
+    rows = std::min(rows, 2000);
+    groups = 20;
+    rounds = 2;
+  }
+
+  Engine db;
+  LoadOrders(&db, rows, /*products=*/groups, /*customers=*/100);
+
+  StrategyResult memoized{.name = "memoized"};
+  StrategyResult grouped{.name = "grouped"};
+  {  // warmup, untimed
+    StrategyResult scratch;
+    db.options().measure_strategy = MeasureStrategy::kGrouped;
+    TimeRound(&db, 1, &scratch);
+  }
+  for (int r = 0; r < rounds; ++r) {
+    db.options().measure_strategy = MeasureStrategy::kMemoized;
+    memoized.round_qps.push_back(TimeRound(&db, passes, &memoized));
+    db.options().measure_strategy = MeasureStrategy::kGrouped;
+    grouped.round_qps.push_back(TimeRound(&db, passes, &grouped));
+  }
+  for (StrategyResult* res : {&memoized, &grouped}) {
+    res->median_qps = Median(res->round_qps);
+    res->best_qps =
+        *std::max_element(res->round_qps.begin(), res->round_qps.end());
+    std::printf("%-9s best %8.2f qps  median %8.2f qps  "
+                "(scans=%llu builds=%llu probes=%llu parallel_tasks=%llu)\n",
+                res->name.c_str(), res->best_qps, res->median_qps,
+                static_cast<unsigned long long>(res->source_scans),
+                static_cast<unsigned long long>(res->grouped_builds),
+                static_cast<unsigned long long>(res->grouped_probes),
+                static_cast<unsigned long long>(res->parallel_tasks));
+  }
+
+  const double speedup = PairedSpeedup(memoized, grouped);
+  std::printf("grouped speedup over memoized: %.2fx "
+              "(gate: >= 5x on the full run)\n",
+              speedup);
+
+  std::ofstream out("BENCH_grouped_strategy.json");
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("bench");
+  w.String("grouped_strategy");
+  w.Key("rows");
+  w.Int(rows);
+  w.Key("groups");
+  w.Int(groups);
+  w.Key("rounds");
+  w.Int(rounds);
+  w.Key("smoke");
+  w.Bool(smoke);
+  w.Key("strategies");
+  w.BeginArray();
+  for (const StrategyResult* res : {&memoized, &grouped}) {
+    w.BeginObject();
+    w.Key("strategy");
+    w.String(res->name);
+    w.Key("best_qps");
+    w.Double(res->best_qps);
+    w.Key("median_qps");
+    w.Double(res->median_qps);
+    w.Key("source_scans");
+    w.Int(static_cast<int64_t>(res->source_scans));
+    w.Key("grouped_builds");
+    w.Int(static_cast<int64_t>(res->grouped_builds));
+    w.Key("grouped_probes");
+    w.Int(static_cast<int64_t>(res->grouped_probes));
+    w.Key("parallel_tasks");
+    w.Int(static_cast<int64_t>(res->parallel_tasks));
+    w.Key("round_qps");
+    w.BeginArray();
+    for (double q : res->round_qps) w.Double(q);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("speedup");
+  w.Double(speedup);
+  w.Key("gate_speedup");
+  w.Double(5.0);
+  w.EndObject();
+  out << "\n";
+  std::printf("wrote BENCH_grouped_strategy.json\n");
+
+  if (!smoke && speedup < 5.0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: grouped speedup %.2fx is below the 5x gate\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace msql::bench
+
+int main(int argc, char** argv) { return msql::bench::Main(argc, argv); }

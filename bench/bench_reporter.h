@@ -1,0 +1,90 @@
+#ifndef MSQL_BENCH_BENCH_REPORTER_H_
+#define MSQL_BENCH_BENCH_REPORTER_H_
+
+// Custom google-benchmark main that keeps the normal console output but
+// also emits a machine-readable BENCH_<name>.json result file via
+// json_writer.h — the same family of artifacts the own-main benches
+// (bench_concurrency, bench_obs_overhead, bench_grouped_strategy)
+// produce. Benches opt in by ending the file with
+//
+//   MSQL_BENCH_REPORTER_MAIN("strategies")
+//
+// and linking benchmark::benchmark WITHOUT benchmark_main (see
+// REPORTER_BENCHES in bench/CMakeLists.txt).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "json_writer.h"
+
+namespace msql::bench {
+
+// Console reporter that also records every finished run so the JSON file
+// can be written once all benchmarks have executed.
+class JsonEmittingReporter : public ::benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) runs_.push_back(run);
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void WriteJson(const std::string& bench_name) const {
+    const std::string path = "BENCH_" + bench_name + ".json";
+    std::ofstream out(path);
+    JsonWriter w(out);
+    w.BeginObject();
+    w.Key("bench");
+    w.String(bench_name);
+    w.Key("runs");
+    w.BeginArray();
+    for (const Run& run : runs_) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(run.benchmark_name());
+      w.Key("iterations");
+      w.Int(static_cast<int64_t>(run.iterations));
+      w.Key("real_time");
+      w.Double(run.GetAdjustedRealTime());
+      w.Key("cpu_time");
+      w.Double(run.GetAdjustedCPUTime());
+      w.Key("time_unit");
+      w.String(::benchmark::GetTimeUnitString(run.time_unit));
+      w.Key("error");
+      w.Bool(run.error_occurred);
+      for (const auto& [counter_name, counter] : run.counters) {
+        w.Key(counter_name);
+        w.Double(counter.value);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    out << "\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+inline int ReporterMain(int argc, char** argv, const char* bench_name) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonEmittingReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.WriteJson(bench_name);
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace msql::bench
+
+#define MSQL_BENCH_REPORTER_MAIN(name)                    \
+  int main(int argc, char** argv) {                       \
+    return ::msql::bench::ReporterMain(argc, argv, name); \
+  }
+
+#endif  // MSQL_BENCH_BENCH_REPORTER_H_

@@ -2,13 +2,18 @@
 //   * naive      — every evaluation re-scans the measure source;
 //   * memoized   — evaluations are cached by context signature, so each
 //                  distinct group probes an in-memory result once;
+//   * grouped    — all-dimension contexts share one hash partition of the
+//                  source and answer with O(1) probes (docs/PERFORMANCE.md;
+//                  bench_grouped_strategy holds the dedicated speedup gate);
 //   * expanded   — the section 4.2 rewrite executed as plain SQL with
 //                  correlated scalar subqueries (subquery memoization on).
 // The shape claim: memoized ≪ naive as soon as a context repeats, and the
 // measure engine matches the expanded form without any textual rewriting.
+// Emits BENCH_strategies.json (bench_reporter.h).
 //
 // Args: {rows, products}.
 
+#include "bench_reporter.h"
 #include "benchmark/benchmark.h"
 #include "workload.h"
 
@@ -51,6 +56,8 @@ void RunWithStrategy(benchmark::State& state, MeasureStrategy strategy) {
       static_cast<double>(stats == nullptr ? 0 : stats->measure_cache_hits);
   state.counters["source_scans"] =
       static_cast<double>(stats == nullptr ? 0 : stats->measure_source_scans);
+  state.counters["grouped_probes"] =
+      static_cast<double>(stats == nullptr ? 0 : stats->measure_grouped_probes);
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
@@ -59,6 +66,9 @@ void BM_StrategyNaive(benchmark::State& state) {
 }
 void BM_StrategyMemoized(benchmark::State& state) {
   RunWithStrategy(state, MeasureStrategy::kMemoized);
+}
+void BM_StrategyGrouped(benchmark::State& state) {
+  RunWithStrategy(state, MeasureStrategy::kGrouped);
 }
 
 // Ablation of the section 6.4 inline fast path on the AGGREGATE-only query
@@ -116,8 +126,11 @@ void BM_StrategyExpandedSql(benchmark::State& state) {
 
 BENCHMARK(BM_StrategyNaive)->SIZES;
 BENCHMARK(BM_StrategyMemoized)->SIZES;
+BENCHMARK(BM_StrategyGrouped)->SIZES;
 BENCHMARK(BM_StrategyExpandedSql)->SIZES;
 BENCHMARK(BM_AggregateInlineFastpath)->SIZES;
 BENCHMARK(BM_AggregateContextScan)->SIZES;
 
 }  // namespace
+
+MSQL_BENCH_REPORTER_MAIN("strategies")

@@ -91,6 +91,34 @@ class QueryGuard {
     return Status::Ok();
   }
 
+  // Worker-side guard for parallel measure evaluation: shares this guard's
+  // deadline, limits and cancellation handles (token and CancelAll
+  // generation, both already thread-safe) but starts with zero charges.
+  // The guard itself is not thread-safe, so each worker thread owns its
+  // fork; after the join, fold every fork back with MergeWorker.
+  QueryGuard ForkWorker() const {
+    QueryGuard g(*this);
+    g.ticks_ = 1;  // workers poll cancellation on their first Check()
+    g.rows_charged_ = 0;
+    g.bytes_charged_ = 0;
+    return g;
+  }
+
+  // Folds a joined worker fork's charges into this guard. Budgets are
+  // enforced per worker during the parallel section (each fork carries the
+  // full limits), so the merged total is where cross-worker overshoot
+  // surfaces.
+  Status MergeWorker(const QueryGuard& worker) {
+    if (!armed_) return Status::Ok();
+    rows_charged_ += worker.rows_charged_;
+    bytes_charged_ += worker.bytes_charged_;
+    if ((max_rows_ != 0 && rows_charged_ > max_rows_) ||
+        (max_bytes_ != 0 && bytes_charged_ > max_bytes_)) {
+      return BudgetExceeded();
+    }
+    return Status::Ok();
+  }
+
   // Totals since Arm(); exposed for tests and diagnostics.
   uint64_t rows_charged() const { return rows_charged_; }
   uint64_t bytes_charged() const { return bytes_charged_; }

@@ -7,15 +7,18 @@ namespace msql {
 
 // Immutable per-query execution statistics, snapshotted from the query's
 // ExecState when it finishes. Returned on the result path
-// (ResultSet::stats()) and attached to the query's trace, replacing the
-// racy engine-global Engine::last_stats() accessor: each concurrent query
-// gets its own copy instead of clobbering shared mutable state.
+// (ResultSet::stats()) and attached to the query's trace: each concurrent
+// query gets its own copy instead of clobbering shared mutable state.
 struct QueryStats {
-  // Measure evaluation (measure/cse.cc).
+  // Measure evaluation (measure/cse.cc, measure/grouped.cc).
   uint64_t measure_evals = 0;        // evaluations requested
   uint64_t measure_cache_hits = 0;   // per-query memo hits
   uint64_t measure_source_scans = 0; // full passes over a measure source
   uint64_t measure_inline_evals = 0; // row-id-only fast-path evaluations
+  uint64_t measure_grouped_builds = 0;     // dimension-index builds
+  uint64_t measure_grouped_probes = 0;     // O(1) grouped-index probes
+  uint64_t measure_grouped_fallbacks = 0;  // degraded builds (fault inject)
+  uint64_t measure_parallel_tasks = 0;     // morsel-parallel worker tasks
 
   // Correlated scalar subqueries (exec/executor.cc).
   uint64_t subquery_execs = 0;

@@ -1,8 +1,10 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "binder/binder.h"
 #include "catalog/csv.h"
@@ -11,6 +13,7 @@
 #include "exec/executor.h"
 #include "measure/cse.h"
 #include "measure/expand.h"
+#include "measure/grouped.h"
 #include "parser/parser.h"
 #include "runtime/session.h"
 
@@ -42,6 +45,18 @@ void Engine::InitObs() {
   ins_.measure_inline_evals = metrics_.GetCounter(
       "msql_measure_inline_evals_total",
       "Measure evaluations taking the row-id inline fast path");
+  ins_.measure_grouped_builds = metrics_.GetCounter(
+      "msql_measure_grouped_builds_total",
+      "Grouped-strategy dimension-index builds");
+  ins_.measure_grouped_probes = metrics_.GetCounter(
+      "msql_measure_grouped_probes_total",
+      "Measure evaluations answered by a grouped-index probe");
+  ins_.measure_grouped_fallbacks = metrics_.GetCounter(
+      "msql_measure_grouped_fallbacks_total",
+      "Grouped index builds degraded to the scan path (fault injection)");
+  ins_.measure_parallel_tasks = metrics_.GetCounter(
+      "msql_measure_parallel_tasks_total",
+      "Morsel-parallel measure evaluation worker tasks dispatched");
   ins_.subquery_execs = metrics_.GetCounter(
       "msql_subquery_execs_total", "Correlated subquery executions");
   ins_.subquery_cache_hits = metrics_.GetCounter(
@@ -236,6 +251,10 @@ EngineStats Engine::stats() const {
   s.measure_evals = ins_.measure_evals->value();
   s.measure_cache_hits = ins_.measure_cache_hits->value();
   s.measure_source_scans = ins_.measure_source_scans->value();
+  s.measure_grouped_builds = ins_.measure_grouped_builds->value();
+  s.measure_grouped_probes = ins_.measure_grouped_probes->value();
+  s.measure_grouped_fallbacks = ins_.measure_grouped_fallbacks->value();
+  s.measure_parallel_tasks = ins_.measure_parallel_tasks->value();
   s.subquery_execs = ins_.subquery_execs->value();
   s.subquery_cache_hits = ins_.subquery_cache_hits->value();
   s.shared_cache_hits = ins_.shared_cache_hits->value();
@@ -278,18 +297,32 @@ void Engine::AddTraceSink(std::shared_ptr<obs::TraceSink> sink) {
   trace_collector_.AddSink(std::move(sink));
 }
 
-void Engine::AccumulateStats(ExecState&& state) {
+void Engine::AccumulateStats(const ExecState& state) {
   ins_.queries->Increment();
   ins_.measure_evals->Increment(state.measure_evals);
   ins_.measure_cache_hits->Increment(state.measure_cache_hits);
   ins_.measure_source_scans->Increment(state.measure_source_scans);
   ins_.measure_inline_evals->Increment(state.measure_inline_evals);
+  ins_.measure_grouped_builds->Increment(state.measure_grouped_builds);
+  ins_.measure_grouped_probes->Increment(state.measure_grouped_probes);
+  ins_.measure_grouped_fallbacks->Increment(state.measure_grouped_fallbacks);
+  ins_.measure_parallel_tasks->Increment(state.measure_parallel_tasks);
   ins_.subquery_execs->Increment(state.subquery_execs);
   ins_.subquery_cache_hits->Increment(state.subquery_cache_hits);
   ins_.shared_cache_hits->Increment(state.shared_cache_hits);
   ins_.shared_cache_misses->Increment(state.shared_cache_misses);
-  std::lock_guard<std::mutex> lock(last_stats_mu_);
-  last_stats_ = std::move(state);
+}
+
+ThreadPool* Engine::MeasurePool() {
+  std::lock_guard<std::mutex> lock(measure_pool_mu_);
+  if (measure_pool_ == nullptr) {
+    // Pool threads serve workers 1..N-1; the querying thread is worker 0.
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 2;
+    const int threads = static_cast<int>(std::min(hw, 8u)) - 1;
+    measure_pool_ = std::make_unique<ThreadPool>(std::max(1, threads));
+  }
+  return measure_pool_.get();
 }
 
 void Engine::NoteCatalogMutation() {
@@ -306,13 +339,17 @@ Result<ResultSet> Engine::RunSelect(const SelectStmt& select,
   Result<ResultSet> result = RunSelectImpl(select, ctx, &state, plan_out);
   const int64_t total_us = ElapsedUsSince(start);
 
-  // Per-query stats travel with the result (and the trace, when present) —
-  // the race-free replacement for the deprecated Engine::last_stats().
+  // Per-query stats travel with the result (and the trace, when present),
+  // so concurrent queries never clobber each other's statistics.
   auto stats = std::make_shared<QueryStats>();
   stats->measure_evals = state.measure_evals;
   stats->measure_cache_hits = state.measure_cache_hits;
   stats->measure_source_scans = state.measure_source_scans;
   stats->measure_inline_evals = state.measure_inline_evals;
+  stats->measure_grouped_builds = state.measure_grouped_builds;
+  stats->measure_grouped_probes = state.measure_grouped_probes;
+  stats->measure_grouped_fallbacks = state.measure_grouped_fallbacks;
+  stats->measure_parallel_tasks = state.measure_parallel_tasks;
   stats->subquery_execs = state.subquery_execs;
   stats->subquery_cache_hits = state.subquery_cache_hits;
   stats->shared_cache_hits = state.shared_cache_hits;
@@ -326,7 +363,7 @@ Result<ResultSet> Engine::RunSelect(const SelectStmt& select,
 
   ins_.query_duration_ms->Observe(static_cast<double>(total_us) / 1000.0);
   if (!result.ok()) ins_.query_errors->Increment();
-  AccumulateStats(std::move(state));
+  AccumulateStats(state);
   return result;
 }
 
@@ -360,9 +397,14 @@ Result<ResultSet> Engine::RunSelectImpl(const SelectStmt& select,
   {
     obs::ScopedSpan span(ctx.trace, "plan");
     state->options = ctx.options;
-    if (ctx.options.measure_strategy == MeasureStrategy::kMemoized) {
+    if (ctx.options.measure_strategy == MeasureStrategy::kMemoized ||
+        ctx.options.measure_strategy == MeasureStrategy::kGrouped) {
       state->shared_cache = &shared_cache_;
       state->catalog_generation = catalog_.generation();
+    }
+    if (ctx.options.measure_strategy == MeasureStrategy::kGrouped &&
+        ctx.options.measure_parallelism != 1) {
+      state->measure_pool_provider = [this] { return MeasurePool(); };
     }
     state->guard.Arm(ctx.options.timeout_ms, ctx.options.max_memory_bytes,
                      ctx.options.max_result_rows, ctx.cancel,
@@ -401,16 +443,24 @@ Result<ResultSet> Engine::RunSelectImpl(const SelectStmt& select,
     // result's own grain: each cell is the measure evaluated with every
     // dimension pinned to its row (the default per-row evaluation context).
     // Inside nested queries the placeholder NULLs are never read,
-    // preserving closure.
+    // preserving closure. One batch per measure column: every row's
+    // context shares a shape, which the grouped strategy turns into one
+    // index build plus a probe (possibly morsel-parallel) per row.
     for (const RtMeasure& m : rel->measures) {
       if (m.column < 0 || static_cast<size_t>(m.column) >= visible) continue;
+      std::vector<EvalContext> contexts;
+      contexts.reserve(rel->rows.size());
       for (size_t r = 0; r < rel->rows.size(); ++r) {
         MSQL_RETURN_IF_ERROR(state->guard.Check());
         Frame frame{&rel->rows[r], static_cast<int64_t>(r), rel.get()};
         MSQL_ASSIGN_OR_RETURN(EvalContext ctx2,
                               BuildRowContext(m, frame, state));
-        MSQL_ASSIGN_OR_RETURN(Value v, EvaluateMeasure(m, ctx2, state));
-        rows[r][m.column] = std::move(v);
+        contexts.push_back(std::move(ctx2));
+      }
+      MSQL_ASSIGN_OR_RETURN(std::vector<Value> vals,
+                            EvaluateMeasureBatch(m, contexts, state));
+      for (size_t r = 0; r < rel->rows.size(); ++r) {
+        rows[r][m.column] = std::move(vals[r]);
       }
     }
     return ResultSet(std::move(names), std::move(types), std::move(rows));

@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/shared_cache.h"
+#include "runtime/thread_pool.h"
 
 namespace msql {
 
@@ -52,6 +53,10 @@ struct EngineStats {
   uint64_t measure_evals = 0;
   uint64_t measure_cache_hits = 0;
   uint64_t measure_source_scans = 0;
+  uint64_t measure_grouped_builds = 0;
+  uint64_t measure_grouped_probes = 0;
+  uint64_t measure_grouped_fallbacks = 0;
+  uint64_t measure_parallel_tasks = 0;
   uint64_t subquery_execs = 0;
   uint64_t subquery_cache_hits = 0;
   uint64_t shared_cache_hits = 0;
@@ -81,8 +86,8 @@ struct EngineStats {
 // never races an INSERT; measure and subquery results are shared across
 // queries through a bounded, generation-invalidated SharedMeasureCache.
 // The only single-threaded affordances are the mutable `options()` /
-// `SetUser` engine-level defaults and the deprecated `last_stats()`; use
-// the per-query ResultSet::stats() instead.
+// `SetUser` engine-level defaults; per-query statistics travel with each
+// result (ResultSet::stats()).
 //
 // Observability (docs/OBSERVABILITY.md): with options().enable_tracing set,
 // every statement produces a QueryTrace of nested phase spans, retained in
@@ -188,12 +193,6 @@ class Engine {
   // for sizing (set_max_bytes) and monitoring.
   SharedMeasureCache& shared_cache() { return shared_cache_; }
 
-  // Execution statistics of the most recent Query/Execute call. Deprecated:
-  // engine-global mutable state that concurrent sessions clobber — read the
-  // per-query ResultSet::stats() (or QueryTrace::stats()) instead.
-  [[deprecated("racy under concurrent sessions; use ResultSet::stats()")]]
-  const ExecState& last_stats() const { return last_stats_; }
-
  private:
   friend class Session;
 
@@ -228,9 +227,17 @@ class Engine {
   // installs the built-in trace sinks.
   void InitObs();
 
-  // Folds a finished query's counters into the metrics registry and
-  // publishes last_stats_ for the deprecated accessor.
-  void AccumulateStats(ExecState&& state);
+  // Folds a finished query's counters into the metrics registry.
+  void AccumulateStats(const ExecState& state);
+
+  // Worker pool for morsel-parallel grouped measure evaluation, created
+  // lazily on the first query that has a parallel-eligible index build or
+  // probe batch — small queries never pay for thread spawns. Sized once
+  // from the hardware; per-query width is capped separately with
+  // EngineOptions::measure_parallelism. Distinct from the sessions'
+  // QueryScheduler pool: queries block on this pool's results, so sharing
+  // would deadlock a fully-loaded scheduler.
+  ThreadPool* MeasurePool();
 
   // Called after any DML/DDL: bumps the data generation and drops
   // cross-query cache entries computed against older data.
@@ -244,8 +251,8 @@ class Engine {
   std::string user_;
   SharedMeasureCache shared_cache_;
 
-  std::mutex last_stats_mu_;
-  ExecState last_stats_;
+  std::mutex measure_pool_mu_;
+  std::unique_ptr<ThreadPool> measure_pool_;
 
   // Observability. Cached instrument pointers make the per-query
   // accounting lock-free (registration happens once, in InitObs).
@@ -257,6 +264,10 @@ class Engine {
     obs::Counter* measure_cache_hits = nullptr;
     obs::Counter* measure_source_scans = nullptr;
     obs::Counter* measure_inline_evals = nullptr;
+    obs::Counter* measure_grouped_builds = nullptr;
+    obs::Counter* measure_grouped_probes = nullptr;
+    obs::Counter* measure_grouped_fallbacks = nullptr;
+    obs::Counter* measure_parallel_tasks = nullptr;
     obs::Counter* subquery_execs = nullptr;
     obs::Counter* subquery_cache_hits = nullptr;
     obs::Counter* shared_cache_hits = nullptr;

@@ -49,8 +49,8 @@ class ResultSet {
 
   // Execution statistics of the query that produced this result (null for
   // DDL/DML and default-constructed results). Per-query and immutable, so
-  // safe to read from any thread — unlike the deprecated engine-global
-  // Engine::last_stats().
+  // safe to read from any thread; engine-wide aggregates live in
+  // Engine::stats() and the metrics registry.
   const std::shared_ptr<const QueryStats>& stats() const { return stats_; }
   void set_stats(std::shared_ptr<const QueryStats> stats) {
     stats_ = std::move(stats);

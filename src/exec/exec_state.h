@@ -2,6 +2,8 @@
 #define MSQL_EXEC_EXEC_STATE_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
@@ -12,16 +14,22 @@
 namespace msql {
 
 class SharedMeasureCache;  // runtime/shared_cache.h
+class ThreadPool;          // runtime/thread_pool.h
+struct GroupedIndex;       // measure/grouped.h
 struct LogicalPlan;        // plan/plan.h
 
 // How measure evaluations are executed. kNaive re-scans the measure source
 // for every evaluation; kMemoized caches by evaluation-context signature —
 // the paper's "localized self-join" strategy (section 5.1), where per-group
 // results are probed from an in-memory cache instead of recomputed.
-enum class MeasureStrategy { kNaive, kMemoized };
+// kGrouped (the default) additionally partitions the source once per
+// context *shape* with a dimension-tuple hash index, so a batch of G
+// same-shaped contexts (what GROUP BY produces) costs O(R + G) instead of
+// O(G x R); see docs/PERFORMANCE.md.
+enum class MeasureStrategy { kNaive, kMemoized, kGrouped };
 
 struct EngineOptions {
-  MeasureStrategy measure_strategy = MeasureStrategy::kMemoized;
+  MeasureStrategy measure_strategy = MeasureStrategy::kGrouped;
   // Paper section 6.4's inline rewrite, as a runtime fast path: a context
   // consisting solely of row-id terms is evaluated directly over those rows
   // (no source scan), and VISIBLE-only call sites skip the redundant
@@ -30,6 +38,10 @@ struct EngineOptions {
   // Cache correlated scalar subquery results by their free-variable values
   // (the WinMagic-adjacent optimization discussed in section 5.1).
   bool memoize_subqueries = true;
+  // Workers for morsel-parallel grouped index builds and probe batches.
+  // 0 = one worker per hardware thread (capped by the engine's measure
+  // pool); 1 = single-threaded.
+  int measure_parallelism = 0;
   // Guard rails (see docs/ROBUSTNESS.md). Zero means unlimited. The depth
   // limit drives every recursion guard: plan execution, measure evaluation
   // and view expansion all trip kResourceExhausted at this depth.
@@ -64,11 +76,24 @@ struct ExecState {
 
   // Resource governor for this query; armed by Engine::RunSelect. Row
   // loops call guard.Check(), materialization points call
-  // guard.ChargeRows().
+  // guard.ChargeRows(). Parallel measure workers run against forks of this
+  // guard (QueryGuard::ForkWorker), merged after the join.
   QueryGuard guard;
 
   std::unordered_map<std::string, Value> measure_cache;
   std::unordered_map<std::string, Value> subquery_cache;
+
+  // Per-query cache of grouped-strategy dimension indexes, keyed by
+  // (source identity, context-shape signature); see measure/grouped.h.
+  std::unordered_map<std::string, std::shared_ptr<const GroupedIndex>>
+      grouped_index_cache;
+
+  // Returns the engine's measure worker pool, creating it on first use
+  // (null/unset => single-threaded evaluation). A provider rather than a
+  // raw pool so the threads only ever exist once a query actually has a
+  // parallel-eligible grouped build. Worker-side ExecState forks leave it
+  // unset: workers must never re-enter the pool they run on.
+  std::function<ThreadPool*()> measure_pool_provider;
 
   // Engine-wide cross-query result cache (may be null: uncached engine or
   // naive strategy). Consulted by the measure evaluator and the subquery
@@ -94,6 +119,10 @@ struct ExecState {
   uint64_t measure_cache_hits = 0;
   uint64_t measure_source_scans = 0; // full passes over a measure source
   uint64_t measure_inline_evals = 0; // row-id-only fast path (section 6.4)
+  uint64_t measure_grouped_builds = 0;     // dimension-index builds
+  uint64_t measure_grouped_probes = 0;     // O(1) per-context index probes
+  uint64_t measure_grouped_fallbacks = 0;  // degraded builds (fault inject)
+  uint64_t measure_parallel_tasks = 0;     // morsel-parallel worker tasks
   uint64_t subquery_execs = 0;
   uint64_t subquery_cache_hits = 0;
   uint64_t shared_cache_hits = 0;    // cross-query cache hits (this query)

@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "exec/agg_eval.h"
 #include "measure/cse.h"
+#include "measure/grouped.h"
 #include "runtime/fingerprint.h"
 #include "runtime/shared_cache.h"
 
@@ -54,13 +55,20 @@ Result<RelationPtr> Executor::DispatchProfiled(const LogicalPlan& plan,
                                                const RowStack& outer) {
   struct Snapshot {
     uint64_t measure_evals, measure_cache_hits, measure_source_scans,
-        measure_inline_evals, subquery_execs, subquery_cache_hits,
-        shared_cache_hits, shared_cache_misses;
+        measure_inline_evals, measure_grouped_builds, measure_grouped_probes,
+        subquery_execs, subquery_cache_hits, shared_cache_hits,
+        shared_cache_misses;
   };
-  const Snapshot snap{state_->measure_evals,        state_->measure_cache_hits,
-                      state_->measure_source_scans, state_->measure_inline_evals,
-                      state_->subquery_execs,       state_->subquery_cache_hits,
-                      state_->shared_cache_hits,    state_->shared_cache_misses};
+  const Snapshot snap{state_->measure_evals,
+                      state_->measure_cache_hits,
+                      state_->measure_source_scans,
+                      state_->measure_inline_evals,
+                      state_->measure_grouped_builds,
+                      state_->measure_grouped_probes,
+                      state_->subquery_execs,
+                      state_->subquery_cache_hits,
+                      state_->shared_cache_hits,
+                      state_->shared_cache_misses};
   const auto t0 = std::chrono::steady_clock::now();
   Result<RelationPtr> result = Dispatch(plan, outer);
   const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -75,6 +83,10 @@ Result<RelationPtr> Executor::DispatchProfiled(const LogicalPlan& plan,
       state_->measure_source_scans - snap.measure_source_scans;
   op.measure_inline_evals +=
       state_->measure_inline_evals - snap.measure_inline_evals;
+  op.measure_grouped_builds +=
+      state_->measure_grouped_builds - snap.measure_grouped_builds;
+  op.measure_grouped_probes +=
+      state_->measure_grouped_probes - snap.measure_grouped_probes;
   op.subquery_execs += state_->subquery_execs - snap.subquery_execs;
   op.subquery_cache_hits +=
       state_->subquery_cache_hits - snap.subquery_cache_hits;
@@ -524,6 +536,9 @@ Result<RelationPtr> Executor::ExecAggregate(const LogicalPlan& plan,
       }
     }
 
+    // Key columns and aggregate calls, one output row per group.
+    std::vector<Row> out_rows;
+    out_rows.reserve(group_order.size());
     for (const Row& key : group_order) {
       MSQL_RETURN_IF_ERROR(state_->guard.Check());
       const std::vector<int64_t>& rows = groups.find(key)->second;
@@ -544,22 +559,35 @@ Result<RelationPtr> Executor::ExecAggregate(const LogicalPlan& plan,
                                  state_));
         out.push_back(std::move(v));
       }
-      // Measure evaluations (context-sensitive expressions).
-      for (const MeasureEvalDef& me : plan.measure_evals) {
-        if (me.measure_slot < 0 ||
-            static_cast<size_t>(me.measure_slot) >= child->measures.size()) {
-          return Status(ErrorCode::kExecution, "bad measure slot");
-        }
-        const RtMeasure& m = child->measures[me.measure_slot];
+      out_rows.push_back(std::move(out));
+    }
 
-        // VISIBLE-only call sites (AGGREGATE, the common case): the
-        // visible row-id set already implies the group-key terms, since
-        // every reachable source row satisfies its own group's keys via
-        // provenance. Skipping them enables the row-id-only fast path.
-        const bool visible_only =
-            state_->options.inline_visible_contexts &&
-            me.modifiers.size() == 1 &&
-            me.modifiers[0].kind == AtModifier::Kind::kVisible;
+    // Measure evaluations (context-sensitive expressions), batched one
+    // column at a time: all groups of the set share the context *shape*
+    // (same dimension expressions, different pinned key values), which is
+    // exactly what the grouped strategy's batch evaluator exploits — one
+    // index build, G probes, morsel-parallel (measure/grouped.h).
+    for (const MeasureEvalDef& me : plan.measure_evals) {
+      if (me.measure_slot < 0 ||
+          static_cast<size_t>(me.measure_slot) >= child->measures.size()) {
+        return Status(ErrorCode::kExecution, "bad measure slot");
+      }
+      const RtMeasure& m = child->measures[me.measure_slot];
+
+      // VISIBLE-only call sites (AGGREGATE, the common case): the
+      // visible row-id set already implies the group-key terms, since
+      // every reachable source row satisfies its own group's keys via
+      // provenance. Skipping them enables the row-id-only fast path.
+      const bool visible_only =
+          state_->options.inline_visible_contexts &&
+          me.modifiers.size() == 1 &&
+          me.modifiers[0].kind == AtModifier::Kind::kVisible;
+
+      std::vector<EvalContext> contexts;
+      contexts.reserve(group_order.size());
+      for (const Row& key : group_order) {
+        MSQL_RETURN_IF_ERROR(state_->guard.Check());
+        const std::vector<int64_t>& rows = groups.find(key)->second;
 
         // Default group context: one dimension term per group key of this
         // grouping set that has provenance onto the measure's source.
@@ -595,9 +623,16 @@ Result<RelationPtr> Executor::ExecAggregate(const LogicalPlan& plan,
         }
         MSQL_RETURN_IF_ERROR(ApplyModifiers(m, me.modifiers, call_stack,
                                             visible, state_, &ctx));
-        MSQL_ASSIGN_OR_RETURN(Value v, EvaluateMeasure(m, ctx, state_));
-        out.push_back(std::move(v));
+        contexts.push_back(std::move(ctx));
       }
+      MSQL_ASSIGN_OR_RETURN(std::vector<Value> vals,
+                            EvaluateMeasureBatch(m, contexts, state_));
+      for (size_t gi = 0; gi < out_rows.size(); ++gi) {
+        out_rows[gi].push_back(std::move(vals[gi]));
+      }
+    }
+
+    for (Row& out : out_rows) {
       // Hidden grouping id.
       out.push_back(Value::Int(grouping_id));
       MSQL_RETURN_IF_ERROR(state_->guard.ChargeRows(1, out.size()));

@@ -6,24 +6,12 @@
 #include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "exec/agg_eval.h"
+#include "measure/grouped.h"
 #include "runtime/shared_cache.h"
 
 namespace msql {
 
 namespace {
-
-// Publishes a freshly computed measure value into the cross-query cache
-// (no-op when the evaluation was not shareable). The entry's memory is
-// charged against the query's budget before insertion.
-Status PublishShared(const std::string& shared_key, const Value& result,
-                     ExecState* state) {
-  if (shared_key.empty()) return Status::Ok();
-  MSQL_FAULT_POINT("runtime.shared_cache_fill");
-  MSQL_RETURN_IF_ERROR(state->guard.ChargeBytes(
-      SharedMeasureCache::ApproxEntryBytes(shared_key, result)));
-  state->shared_cache->Insert(shared_key, result, state->catalog_generation);
-  return Status::Ok();
-}
 
 // Clones `e`, rewriting nodes per TranslateToSource's contract.
 Result<BoundExprPtr> TranslateRec(const BoundExpr& e, const RtMeasure& m,
@@ -190,6 +178,36 @@ Status ApplyModifiers(const RtMeasure& m,
   return Status::Ok();
 }
 
+std::string MeasureMemoKey(const RtMeasure& m, const std::string& signature) {
+  return StrCat(reinterpret_cast<uintptr_t>(m.source.get()), "|",
+                reinterpret_cast<uintptr_t>(m.formula.get()), "|", signature);
+}
+
+std::string MeasureSharedKey(const RtMeasure& m, const ExecState& state,
+                             const std::string& signature) {
+  // Cross-query layer (docs/CONCURRENCY.md): the fingerprint replaces the
+  // per-bind pointers with a structural identity stable across queries, and
+  // the catalog generation pins the data version. Signatures that render an
+  // embedded subquery are skipped — that rendering is not injective, so two
+  // different predicates could alias one key.
+  if (state.shared_cache == nullptr || m.fingerprint == nullptr ||
+      signature.find("<subquery>") != std::string::npos) {
+    return std::string();
+  }
+  return StrCat("m|", state.catalog_generation, "|", *m.fingerprint, "|",
+                signature);
+}
+
+Status PublishSharedMeasure(const std::string& shared_key, const Value& result,
+                            ExecState* state) {
+  if (shared_key.empty()) return Status::Ok();
+  MSQL_FAULT_POINT("runtime.shared_cache_fill");
+  MSQL_RETURN_IF_ERROR(state->guard.ChargeBytes(
+      SharedMeasureCache::ApproxEntryBytes(shared_key, result)));
+  state->shared_cache->Insert(shared_key, result, state->catalog_generation);
+  return Status::Ok();
+}
+
 Result<Value> EvaluateMeasure(const RtMeasure& m, const EvalContext& ctx,
                               ExecState* state) {
   MSQL_FAULT_POINT("measure.eval");
@@ -205,28 +223,24 @@ Result<Value> EvaluateMeasure(const RtMeasure& m, const EvalContext& ctx,
     ~DepthGuard() { --s->depth; }
   } guard{state};
 
+  // Grouped probes memoize too: a probe answers one context, and later
+  // evaluations of the same context (e.g. across grouping sets) should hit
+  // the memo rather than re-aggregate the group.
   const bool memoize =
-      state->options.measure_strategy == MeasureStrategy::kMemoized;
+      state->options.measure_strategy == MeasureStrategy::kMemoized ||
+      state->options.measure_strategy == MeasureStrategy::kGrouped;
   std::string key;
   std::string shared_key;
   if (memoize) {
     const std::string signature = ctx.Signature();
-    key = StrCat(reinterpret_cast<uintptr_t>(m.source.get()), "|",
-                 reinterpret_cast<uintptr_t>(m.formula.get()), "|", signature);
+    key = MeasureMemoKey(m, signature);
     auto it = state->measure_cache.find(key);
     if (it != state->measure_cache.end()) {
       ++state->measure_cache_hits;
       return it->second;
     }
-    // Cross-query layer (docs/CONCURRENCY.md): the fingerprint replaces the
-    // per-bind pointers with a structural identity stable across queries,
-    // and the catalog generation pins the data version. Signatures that
-    // render an embedded subquery are skipped — that rendering is not
-    // injective, so two different predicates could alias one key.
-    if (state->shared_cache != nullptr && m.fingerprint != nullptr &&
-        signature.find("<subquery>") == std::string::npos) {
-      shared_key = StrCat("m|", state->catalog_generation, "|",
-                          *m.fingerprint, "|", signature);
+    shared_key = MeasureSharedKey(m, *state, signature);
+    if (!shared_key.empty()) {
       Value v;
       if (state->shared_cache->Lookup(shared_key, &v)) {
         ++state->shared_cache_hits;
@@ -260,10 +274,30 @@ Result<Value> EvaluateMeasure(const RtMeasure& m, const EvalContext& ctx,
                           EvalFormulaOverRows(*m.formula, src, selected,
                                               state));
     if (memoize) {
-      MSQL_RETURN_IF_ERROR(PublishShared(shared_key, result, state));
+      MSQL_RETURN_IF_ERROR(PublishSharedMeasure(shared_key, result, state));
       state->measure_cache.emplace(std::move(key), result);
     }
     return result;
+  }
+
+  // Grouped strategy: an all-dimension context is one probe into a hash
+  // partition of the source, built once per context shape and reused by
+  // every same-shaped context in the query (and, via the shared cache,
+  // across queries). A null index means the build was degraded by fault
+  // injection — fall through to the scan.
+  if (state->options.measure_strategy == MeasureStrategy::kGrouped) {
+    const ContextShape shape = ShapeOf(ctx);
+    if (shape.groupable()) {
+      MSQL_ASSIGN_OR_RETURN(std::shared_ptr<const GroupedIndex> index,
+                            GetOrBuildGroupedIndex(m, shape, state));
+      if (index != nullptr) {
+        MSQL_ASSIGN_OR_RETURN(Value result,
+                              EvalGroupedProbe(*index, m, shape, state));
+        MSQL_RETURN_IF_ERROR(PublishSharedMeasure(shared_key, result, state));
+        state->measure_cache.emplace(std::move(key), result);
+        return result;
+      }
+    }
   }
 
   // Select the admitted source rows.
@@ -303,7 +337,7 @@ Result<Value> EvaluateMeasure(const RtMeasure& m, const EvalContext& ctx,
   MSQL_ASSIGN_OR_RETURN(Value result,
                         EvalFormulaOverRows(*m.formula, src, selected, state));
   if (memoize) {
-    MSQL_RETURN_IF_ERROR(PublishShared(shared_key, result, state));
+    MSQL_RETURN_IF_ERROR(PublishSharedMeasure(shared_key, result, state));
     state->measure_cache.emplace(std::move(key), result);
   }
   return result;

@@ -1,0 +1,106 @@
+#ifndef MSQL_MEASURE_GROUPED_H_
+#define MSQL_MEASURE_GROUPED_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/exec_state.h"
+#include "exec/relation.h"
+#include "measure/context.h"
+
+namespace msql {
+
+// Grouped measure evaluation (MeasureStrategy::kGrouped, the default; see
+// docs/PERFORMANCE.md).
+//
+// Every GROUP BY — and every per-row call site — produces a batch of
+// evaluation contexts with the same *shape*: identical dimension-term
+// expressions, differing only in the pinned values. Instead of scanning
+// the measure source once per context (O(G x R)), the grouped strategy
+// partitions the source ONCE with a hash index keyed on the dimension
+// tuple (IS NOT DISTINCT FROM equality, matching the paper's footnote-1
+// NULL semantics) and answers each context with an O(1) probe — O(R + G).
+// The index build and the probe batches run morsel-parallel on the
+// runtime's ThreadPool (runtime/parallel.h) with per-worker guard forks,
+// and the index is shared across concurrent sessions through the
+// SharedMeasureCache, keyed by (generation, source fingerprint, shape).
+//
+// Contexts containing predicate terms (AT (WHERE ...), whose translated
+// predicates close over per-row values and so never repeat) or row-id
+// terms (VISIBLE, already served by the section 6.4 inline fast path) are
+// not groupable and take the existing scan/inline paths.
+
+// IS NOT DISTINCT FROM hashing/equality for dimension tuples, matching the
+// executor's GROUP BY key semantics.
+struct GroupKeyHash {
+  size_t operator()(const Row& r) const { return HashRow(r, r.size()); }
+};
+struct GroupKeyEq {
+  bool operator()(const Row& a, const Row& b) const {
+    return RowsNotDistinct(a, b);
+  }
+};
+
+// The batchable skeleton of an evaluation context: its dimension terms in
+// canonical (key-sorted) order, and a signature that keeps the dimension
+// keys while stripping the pinned values. Two contexts share an index iff
+// their signatures match.
+struct ContextShape {
+  std::vector<const ContextTerm*> dims;  // borrowed from the EvalContext
+  std::string signature;                 // "g:k1&k2&..."; empty = ungroupable
+  bool groupable() const { return !signature.empty(); }
+};
+
+// Shape of `ctx`: groupable iff it is non-empty and every term is a
+// dimension equality. The returned term pointers borrow from `ctx`.
+ContextShape ShapeOf(const EvalContext& ctx);
+
+// Immutable dimension-tuple partition of a measure source: each distinct
+// tuple of dimension-expression values maps to the ascending row indexes
+// that produced it (deterministic: the map is filled in row order from a
+// position-indexed key array, however the key evaluation was scheduled).
+struct GroupedIndex {
+  std::vector<std::shared_ptr<const BoundExpr>> dim_exprs;  // shape order
+  std::unordered_map<Row, std::vector<int64_t>, GroupKeyHash, GroupKeyEq>
+      groups;
+  uint64_t approx_bytes = 0;
+};
+
+// Returns the index for (m.source, shape), from the per-query cache, the
+// cross-query SharedMeasureCache, or a fresh (possibly parallel) build.
+// Returns null — after bumping measure_grouped_fallbacks — when the build
+// was degraded at the `measure.grouped_index_build` fault checkpoint;
+// callers then fall back to the scan path, never failing the query.
+Result<std::shared_ptr<const GroupedIndex>> GetOrBuildGroupedIndex(
+    const RtMeasure& m, const ContextShape& shape, ExecState* state);
+
+// O(1) probe: evaluates the formula over the rows admitted by the context
+// that produced `shape` (an absent tuple aggregates over zero rows).
+Result<Value> EvalGroupedProbe(const GroupedIndex& index, const RtMeasure& m,
+                               const ContextShape& shape, ExecState* state);
+
+// True when `e` can be evaluated on a worker thread against a private
+// ExecState: no subqueries, nested measure references or CURRENT nodes
+// (those reach through shared per-query state). Dimension expressions are
+// safe by construction — TranslateToSource rejects all of these — so this
+// gate matters for measure formulas in parallel probe batches.
+bool IsParallelSafe(const BoundExpr& e);
+
+// Batch call-site API, used by the executor's Aggregate operator and the
+// engine's top-level render loop: evaluates `m` once per context, routing
+// same-shaped dimension contexts through one shared index with the probe
+// evaluations morsel-parallel across the pool, and everything else through
+// EvaluateMeasure one at a time. Results are positionally aligned with
+// `contexts`, and identical to the per-context serial path under every
+// strategy.
+Result<std::vector<Value>> EvaluateMeasureBatch(
+    const RtMeasure& m, const std::vector<EvalContext>& contexts,
+    ExecState* state);
+
+}  // namespace msql
+
+#endif  // MSQL_MEASURE_GROUPED_H_

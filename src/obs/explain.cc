@@ -16,8 +16,18 @@ std::string FormatMs(int64_t us) {
 }
 
 std::string StrategyNote(const ExplainOptions& opts) {
-  std::string s =
-      opts.strategy == MeasureStrategy::kMemoized ? "memoized" : "naive";
+  std::string s;
+  switch (opts.strategy) {
+    case MeasureStrategy::kNaive:
+      s = "naive";
+      break;
+    case MeasureStrategy::kMemoized:
+      s = "memoized";
+      break;
+    case MeasureStrategy::kGrouped:
+      s = "grouped";
+      break;
+  }
   if (opts.inline_visible_contexts) s += "+inline";
   return s;
 }
@@ -25,9 +35,11 @@ std::string StrategyNote(const ExplainOptions& opts) {
 // Which measure-expansion strategy actually fired at this node, from the
 // observed counter deltas.
 const char* FiredLabel(const OpStats& s) {
+  const bool grouped = s.measure_grouped_probes > 0;
   const bool inlined = s.measure_inline_evals > 0;
   const bool scanned = s.measure_source_scans > 0;
-  if (inlined && scanned) return "mixed";
+  if (grouped + inlined + scanned > 1) return "mixed";
+  if (grouped) return "grouped";
   if (inlined) return "inline";
   if (scanned) return "scan";
   return "cached";
@@ -70,6 +82,8 @@ void RenderNode(const LogicalPlan& plan, const ExplainOptions& opts,
         sub(self.measure_cache_hits, c.measure_cache_hits);
         sub(self.measure_source_scans, c.measure_source_scans);
         sub(self.measure_inline_evals, c.measure_inline_evals);
+        sub(self.measure_grouped_builds, c.measure_grouped_builds);
+        sub(self.measure_grouped_probes, c.measure_grouped_probes);
         sub(self.subquery_execs, c.subquery_execs);
         sub(self.subquery_cache_hits, c.subquery_cache_hits);
         sub(self.shared_cache_hits, c.shared_cache_hits);
@@ -83,6 +97,8 @@ void RenderNode(const LogicalPlan& plan, const ExplainOptions& opts,
                        " cache_hits=", self.measure_cache_hits,
                        " scans=", self.measure_source_scans,
                        " inline=", self.measure_inline_evals,
+                       " grouped_builds=", self.measure_grouped_builds,
+                       " grouped_probes=", self.measure_grouped_probes,
                        " shared_hits=", self.shared_cache_hits,
                        " shared_misses=", self.shared_cache_misses,
                        " fired=", FiredLabel(self), "]");
@@ -120,6 +136,9 @@ std::string RenderAnalyzeSummary(const QueryStats& stats,
                 " cache_hits=", stats.measure_cache_hits,
                 " source_scans=", stats.measure_source_scans,
                 " inline_evals=", stats.measure_inline_evals,
+                " grouped_builds=", stats.measure_grouped_builds,
+                " grouped_probes=", stats.measure_grouped_probes,
+                " parallel_tasks=", stats.measure_parallel_tasks,
                 " shared_hits=", stats.shared_cache_hits,
                 " shared_misses=", stats.shared_cache_misses,
                 " strategy=", StrategyNote(opts), "\n");

@@ -26,6 +26,8 @@ struct OpStats {
   uint64_t measure_cache_hits = 0;
   uint64_t measure_source_scans = 0;
   uint64_t measure_inline_evals = 0;
+  uint64_t measure_grouped_builds = 0;
+  uint64_t measure_grouped_probes = 0;
   uint64_t subquery_execs = 0;
   uint64_t subquery_cache_hits = 0;
   uint64_t shared_cache_hits = 0;

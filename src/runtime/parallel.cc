@@ -1,0 +1,84 @@
+#include "runtime/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+
+#include "runtime/thread_pool.h"
+
+namespace msql {
+
+int PlanParallelWorkers(const ThreadPool* pool, int64_t n,
+                        const ParallelForOptions& opts) {
+  if (pool == nullptr || n <= 0) return 1;
+  const int64_t morsel = std::max<int64_t>(1, opts.morsel_rows);
+  const int64_t morsels = (n + morsel - 1) / morsel;
+  int64_t workers = pool->num_threads() + 1;  // pool + calling thread
+  if (opts.max_workers > 0) workers = std::min<int64_t>(workers, opts.max_workers);
+  workers = std::min(workers, morsels);
+  return static_cast<int>(std::max<int64_t>(1, workers));
+}
+
+Status ParallelFor(ThreadPool* pool, int64_t n, int workers,
+                   const ParallelForOptions& opts,
+                   const std::function<Status(int, int64_t, int64_t)>& body) {
+  if (n <= 0) return Status::Ok();
+  if (workers <= 1 || pool == nullptr) return body(0, 0, n);
+  const int64_t morsel = std::max<int64_t>(1, opts.morsel_rows);
+
+  struct Shared {
+    std::atomic<int64_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = 0;
+    int64_t first_error_pos = std::numeric_limits<int64_t>::max();
+    Status first_error;
+  } shared;
+
+  auto run_worker = [&](int w) {
+    for (;;) {
+      if (shared.failed.load(std::memory_order_relaxed)) return;
+      const int64_t begin =
+          shared.cursor.fetch_add(morsel, std::memory_order_relaxed);
+      if (begin >= n) return;
+      Status st = body(w, begin, std::min(n, begin + morsel));
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        if (begin < shared.first_error_pos) {
+          shared.first_error_pos = begin;
+          shared.first_error = std::move(st);
+        }
+        shared.failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  shared.pending = workers - 1;
+  for (int w = 1; w < workers; ++w) {
+    const bool queued = pool->Submit([&shared, &run_worker, w]() {
+      run_worker(w);
+      std::lock_guard<std::mutex> lock(shared.mu);
+      --shared.pending;
+      shared.cv.notify_all();
+    });
+    if (!queued) {
+      // Pool shut down under us: absorb this worker's share inline. The
+      // worker states stay distinct, so running them serially is safe.
+      run_worker(w);
+      std::lock_guard<std::mutex> lock(shared.mu);
+      --shared.pending;
+    }
+  }
+  run_worker(0);
+
+  std::unique_lock<std::mutex> lock(shared.mu);
+  shared.cv.wait(lock, [&shared] { return shared.pending == 0; });
+  if (shared.failed.load(std::memory_order_relaxed)) return shared.first_error;
+  return Status::Ok();
+}
+
+}  // namespace msql

@@ -1,0 +1,46 @@
+#ifndef MSQL_RUNTIME_PARALLEL_H_
+#define MSQL_RUNTIME_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace msql {
+
+class ThreadPool;  // runtime/thread_pool.h
+
+// Morsel-driven parallel-for (the HyPer execution model, see PAPERS.md):
+// the index range [0, n) is split into contiguous morsels that idle
+// workers pull from a shared cursor, so a skewed morsel cannot stall the
+// whole batch the way static range splitting would.
+//
+// Determinism contract: workers only share the cursor; everything a body
+// writes must be indexed by the element position (results[i], keys[i]),
+// never by worker or arrival order. Under that discipline the output is
+// bit-identical to the serial run regardless of scheduling.
+struct ParallelForOptions {
+  int64_t morsel_rows = 1024;  // elements per scheduling unit
+  int max_workers = 0;         // 0 = pool width + the calling thread
+};
+
+// Number of workers ParallelFor would use for `n` elements: the pool's
+// threads plus the calling thread, capped by opts.max_workers and by the
+// morsel count (never more workers than morsels). 1 means "run inline" —
+// callers use this to size per-worker state before dispatching.
+int PlanParallelWorkers(const ThreadPool* pool, int64_t n,
+                        const ParallelForOptions& opts);
+
+// Runs body(worker, begin, end) over [0, n) with `workers` workers (from
+// PlanParallelWorkers; worker 0 is the calling thread). `worker` indexes
+// the per-worker scratch state the caller prepared. workers <= 1 (or a
+// null pool) degenerates to one inline body(0, 0, n) call. On failure the
+// remaining morsels are abandoned (cooperative early exit) and the error
+// of the earliest-positioned failing morsel that ran is returned.
+Status ParallelFor(ThreadPool* pool, int64_t n, int workers,
+                   const ParallelForOptions& opts,
+                   const std::function<Status(int, int64_t, int64_t)>& body);
+
+}  // namespace msql
+
+#endif  // MSQL_RUNTIME_PARALLEL_H_

@@ -25,9 +25,40 @@ void SharedMeasureCache::Insert(const std::string& key, const Value& value,
   }
   auto it = index_.find(key);
   if (it != index_.end()) RemoveLocked(it->second);
-  lru_.push_front(Entry{key, value, generation, cost});
+  lru_.push_front(Entry{key, value, nullptr, generation, cost});
   index_.emplace(key, lru_.begin());
   bytes_ += cost;
+  ++counters_.insertions;
+  EvictToBudgetLocked();
+}
+
+bool SharedMeasureCache::LookupObject(const std::string& key,
+                                      std::shared_ptr<const void>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end() || it->second->object == nullptr) {
+    ++counters_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++counters_.hits;
+  *out = it->second->object;
+  return true;
+}
+
+void SharedMeasureCache::InsertObject(const std::string& key,
+                                      std::shared_ptr<const void> object,
+                                      uint64_t bytes, uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation < min_generation_ || bytes > max_bytes_) {
+    ++counters_.rejected;
+    return;
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) RemoveLocked(it->second);
+  lru_.push_front(Entry{key, Value(), std::move(object), generation, bytes});
+  index_.emplace(key, lru_.begin());
+  bytes_ += bytes;
   ++counters_.insertions;
   EvictToBudgetLocked();
 }

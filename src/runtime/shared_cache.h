@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -66,6 +67,16 @@ class SharedMeasureCache {
   void Insert(const std::string& key, const Value& value,
               uint64_t generation);
 
+  // Type-erased immutable objects — e.g. the grouped strategy's dimension
+  // indexes (measure/grouped.h) — share the same budget, LRU and
+  // generation-invalidation machinery as scalar entries. Objects are
+  // opaque to the cache, so the caller supplies the byte estimate at
+  // insert time and uses disjoint key prefixes per object type.
+  bool LookupObject(const std::string& key,
+                    std::shared_ptr<const void>* out);
+  void InsertObject(const std::string& key, std::shared_ptr<const void> object,
+                    uint64_t bytes, uint64_t generation);
+
   // Drops every entry computed at a generation < `generation` and rejects
   // future inserts older than it. Called by the engine after any catalog or
   // table-data mutation, with the post-mutation generation.
@@ -87,7 +98,8 @@ class SharedMeasureCache {
  private:
   struct Entry {
     std::string key;
-    Value value;
+    Value value;                          // scalar entries
+    std::shared_ptr<const void> object;   // object entries (value is NULL)
     uint64_t generation = 0;
     uint64_t bytes = 0;
   };

@@ -76,8 +76,9 @@ TEST_F(ExplainAnalyzeTest, PlainExplainAnnotatesExpansionWithoutRunning) {
   std::string text = Render(std::string("EXPLAIN ") + kListing4);
   // The defining node shows the measure formula it expands to.
   EXPECT_NE(text.find("expands=[profitMargin :="), std::string::npos);
-  // The evaluating Aggregate shows the configured strategy.
-  EXPECT_NE(text.find("measure_eval=memoized+inline"), std::string::npos);
+  // The evaluating Aggregate shows the configured strategy (grouped is the
+  // default).
+  EXPECT_NE(text.find("measure_eval=grouped+inline"), std::string::npos);
   // Plain EXPLAIN never executes: no actuals, no summary.
   EXPECT_EQ(text.find("actual time="), std::string::npos);
   EXPECT_EQ(text.find("Execution:"), std::string::npos);
@@ -103,14 +104,32 @@ TEST_F(ExplainAnalyzeTest, AnalyzeListing4ReportsPerOperatorActuals) {
   EXPECT_NE(agg.find("[measures:"), std::string::npos) << agg;
   EXPECT_NE(agg.find("evals=3"), std::string::npos) << agg;
   EXPECT_NE(agg.find("fired=inline"), std::string::npos) << agg;
-  EXPECT_NE(agg.find("measure_eval=memoized+inline"), std::string::npos)
+  EXPECT_NE(agg.find("measure_eval=grouped+inline"), std::string::npos)
       << agg;
 
   // The summary block reflects the whole query.
   EXPECT_NE(text.find("Execution: total="), std::string::npos);
   EXPECT_NE(text.find("rows_charged="), std::string::npos);
   EXPECT_NE(text.find("Measures: evals=3"), std::string::npos);
-  EXPECT_NE(text.find("strategy=memoized+inline"), std::string::npos);
+  EXPECT_NE(text.find("strategy=grouped+inline"), std::string::npos);
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeGroupedStrategyReportsBuildsAndProbes) {
+  // A bare measure under GROUP BY produces one all-dimension context per
+  // group; the grouped strategy partitions the source once and answers
+  // each group with an index probe. ANALYZE attributes the build and the
+  // per-group probes to the Aggregate operator.
+  std::string text = Render(
+      "EXPLAIN ANALYZE SELECT prodName, sumRevenue AS r "
+      "FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue FROM Orders) AS o "
+      "GROUP BY prodName ORDER BY prodName");
+  std::string agg = LineWith(text, "[measures:");
+  ASSERT_FALSE(agg.empty());
+  EXPECT_NE(agg.find("grouped_builds=1"), std::string::npos) << agg;
+  EXPECT_NE(agg.find("grouped_probes=3"), std::string::npos) << agg;
+  EXPECT_NE(agg.find("fired=grouped"), std::string::npos) << agg;
+  EXPECT_NE(agg.find("scans=0"), std::string::npos) << agg;
+  EXPECT_NE(text.find("strategy=grouped+inline"), std::string::npos);
 }
 
 TEST_F(ExplainAnalyzeTest, AnalyzeListing8CountsRollupGroupsAndScans) {

@@ -61,6 +61,9 @@ class FaultInjectionTest : public ::testing::Test {
           "FROM EO GROUP BY prodName");
     query("SELECT custName, AGGREGATE(r) FROM EO GROUP BY custName "
           "ORDER BY custName");
+    // Bare measure under GROUP BY: all-dimension contexts drive the grouped
+    // hash-index path and its measure.grouped_index_build checkpoint.
+    query("SELECT prodName, r AS bare FROM EO GROUP BY prodName");
     query("SELECT c.custName, AGGREGATE(r) FROM EO o JOIN Customers c "
           "ON o.custName = c.custName GROUP BY c.custName");
     query("SELECT prodName FROM Orders WHERE revenue > "
@@ -116,9 +119,18 @@ TEST_F(FaultInjectionTest, SweepFailsCleanlyAtEveryCheckpoint) {
         ++injected;
       }
     }
-    EXPECT_EQ(injected, 1)
-        << "checkpoint " << i << " ('" << fired_site
-        << "'): injected fault did not surface exactly once";
+    if (fired_site == "measure.grouped_index_build") {
+      // Grouped-index build faults degrade to the per-context scan path:
+      // the query must succeed and only the fallback counter records the
+      // fault (see GroupedIndexBuildFaultDegradesToScan).
+      EXPECT_EQ(injected, 0)
+          << "checkpoint " << i << " ('" << fired_site
+          << "'): a grouped-index build fault leaked into a query Status";
+    } else {
+      EXPECT_EQ(injected, 1)
+          << "checkpoint " << i << " ('" << fired_site
+          << "'): injected fault did not surface exactly once";
+    }
 
     // The engine (a fresh one per run) must still work after the fault.
     Engine probe;
@@ -215,6 +227,66 @@ TEST_F(FaultInjectionTest, ObsSweepDegradesGracefully) {
   // slow-log write; losing these means the degradation path is untested.
   EXPECT_GE(obs_checkpoints, 2);
   std::remove(log_path.c_str());
+}
+
+TEST_F(FaultInjectionTest, GroupedIndexBuildFaultDegradesToScan) {
+  // A fault while building the grouped hash index must never fail the
+  // query: the evaluator caches the failure, falls back to the per-context
+  // scan path, and bumps msql_measure_grouped_fallbacks_total.
+  const char* sql =
+      "SELECT prodName, r AS v FROM EO GROUP BY prodName ORDER BY prodName";
+  // Fresh engine per run so the shared measure cache never short-circuits
+  // the build checkpoint out of the run.
+  auto run = [&](ResultSet* out, std::shared_ptr<const QueryStats>* stats) {
+    Engine db;
+    Status import = db.ImportCsv("Orders", csv_path_);
+    if (!import.ok()) return import;
+    Status view = db.Execute(
+        "CREATE VIEW EO AS SELECT *, SUM(revenue) AS MEASURE r FROM Orders");
+    if (!view.ok()) return view;
+    auto r = db.Query(sql);
+    if (!r.ok()) return r.status();
+    *stats = r.value().stats();
+    *out = std::move(r.value());
+    return Status::Ok();
+  };
+
+  auto& fi = FaultInjector::Instance();
+  fi.ArmAt(0);  // count-only
+  {
+    ResultSet rs;
+    std::shared_ptr<const QueryStats> stats;
+    ASSERT_TRUE(run(&rs, &stats).ok());
+    ASSERT_NE(stats, nullptr);
+    EXPECT_GE(stats->measure_grouped_builds, 1u);
+  }
+  const int64_t n = fi.hits();
+  fi.Reset();
+  ASSERT_GT(n, 0);
+
+  bool exercised = false;
+  for (int64_t i = 1; i <= n; ++i) {
+    fi.ArmAt(i);
+    ResultSet rs;
+    std::shared_ptr<const QueryStats> stats;
+    Status st = run(&rs, &stats);
+    const std::string fired_site = fi.fired_site();
+    fi.Reset();
+    if (fired_site != "measure.grouped_index_build") continue;
+    exercised = true;
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ASSERT_NE(stats, nullptr);
+    EXPECT_GE(stats->measure_grouped_fallbacks, 1u);
+    EXPECT_EQ(stats->measure_grouped_builds, 0u);
+    EXPECT_GT(stats->measure_source_scans, 0u);
+    // Degraded results are still the listing's correct totals.
+    ASSERT_EQ(rs.num_rows(), 3u);
+    EXPECT_EQ(rs.Get(0, "v").int_val(), 5);    // Acme
+    EXPECT_EQ(rs.Get(1, "v").int_val(), 17);   // Happy: 6 + 7 + 4
+    EXPECT_EQ(rs.Get(2, "v").int_val(), 3);    // Whizz
+  }
+  EXPECT_TRUE(exercised)
+      << "the workload never crossed measure.grouped_index_build";
 }
 
 TEST_F(FaultInjectionTest, EngineSurvivesMidWorkloadFault) {

@@ -90,8 +90,8 @@ TEST_P(MeasurePropertyTest, NoFilterMakesAllCallSitesAgree) {
   }
 }
 
-// Property 4: naive and memoized strategies agree (the localized-self-join
-// cache is an optimization, never a semantic change).
+// Property 4: all three strategies agree (the localized-self-join cache
+// and the grouped hash index are optimizations, never a semantic change).
 TEST_P(MeasurePropertyTest, StrategiesAgree) {
   const char* query = R"sql(
     SELECT prodName, orderYear, AGGREGATE(r) AS v,
@@ -101,6 +101,12 @@ TEST_P(MeasurePropertyTest, StrategiesAgree) {
     GROUP BY prodName, orderYear
     ORDER BY prodName, orderYear
   )sql";
+  // Grouped runs first: a later run would find every value already in the
+  // shared measure cache and never need to probe its index.
+  db_.options().measure_strategy = MeasureStrategy::kGrouped;
+  ResultSet grouped = MustQuery(&db_, query);
+  ASSERT_NE(grouped.stats(), nullptr);
+  EXPECT_GT(grouped.stats()->measure_grouped_probes, 0u);
   db_.options().measure_strategy = MeasureStrategy::kMemoized;
   ResultSet memoized = MustQuery(&db_, query);
   ASSERT_NE(memoized.stats(), nullptr);
@@ -110,9 +116,99 @@ TEST_P(MeasurePropertyTest, StrategiesAgree) {
   ASSERT_NE(naive.stats(), nullptr);
   EXPECT_EQ(naive.stats()->measure_cache_hits, 0u);
   ASSERT_EQ(memoized.num_rows(), naive.num_rows());
+  ASSERT_EQ(memoized.num_rows(), grouped.num_rows());
   for (size_t i = 0; i < memoized.num_rows(); ++i) {
     for (size_t c = 0; c < memoized.num_columns(); ++c) {
       EXPECT_TRUE(Value::NotDistinct(memoized.Get(i, c), naive.Get(i, c)));
+      EXPECT_TRUE(Value::NotDistinct(memoized.Get(i, c), grouped.Get(i, c)));
+    }
+  }
+}
+
+// Property 4c: the three strategies agree on every context kind the
+// evaluator distinguishes — all-dimension contexts (grouped-index probes),
+// WHERE-modifier predicate contexts (scan fallback), VISIBLE row-id
+// contexts (inline fast path) — including NULL dimension values, which
+// group by IS NOT DISTINCT FROM semantics (paper footnote 1).
+TEST_P(MeasurePropertyTest, ThreeStrategiesAgreeOnEveryContextKind) {
+  MustExecute(&db_, R"sql(
+    INSERT INTO Orders VALUES (NULL, NULL, DATE '2022-06-15', 17, 5),
+                              (NULL, 'C1', DATE '2023-01-02', 23, 9),
+                              ('P1', NULL, DATE '2021-11-30', 31, 12)
+  )sql");
+  const char* queries[] = {
+      // Bare measure + AT (ALL dim): all-dimension contexts.
+      "SELECT prodName, custName, r AS bare, r AT (ALL custName) AS byProd "
+      "FROM EO GROUP BY prodName, custName "
+      "ORDER BY prodName NULLS LAST, custName NULLS LAST",
+      // WHERE modifier: predicate contexts are not groupable.
+      "SELECT prodName, r AT (WHERE revenue > 40) AS big FROM EO "
+      "GROUP BY prodName ORDER BY prodName NULLS LAST",
+      // VISIBLE under a filter: row-id contexts take the inline path.
+      "SELECT custName, AGGREGATE(r) AS agg, r AT (VISIBLE) AS viz "
+      "FROM EO WHERE revenue > 20 GROUP BY custName "
+      "ORDER BY custName NULLS LAST",
+      // Render path: the measure survives to the top level and is
+      // evaluated per row with every dimension pinned.
+      "SELECT prodName, custName, revenue, r FROM EO WHERE revenue > 60 "
+      "ORDER BY prodName NULLS LAST, custName NULLS LAST, revenue",
+  };
+  for (const char* query : queries) {
+    db_.options().measure_strategy = MeasureStrategy::kGrouped;
+    ResultSet grouped = MustQuery(&db_, query);
+    db_.options().measure_strategy = MeasureStrategy::kMemoized;
+    ResultSet memoized = MustQuery(&db_, query);
+    db_.options().measure_strategy = MeasureStrategy::kNaive;
+    ResultSet naive = MustQuery(&db_, query);
+    ASSERT_EQ(grouped.num_rows(), naive.num_rows()) << query;
+    ASSERT_EQ(grouped.num_rows(), memoized.num_rows()) << query;
+    for (size_t i = 0; i < grouped.num_rows(); ++i) {
+      for (size_t c = 0; c < grouped.num_columns(); ++c) {
+        EXPECT_TRUE(Value::NotDistinct(grouped.Get(i, c), naive.Get(i, c)))
+            << query << " row " << i << " col " << c;
+        EXPECT_TRUE(Value::NotDistinct(grouped.Get(i, c), memoized.Get(i, c)))
+            << query << " row " << i << " col " << c;
+      }
+    }
+  }
+}
+
+// Property 4d: morsel-parallel grouped evaluation engages at scale and is
+// deterministic — it agrees with a forced single-threaded grouped run and
+// with the naive strategy, scheduling notwithstanding.
+TEST_P(MeasurePropertyTest, ParallelGroupedAgreesAtScale) {
+  const char* query = R"sql(
+    SELECT prodName, custName, orderYear, r AS v, n AS c FROM EO
+    GROUP BY prodName, custName, orderYear
+    ORDER BY prodName, custName, orderYear
+  )sql";
+  Engine par;
+  par.options().measure_strategy = MeasureStrategy::kGrouped;
+  LoadRandomOrders(&par, GetParam() ^ 0x5eed, 2000);
+  ResultSet parallel = MustQuery(&par, query);
+  ASSERT_NE(parallel.stats(), nullptr);
+  EXPECT_GT(parallel.stats()->measure_grouped_builds, 0u);
+  EXPECT_GT(parallel.stats()->measure_grouped_probes, 0u);
+  EXPECT_GT(parallel.stats()->measure_parallel_tasks, 0u);
+  EXPECT_EQ(parallel.stats()->measure_grouped_fallbacks, 0u);
+
+  Engine solo;
+  solo.options().measure_strategy = MeasureStrategy::kGrouped;
+  solo.options().measure_parallelism = 1;  // same strategy, no workers
+  LoadRandomOrders(&solo, GetParam() ^ 0x5eed, 2000);
+  ResultSet serial = MustQuery(&solo, query);
+  ASSERT_NE(serial.stats(), nullptr);
+  EXPECT_EQ(serial.stats()->measure_parallel_tasks, 0u);
+
+  solo.options().measure_strategy = MeasureStrategy::kNaive;
+  ResultSet naive = MustQuery(&solo, query);
+
+  ASSERT_EQ(parallel.num_rows(), serial.num_rows());
+  ASSERT_EQ(parallel.num_rows(), naive.num_rows());
+  for (size_t i = 0; i < parallel.num_rows(); ++i) {
+    for (size_t c = 0; c < parallel.num_columns(); ++c) {
+      EXPECT_TRUE(Value::NotDistinct(parallel.Get(i, c), serial.Get(i, c)));
+      EXPECT_TRUE(Value::NotDistinct(parallel.Get(i, c), naive.Get(i, c)));
     }
   }
 }

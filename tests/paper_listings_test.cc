@@ -11,9 +11,15 @@
 namespace msql {
 namespace {
 
-class PaperListingsTest : public ::testing::Test {
+// Every listing must reproduce under all three measure-evaluation
+// strategies (docs/PERFORMANCE.md): the strategy is an optimization axis,
+// never a semantic one.
+class PaperListingsTest : public ::testing::TestWithParam<MeasureStrategy> {
  protected:
-  void SetUp() override { LoadPaperData(&db_); }
+  void SetUp() override {
+    db_.options().measure_strategy = GetParam();
+    LoadPaperData(&db_);
+  }
 
   // Finds the row whose first column equals `key` (NULL key: pass "NULL").
   static const Row* FindRow(const ResultSet& rs, const std::string& key) {
@@ -27,7 +33,7 @@ class PaperListingsTest : public ::testing::Test {
 };
 
 // Listing 1: summarizing Orders by product name with an inline formula.
-TEST_F(PaperListingsTest, Listing1SummarizeByProduct) {
+TEST_P(PaperListingsTest, Listing1SummarizeByProduct) {
   ResultSet rs = MustQuery(&db_, R"sql(
     SELECT prodName,
            COUNT(*) AS c,
@@ -50,7 +56,7 @@ TEST_F(PaperListingsTest, Listing1SummarizeByProduct) {
 // Listing 2: the motivating bug — AVG over a summarizing view weights each
 // (prodName, orderDate) combination, not each order, so the result for
 // 'Happy' differs from the true margin 8/17.
-TEST_F(PaperListingsTest, Listing2AverageOfAveragesIsWrong) {
+TEST_P(PaperListingsTest, Listing2AverageOfAveragesIsWrong) {
   MustExecute(&db_, R"sql(
     CREATE VIEW SummarizedOrders AS
     SELECT prodName, orderDate,
@@ -74,7 +80,7 @@ TEST_F(PaperListingsTest, Listing2AverageOfAveragesIsWrong) {
 
 // Listing 3: the EnhancedOrders measure view; AGGREGATE evaluates the
 // measure in the context of each group row.
-TEST_F(PaperListingsTest, Listing3EnhancedOrdersView) {
+TEST_P(PaperListingsTest, Listing3EnhancedOrdersView) {
   MustExecute(&db_, R"sql(
     CREATE VIEW EnhancedOrders AS
     SELECT orderDate, prodName,
@@ -99,7 +105,7 @@ TEST_F(PaperListingsTest, Listing3EnhancedOrdersView) {
 
 // Listing 4: the paper's printed result table:
 //   Acme 0.60 1 / Happy 0.47 3 / Whizz 0.67 1.
-TEST_F(PaperListingsTest, Listing4ResultTable) {
+TEST_P(PaperListingsTest, Listing4ResultTable) {
   MustExecute(&db_, R"sql(
     CREATE VIEW EnhancedOrders AS
     SELECT orderDate, prodName,
@@ -130,7 +136,7 @@ TEST_F(PaperListingsTest, Listing4ResultTable) {
 
 // Listing 5: the manually expanded query (correlated scalar subquery) gives
 // the same answer as the measure query.
-TEST_F(PaperListingsTest, Listing5ManualExpansionMatches) {
+TEST_P(PaperListingsTest, Listing5ManualExpansionMatches) {
   ResultSet rs = MustQuery(&db_, R"sql(
     SELECT prodName,
            (SELECT (SUM(i.revenue) - SUM(i.cost)) / SUM(i.revenue)
@@ -149,7 +155,7 @@ TEST_F(PaperListingsTest, Listing5ManualExpansionMatches) {
 }
 
 // Listing 6: proportion of total revenue via AT (ALL prodName).
-TEST_F(PaperListingsTest, Listing6ProportionOfTotal) {
+TEST_P(PaperListingsTest, Listing6ProportionOfTotal) {
   ResultSet rs = MustQuery(&db_, R"sql(
     SELECT prodName, sumRevenue,
            sumRevenue / sumRevenue AT (ALL prodName)
@@ -175,7 +181,7 @@ TEST_F(PaperListingsTest, Listing6ProportionOfTotal) {
 
 // Listing 7: year-over-year profit margin via SET / CURRENT; the 2023 margin
 // is computed over rows removed by the WHERE clause.
-TEST_F(PaperListingsTest, Listing7YearOverYear) {
+TEST_P(PaperListingsTest, Listing7YearOverYear) {
   ResultSet rs = MustQuery(&db_, R"sql(
     SELECT prodName, orderYear,
            profitMargin,
@@ -202,7 +208,7 @@ TEST_F(PaperListingsTest, Listing7YearOverYear) {
 
 // Listing 8: the printed VISIBLE/ROLLUP result table:
 //   Happy 2 13 13 17 / Whizz 1 3 3 3 / (total) 3 16 16 25.
-TEST_F(PaperListingsTest, Listing8VisibleTotals) {
+TEST_P(PaperListingsTest, Listing8VisibleTotals) {
   ResultSet rs = MustQuery(&db_, R"sql(
     SELECT o.prodName,
            COUNT(*) AS c,
@@ -238,7 +244,7 @@ TEST_F(PaperListingsTest, Listing8VisibleTotals) {
 // Listing 9: joins — the weighted average uses joined rows; the bare measure
 // ignores join and filter; VISIBLE preserves the customer grain (each
 // customer counted once regardless of order fan-out).
-TEST_F(PaperListingsTest, Listing9JoinGrainPreservation) {
+TEST_P(PaperListingsTest, Listing9JoinGrainPreservation) {
   ResultSet rs = MustQuery(&db_, R"sql(
     WITH EnhancedCustomers AS (
       SELECT *, AVG(custAge) AS MEASURE avgAge
@@ -276,7 +282,7 @@ TEST_F(PaperListingsTest, Listing9JoinGrainPreservation) {
 }
 
 // Listing 10: year-over-year ratio through a view.
-TEST_F(PaperListingsTest, Listing10YearOverYearRatio) {
+TEST_P(PaperListingsTest, Listing10YearOverYearRatio) {
   MustExecute(&db_, R"sql(
     CREATE VIEW OrdersWithRevenue AS
     SELECT *, SUM(revenue) AS MEASURE sumRevenue
@@ -310,7 +316,7 @@ TEST_F(PaperListingsTest, Listing10YearOverYearRatio) {
 
 // Listing 11: the expansion with the auxiliary computeSumRevenue function —
 // expressed here as the equivalent correlated-subquery SQL.
-TEST_F(PaperListingsTest, Listing11ExpandedFormMatchesMeasures) {
+TEST_P(PaperListingsTest, Listing11ExpandedFormMatchesMeasures) {
   ResultSet expanded = MustQuery(&db_, R"sql(
     SELECT o.prodName, YEAR(o.orderDate) AS orderYear,
            (SELECT SUM(r.revenue) FROM Orders AS r
@@ -351,7 +357,7 @@ TEST_F(PaperListingsTest, Listing11ExpandedFormMatchesMeasures) {
 
 // Listing 12: four equivalent formulations of "orders with revenue above the
 // product average" return identical row sets.
-TEST_F(PaperListingsTest, Listing12FourEquivalentQueries) {
+TEST_P(PaperListingsTest, Listing12FourEquivalentQueries) {
   const char* q1 = R"sql(
     SELECT o.prodName, o.orderDate
     FROM Orders AS o
@@ -412,6 +418,19 @@ TEST_F(PaperListingsTest, Listing12FourEquivalentQueries) {
   EXPECT_EQ(r1.Get(1, 0).str(), "Happy");
   EXPECT_EQ(r1.Get(1, 1).ToString(), "2024-11-28");
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, PaperListingsTest,
+    ::testing::Values(MeasureStrategy::kNaive, MeasureStrategy::kMemoized,
+                      MeasureStrategy::kGrouped),
+    [](const ::testing::TestParamInfo<MeasureStrategy>& info) {
+      switch (info.param) {
+        case MeasureStrategy::kNaive: return "Naive";
+        case MeasureStrategy::kMemoized: return "Memoized";
+        case MeasureStrategy::kGrouped: return "Grouped";
+      }
+      return "Unknown";
+    });
 
 }  // namespace
 }  // namespace msql

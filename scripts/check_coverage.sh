@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Line-coverage gate for src/. Builds are expected to be compiled with
+# --coverage and to have run the test suite already (so .gcda files exist);
+# this script only aggregates and enforces the threshold.
+#
+# Usage: scripts/check_coverage.sh [build-dir]
+#
+# Aggregation prefers gcovr, then lcov, then falls back to raw gcov (always
+# shipped with the compiler), so the gate runs identically in CI and in a
+# bare container. The measured percentage is compared against
+# ci/coverage_baseline.txt: the gate fails when coverage drops more than
+# the slack below the recorded baseline, and prints a reminder to ratchet
+# the baseline when it rises well above it.
+set -euo pipefail
+
+BUILD_DIR="${1:-build-cov}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BASELINE_FILE="$ROOT/ci/coverage_baseline.txt"
+# Allow small drift from refactors before the gate trips.
+SLACK_PCT=2
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "check_coverage: build dir '$BUILD_DIR' not found" >&2
+  exit 2
+fi
+if ! find "$BUILD_DIR" -name '*.gcda' -print -quit | grep -q .; then
+  echo "check_coverage: no .gcda files under $BUILD_DIR — run the tests" >&2
+  exit 2
+fi
+
+percent=""
+if command -v gcovr >/dev/null 2>&1; then
+  # gcovr prints "lines: NN.N% (covered out of total)".
+  percent=$(gcovr -r "$ROOT" --object-directory "$BUILD_DIR" \
+      --filter "$ROOT/src/" --print-summary -o /dev/null 2>/dev/null |
+    awk '/^lines:/ { sub(/%.*/, "", $2); print $2 }')
+elif command -v lcov >/dev/null 2>&1; then
+  info=$(mktemp)
+  lcov --capture --directory "$BUILD_DIR" --output-file "$info" \
+       --quiet >/dev/null 2>&1
+  lcov --extract "$info" "$ROOT/src/*" --output-file "$info" \
+       --quiet >/dev/null 2>&1
+  percent=$(lcov --summary "$info" 2>&1 |
+    awk '/lines\.+:/ { sub(/%.*/, "", $2); print $2 }')
+  rm -f "$info"
+else
+  # Raw-gcov fallback: render every .gcda into .gcov text and count
+  # executable lines for sources under src/. "#####"/"=====" mark
+  # never-executed lines; "-" marks non-executable ones.
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  build_abs=$(cd "$BUILD_DIR" && pwd)
+  # gcov writes its .gcov renderings into the CWD.
+  ( cd "$tmp" && find "$build_abs" -name '*.gcda' -exec \
+      gcov --preserve-paths --object-file {} + >/dev/null 2>&1 ) || true
+  percent=$(awk -F: '
+    FNR == 1 { keep = 0 }
+    /0:Source:/ { keep = ($0 ~ /src\//) }
+    keep && $1 ~ /^[ \t]*[0-9]+$/   { covered++; total++ }
+    keep && $1 ~ /^[ \t]*(#####|=====)$/ { total++ }
+    END { if (total) printf "%.1f", 100 * covered / total }
+  ' "$tmp"/*.gcov 2>/dev/null || true)
+fi
+
+if [ -z "$percent" ]; then
+  echo "check_coverage: could not compute a coverage percentage" >&2
+  exit 2
+fi
+
+baseline=$(grep -Eo '^[0-9]+(\.[0-9]+)?' "$BASELINE_FILE" | head -1)
+echo "line coverage (src/): ${percent}%  baseline: ${baseline}% (slack ${SLACK_PCT}%)"
+awk -v p="$percent" -v b="$baseline" -v s="$SLACK_PCT" 'BEGIN {
+  if (p + s < b) {
+    printf "FAIL: coverage %.1f%% fell more than %.0f%% below the %.1f%% baseline\n", p, s, b
+    exit 1
+  }
+  if (p > b + 2 * s) {
+    printf "NOTE: coverage %.1f%% is well above the baseline — ratchet ci/coverage_baseline.txt\n", p
+  }
+}'

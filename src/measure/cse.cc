@@ -122,6 +122,11 @@ Status ApplyModifiers(const RtMeasure& m,
                       const std::shared_ptr<const std::vector<int64_t>>&
                           visible_rowids,
                       ExecState* state, EvalContext* ctx) {
+  // CURRENT resolves against the context the AT clause was entered with —
+  // the cell's own context — not the partially-modified one. Otherwise
+  // `AT (ALL d SET d = CURRENT d)` would read CURRENT d after ALL d erased
+  // its term, and the paper's round-trip identity (§3.5) would not hold.
+  const EvalContext entry = *ctx;
   for (const BoundAtModifier& mod : mods) {
     switch (mod.kind) {
       case AtModifier::Kind::kAll:
@@ -141,11 +146,9 @@ Status ApplyModifiers(const RtMeasure& m,
         MSQL_ASSIGN_OR_RETURN(
             BoundExprPtr dim_src,
             TranslateToSource(*mod.set_dim, m, call_stack, ctx, state));
-        // Evaluate the value at the call site; CURRENT resolves against the
-        // incoming context (the state of `ctx` before this SET applies).
-        const EvalContext incoming = *ctx;
+        // Evaluate the value at the call site.
         Evaluator ev(state);
-        ev.current_context = &incoming;
+        ev.current_context = &entry;
         ev.current_measure = &m;
         MSQL_ASSIGN_OR_RETURN(Value v, ev.Eval(*mod.set_value, call_stack));
         std::string key = dim_src->ToString();
@@ -162,13 +165,9 @@ Status ApplyModifiers(const RtMeasure& m,
         break;
       case AtModifier::Kind::kWhere: {
         // Paper table 3: WHERE sets the evaluation context to the predicate.
-        // CURRENT inside the predicate resolves against the incoming context
-        // (captured before clearing).
-        const EvalContext incoming = *ctx;
         MSQL_ASSIGN_OR_RETURN(
             BoundExprPtr pred,
-            TranslateToSource(*mod.predicate, m, call_stack, &incoming,
-                              state));
+            TranslateToSource(*mod.predicate, m, call_stack, &entry, state));
         ctx->Clear();
         ctx->AddPredicate(std::shared_ptr<const BoundExpr>(std::move(pred)));
         break;

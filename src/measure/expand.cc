@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <set>
 
 #include "common/fault_injection.h"
 #include "common/string_util.h"
@@ -156,6 +157,15 @@ struct ExpansionCtx {
   // Outer select aliases usable as ad-hoc dimensions (listing 10's
   // orderYear = YEAR(orderDate)).
   std::map<std::string, const Expr*> select_aliases;
+  // Ungrouped (detail-grain) queries only. A top-level bare measure item
+  // renders at the result's grain: its context pins the dimensions that
+  // survive in the select list (`result_keys`). A measure nested in an
+  // expression or carrying AT modifiers evaluates at row grain: every
+  // dimension of the provider is pinned (`row_keys`), matching the
+  // engine's per-row default context.
+  std::vector<const Expr*> result_keys;
+  std::vector<const Expr*> row_keys;
+  std::vector<ExprPtr> key_storage;  // owns synthesized column refs
 };
 
 // Maps an outer-query expression onto the measure source with qualifier
@@ -252,11 +262,14 @@ const Expr* AsMeasureRef(const Expr& e, const ExpansionCtx& cx,
 }
 
 // Builds the correlated scalar subquery replacing one measure reference.
-// `visible` adds the outer WHERE clause terms; `use_group_keys` seeds the
-// context with the outer GROUP BY keys.
+// `visible` adds the outer WHERE clause terms; `keys` are the dimensions
+// seeding the default context (group keys, or the grain-appropriate key
+// set for ungrouped queries).
 Result<ExprPtr> BuildSubquery(const std::string& measure_name,
                               const std::vector<AtModifier>* modifiers,
-                              bool visible, const ExpansionCtx& cx) {
+                              bool visible,
+                              const std::vector<const Expr*>& keys,
+                              const ExpansionCtx& cx) {
   const ExprPtr& formula = cx.provider->measures.at(measure_name);
 
   // Context terms keyed by the printed source expression.
@@ -280,16 +293,50 @@ Result<ExprPtr> BuildSubquery(const std::string& measure_name,
     return Status::Ok();
   };
 
-  // Default context: group keys, inner-side equals outer-side.
-  for (const Expr* g : cx.group_keys) {
+  // Default context: one term per key dimension, inner side matching the
+  // outer side. IS NOT DISTINCT FROM, not `=`: the engine's native context
+  // admits rows via Value::NotDistinct, so a NULL-valued dimension (NULL
+  // group keys exist) must still match its own rows.
+  std::set<std::string> entry_keys;  // mapped key strings of `keys`
+  std::set<std::string> pristine;    // keys whose default term is intact
+  // Keys whose VISIBLE row-set restriction is currently represented by
+  // their intact default dim term. The native row-id set survives ALL d /
+  // SET d (only kDimEq terms are removed), so when one of these terms is
+  // later dropped, the restriction must be re-emitted as a frozen
+  // predicate.
+  std::set<std::string> visible_covered;
+  for (const Expr* g : keys) {
+    MSQL_ASSIGN_OR_RETURN(std::string key, key_of(*g));
     MSQL_ASSIGN_OR_RETURN(ExprPtr inner,
                           MapThroughDims(*g, cx, cx.inner_alias));
     MSQL_ASSIGN_OR_RETURN(ExprPtr outer,
                           MapThroughDims(*g, cx, cx.outer_alias));
     MSQL_RETURN_IF_ERROR(set_dim_term(
-        *g, MakeBinary(BinaryOp::kEq, std::move(inner), std::move(outer))));
+        *g, MakeBinary(BinaryOp::kIsNotDistinctFrom, std::move(inner),
+                       std::move(outer))));
+    entry_keys.insert(key);
+    pristine.insert(std::move(key));
   }
   auto add_visible = [&]() -> Status {
+    // VISIBLE restricts to the source rows reachable from the call site's
+    // cell: its key terms — re-added when a prior modifier cleared or
+    // overrode them, the way the engine's row-id set survives a context
+    // Clear() — plus the query's WHERE clause.
+    for (const Expr* g : keys) {
+      MSQL_ASSIGN_OR_RETURN(std::string key, key_of(*g));
+      if (pristine.count(key) > 0) {
+        // The intact default term already restricts; remember that it now
+        // also carries the row-set restriction in case it is removed later.
+        visible_covered.insert(key);
+        continue;
+      }
+      MSQL_ASSIGN_OR_RETURN(ExprPtr inner,
+                            MapThroughDims(*g, cx, cx.inner_alias));
+      MSQL_ASSIGN_OR_RETURN(ExprPtr outer,
+                            MapThroughDims(*g, cx, cx.outer_alias));
+      extra_preds.push_back(MakeBinary(BinaryOp::kIsNotDistinctFrom,
+                                       std::move(inner), std::move(outer)));
+    }
     if (cx.query->where != nullptr) {
       MSQL_ASSIGN_OR_RETURN(
           ExprPtr mapped,
@@ -297,6 +344,64 @@ Result<ExprPtr> BuildSubquery(const std::string& measure_name,
       extra_preds.push_back(std::move(mapped));
     }
     return Status::Ok();
+  };
+  // Re-emits the row-set restriction for `key` as a frozen predicate when
+  // its covering default term is about to be removed or overridden.
+  auto freeze_if_covered = [&](const std::string& key) -> Status {
+    auto it = visible_covered.find(key);
+    if (it == visible_covered.end()) return Status::Ok();
+    visible_covered.erase(it);
+    for (const Expr* g : keys) {
+      MSQL_ASSIGN_OR_RETURN(std::string k, key_of(*g));
+      if (k != key) continue;
+      MSQL_ASSIGN_OR_RETURN(ExprPtr inner,
+                            MapThroughDims(*g, cx, cx.inner_alias));
+      MSQL_ASSIGN_OR_RETURN(ExprPtr outer,
+                            MapThroughDims(*g, cx, cx.outer_alias));
+      extra_preds.push_back(MakeBinary(BinaryOp::kIsNotDistinctFrom,
+                                       std::move(inner), std::move(outer)));
+      break;
+    }
+    return Status::Ok();
+  };
+  // Substitutes CURRENT d: the outer-side expression when d is pinned by
+  // the entry context, NULL otherwise (unpinned CURRENT is NULL, §3.5).
+  auto subst_current = [&](ExprPtr& value) -> Status {
+    Status status = Status::Ok();
+    std::function<void(ExprPtr&)> subst = [&](ExprPtr& n) {
+      if (n == nullptr || !status.ok()) return;
+      if (n->kind == ExprKind::kCurrent) {
+        Expr dim_ref;
+        dim_ref.kind = ExprKind::kColumnRef;
+        dim_ref.parts = {n->current_dim};
+        auto key = key_of(dim_ref);
+        if (!key.ok() || entry_keys.count(key.value()) == 0) {
+          n = MakeLiteral(Value::Null());
+          return;
+        }
+        auto r = MapThroughDims(dim_ref, cx, cx.outer_alias);
+        if (!r.ok()) {
+          status = r.status();
+          return;
+        }
+        n = std::move(r.value());
+        return;
+      }
+      for (auto& a : n->args) subst(a);
+      if (n->left) subst(n->left);
+      if (n->right) subst(n->right);
+      if (n->case_operand) subst(n->case_operand);
+      for (auto& [w, t] : n->when_clauses) {
+        subst(w);
+        subst(t);
+      }
+      if (n->else_expr) subst(n->else_expr);
+      for (auto& i : n->in_list) subst(i);
+      if (n->between_low) subst(n->between_low);
+      if (n->between_high) subst(n->between_high);
+    };
+    subst(value);
+    return status;
   };
   if (visible) MSQL_RETURN_IF_ERROR(add_visible());
 
@@ -307,45 +412,33 @@ Result<ExprPtr> BuildSubquery(const std::string& measure_name,
         case AtModifier::Kind::kAll:
           dim_terms.clear();
           extra_preds.clear();
+          pristine.clear();
+          visible_covered.clear();
           break;
         case AtModifier::Kind::kAllDims:
           for (const ExprPtr& dim : mod.dims) {
             MSQL_ASSIGN_OR_RETURN(std::string key, key_of(*dim));
+            MSQL_RETURN_IF_ERROR(freeze_if_covered(key));
             dim_terms.erase(
                 std::remove_if(dim_terms.begin(), dim_terms.end(),
                                [&](const auto& kv) { return kv.first == key; }),
                 dim_terms.end());
+            pristine.erase(key);
           }
           break;
         case AtModifier::Kind::kSet: {
-          // Replace CURRENT d with the outer-side expression for d.
           ExprPtr value = mod.value->Clone();
-          Status status = Status::Ok();
-          std::function<void(ExprPtr&)> subst = [&](ExprPtr& n) {
-            if (n == nullptr || !status.ok()) return;
-            if (n->kind == ExprKind::kCurrent) {
-              Expr dim_ref;
-              dim_ref.kind = ExprKind::kColumnRef;
-              dim_ref.parts = {n->current_dim};
-              auto r = MapThroughDims(dim_ref, cx, cx.outer_alias);
-              if (!r.ok()) {
-                status = r.status();
-                return;
-              }
-              n = std::move(r.value());
-              return;
-            }
-            for (auto& a : n->args) subst(a);
-            if (n->left) subst(n->left);
-            if (n->right) subst(n->right);
-          };
-          subst(value);
-          MSQL_RETURN_IF_ERROR(status);
+          MSQL_RETURN_IF_ERROR(subst_current(value));
           MSQL_ASSIGN_OR_RETURN(
               ExprPtr inner, MapThroughDims(*mod.set_dim, cx, cx.inner_alias));
           MSQL_RETURN_IF_ERROR(set_dim_term(
-              *mod.set_dim,
-              MakeBinary(BinaryOp::kEq, std::move(inner), std::move(value))));
+              *mod.set_dim, MakeBinary(BinaryOp::kIsNotDistinctFrom,
+                                       std::move(inner), std::move(value))));
+          MSQL_ASSIGN_OR_RETURN(std::string set_key, key_of(*mod.set_dim));
+          // The default term for this dimension is overridden now, which a
+          // later VISIBLE must compensate for.
+          MSQL_RETURN_IF_ERROR(freeze_if_covered(set_key));
+          pristine.erase(set_key);
           break;
         }
         case AtModifier::Kind::kVisible:
@@ -354,9 +447,13 @@ Result<ExprPtr> BuildSubquery(const std::string& measure_name,
         case AtModifier::Kind::kWhere: {
           dim_terms.clear();
           extra_preds.clear();
+          pristine.clear();
+          visible_covered.clear();
           // Unqualified references denote source dimensions (inner side);
           // qualified references to the outer alias stay as correlations.
+          // CURRENT resolves against the entry context first.
           ExprPtr pred = mod.predicate->Clone();
+          MSQL_RETURN_IF_ERROR(subst_current(pred));
           Status status = Status::Ok();
           std::function<void(ExprPtr&)> walk = [&](ExprPtr& n) {
             if (n == nullptr || !status.ok()) return;
@@ -421,29 +518,55 @@ Result<ExprPtr> BuildSubquery(const std::string& measure_name,
 // Rewrites an outer expression: measure references become subqueries, other
 // column references are mapped through the provider's dimensions (so the
 // rewritten query can run directly over the source table).
-Result<ExprPtr> RewriteOuterExpr(const Expr& e, const ExpansionCtx& cx) {
+//
+// `top_level` is true only for the direct expression of a select item: a
+// bare measure there renders at the result's grain, whereas a measure
+// nested in an expression (or carrying AT modifiers) evaluates at row
+// grain. For grouped queries both grains are the group keys.
+Result<ExprPtr> RewriteOuterExpr(const Expr& e, const ExpansionCtx& cx,
+                                 bool top_level) {
+  const bool grouped = !cx.query->group_by.empty();
+  const std::vector<const Expr*>& bare_keys =
+      grouped ? cx.group_keys : (top_level ? cx.result_keys : cx.row_keys);
+  const std::vector<const Expr*>& at_keys =
+      grouped ? cx.group_keys : cx.row_keys;
+
   std::string mname;
   // AGGREGATE(m) and bare m.
   if (e.kind == ExprKind::kFuncCall && EqualsIgnoreCase(e.func_name,
                                                         "AGGREGATE")) {
     if (e.args.size() == 1 &&
         AsMeasureRef(*e.args[0], cx, &mname) != nullptr) {
-      return BuildSubquery(mname, nullptr, /*visible=*/true, cx);
+      return BuildSubquery(mname, nullptr, /*visible=*/true, cx.group_keys,
+                           cx);
     }
     if (e.args.size() == 1 && e.args[0]->kind == ExprKind::kAt &&
         AsMeasureRef(*e.args[0]->left, cx, &mname) != nullptr) {
       // AGGREGATE(m AT (...)): VISIBLE first, then the inner modifiers.
       return BuildSubquery(mname, &e.args[0]->at_modifiers, /*visible=*/true,
-                           cx);
+                           cx.group_keys, cx);
     }
     return NotImpl("this AGGREGATE argument");
   }
   if (AsMeasureRef(e, cx, &mname) != nullptr) {
-    return BuildSubquery(mname, nullptr, /*visible=*/false, cx);
+    return BuildSubquery(mname, nullptr, /*visible=*/false, bare_keys, cx);
   }
   if (e.kind == ExprKind::kAt) {
     if (AsMeasureRef(*e.left, cx, &mname) != nullptr) {
-      return BuildSubquery(mname, &e.at_modifiers, /*visible=*/false, cx);
+      // At row grain (ungrouped, non-aggregate query) VISIBLE restricts to
+      // the single source row behind the cell. A predicate over column
+      // values cannot tell duplicate rows apart, so that row-id set has no
+      // plain-SQL rendering. (Grouped and aggregate grains are fine: there
+      // the visible set is characterized by the group keys / the WHERE.)
+      if (!grouped && !cx.row_keys.empty()) {
+        for (const AtModifier& mod : e.at_modifiers) {
+          if (mod.kind == AtModifier::Kind::kVisible) {
+            return NotImpl("VISIBLE at row grain");
+          }
+        }
+      }
+      return BuildSubquery(mname, &e.at_modifiers, /*visible=*/false, at_keys,
+                           cx);
     }
     return NotImpl("AT over compound expressions");
   }
@@ -458,7 +581,7 @@ Result<ExprPtr> RewriteOuterExpr(const Expr& e, const ExpansionCtx& cx) {
   Status status = Status::Ok();
   auto rewrite = [&](ExprPtr& n) {
     if (n == nullptr || !status.ok()) return;
-    auto r = RewriteOuterExpr(*n, cx);
+    auto r = RewriteOuterExpr(*n, cx, /*top_level=*/false);
     if (!r.ok()) {
       status = r.status();
       return;
@@ -530,6 +653,74 @@ Result<std::string> ExpandMeasures(const SelectStmt& query,
     cx.group_keys.push_back(key);
   }
 
+  // Ungrouped queries: classify the grain (see RewriteOuterExpr).
+  bool aggregate_grain = false;
+  if (query.group_by.empty()) {
+    // Is any measure consumed through AGGREGATE(...)? Then the query
+    // collapses to a single row, like a plain aggregate query would.
+    std::function<bool(const Expr&)> has_aggregate = [&](const Expr& e) {
+      if (e.kind == ExprKind::kFuncCall &&
+          EqualsIgnoreCase(e.func_name, "AGGREGATE")) {
+        return true;
+      }
+      bool found = false;
+      auto visit = [&](const ExprPtr& c) {
+        if (c != nullptr && !found) found = has_aggregate(*c);
+      };
+      for (const auto& a : e.args) visit(a);
+      visit(e.filter);
+      visit(e.left);
+      visit(e.right);
+      visit(e.case_operand);
+      for (const auto& [w, t] : e.when_clauses) {
+        visit(w);
+        visit(t);
+      }
+      visit(e.else_expr);
+      for (const auto& i : e.in_list) visit(i);
+      visit(e.between_low);
+      visit(e.between_high);
+      return found;
+    };
+    for (const SelectItem& item : query.select_list) {
+      if (!item.is_star && item.expr != nullptr &&
+          has_aggregate(*item.expr)) {
+        aggregate_grain = true;
+      }
+    }
+
+    if (!aggregate_grain) {
+      // Result grain: the plain dimension columns surviving in the select
+      // list. Row grain: every dimension of the provider.
+      for (const SelectItem& item : query.select_list) {
+        if (item.is_star || item.expr == nullptr) continue;
+        if (item.expr->kind != ExprKind::kColumnRef) continue;
+        const std::string& name = item.expr->parts.back();
+        if (cx.provider->measures.count(ToLower(name)) > 0) continue;
+        if (!MapThroughDims(*item.expr, cx, cx.inner_alias).ok()) continue;
+        cx.result_keys.push_back(item.expr.get());
+      }
+      std::vector<std::string> dim_names;
+      if (provider.star_identity &&
+          provider.source_from->kind == TableRefKind::kBaseTable) {
+        const auto entry = catalog.Find(provider.source_from->table_name);
+        if (entry != nullptr && entry->table != nullptr) {
+          for (const Column& col : entry->table->schema().columns()) {
+            dim_names.push_back(col.name);
+          }
+        }
+      }
+      for (const auto& [name, expr] : provider.dims) {
+        (void)expr;
+        dim_names.push_back(name);
+      }
+      for (const std::string& name : dim_names) {
+        cx.key_storage.push_back(MakeColumnRef({name}));
+        cx.row_keys.push_back(cx.key_storage.back().get());
+      }
+    }
+  }
+
   auto rewritten = std::make_unique<SelectStmt>();
   rewritten->distinct = query.distinct;
 
@@ -541,9 +732,22 @@ Result<std::string> ExpandMeasures(const SelectStmt& query,
       return NotImpl("defining new measures while expanding");
     }
     SelectItem out;
-    MSQL_ASSIGN_OR_RETURN(out.expr, RewriteOuterExpr(*item.expr, cx));
+    MSQL_ASSIGN_OR_RETURN(out.expr,
+                          RewriteOuterExpr(*item.expr, cx, /*top_level=*/true));
     out.alias = item.alias;
     rewritten->select_list.push_back(std::move(out));
+  }
+
+  if (aggregate_grain) {
+    // Single-row query: every measure context already folds in the visible
+    // predicate, so the outer scan (and its WHERE) would only multiply the
+    // row out per source row. ORDER BY over one row is dropped.
+    if (query.having != nullptr) {
+      return NotImpl("HAVING without GROUP BY");
+    }
+    if (query.limit != nullptr) rewritten->limit = query.limit->Clone();
+    if (query.offset != nullptr) rewritten->offset = query.offset->Clone();
+    return rewritten->ToString();
   }
 
   rewritten->from = provider.source_from->Clone();
@@ -567,8 +771,9 @@ Result<std::string> ExpandMeasures(const SelectStmt& query,
     rewritten->group_by.push_back(std::move(gi));
   }
   if (query.having != nullptr) {
-    MSQL_ASSIGN_OR_RETURN(rewritten->having,
-                          RewriteOuterExpr(*query.having, cx));
+    MSQL_ASSIGN_OR_RETURN(
+        rewritten->having,
+        RewriteOuterExpr(*query.having, cx, /*top_level=*/false));
   }
   for (const OrderItem& o : query.order_by) {
     OrderItem oi;
@@ -585,10 +790,12 @@ Result<std::string> ExpandMeasures(const SelectStmt& query,
       if (is_alias) {
         oi.expr = o.expr->Clone();
       } else {
-        MSQL_ASSIGN_OR_RETURN(oi.expr, RewriteOuterExpr(*o.expr, cx));
+        MSQL_ASSIGN_OR_RETURN(
+            oi.expr, RewriteOuterExpr(*o.expr, cx, /*top_level=*/false));
       }
     } else {
-      MSQL_ASSIGN_OR_RETURN(oi.expr, RewriteOuterExpr(*o.expr, cx));
+      MSQL_ASSIGN_OR_RETURN(
+          oi.expr, RewriteOuterExpr(*o.expr, cx, /*top_level=*/false));
     }
     oi.desc = o.desc;
     oi.nulls_first = o.nulls_first;

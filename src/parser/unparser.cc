@@ -1,0 +1,254 @@
+#include "parser/unparser.h"
+
+#include <cmath>
+
+namespace msql {
+
+std::string Unparse(const Stmt& stmt) { return stmt.ToString(); }
+std::string Unparse(const SelectStmt& select) { return select.ToString(); }
+std::string Unparse(const Expr& expr) { return expr.ToString(); }
+
+namespace {
+
+bool LiteralEquals(const Value& a, const Value& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case TypeKind::kNull:
+      return true;
+    case TypeKind::kBool:
+      return a.bool_val() == b.bool_val();
+    case TypeKind::kInt64:
+      return a.int_val() == b.int_val();
+    case TypeKind::kDate:
+      return a.date_days() == b.date_days();
+    case TypeKind::kDouble:
+      return a.double_val() == b.double_val() ||
+             (std::isnan(a.double_val()) && std::isnan(b.double_val()));
+    case TypeKind::kString:
+      return a.str() == b.str();
+  }
+  return false;
+}
+
+bool SelectPtrEquals(const SelectStmtPtr& a, const SelectStmtPtr& b) {
+  if (!a || !b) return !a && !b;
+  return SelectEquals(*a, *b);
+}
+
+bool TableRefPtrEquals(const TableRefPtr& a, const TableRefPtr& b) {
+  if (!a || !b) return !a && !b;
+  return TableRefEquals(*a, *b);
+}
+
+bool ExprListEquals(const std::vector<ExprPtr>& a,
+                    const std::vector<ExprPtr>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!ExprEquals(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+bool AtModifierEquals(const AtModifier& a, const AtModifier& b) {
+  return a.kind == b.kind && ExprListEquals(a.dims, b.dims) &&
+         ExprEquals(a.set_dim, b.set_dim) && ExprEquals(a.value, b.value) &&
+         ExprEquals(a.predicate, b.predicate);
+}
+
+bool WindowSpecEquals(const std::unique_ptr<WindowSpec>& a,
+                      const std::unique_ptr<WindowSpec>& b) {
+  if (!a || !b) return !a && !b;
+  if (!ExprListEquals(a->partition_by, b->partition_by)) return false;
+  if (a->order_by.size() != b->order_by.size()) return false;
+  for (size_t i = 0; i < a->order_by.size(); ++i) {
+    if (a->order_by[i].second != b->order_by[i].second) return false;
+    if (!ExprEquals(a->order_by[i].first, b->order_by[i].first)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (!a || !b) return !a && !b;
+  return ExprEquals(*a, *b);
+}
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprKind::kLiteral:
+      return LiteralEquals(a.literal, b.literal);
+    case ExprKind::kColumnRef:
+      return a.parts == b.parts;
+    case ExprKind::kStar:
+      return a.star_table == b.star_table;
+    case ExprKind::kFuncCall:
+      return a.func_name == b.func_name && a.distinct == b.distinct &&
+             a.star_arg == b.star_arg && ExprListEquals(a.args, b.args) &&
+             ExprEquals(a.filter, b.filter) && WindowSpecEquals(a.over, b.over);
+    case ExprKind::kUnary:
+      return a.unary_op == b.unary_op && ExprEquals(a.left, b.left);
+    case ExprKind::kBinary:
+      return a.binary_op == b.binary_op && ExprEquals(a.left, b.left) &&
+             ExprEquals(a.right, b.right);
+    case ExprKind::kCase: {
+      if (!ExprEquals(a.case_operand, b.case_operand)) return false;
+      if (a.when_clauses.size() != b.when_clauses.size()) return false;
+      for (size_t i = 0; i < a.when_clauses.size(); ++i) {
+        if (!ExprEquals(a.when_clauses[i].first, b.when_clauses[i].first) ||
+            !ExprEquals(a.when_clauses[i].second, b.when_clauses[i].second)) {
+          return false;
+        }
+      }
+      return ExprEquals(a.else_expr, b.else_expr);
+    }
+    case ExprKind::kCast:
+      return a.cast_type == b.cast_type && ExprEquals(a.left, b.left);
+    case ExprKind::kIsNull:
+      return a.negated == b.negated && ExprEquals(a.left, b.left);
+    case ExprKind::kInList:
+      return a.negated == b.negated && ExprEquals(a.left, b.left) &&
+             ExprListEquals(a.in_list, b.in_list);
+    case ExprKind::kInSubquery:
+      return a.negated == b.negated && ExprEquals(a.left, b.left) &&
+             SelectPtrEquals(a.subquery, b.subquery);
+    case ExprKind::kBetween:
+      return a.negated == b.negated && ExprEquals(a.left, b.left) &&
+             ExprEquals(a.between_low, b.between_low) &&
+             ExprEquals(a.between_high, b.between_high);
+    case ExprKind::kLike:
+      return a.negated == b.negated && ExprEquals(a.left, b.left) &&
+             ExprEquals(a.right, b.right);
+    case ExprKind::kExists:
+      return a.negated == b.negated && SelectPtrEquals(a.subquery, b.subquery);
+    case ExprKind::kSubquery:
+      return SelectPtrEquals(a.subquery, b.subquery);
+    case ExprKind::kAt: {
+      if (!ExprEquals(a.left, b.left)) return false;
+      if (a.at_modifiers.size() != b.at_modifiers.size()) return false;
+      for (size_t i = 0; i < a.at_modifiers.size(); ++i) {
+        if (!AtModifierEquals(a.at_modifiers[i], b.at_modifiers[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ExprKind::kCurrent:
+      return a.current_dim == b.current_dim;
+  }
+  return false;
+}
+
+bool TableRefEquals(const TableRef& a, const TableRef& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case TableRefKind::kBaseTable:
+      return a.table_name == b.table_name && a.alias == b.alias;
+    case TableRefKind::kSubquery:
+      return a.alias == b.alias && SelectPtrEquals(a.subquery, b.subquery);
+    case TableRefKind::kJoin:
+      return a.join_type == b.join_type && TableRefPtrEquals(a.left, b.left) &&
+             TableRefPtrEquals(a.right, b.right) &&
+             ExprEquals(a.on_condition, b.on_condition) &&
+             a.using_cols == b.using_cols;
+  }
+  return false;
+}
+
+bool SelectEquals(const SelectStmt& a, const SelectStmt& b) {
+  if (a.ctes.size() != b.ctes.size()) return false;
+  for (size_t i = 0; i < a.ctes.size(); ++i) {
+    if (a.ctes[i].name != b.ctes[i].name ||
+        !SelectPtrEquals(a.ctes[i].select, b.ctes[i].select)) {
+      return false;
+    }
+  }
+  if (a.distinct != b.distinct) return false;
+  if (a.select_list.size() != b.select_list.size()) return false;
+  for (size_t i = 0; i < a.select_list.size(); ++i) {
+    const SelectItem& x = a.select_list[i];
+    const SelectItem& y = b.select_list[i];
+    if (x.alias != y.alias || x.is_measure != y.is_measure ||
+        x.is_star != y.is_star || x.star_table != y.star_table ||
+        !ExprEquals(x.expr, y.expr)) {
+      return false;
+    }
+  }
+  if (!TableRefPtrEquals(a.from, b.from)) return false;
+  if (!ExprEquals(a.where, b.where)) return false;
+  if (a.group_by.size() != b.group_by.size()) return false;
+  for (size_t i = 0; i < a.group_by.size(); ++i) {
+    const GroupItem& x = a.group_by[i];
+    const GroupItem& y = b.group_by[i];
+    if (x.kind != y.kind || !ExprEquals(x.expr, y.expr) ||
+        !ExprListEquals(x.exprs, y.exprs)) {
+      return false;
+    }
+    if (x.sets.size() != y.sets.size()) return false;
+    for (size_t j = 0; j < x.sets.size(); ++j) {
+      if (!ExprListEquals(x.sets[j], y.sets[j])) return false;
+    }
+  }
+  if (!ExprEquals(a.having, b.having)) return false;
+  if (a.order_by.size() != b.order_by.size()) return false;
+  for (size_t i = 0; i < a.order_by.size(); ++i) {
+    if (a.order_by[i].desc != b.order_by[i].desc ||
+        a.order_by[i].nulls_first != b.order_by[i].nulls_first ||
+        !ExprEquals(a.order_by[i].expr, b.order_by[i].expr)) {
+      return false;
+    }
+  }
+  if (!ExprEquals(a.limit, b.limit)) return false;
+  if (!ExprEquals(a.offset, b.offset)) return false;
+  if (a.set_op != b.set_op) return false;
+  return SelectPtrEquals(a.set_rhs, b.set_rhs);
+}
+
+bool StmtEquals(const Stmt& a, const Stmt& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case StmtKind::kSelect:
+      return SelectPtrEquals(a.select, b.select);
+    case StmtKind::kExplain:
+      return a.explain_analyze == b.explain_analyze &&
+             SelectPtrEquals(a.select, b.select);
+    case StmtKind::kCreateTable: {
+      if (a.name != b.name || a.if_not_exists != b.if_not_exists) return false;
+      if (a.columns.size() != b.columns.size()) return false;
+      for (size_t i = 0; i < a.columns.size(); ++i) {
+        if (a.columns[i].name != b.columns[i].name ||
+            a.columns[i].type_name != b.columns[i].type_name) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case StmtKind::kCreateView:
+      return a.name == b.name && a.or_replace == b.or_replace &&
+             SelectPtrEquals(a.view_select, b.view_select);
+    case StmtKind::kDrop:
+      return a.name == b.name && a.drop_is_view == b.drop_is_view &&
+             a.if_exists == b.if_exists;
+    case StmtKind::kDescribe:
+      return a.name == b.name;
+    case StmtKind::kCopy:
+      return a.name == b.name && a.copy_path == b.copy_path &&
+             a.copy_from == b.copy_from;
+    case StmtKind::kInsert: {
+      if (a.insert_table != b.insert_table ||
+          a.insert_columns != b.insert_columns) {
+        return false;
+      }
+      if (!SelectPtrEquals(a.insert_select, b.insert_select)) return false;
+      if (a.insert_rows.size() != b.insert_rows.size()) return false;
+      for (size_t i = 0; i < a.insert_rows.size(); ++i) {
+        if (!ExprListEquals(a.insert_rows[i], b.insert_rows[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace msql

@@ -1,0 +1,36 @@
+#ifndef MSQL_PARSER_UNPARSER_H_
+#define MSQL_PARSER_UNPARSER_H_
+
+#include <string>
+
+#include "parser/ast.h"
+
+namespace msql {
+
+// Statement unparser: renders an AST back to msql SQL text such that
+// re-parsing the output yields a structurally identical AST
+// (`StmtEquals(parse(Unparse(s)), s)`). This is the contract the testing
+// subsystem depends on: the delta-debugging shrinker (src/testing/shrinker)
+// mutates parsed statements and re-unparses them, and parser_fuzz_test
+// checks the unparse -> reparse -> AST-equality round-trip property.
+//
+// The rendering is the canonical one produced by the AST ToString methods
+// (fully parenthesized expressions, keywords upper-case); these entry
+// points name the round-trip guarantee and are the ones non-parser code
+// should call.
+std::string Unparse(const Stmt& stmt);
+std::string Unparse(const SelectStmt& select);
+std::string Unparse(const Expr& expr);
+
+// Deep structural AST equality. Literals compare strictly (same type kind
+// and same value; 1 and 1.0 are NOT equal), so a round-trip that changes a
+// literal's type is caught.
+bool ExprEquals(const Expr& a, const Expr& b);
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b);  // null-tolerant
+bool TableRefEquals(const TableRef& a, const TableRef& b);
+bool SelectEquals(const SelectStmt& a, const SelectStmt& b);
+bool StmtEquals(const Stmt& a, const Stmt& b);
+
+}  // namespace msql
+
+#endif  // MSQL_PARSER_UNPARSER_H_

@@ -1,0 +1,48 @@
+#ifndef MSQL_TESTING_COMPARE_H_
+#define MSQL_TESTING_COMPARE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "engine/result_set.h"
+
+namespace msql {
+namespace testing {
+
+// How result sets are compared across evaluation paths. The defaults encode
+// the oracle's normalization: row order is ignored (rows are sorted by the
+// engine's total order), NULLs compare with IS NOT DISTINCT FROM semantics,
+// and doubles tolerate a few ULPs of divergence (different strategies may
+// sum in different orders) plus a relative-epsilon backstop.
+struct CompareOptions {
+  bool ignore_row_order = true;
+  // Two doubles agree when within `double_ulps` units-in-the-last-place or
+  // within `double_rel_tol` relative error. NaN agrees with NaN, infinities
+  // must match exactly.
+  int double_ulps = 64;
+  double double_rel_tol = 1e-9;
+  // When set, an INT64 cell may agree with a DOUBLE cell of the same
+  // numeric value (the textual expansion can change a column's type).
+  bool allow_numeric_kind_mismatch = true;
+};
+
+// Cell-level agreement under the options above.
+bool ValuesAgree(const Value& a, const Value& b, const CompareOptions& opts);
+
+// Rows sorted by the engine's total order (Value::Compare, lexicographic),
+// the normalization applied before multiset comparison.
+std::vector<Row> NormalizedRows(const ResultSet& rs);
+
+// Full comparison: column counts, row counts, and normalized cell-by-cell
+// agreement. Returns std::nullopt when the results agree, else a
+// human-readable description of the first difference (row/column indexes
+// refer to the normalized order).
+std::optional<std::string> DiffResults(const ResultSet& a, const ResultSet& b,
+                                       const CompareOptions& opts = {});
+
+}  // namespace testing
+}  // namespace msql
+
+#endif  // MSQL_TESTING_COMPARE_H_

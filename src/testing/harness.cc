@@ -1,0 +1,101 @@
+#include "testing/harness.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace msql {
+namespace testing {
+
+SeedReport RunSeed(uint64_t seed, const HarnessOptions& options) {
+  SeedReport report;
+  report.seed = seed;
+
+  CaseSpec spec = GenerateCase(seed, options.generator);
+  report.outcome = RunCase(spec, options.oracle);
+  if (report.outcome.ok()) return report;
+
+  CaseSpec minimal = std::move(spec);
+  if (options.shrink_failures) {
+    // A candidate whose setup no longer runs is a different (uninteresting)
+    // failure, not a smaller instance of this one.
+    auto still_fails = [&](const CaseSpec& cand) {
+      CaseOutcome o = RunCase(cand, options.oracle);
+      return !o.ok() && !o.setup_failed;
+    };
+    minimal = Shrink(std::move(minimal), still_fails, options.shrink_budget,
+                     &report.shrink_stats);
+  }
+  report.repro_sql = minimal.ToSql();
+
+  if (!options.repro_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.repro_dir, ec);
+    std::filesystem::path path =
+        std::filesystem::path(options.repro_dir) /
+        StrCat("seed_", std::to_string(seed), ".sql");
+    std::ofstream out(path);
+    if (out) {
+      out << report.repro_sql;
+      report.repro_path = path.string();
+    }
+  }
+  return report;
+}
+
+RunSummary RunSeeds(uint64_t first_seed, int count,
+                    const HarnessOptions& options, std::ostream* progress) {
+  RunSummary summary;
+  for (int i = 0; i < count; ++i) {
+    const uint64_t seed = first_seed + static_cast<uint64_t>(i);
+    SeedReport report = RunSeed(seed, options);
+    ++summary.seeds_run;
+    summary.queries_run += report.outcome.queries_run;
+    summary.expansion_skips += report.outcome.expansion_skips;
+    if (!report.ok()) {
+      ++summary.seeds_failed;
+      if (progress != nullptr) {
+        *progress << "FAIL seed " << seed << " ("
+                  << report.outcome.failures.size() << " failure"
+                  << (report.outcome.failures.size() == 1 ? "" : "s");
+        if (!report.repro_path.empty()) {
+          *progress << ", repro: " << report.repro_path;
+        }
+        *progress << ")\n";
+        for (const CheckFailure& f : report.outcome.failures) {
+          *progress << "  [" << f.label << "] " << f.detail << "\n";
+        }
+      }
+      summary.failures.push_back(std::move(report));
+    } else if (progress != nullptr && (i + 1) % 50 == 0) {
+      *progress << ".. " << (i + 1) << "/" << count << " seeds, "
+                << summary.queries_run << " queries, "
+                << summary.seeds_failed << " failed\n";
+    }
+  }
+  return summary;
+}
+
+Result<CaseOutcome> ReplayScript(const std::string& text,
+                                 const OracleOptions& options) {
+  auto spec = ParseScript(text);
+  MSQL_RETURN_IF_ERROR(spec.status());
+  return RunCase(spec.value(), options);
+}
+
+Result<CaseOutcome> ReplayScriptFile(const std::string& path,
+                                     const OracleOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status(ErrorCode::kIo, StrCat("cannot open script: ", path));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReplayScript(buf.str(), options);
+}
+
+}  // namespace testing
+}  // namespace msql

@@ -1,0 +1,53 @@
+#ifndef MSQL_TESTING_ORACLE_H_
+#define MSQL_TESTING_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "testing/case_spec.h"
+#include "testing/compare.h"
+
+namespace msql {
+namespace testing {
+
+struct OracleOptions {
+  CompareOptions compare;
+  // Worker count for the parallel-grouped leg (>1, or the leg degenerates
+  // into the serial one).
+  int measure_workers = 4;
+  // Run the ExpandMeasures -> plain SQL leg (skipped automatically per
+  // query when the expander reports the shape unsupported).
+  bool include_expansion = true;
+};
+
+struct CheckFailure {
+  size_t check_index = 0;
+  std::string label;
+  std::string detail;
+};
+
+struct CaseOutcome {
+  int queries_run = 0;
+  int expansion_skips = 0;
+  // The case's DDL/DML itself failed (the run aborts). Distinguished so the
+  // shrinker never "minimizes" a real discrepancy into a broken setup.
+  bool setup_failed = false;
+  std::vector<CheckFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+// The four-way differential oracle. Every query of every check runs under
+// kNaive, kMemoized, kGrouped serial (measure_parallelism = 1), and
+// kGrouped parallel (measure_parallelism = measure_workers) — each on a
+// fresh engine so no cross-strategy cache can mask a divergence — plus the
+// section-4.2 textual expansion executed as plain SQL. All runs of a query
+// must agree: same success/error outcome (error codes must match), and on
+// success, normalized-equal results. kEqualPair / kTlp checks additionally
+// enforce their metamorphic relation on the default path's results.
+CaseOutcome RunCase(const CaseSpec& spec, const OracleOptions& options = {});
+
+}  // namespace testing
+}  // namespace msql
+
+#endif  // MSQL_TESTING_ORACLE_H_

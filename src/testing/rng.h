@@ -1,0 +1,58 @@
+#ifndef MSQL_TESTING_RNG_H_
+#define MSQL_TESTING_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msql {
+namespace testing {
+
+// Deterministic random source for the generative harness. Unlike the
+// <random> distributions (whose output is implementation-defined), every
+// derived draw here is specified in terms of the raw splitmix64 stream, so
+// the same seed yields the same schemas/data/queries on every platform and
+// standard library — the property `msqlcheck --seed=N` relies on.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    // splitmix64 (public-domain constants).
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Modulo bias is irrelevant for
+  // test-case generation.
+  int64_t Range(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int64_t>(Next() %
+                                     static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  // True with probability pct/100.
+  bool Chance(int pct) { return Range(0, 99) < pct; }
+
+  // Uniform pick from a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[static_cast<size_t>(Range(0, items.size() - 1))];
+  }
+
+  // Uniform pick from a braced list of string literals.
+  std::string PickStr(std::initializer_list<const char*> items) {
+    size_t i = static_cast<size_t>(Range(0, items.size() - 1));
+    return *(items.begin() + i);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace testing
+}  // namespace msql
+
+#endif  // MSQL_TESTING_RNG_H_

@@ -1,0 +1,367 @@
+#include "testing/shrinker.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "parser/parser.h"
+#include "parser/unparser.h"
+
+namespace msql {
+namespace testing {
+
+namespace {
+
+// Applies the `target`-th single-node mutation encountered during a fixed
+// pre-order traversal of a SELECT AST. Iterating target = 0, 1, 2, ...
+// until nothing applies enumerates every one-step simplification of the
+// statement.
+class Mutator {
+ public:
+  explicit Mutator(int target) : target_(target) {}
+  bool applied() const { return applied_; }
+
+  void MutateSelect(SelectStmt* s) {
+    if (s == nullptr || applied_) return;
+    if (s->where) {
+      if (Hit()) {
+        s->where.reset();
+        return;
+      }
+      if (s->where->kind == ExprKind::kBinary &&
+          (s->where->binary_op == BinaryOp::kAnd ||
+           s->where->binary_op == BinaryOp::kOr)) {
+        if (Hit()) {
+          s->where = std::move(s->where->left);
+          return;
+        }
+        if (Hit()) {
+          s->where = std::move(s->where->right);
+          return;
+        }
+      }
+    }
+    if (s->having && Hit()) {
+      s->having.reset();
+      return;
+    }
+    if (!s->order_by.empty() && Hit()) {
+      s->order_by.clear();
+      return;
+    }
+    if (s->limit && Hit()) {
+      s->limit.reset();
+      s->offset.reset();
+      return;
+    }
+    if (s->offset && Hit()) {
+      s->offset.reset();
+      return;
+    }
+    for (size_t i = 0; i < s->group_by.size(); ++i) {
+      if (Hit()) {
+        s->group_by.erase(s->group_by.begin() + i);
+        return;
+      }
+    }
+    if (s->select_list.size() > 1) {
+      for (size_t i = 0; i < s->select_list.size(); ++i) {
+        if (Hit()) {
+          s->select_list.erase(s->select_list.begin() + i);
+          return;
+        }
+      }
+    }
+    for (auto& item : s->select_list) {
+      MutateExpr(item.expr);
+      if (applied_) return;
+    }
+    MutateExpr(s->where);
+    if (applied_) return;
+    MutateExpr(s->having);
+    if (applied_) return;
+    MutateFrom(s->from.get());
+    if (applied_) return;
+    for (auto& cte : s->ctes) {
+      MutateSelect(cte.select.get());
+      if (applied_) return;
+    }
+    MutateSelect(s->set_rhs.get());
+  }
+
+ private:
+  bool Hit() {
+    if (applied_) return false;
+    if (counter_++ == target_) {
+      applied_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  void MutateFrom(TableRef* t) {
+    if (t == nullptr || applied_) return;
+    switch (t->kind) {
+      case TableRefKind::kBaseTable:
+        break;
+      case TableRefKind::kSubquery:
+        MutateSelect(t->subquery.get());
+        break;
+      case TableRefKind::kJoin:
+        MutateFrom(t->left.get());
+        if (applied_) return;
+        MutateFrom(t->right.get());
+        if (applied_) return;
+        MutateExpr(t->on_condition);
+        break;
+    }
+  }
+
+  void MutateExpr(ExprPtr& e) {
+    if (!e || applied_) return;
+    switch (e->kind) {
+      case ExprKind::kAt: {
+        if (Hit()) {
+          // Collapse `m AT (...)` to the bare measure.
+          e = std::move(e->left);
+          return;
+        }
+        if (e->at_modifiers.size() > 1) {
+          for (size_t i = 0; i < e->at_modifiers.size(); ++i) {
+            if (Hit()) {
+              e->at_modifiers.erase(e->at_modifiers.begin() + i);
+              return;
+            }
+          }
+        }
+        MutateExpr(e->left);
+        if (applied_) return;
+        for (auto& mod : e->at_modifiers) {
+          for (auto& d : mod.dims) {
+            MutateExpr(d);
+            if (applied_) return;
+          }
+          MutateExpr(mod.value);
+          if (applied_) return;
+          MutateExpr(mod.predicate);
+          if (applied_) return;
+        }
+        break;
+      }
+      case ExprKind::kBinary: {
+        if (Hit()) {
+          e = std::move(e->left);
+          return;
+        }
+        if (Hit()) {
+          e = std::move(e->right);
+          return;
+        }
+        MutateExpr(e->left);
+        if (applied_) return;
+        MutateExpr(e->right);
+        break;
+      }
+      case ExprKind::kUnary: {
+        if (Hit()) {
+          e = std::move(e->left);
+          return;
+        }
+        MutateExpr(e->left);
+        break;
+      }
+      case ExprKind::kFuncCall: {
+        if (e->args.size() == 1 && Hit()) {
+          // AGGREGATE(m) -> m, SUM(x) -> x, ... The predicate re-runs the
+          // oracle, so semantics-changing edits are kept only when the
+          // failure survives them.
+          e = std::move(e->args[0]);
+          return;
+        }
+        for (auto& a : e->args) {
+          MutateExpr(a);
+          if (applied_) return;
+        }
+        MutateExpr(e->filter);
+        break;
+      }
+      case ExprKind::kCase: {
+        MutateExpr(e->case_operand);
+        if (applied_) return;
+        for (auto& [w, t] : e->when_clauses) {
+          MutateExpr(w);
+          if (applied_) return;
+          MutateExpr(t);
+          if (applied_) return;
+        }
+        MutateExpr(e->else_expr);
+        break;
+      }
+      case ExprKind::kCast:
+      case ExprKind::kIsNull:
+      case ExprKind::kLike:
+      case ExprKind::kBetween: {
+        MutateExpr(e->left);
+        if (applied_) return;
+        MutateExpr(e->right);
+        if (applied_) return;
+        MutateExpr(e->between_low);
+        if (applied_) return;
+        MutateExpr(e->between_high);
+        break;
+      }
+      case ExprKind::kInList: {
+        MutateExpr(e->left);
+        if (applied_) return;
+        for (auto& i : e->in_list) {
+          MutateExpr(i);
+          if (applied_) return;
+        }
+        break;
+      }
+      case ExprKind::kInSubquery:
+      case ExprKind::kExists:
+      case ExprKind::kSubquery: {
+        MutateExpr(e->left);
+        if (applied_) return;
+        MutateSelect(e->subquery.get());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  int target_;
+  int counter_ = 0;
+  bool applied_ = false;
+};
+
+}  // namespace
+
+std::vector<std::string> QuerySimplifications(const std::string& sql) {
+  auto parsed = Parser::Parse(sql);
+  if (!parsed.ok() || parsed.value()->kind != StmtKind::kSelect) return {};
+  std::vector<std::string> out;
+  for (int target = 0; target < 512; ++target) {
+    SelectStmtPtr clone = parsed.value()->select->Clone();
+    Mutator mutator(target);
+    mutator.MutateSelect(clone.get());
+    if (!mutator.applied()) break;
+    out.push_back(Unparse(*clone));
+  }
+  return out;
+}
+
+CaseSpec Shrink(CaseSpec spec, const FailPredicate& still_fails,
+                int max_predicate_calls, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats* st = stats != nullptr ? stats : &local;
+  *st = ShrinkStats{};
+
+  auto budget_left = [&]() { return st->predicate_calls < max_predicate_calls; };
+  // Accepts the candidate if the failure still reproduces under it.
+  auto accept = [&](CaseSpec& cand) {
+    if (!budget_left()) return false;
+    ++st->predicate_calls;
+    if (!still_fails(cand)) return false;
+    ++st->accepted_edits;
+    spec = std::move(cand);
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && budget_left()) {
+    progress = false;
+
+    // Drop whole checks (keep at least one).
+    for (size_t i = spec.checks.size(); i-- > 0 && spec.checks.size() > 1;) {
+      CaseSpec cand = spec;
+      cand.checks.erase(cand.checks.begin() + i);
+      if (accept(cand)) progress = true;
+    }
+
+    // Drop queries inside differential checks.
+    for (size_t c = 0; c < spec.checks.size(); ++c) {
+      if (spec.checks[c].kind != CheckKind::kDifferential) continue;
+      for (size_t q = spec.checks[c].queries.size();
+           q-- > 0 && spec.checks[c].queries.size() > 1;) {
+        CaseSpec cand = spec;
+        cand.checks[c].queries.erase(cand.checks[c].queries.begin() + q);
+        if (accept(cand)) progress = true;
+      }
+    }
+
+    // Drop whole tables and setup statements.
+    for (size_t t = spec.tables.size(); t-- > 0;) {
+      CaseSpec cand = spec;
+      cand.tables.erase(cand.tables.begin() + t);
+      if (accept(cand)) progress = true;
+    }
+    for (size_t s = spec.setup.size(); s-- > 0;) {
+      CaseSpec cand = spec;
+      cand.setup.erase(cand.setup.begin() + s);
+      if (accept(cand)) progress = true;
+    }
+
+    // ddmin-style row-chunk removal, large chunks first.
+    for (size_t t = 0; t < spec.tables.size(); ++t) {
+      size_t chunk = std::max<size_t>(1, spec.tables[t].rows.size() / 2);
+      while (budget_left()) {
+        size_t start = 0;
+        while (start < spec.tables[t].rows.size() && budget_left()) {
+          CaseSpec cand = spec;
+          auto& rows = cand.tables[t].rows;
+          size_t end = std::min(rows.size(), start + chunk);
+          rows.erase(rows.begin() + start, rows.begin() + end);
+          if (accept(cand)) {
+            progress = true;  // same start now addresses the next chunk
+          } else {
+            start += chunk;
+          }
+        }
+        if (chunk == 1) break;
+        chunk /= 2;
+      }
+    }
+
+    // Drop columns (cells come along).
+    for (size_t t = 0; t < spec.tables.size(); ++t) {
+      for (size_t c = spec.tables[t].columns.size();
+           c-- > 0 && spec.tables[t].columns.size() > 1;) {
+        CaseSpec cand = spec;
+        cand.tables[t].columns.erase(cand.tables[t].columns.begin() + c);
+        for (auto& row : cand.tables[t].rows) {
+          if (c < row.size()) row.erase(row.begin() + c);
+        }
+        if (accept(cand)) progress = true;
+      }
+    }
+
+    // AST-level query simplification, re-unparsed; greedy to fixpoint per
+    // query.
+    for (size_t c = 0; c < spec.checks.size() && budget_left(); ++c) {
+      for (size_t q = 0; q < spec.checks[c].queries.size() && budget_left();
+           ++q) {
+        bool simplified = true;
+        while (simplified && budget_left()) {
+          simplified = false;
+          for (const std::string& cand_sql :
+               QuerySimplifications(spec.checks[c].queries[q])) {
+            CaseSpec cand = spec;
+            cand.checks[c].queries[q] = cand_sql;
+            if (accept(cand)) {
+              progress = true;
+              simplified = true;
+              break;
+            }
+            if (!budget_left()) break;
+          }
+        }
+      }
+    }
+  }
+  return spec;
+}
+
+}  // namespace testing
+}  // namespace msql

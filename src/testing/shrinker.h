@@ -1,0 +1,42 @@
+#ifndef MSQL_TESTING_SHRINKER_H_
+#define MSQL_TESTING_SHRINKER_H_
+
+#include <functional>
+
+#include "testing/case_spec.h"
+
+namespace msql {
+namespace testing {
+
+// Decides whether a mutated candidate still reproduces the failure being
+// minimized (typically: re-run the oracle and check it still reports a
+// discrepancy). The shrinker only keeps edits for which this returns true.
+using FailPredicate = std::function<bool(const CaseSpec&)>;
+
+struct ShrinkStats {
+  int predicate_calls = 0;
+  int accepted_edits = 0;
+};
+
+// Greedy delta-debugging minimizer. Repeatedly tries structural edits —
+// drop checks, drop queries, drop whole tables, drop setup statements,
+// ddmin-style row-chunk removal, drop columns, and AST-level query
+// simplifications (remove AT modifiers, WHERE/HAVING/ORDER BY/LIMIT,
+// GROUP BY items, select items, collapse binary expressions; re-unparsed
+// via src/parser/unparser) — keeping any edit after which `still_fails`
+// holds, until a fixpoint or `max_predicate_calls` evaluations.
+//
+// The input spec must satisfy `still_fails`; the result is a (usually much
+// smaller) spec that still does.
+CaseSpec Shrink(CaseSpec spec, const FailPredicate& still_fails,
+                int max_predicate_calls = 500, ShrinkStats* stats = nullptr);
+
+// The AST-level query simplification candidates for one SQL statement,
+// each re-rendered to text with the unparser. Exposed for the shrinker's
+// unit tests. Unparseable input yields an empty list.
+std::vector<std::string> QuerySimplifications(const std::string& sql);
+
+}  // namespace testing
+}  // namespace msql
+
+#endif  // MSQL_TESTING_SHRINKER_H_

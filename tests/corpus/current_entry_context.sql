@@ -1,0 +1,16 @@
+-- CURRENT resolves against the context the AT clause was entered with, not
+-- the partially-modified one: AT (ALL d SET d = CURRENT d) is the identity
+-- (paper section 3.5), and VISIBLE's row-set restriction survives a later
+-- ALL d. Both were found (and fixed) by msqlcheck seeds 49 and 8.
+CREATE TABLE t0 (d0 VARCHAR, d1 INTEGER, v0 INTEGER);
+INSERT INTO t0 VALUES ('A', 1, 10), ('A', 2, 20), ('B', 1, 30), ('B', 2, 40), (NULL, 1, 50);
+CREATE VIEW V0 AS SELECT *, SUM(v0) AS MEASURE m0 FROM t0;
+-- check: equal  (all-set-roundtrip)
+SELECT d0, m0 AS x FROM V0 GROUP BY d0;
+SELECT d0, m0 AT (ALL d0 SET d0 = CURRENT d0) AS x FROM V0 GROUP BY d0;
+-- check: differential  (current-after-all)
+SELECT d0, d1, m0 AT (ALL d1 SET d1 = CURRENT d1) AS back FROM V0 GROUP BY d0, d1;
+-- check: differential  (visible-survives-all)
+SELECT d0, m0 AT (VISIBLE ALL d0 d1) AS x FROM V0 WHERE d1 >= 1 GROUP BY d0;
+-- check: differential  (where-then-visible)
+SELECT d0, m0 AT (WHERE v0 > 15 VISIBLE) AS x FROM V0 WHERE d1 = 1 GROUP BY d0;

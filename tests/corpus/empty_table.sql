@@ -1,0 +1,14 @@
+-- Measures over an empty source: aggregates are NULL (COUNT is 0), the
+-- visible set is empty, and grouped queries produce zero rows — on every
+-- strategy and on the expansion leg alike.
+CREATE TABLE t0 (d0 VARCHAR, v0 INTEGER);
+CREATE VIEW V0 AS SELECT *, SUM(v0) AS MEASURE m0, COUNT(*) AS MEASURE cnt FROM t0;
+-- check: differential  (empty-grouped)
+SELECT d0, m0, cnt FROM V0 GROUP BY d0;
+-- check: differential  (empty-aggregate)
+SELECT AGGREGATE(m0) AS x0, AGGREGATE(cnt) AS x1 FROM V0;
+-- check: tlp COUNT  (tlp-over-empty)
+SELECT AGGREGATE(cnt) AS x FROM V0;
+SELECT AGGREGATE(cnt) AS x FROM V0 WHERE v0 > 0;
+SELECT AGGREGATE(cnt) AS x FROM V0 WHERE NOT (v0 > 0);
+SELECT AGGREGATE(cnt) AS x FROM V0 WHERE (v0 > 0) IS NULL;

@@ -1,0 +1,16 @@
+-- Extreme doubles: magnitudes near the representable limits, negative
+-- zero, and catastrophic-cancellation sums. Strategies may reassociate
+-- floating-point additions, so agreement here exercises the comparator's
+-- ULP tolerance rather than bitwise equality.
+CREATE TABLE t0 (d0 VARCHAR, v0 DOUBLE);
+INSERT INTO t0 VALUES ('A', 1e308), ('A', -1e308), ('A', 1.5), ('B', 1e-300), ('B', -0.0), ('B', 2.5e100), (NULL, -2.5e100);
+CREATE VIEW V0 AS SELECT *, SUM(v0) AS MEASURE s, AVG(v0) AS MEASURE a, MAX(v0) AS MEASURE mx FROM t0;
+-- check: differential  (extreme-grouped)
+SELECT d0, s, a, mx FROM V0 GROUP BY d0;
+-- check: differential  (extreme-global)
+SELECT AGGREGATE(s) AS x0, AGGREGATE(mx) AS x1 FROM V0;
+-- check: tlp SUM  (tlp-extremes)
+SELECT AGGREGATE(s) AS x FROM V0;
+SELECT AGGREGATE(s) AS x FROM V0 WHERE v0 > 0;
+SELECT AGGREGATE(s) AS x FROM V0 WHERE NOT (v0 > 0);
+SELECT AGGREGATE(s) AS x FROM V0 WHERE (v0 > 0) IS NULL;

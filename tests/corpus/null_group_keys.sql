@@ -1,0 +1,16 @@
+-- NULL dimension values group under IS NOT DISTINCT FROM semantics (paper
+-- footnote 1). Historically the textual expansion emitted `=` for context
+-- dimension terms, which silently dropped every NULL-keyed group's rows;
+-- this case pins the IS NOT DISTINCT FROM rendering.
+CREATE TABLE t0 (d0 VARCHAR, d1 INTEGER, v0 INTEGER);
+INSERT INTO t0 VALUES (NULL, 1, 10), (NULL, 2, 20), ('A', 1, 30), ('A', NULL, 40), (NULL, NULL, 50);
+CREATE VIEW V0 AS SELECT *, SUM(v0) AS MEASURE m0, COUNT(*) AS MEASURE cnt FROM t0;
+-- check: differential  (null-keyed-groups)
+SELECT d0, m0, cnt FROM V0 GROUP BY d0;
+-- check: differential  (null-key-share)
+SELECT d0, d1, m0, m0 AT (ALL d1) AS byd0 FROM V0 GROUP BY d0, d1;
+-- check: differential  (set-to-null-partner)
+SELECT d0, m0 AT (SET d1 = NULL) AS nullSlice FROM V0 GROUP BY d0;
+-- check: equal  (aggregate-equals-at-visible)
+SELECT d0, AGGREGATE(m0) AS x FROM V0 WHERE v0 > 15 GROUP BY d0;
+SELECT d0, m0 AT (VISIBLE) AS x FROM V0 WHERE v0 > 15 GROUP BY d0;

@@ -1,0 +1,21 @@
+-- The three ungrouped evaluation grains (established against the engine,
+-- documented in docs/TESTING.md): a top-level bare measure renders at the
+-- result's grain, a measure nested in an expression or carrying AT
+-- modifiers evaluates at row grain, and an ungrouped AGGREGATE collapses
+-- the query to a single aggregate-grain row.
+CREATE TABLE t0 (d0 VARCHAR, d1 INTEGER, v0 INTEGER);
+INSERT INTO t0 VALUES ('A', 1, 1), ('A', 2, 2), ('B', 1, 4), ('B', 2, 8);
+CREATE VIEW V0 AS SELECT *, SUM(v0) AS MEASURE m0 FROM t0;
+-- check: differential  (result-grain)
+SELECT d0, m0 FROM V0;
+-- check: differential  (row-grain-arith)
+SELECT d0, d1, m0 + 0 AS x FROM V0;
+-- check: differential  (row-grain-at)
+SELECT d0, m0 AT (ALL d1) AS x FROM V0 WHERE v0 > 1;
+-- check: differential  (aggregate-grain)
+SELECT AGGREGATE(m0) AS x FROM V0 WHERE d1 = 1;
+-- check: tlp SUM  (tlp-sum)
+SELECT AGGREGATE(m0) AS x FROM V0;
+SELECT AGGREGATE(m0) AS x FROM V0 WHERE d0 = 'A';
+SELECT AGGREGATE(m0) AS x FROM V0 WHERE NOT (d0 = 'A');
+SELECT AGGREGATE(m0) AS x FROM V0 WHERE (d0 = 'A') IS NULL;

@@ -1,0 +1,55 @@
+// Replays every checked-in corpus script (tests/corpus/*.sql) through the
+// msqlcheck oracle. The corpus is the regression memory of the fuzzing
+// subsystem: shrunk repros of discrepancies that were found and fixed, the
+// paper's running example, and hand-written adversarial shapes (NULL group
+// keys, empty tables, duplicate rows, extreme numerics). A failure here
+// means a previously-fixed divergence between evaluation strategies — or
+// between the engine and the textual expansion — has come back.
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "testing/harness.h"
+
+namespace msql {
+namespace testing {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> files;
+  std::filesystem::path dir =
+      std::filesystem::path(MSQL_TEST_SOURCE_DIR) / "corpus";
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".sql") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorpusReplayTest, CorpusIsPresent) {
+  // Guards against the directory silently going missing (say, a bad
+  // checkout path), which would make the replay test pass vacuously.
+  EXPECT_GE(CorpusFiles().size(), 5u);
+}
+
+TEST(CorpusReplayTest, EveryCorpusCasePassesTheOracle) {
+  for (const std::string& path : CorpusFiles()) {
+    auto outcome = ReplayScriptFile(path);
+    ASSERT_TRUE(outcome.ok())
+        << path << ": " << outcome.status().ToString();
+    EXPECT_GT(outcome.value().queries_run, 0) << path;
+    for (const auto& f : outcome.value().failures) {
+      ADD_FAILURE() << path << " [" << f.label << "] " << f.detail;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace msql

@@ -8,6 +8,7 @@
 #include "engine/engine.h"
 #include "gtest/gtest.h"
 #include "tests/paper_fixture.h"
+#include "tests/testing_matchers.h"
 
 namespace msql {
 namespace {
@@ -61,10 +62,7 @@ TEST_P(MeasurePropertyTest, AggregateEqualsPlainSum) {
     SELECT prodName, SUM(revenue) AS v FROM Orders GROUP BY prodName
     ORDER BY prodName
   )sql");
-  ASSERT_EQ(measured.num_rows(), plain.num_rows());
-  for (size_t i = 0; i < measured.num_rows(); ++i) {
-    EXPECT_TRUE(Value::NotDistinct(measured.Get(i, "v"), plain.Get(i, "v")));
-  }
+  EXPECT_TRUE(testing::ResultsAgree(measured, plain));
 }
 
 // Property 2: shares computed via AT (ALL dim) sum to 1.
@@ -85,8 +83,8 @@ TEST_P(MeasurePropertyTest, NoFilterMakesAllCallSitesAgree) {
     FROM EO GROUP BY prodName
   )sql");
   for (const Row& row : rs.rows()) {
-    EXPECT_TRUE(Value::NotDistinct(row[1], row[2]));
-    EXPECT_TRUE(Value::NotDistinct(row[1], row[3]));
+    EXPECT_TRUE(testing::CellsAgree(row[1], row[2]));
+    EXPECT_TRUE(testing::CellsAgree(row[1], row[3]));
   }
 }
 
@@ -115,14 +113,8 @@ TEST_P(MeasurePropertyTest, StrategiesAgree) {
   ResultSet naive = MustQuery(&db_, query);
   ASSERT_NE(naive.stats(), nullptr);
   EXPECT_EQ(naive.stats()->measure_cache_hits, 0u);
-  ASSERT_EQ(memoized.num_rows(), naive.num_rows());
-  ASSERT_EQ(memoized.num_rows(), grouped.num_rows());
-  for (size_t i = 0; i < memoized.num_rows(); ++i) {
-    for (size_t c = 0; c < memoized.num_columns(); ++c) {
-      EXPECT_TRUE(Value::NotDistinct(memoized.Get(i, c), naive.Get(i, c)));
-      EXPECT_TRUE(Value::NotDistinct(memoized.Get(i, c), grouped.Get(i, c)));
-    }
-  }
+  EXPECT_TRUE(testing::ResultsAgree(memoized, naive));
+  EXPECT_TRUE(testing::ResultsAgree(memoized, grouped));
 }
 
 // Property 4c: the three strategies agree on every context kind the
@@ -160,16 +152,8 @@ TEST_P(MeasurePropertyTest, ThreeStrategiesAgreeOnEveryContextKind) {
     ResultSet memoized = MustQuery(&db_, query);
     db_.options().measure_strategy = MeasureStrategy::kNaive;
     ResultSet naive = MustQuery(&db_, query);
-    ASSERT_EQ(grouped.num_rows(), naive.num_rows()) << query;
-    ASSERT_EQ(grouped.num_rows(), memoized.num_rows()) << query;
-    for (size_t i = 0; i < grouped.num_rows(); ++i) {
-      for (size_t c = 0; c < grouped.num_columns(); ++c) {
-        EXPECT_TRUE(Value::NotDistinct(grouped.Get(i, c), naive.Get(i, c)))
-            << query << " row " << i << " col " << c;
-        EXPECT_TRUE(Value::NotDistinct(grouped.Get(i, c), memoized.Get(i, c)))
-            << query << " row " << i << " col " << c;
-      }
-    }
+    EXPECT_TRUE(testing::ResultsAgree(grouped, naive)) << query;
+    EXPECT_TRUE(testing::ResultsAgree(grouped, memoized)) << query;
   }
 }
 
@@ -203,14 +187,8 @@ TEST_P(MeasurePropertyTest, ParallelGroupedAgreesAtScale) {
   solo.options().measure_strategy = MeasureStrategy::kNaive;
   ResultSet naive = MustQuery(&solo, query);
 
-  ASSERT_EQ(parallel.num_rows(), serial.num_rows());
-  ASSERT_EQ(parallel.num_rows(), naive.num_rows());
-  for (size_t i = 0; i < parallel.num_rows(); ++i) {
-    for (size_t c = 0; c < parallel.num_columns(); ++c) {
-      EXPECT_TRUE(Value::NotDistinct(parallel.Get(i, c), serial.Get(i, c)));
-      EXPECT_TRUE(Value::NotDistinct(parallel.Get(i, c), naive.Get(i, c)));
-    }
-  }
+  EXPECT_TRUE(testing::ResultsAgree(parallel, serial));
+  EXPECT_TRUE(testing::ResultsAgree(parallel, naive));
 }
 
 // Property 4b: the section 6.4 inline fast path never changes results.
@@ -225,12 +203,7 @@ TEST_P(MeasurePropertyTest, InlineFastpathAgrees) {
   ResultSet fast = MustQuery(&db_, query);
   db_.options().inline_visible_contexts = false;
   ResultSet slow = MustQuery(&db_, query);
-  ASSERT_EQ(fast.num_rows(), slow.num_rows());
-  for (size_t i = 0; i < fast.num_rows(); ++i) {
-    for (size_t c = 0; c < fast.num_columns(); ++c) {
-      EXPECT_TRUE(Value::NotDistinct(fast.Get(i, c), slow.Get(i, c)));
-    }
-  }
+  EXPECT_TRUE(testing::ResultsAgree(fast, slow));
   // Also under a join, where the visible set deduplicates fan-out.
   MustExecute(&db_, R"sql(
     CREATE TABLE Customers (custName VARCHAR, custAge INTEGER);
@@ -246,10 +219,7 @@ TEST_P(MeasurePropertyTest, InlineFastpathAgrees) {
   ResultSet jfast = MustQuery(&db_, join_query);
   db_.options().inline_visible_contexts = false;
   ResultSet jslow = MustQuery(&db_, join_query);
-  ASSERT_EQ(jfast.num_rows(), jslow.num_rows());
-  for (size_t i = 0; i < jfast.num_rows(); ++i) {
-    EXPECT_TRUE(Value::NotDistinct(jfast.Get(i, "a"), jslow.Get(i, "a")));
-  }
+  EXPECT_TRUE(testing::ResultsAgree(jfast, jslow));
 }
 
 // Property 5: the textual expansion produces identical results.
@@ -269,14 +239,9 @@ TEST_P(MeasurePropertyTest, ExpansionAgrees) {
     ASSERT_TRUE(expanded.ok()) << expanded.status().ToString();
     ResultSet native = MustQuery(&db_, q);
     ResultSet plain = MustQuery(&db_, expanded.value());
-    ASSERT_EQ(native.num_rows(), plain.num_rows()) << q;
-    for (size_t i = 0; i < native.num_rows(); ++i) {
-      for (size_t c = 0; c < native.num_columns(); ++c) {
-        EXPECT_TRUE(
-            Value::NotDistinct(native.Get(i, c), plain.Get(i, c)))
-            << q << " row " << i;
-      }
-    }
+    // The oracle's comparison, not strict NotDistinct: the rewrite may
+    // legitimately change an INT64 column to DOUBLE and reassociate sums.
+    EXPECT_TRUE(testing::ResultsAgree(native, plain)) << q;
   }
 }
 
@@ -303,14 +268,8 @@ TEST_P(MeasurePropertyTest, FourFormulationsAgree) {
     WHERE o.revenue > o.avgRevenue AT (WHERE prodName = o.prodName)
     ORDER BY prodName, orderDate, revenue
   )sql");
-  ASSERT_EQ(r1.num_rows(), r3.num_rows());
-  ASSERT_EQ(r1.num_rows(), r4.num_rows());
-  for (size_t i = 0; i < r1.num_rows(); ++i) {
-    for (size_t c = 0; c < 3; ++c) {
-      EXPECT_TRUE(Value::NotDistinct(r1.Get(i, c), r3.Get(i, c)));
-      EXPECT_TRUE(Value::NotDistinct(r1.Get(i, c), r4.Get(i, c)));
-    }
-  }
+  EXPECT_TRUE(testing::ResultsAgree(r1, r3));
+  EXPECT_TRUE(testing::ResultsAgree(r1, r4));
 }
 
 // Property 7: in a ROLLUP, the grand-total AGGREGATE equals the sum of the
@@ -338,7 +297,7 @@ TEST_P(MeasurePropertyTest, CountMeasureMatchesCountStar) {
     FROM EO WHERE revenue > 20 GROUP BY custName
   )sql");
   for (const Row& row : rs.rows()) {
-    EXPECT_TRUE(Value::NotDistinct(row[1], row[2]));
+    EXPECT_TRUE(testing::CellsAgree(row[1], row[2]));
   }
 }
 
@@ -350,7 +309,7 @@ TEST_P(MeasurePropertyTest, SetToCurrentIsIdentity) {
     FROM EO GROUP BY orderYear
   )sql");
   for (const Row& row : rs.rows()) {
-    EXPECT_TRUE(Value::NotDistinct(row[1], row[2]));
+    EXPECT_TRUE(testing::CellsAgree(row[1], row[2]));
   }
 }
 
@@ -363,7 +322,7 @@ TEST_P(MeasurePropertyTest, AllDimsEqualsAll) {
     FROM EO GROUP BY prodName, custName
   )sql");
   for (const Row& row : rs.rows()) {
-    EXPECT_TRUE(Value::NotDistinct(row[2], row[3]));
+    EXPECT_TRUE(testing::CellsAgree(row[2], row[3]));
   }
 }
 

@@ -8,6 +8,8 @@
 #include "engine/engine.h"
 #include "gtest/gtest.h"
 #include "parser/parser.h"
+#include "parser/unparser.h"
+#include "testing/generator.h"
 #include "tests/paper_fixture.h"
 
 namespace msql {
@@ -118,6 +120,42 @@ TEST_P(ParserFuzzTest, DeepNestingIsBounded) {
   auto deep = db.Query("SELECT " + at + " FROM EO GROUP BY prodName");
   // 100 chained ATs are legal and all collapse to ALL.
   EXPECT_TRUE(deep.ok()) << deep.status().ToString();
+}
+
+// The contract the shrinker depends on (src/parser/unparser.h): unparsing
+// a parsed statement and re-parsing the text yields a structurally
+// identical AST. Checked over the msqlcheck generator's query stream —
+// the exact statement population the shrinker mutates — plus every
+// generated setup statement (DDL, INSERT, CREATE VIEW ... MEASURE).
+TEST_P(ParserFuzzTest, UnparseReparseRoundTripsGeneratedStatements) {
+  const int seeds = IterBudget(40);
+  int statements = 0;
+  for (int s = 0; s < seeds; ++s) {
+    uint64_t seed = GetParam() * 1000u + static_cast<uint64_t>(s);
+    testing::CaseSpec spec = testing::GenerateCase(seed);
+    std::vector<std::string> all = spec.SetupStatements();
+    for (const auto& check : spec.checks) {
+      all.insert(all.end(), check.queries.begin(), check.queries.end());
+    }
+    for (const std::string& sql : all) {
+      auto first = Parser::Parse(sql);
+      ASSERT_TRUE(first.ok()) << sql << "\n" << first.status().ToString();
+      std::string rendered = Unparse(*first.value());
+      auto second = Parser::Parse(rendered);
+      ASSERT_TRUE(second.ok())
+          << "unparse produced unparseable text\n  original: " << sql
+          << "\n  rendered: " << rendered << "\n"
+          << second.status().ToString();
+      EXPECT_TRUE(StmtEquals(*first.value(), *second.value()))
+          << "round-trip changed the AST\n  original: " << sql
+          << "\n  rendered: " << rendered;
+      // And the rendering is a fixpoint: unparsing the reparsed AST gives
+      // the same text.
+      EXPECT_EQ(rendered, Unparse(*second.value()));
+      ++statements;
+    }
+  }
+  EXPECT_GT(statements, 100);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,

@@ -1,0 +1,41 @@
+// Shared gtest assertions over the testing subsystem's result comparison
+// (src/testing/compare): the same normalization the msqlcheck oracle uses —
+// row order ignored, NULLs compare IS NOT DISTINCT FROM, doubles tolerate a
+// few ULPs — packaged for unit and property tests so every suite agrees on
+// what "same result" means.
+
+#ifndef MSQL_TESTS_TESTING_MATCHERS_H_
+#define MSQL_TESTS_TESTING_MATCHERS_H_
+
+#include "engine/result_set.h"
+#include "gtest/gtest.h"
+#include "testing/compare.h"
+
+namespace msql {
+namespace testing {
+
+// Whole-result agreement: EXPECT_TRUE(ResultsAgree(a, b)). On failure the
+// message is the oracle's first-difference description.
+inline ::testing::AssertionResult ResultsAgree(const ResultSet& a,
+                                               const ResultSet& b,
+                                               const CompareOptions& opts = {}) {
+  if (auto diff = DiffResults(a, b, opts)) {
+    return ::testing::AssertionFailure() << *diff;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Cell-level agreement with the same numeric tolerance.
+inline ::testing::AssertionResult CellsAgree(const Value& a, const Value& b,
+                                             const CompareOptions& opts = {}) {
+  if (!ValuesAgree(a, b, opts)) {
+    return ::testing::AssertionFailure()
+           << a.ToString() << " vs " << b.ToString();
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace testing
+}  // namespace msql
+
+#endif  // MSQL_TESTS_TESTING_MATCHERS_H_

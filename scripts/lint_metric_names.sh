@@ -6,8 +6,9 @@
 #   - every name matches ^msql_[a-z][a-z0-9_]*$ (prometheus-safe, one
 #     namespace prefix, no camelCase)
 #   - counters end in _total
-#   - histograms end in a unit suffix: _ms, _bytes, _rows or _depth
-#   - gauges end in _active, _entries, _bytes, _ratio or _pending
+#   - histograms end in a unit suffix: _ms, _seconds, _bytes, _rows or
+#     _depth
+#   - gauges end in _active, _entries, _bytes, _ratio, _pending or _state
 #
 # Exits non-zero listing every violation. Run from the repository root.
 set -u
@@ -53,8 +54,8 @@ if [ "${#counters[@]}" -eq 0 ] || [ "${#gauges[@]}" -eq 0 ] ||
 fi
 
 check counter '_total$' "${counters[@]}"
-check gauge '(_active|_entries|_bytes|_ratio|_pending)$' "${gauges[@]}"
-check histogram '(_ms|_bytes|_rows|_depth)$' "${histograms[@]}"
+check gauge '(_active|_entries|_bytes|_ratio|_pending|_state)$' "${gauges[@]}"
+check histogram '(_ms|_seconds|_bytes|_rows|_depth)$' "${histograms[@]}"
 
 if [ "$fail" -ne 0 ]; then
   echo "lint_metric_names: FAILED"

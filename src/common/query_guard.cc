@@ -11,6 +11,7 @@ void QueryGuard::Arm(int64_t timeout_ms, uint64_t max_memory_bytes,
   ticks_ = 1;  // first Check() takes the slow path and seeds the cadence
   timeout_ms_ = timeout_ms;
   has_deadline_ = timeout_ms > 0;
+  propagated_deadline_ = false;
   if (has_deadline_) {
     deadline_ = std::chrono::steady_clock::now() +
                 std::chrono::milliseconds(timeout_ms);
@@ -39,7 +40,11 @@ Status QueryGuard::CheckSlow() {
                   "query cancelled by Engine::CancelAll");
   }
   if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
-    return Status(ErrorCode::kCancelled,
+    if (propagated_deadline_) {
+      return Status(ErrorCode::kDeadlineExceeded,
+                    "query deadline exceeded (deadline set at admission)");
+    }
+    return Status(ErrorCode::kDeadlineExceeded,
                   StrCat("query deadline exceeded (timeout_ms=", timeout_ms_,
                          ")"));
   }

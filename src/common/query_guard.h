@@ -57,6 +57,20 @@ class QueryGuard {
            uint64_t max_result_rows, CancelTokenPtr token,
            std::shared_ptr<std::atomic<uint64_t>> cancel_generation);
 
+  // Deadline propagation (docs/ROBUSTNESS.md): lowers the guard's absolute
+  // deadline to `deadline` if that is earlier than (or replaces a missing)
+  // per-statement timeout. The scheduler stamps a query's deadline at
+  // submission, so queue wait, measure expansion, grouped builds and
+  // execution all charge against one budget instead of restarting the
+  // clock at execution start. Call after Arm().
+  void TightenDeadline(std::chrono::steady_clock::time_point deadline) {
+    if (!has_deadline_ || deadline < deadline_) {
+      has_deadline_ = true;
+      deadline_ = deadline;
+      propagated_deadline_ = true;
+    }
+  }
+
   void Disarm() { armed_ = false; }
   bool armed() const { return armed_; }
 
@@ -132,6 +146,7 @@ class QueryGuard {
   bool armed_ = false;
   int32_t ticks_ = 1;
   bool has_deadline_ = false;
+  bool propagated_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
   int64_t timeout_ms_ = 0;
   uint64_t max_rows_ = 0;

@@ -28,6 +28,11 @@ struct QueryStats {
   uint64_t shared_cache_hits = 0;
   uint64_t shared_cache_misses = 0;
 
+  // Degradable operations skipped because a circuit breaker was open
+  // (runtime/circuit_breaker.h); EXPLAIN ANALYZE surfaces these as a
+  // "Breakers:" line.
+  uint64_t breaker_short_circuits = 0;
+
   // Resource-governor charges (common/query_guard.h).
   uint64_t rows_charged = 0;
   uint64_t bytes_charged = 0;

@@ -26,6 +26,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "cancelled";
     case ErrorCode::kResourceExhausted:
       return "resource exhausted";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "unknown error";
 }

@@ -18,8 +18,9 @@ enum class ErrorCode {
   kNotImplemented,
   kIo,              // CSV import/export failures
   kPermission,      // access denied (security model of paper section 5.5)
-  kCancelled,       // cooperative cancellation / deadline (query guard)
-  kResourceExhausted, // memory / row / recursion budget exceeded
+  kCancelled,       // cooperative cancellation (token / CancelAll)
+  kResourceExhausted, // memory / row / recursion budget, admission shed
+  kDeadlineExceeded,  // per-query deadline elapsed (queue wait + execution)
 };
 
 // Human-readable label for an error code ("parse error", ...).
@@ -39,6 +40,15 @@ class Status {
   bool ok() const { return code_ == ErrorCode::kOk; }
   ErrorCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  // Retry classification (docs/ROBUSTNESS.md): true for failures caused by
+  // transient pressure that a backoff may clear (admission sheds, rate
+  // limits, resource budgets under contention). Deterministic failures —
+  // parse/bind errors, cancellation, an elapsed deadline — are never
+  // retryable: retrying them burns capacity without changing the outcome.
+  bool IsRetryable() const {
+    return code_ == ErrorCode::kResourceExhausted;
+  }
 
   // "parse error: unexpected token ')'" or "OK".
   std::string ToString() const;

@@ -76,6 +76,9 @@ void Engine::InitObs() {
       "Generation invalidations of the cross-query shared cache");
   ins_.sessions_created = metrics_.GetCounter(
       "msql_sessions_created_total", "Sessions created over engine lifetime");
+  ins_.breaker_short_circuits = metrics_.GetCounter(
+      "msql_breaker_short_circuits_total",
+      "Degradable operations skipped because a circuit breaker was open");
   ins_.slow_queries = metrics_.GetCounter(
       "msql_slow_queries_total",
       "Traced queries at or above the slow-query threshold");
@@ -94,6 +97,23 @@ void Engine::InitObs() {
   ins_.query_duration_ms = metrics_.GetHistogram(
       "msql_query_duration_ms", "SELECT wall time",
       obs::MetricsRegistry::LatencyBucketsMs());
+
+  // Circuit breakers for the degradable fault points, mirrored into state
+  // gauges (0 = closed, 1 = open, 2 = half-open).
+  CircuitBreaker::Options bopts;
+  bopts.window = options_.breaker_window;
+  bopts.failure_ratio = options_.breaker_failure_ratio;
+  bopts.min_samples = options_.breaker_min_samples;
+  bopts.open_cooldown_ms = options_.breaker_open_cooldown_ms;
+  bopts.half_open_probes = options_.breaker_half_open_probes;
+  grouped_build_breaker_.Configure(bopts);
+  cache_fill_breaker_.Configure(bopts);
+  grouped_build_breaker_.set_state_gauge(metrics_.GetGauge(
+      "msql_circuit_grouped_build_state",
+      "Grouped-index build breaker state (0=closed, 1=open, 2=half-open)"));
+  cache_fill_breaker_.set_state_gauge(metrics_.GetGauge(
+      "msql_circuit_cache_fill_state",
+      "Shared-cache fill breaker state (0=closed, 1=open, 2=half-open)"));
 
   // Built-in sinks. The ring buffer always exists (RecentTraces() reports
   // empty until tracing is enabled); the slow-query log only when asked.
@@ -156,6 +176,13 @@ Result<ResultSet> Engine::QueryTraced(const std::string& sql,
   auto trace = std::make_shared<obs::QueryTrace>(
       next_query_id_.fetch_add(1, std::memory_order_relaxed), sql,
       ctx.session_id, ctx.user);
+  if (ctx.admission_wait_us > 0) {
+    // Bounded-wait admission happened before the enqueue; render it as the
+    // earliest negative-offset child of the root.
+    trace->AddCompletedSpan("admission-wait",
+                            -(ctx.admission_wait_us + ctx.queue_wait_us),
+                            ctx.admission_wait_us);
+  }
   if (ctx.queue_wait_us > 0) {
     // The wait happened before the trace clock started; render it as a
     // negative-offset child of the root.
@@ -192,6 +219,11 @@ Status Engine::ExecuteTraced(const std::string& sql, const QueryContext& ctx) {
   auto trace = std::make_shared<obs::QueryTrace>(
       next_query_id_.fetch_add(1, std::memory_order_relaxed), sql,
       ctx.session_id, ctx.user);
+  if (ctx.admission_wait_us > 0) {
+    trace->AddCompletedSpan("admission-wait",
+                            -(ctx.admission_wait_us + ctx.queue_wait_us),
+                            ctx.admission_wait_us);
+  }
   if (ctx.queue_wait_us > 0) {
     trace->set_queue_wait_us(ctx.queue_wait_us);
     trace->AddCompletedSpan("queue-wait", -ctx.queue_wait_us,
@@ -264,6 +296,7 @@ EngineStats Engine::stats() const {
   s.shared_cache_evictions = cache.evictions;
   s.shared_cache_entries = cache.entries;
   s.shared_cache_bytes = cache.bytes;
+  s.breaker_short_circuits = ins_.breaker_short_circuits->value();
   return s;
 }
 
@@ -311,6 +344,7 @@ void Engine::AccumulateStats(const ExecState& state) {
   ins_.subquery_cache_hits->Increment(state.subquery_cache_hits);
   ins_.shared_cache_hits->Increment(state.shared_cache_hits);
   ins_.shared_cache_misses->Increment(state.shared_cache_misses);
+  ins_.breaker_short_circuits->Increment(state.breaker_short_circuits);
 }
 
 ThreadPool* Engine::MeasurePool() {
@@ -354,6 +388,7 @@ Result<ResultSet> Engine::RunSelect(const SelectStmt& select,
   stats->subquery_cache_hits = state.subquery_cache_hits;
   stats->shared_cache_hits = state.shared_cache_hits;
   stats->shared_cache_misses = state.shared_cache_misses;
+  stats->breaker_short_circuits = state.breaker_short_circuits;
   stats->rows_charged = state.guard.rows_charged();
   stats->bytes_charged = state.guard.bytes_charged();
   stats->depth = state.depth;
@@ -406,9 +441,12 @@ Result<ResultSet> Engine::RunSelectImpl(const SelectStmt& select,
         ctx.options.measure_parallelism != 1) {
       state->measure_pool_provider = [this] { return MeasurePool(); };
     }
+    state->grouped_build_breaker = &grouped_build_breaker_;
+    state->cache_fill_breaker = &cache_fill_breaker_;
     state->guard.Arm(ctx.options.timeout_ms, ctx.options.max_memory_bytes,
                      ctx.options.max_result_rows, ctx.cancel,
                      cancel_generation_);
+    if (ctx.has_deadline) state->guard.TightenDeadline(ctx.deadline);
   }
 
   RelationPtr rel;
@@ -518,16 +556,21 @@ Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out,
       if (stmt.explain_analyze) {
         // EXPLAIN ANALYZE really runs the statement: the profile maps plan
         // nodes to observed rows/time/cache activity, and the summary is
-        // the query's own stats.
+        // the query's own stats. A statement that stops early — deadline,
+        // cancellation, shed — still explains: the bound plan is rendered
+        // with an Outcome: line instead of propagating the error, so the
+        // operator can see where the budget went. Parse/bind failures
+        // (no plan) still fail the EXPLAIN itself.
         obs::PlanProfile profile;
         PlanPtr plan;
-        MSQL_ASSIGN_OR_RETURN(
-            ResultSet rs, RunSelect(*stmt.select, ctx, &plan, &profile));
+        Result<ResultSet> rs = RunSelect(*stmt.select, ctx, &plan, &profile);
+        if (!rs.ok() && plan == nullptr) return rs.status();
         eopts.profile = &profile;
         text = obs::RenderPlanTree(*plan, eopts);
-        if (rs.stats() != nullptr) {
-          text += obs::RenderAnalyzeSummary(*rs.stats(), eopts);
+        if (rs.ok() && rs.value().stats() != nullptr) {
+          text += obs::RenderAnalyzeSummary(*rs.value().stats(), eopts);
         }
+        if (!rs.ok()) text += obs::RenderAnalyzeOutcome(rs.status());
       } else {
         Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth);
         MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*stmt.select));

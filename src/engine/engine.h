@@ -2,6 +2,7 @@
 #define MSQL_ENGINE_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -16,6 +17,7 @@
 #include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/circuit_breaker.h"
 #include "runtime/shared_cache.h"
 #include "runtime/thread_pool.h"
 
@@ -41,6 +43,16 @@ struct QueryContext {
   uint64_t session_id = 0;
   int64_t queue_wait_us = 0;
   obs::QueryTrace* trace = nullptr;
+
+  // Overload resilience (docs/ROBUSTNESS.md). `admission_wait_us` is how
+  // long the submission waited in bounded-wait admission (rate limit +
+  // pending slot), recorded as its own trace span. When `has_deadline` is
+  // set, the scheduler stamped an absolute deadline at submission;
+  // RunSelect tightens the query guard to it so queue wait, measure
+  // expansion and execution all charge one budget (kDeadlineExceeded).
+  int64_t admission_wait_us = 0;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 // Engine-wide execution statistics, aggregated atomically across every
@@ -65,6 +77,7 @@ struct EngineStats {
   uint64_t shared_cache_evictions = 0;
   uint64_t shared_cache_entries = 0;
   uint64_t shared_cache_bytes = 0;
+  uint64_t breaker_short_circuits = 0;
 };
 
 // The public entry point: an in-memory SQL engine implementing the msql
@@ -193,8 +206,18 @@ class Engine {
   // for sizing (set_max_bytes) and monitoring.
   SharedMeasureCache& shared_cache() { return shared_cache_; }
 
+  // Circuit breakers guarding the degradable fault points
+  // (docs/ROBUSTNESS.md): grouped-index builds and cross-query cache
+  // fills. Configured from EngineOptions breaker_* at construction;
+  // exposed for monitoring and tests. Their states are published as the
+  // msql_circuit_grouped_build_state / msql_circuit_cache_fill_state
+  // gauges (0 = closed, 1 = open, 2 = half-open).
+  CircuitBreaker& grouped_build_breaker() { return grouped_build_breaker_; }
+  CircuitBreaker& cache_fill_breaker() { return cache_fill_breaker_; }
+
  private:
   friend class Session;
+  friend class QueryScheduler;  // admission: cancel generation snapshots
 
   Status ExecuteStmt(const Stmt& stmt, ResultSet* out,
                      const QueryContext& ctx);
@@ -250,6 +273,8 @@ class Engine {
   EngineOptions options_;
   std::string user_;
   SharedMeasureCache shared_cache_;
+  CircuitBreaker grouped_build_breaker_;
+  CircuitBreaker cache_fill_breaker_;
 
   std::mutex measure_pool_mu_;
   std::unique_ptr<ThreadPool> measure_pool_;
@@ -276,6 +301,7 @@ class Engine {
     obs::Counter* shared_cache_evictions = nullptr;
     obs::Counter* shared_cache_invalidations = nullptr;
     obs::Counter* sessions_created = nullptr;
+    obs::Counter* breaker_short_circuits = nullptr;
     obs::Counter* slow_queries = nullptr;
     obs::Counter* obs_sink_errors = nullptr;
     obs::Gauge* sessions_active = nullptr;

@@ -13,6 +13,7 @@
 
 namespace msql {
 
+class CircuitBreaker;      // runtime/circuit_breaker.h
 class SharedMeasureCache;  // runtime/shared_cache.h
 class ThreadPool;          // runtime/thread_pool.h
 struct GroupedIndex;       // measure/grouped.h
@@ -46,8 +47,26 @@ struct EngineOptions {
   // limit drives every recursion guard: plan execution, measure evaluation
   // and view expansion all trip kResourceExhausted at this depth.
   int max_recursion_depth = 64;
-  // Wall-clock budget per statement; exceeding it returns kCancelled.
+  // Wall-clock budget per statement; exceeding it returns
+  // kDeadlineExceeded. Scheduler-submitted statements start this budget at
+  // admission (docs/CONCURRENCY.md), so queue wait counts against it.
   int64_t timeout_ms = 0;
+  // Admission rate limit for scheduler-submitted statements of one session
+  // (token bucket; docs/ROBUSTNESS.md). 0 = unlimited.
+  double admission_rate_limit_qps = 0.0;
+  int64_t admission_rate_limit_burst = 8;
+  // Circuit breakers guarding the degradable fault points (grouped-index
+  // builds, shared-cache fills); see runtime/circuit_breaker.h. Read at
+  // engine construction. A breaker opens when, of the last
+  // `breaker_window` outcomes (at least `breaker_min_samples` of them),
+  // the failing fraction reaches `breaker_failure_ratio`; it half-opens
+  // after `breaker_open_cooldown_ms` and closes again after
+  // `breaker_half_open_probes` consecutive successful probes.
+  int breaker_window = 16;
+  double breaker_failure_ratio = 0.5;
+  int breaker_min_samples = 8;
+  int64_t breaker_open_cooldown_ms = 100;
+  int breaker_half_open_probes = 2;
   // Approximate bytes of materialized relations; exceeding returns
   // kResourceExhausted.
   uint64_t max_memory_bytes = 0;
@@ -104,6 +123,14 @@ struct ExecState {
   SharedMeasureCache* shared_cache = nullptr;
   uint64_t catalog_generation = 0;
 
+  // Engine-owned circuit breakers for the degradable fault points (null =
+  // unguarded, e.g. worker forks and unit tests building ExecState by
+  // hand). Consulted before grouped-index builds / shared-cache fills;
+  // while open the optimization is skipped and breaker_short_circuits
+  // counts the skips (surfaced by EXPLAIN ANALYZE as breaker=open).
+  CircuitBreaker* grouped_build_breaker = nullptr;
+  CircuitBreaker* cache_fill_breaker = nullptr;
+
   // Per-query memo of structural plan fingerprints (cross-query cache key
   // components); keyed by node identity, which is stable within one query.
   std::unordered_map<const LogicalPlan*, std::string> plan_fingerprints;
@@ -127,6 +154,7 @@ struct ExecState {
   uint64_t subquery_cache_hits = 0;
   uint64_t shared_cache_hits = 0;    // cross-query cache hits (this query)
   uint64_t shared_cache_misses = 0;
+  uint64_t breaker_short_circuits = 0;  // ops skipped by an open breaker
 };
 
 }  // namespace msql

@@ -9,6 +9,7 @@
 #include "exec/agg_eval.h"
 #include "measure/cse.h"
 #include "measure/grouped.h"
+#include "runtime/circuit_breaker.h"
 #include "runtime/fingerprint.h"
 #include "runtime/shared_cache.h"
 
@@ -1001,8 +1002,7 @@ Result<Value> EvalSubqueryExpr(const BoundExpr& e, const RowStack& stack,
 
   auto publish = [&](const Value& v) -> Status {
     state->subquery_cache.emplace(cache_key, v);
-    if (!shared_key.empty()) {
-      MSQL_FAULT_POINT("runtime.shared_cache_fill");
+    if (!shared_key.empty() && AdmitSharedCacheFill(state)) {
       MSQL_RETURN_IF_ERROR(state->guard.ChargeBytes(
           SharedMeasureCache::ApproxEntryBytes(shared_key, v)));
       state->shared_cache->Insert(shared_key, v, state->catalog_generation);

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "exec/eval.h"
 #include "measure/cse.h"
+#include "runtime/circuit_breaker.h"
 #include "runtime/parallel.h"
 #include "runtime/shared_cache.h"
 #include "runtime/thread_pool.h"
@@ -175,13 +176,24 @@ Result<std::shared_ptr<const GroupedIndex>> GetOrBuildGroupedIndex(
     ++state->shared_cache_misses;
   }
 
-  // Degradable checkpoint: an injected fault here abandons the index (the
-  // fallback counter records it) and the caller scans instead — grouped
-  // evaluation is an optimization, so its build must never fail a query.
+  // Degradable checkpoint, guarded by the grouped-build circuit breaker: an
+  // injected fault here abandons the index (the fallback counter records
+  // it) and the caller scans instead — grouped evaluation is an
+  // optimization, so its build must never fail a query. While the breaker
+  // is open (builds failing persistently) the build is skipped outright,
+  // trading probe speed for not paying the failure on every query.
+  CircuitBreaker* breaker = state->grouped_build_breaker;
+  if (breaker != nullptr && !breaker->Allow()) {
+    ++state->measure_grouped_fallbacks;
+    ++state->breaker_short_circuits;
+    state->grouped_index_cache.emplace(local_key, nullptr);
+    return std::shared_ptr<const GroupedIndex>();
+  }
   if (FaultInjector::Instance().active()) {
     Status st =
         FaultInjector::Instance().Checkpoint("measure.grouped_index_build");
     if (!st.ok()) {
+      if (breaker != nullptr) breaker->RecordFailure();
       ++state->measure_grouped_fallbacks;
       state->grouped_index_cache.emplace(local_key, nullptr);
       return std::shared_ptr<const GroupedIndex>();
@@ -207,11 +219,11 @@ Result<std::shared_ptr<const GroupedIndex>> GetOrBuildGroupedIndex(
   }
   index->approx_bytes = ApproxIndexBytes(*index, n);
   ++state->measure_grouped_builds;
+  if (breaker != nullptr) breaker->RecordSuccess();
 
   std::shared_ptr<const GroupedIndex> result = std::move(index);
   state->grouped_index_cache.emplace(local_key, result);
-  if (!shared_key.empty()) {
-    MSQL_FAULT_POINT("runtime.shared_cache_fill");
+  if (!shared_key.empty() && AdmitSharedCacheFill(state)) {
     MSQL_RETURN_IF_ERROR(state->guard.ChargeBytes(result->approx_bytes));
     state->shared_cache->InsertObject(shared_key, result, result->approx_bytes,
                                       state->catalog_generation);

@@ -144,7 +144,36 @@ std::string RenderAnalyzeSummary(const QueryStats& stats,
                 " strategy=", StrategyNote(opts), "\n");
   out += StrCat("Subqueries: execs=", stats.subquery_execs,
                 " cache_hits=", stats.subquery_cache_hits, "\n");
+  if (stats.breaker_short_circuits > 0) {
+    out += StrCat("Breakers: short_circuits=", stats.breaker_short_circuits,
+                  " (breaker=open: degradable ops skipped)\n");
+  }
   return out;
+}
+
+namespace {
+
+// snake_case label for the Outcome: line, stable for tests/dashboards.
+const char* OutcomeLabel(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kResourceExhausted:
+      return "resource_exhausted";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    default:
+      return "error";
+  }
+}
+
+}  // namespace
+
+std::string RenderAnalyzeOutcome(const Status& status) {
+  return StrCat("Outcome: ", OutcomeLabel(status.code()), " (",
+                status.message(), ")\n");
 }
 
 }  // namespace msql::obs

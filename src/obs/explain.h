@@ -29,6 +29,11 @@ std::string RenderPlanTree(const LogicalPlan& plan,
 std::string RenderAnalyzeSummary(const QueryStats& stats,
                                  const ExplainOptions& opts);
 
+// Terminal-status line for an EXPLAIN ANALYZE whose statement did not
+// complete ("Outcome: deadline_exceeded (...)"): the plan tree is still
+// rendered, annotated with why execution stopped.
+std::string RenderAnalyzeOutcome(const Status& status);
+
 }  // namespace msql::obs
 
 #endif  // MSQL_OBS_EXPLAIN_H_

@@ -132,6 +132,11 @@ std::vector<double> MetricsRegistry::LatencyBucketsMs() {
           25,   50,  100,  250, 500,  1000, 2500, 10000};
 }
 
+std::vector<double> MetricsRegistry::LatencyBucketsSeconds() {
+  return {0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+          0.025,   0.05,   0.1,     0.25,   0.5,   1,      2.5,   10};
+}
+
 std::vector<double> MetricsRegistry::DepthBuckets() {
   return {0, 1, 2, 4, 8, 16, 32, 64, 128, 256};
 }

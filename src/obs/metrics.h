@@ -94,6 +94,9 @@ class MetricsRegistry {
 
   // Default latency buckets, in milliseconds (0.05ms .. 10s).
   static std::vector<double> LatencyBucketsMs();
+  // Wait-time buckets, in seconds (50us .. 10s) — for admission waits and
+  // other durations conventionally exported in seconds.
+  static std::vector<double> LatencyBucketsSeconds();
   // Default small-integer buckets for queue depths and similar.
   static std::vector<double> DepthBuckets();
 

@@ -1,0 +1,153 @@
+#include "runtime/circuit_breaker.h"
+
+#include <algorithm>
+
+#include "common/fault_injection.h"
+#include "exec/exec_state.h"
+#include "obs/metrics.h"
+
+namespace msql {
+
+void CircuitBreaker::Configure(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  options_.window = std::max(1, options_.window);
+  options_.min_samples = std::max(1, options_.min_samples);
+  options_.half_open_probes = std::max(1, options_.half_open_probes);
+  window_.assign(static_cast<size_t>(options_.window), false);
+  window_pos_ = 0;
+  window_count_ = 0;
+  window_failures_ = 0;
+  half_open_inflight_ = 0;
+  half_open_successes_ = 0;
+  opens_ = 0;
+  short_circuits_ = 0;
+  TransitionLocked(State::kClosed);
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      auto now = std::chrono::steady_clock::now();
+      if (now - opened_at_ <
+          std::chrono::milliseconds(options_.open_cooldown_ms)) {
+        ++short_circuits_;
+        return false;
+      }
+      TransitionLocked(State::kHalfOpen);
+      half_open_inflight_ = 1;  // this caller takes the first probe slot
+      return true;
+    }
+    case State::kHalfOpen:
+      if (half_open_inflight_ >= options_.half_open_probes) {
+        ++short_circuits_;
+        return false;
+      }
+      ++half_open_inflight_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    ++half_open_successes_;
+    if (half_open_successes_ >= options_.half_open_probes) {
+      // Recovered: close with a clean window so stale failures from the
+      // outage don't immediately re-open.
+      window_.assign(window_.size(), false);
+      window_pos_ = 0;
+      window_count_ = 0;
+      window_failures_ = 0;
+      TransitionLocked(State::kClosed);
+    }
+    return;
+  }
+  if (state_ != State::kClosed) return;
+  if (window_[static_cast<size_t>(window_pos_)]) --window_failures_;
+  window_[static_cast<size_t>(window_pos_)] = false;
+  window_pos_ = (window_pos_ + 1) % options_.window;
+  window_count_ = std::min(window_count_ + 1, options_.window);
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // Probe failed: the fault is still there, back to open and restart the
+    // cooldown.
+    ++opens_;
+    opened_at_ = std::chrono::steady_clock::now();
+    TransitionLocked(State::kOpen);
+    return;
+  }
+  if (state_ != State::kClosed) return;
+  if (!window_[static_cast<size_t>(window_pos_)]) ++window_failures_;
+  window_[static_cast<size_t>(window_pos_)] = true;
+  window_pos_ = (window_pos_ + 1) % options_.window;
+  window_count_ = std::min(window_count_ + 1, options_.window);
+  if (window_count_ >= options_.min_samples &&
+      static_cast<double>(window_failures_) >=
+          options_.failure_ratio * static_cast<double>(window_count_)) {
+    ++opens_;
+    opened_at_ = std::chrono::steady_clock::now();
+    TransitionLocked(State::kOpen);
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+int64_t CircuitBreaker::short_circuits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return short_circuits_;
+}
+
+void CircuitBreaker::set_state_gauge(obs::Gauge* gauge) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_gauge_ = gauge;
+  if (state_gauge_ != nullptr) {
+    state_gauge_->Set(static_cast<double>(static_cast<int>(state_)));
+  }
+}
+
+bool AdmitSharedCacheFill(ExecState* state) {
+  CircuitBreaker* breaker = state->cache_fill_breaker;
+  if (breaker != nullptr && !breaker->Allow()) {
+    ++state->breaker_short_circuits;
+    return false;
+  }
+  if (FaultInjector::Instance().active()) {
+    Status st =
+        FaultInjector::Instance().Checkpoint("runtime.shared_cache_fill");
+    if (!st.ok()) {
+      if (breaker != nullptr) breaker->RecordFailure();
+      return false;
+    }
+  }
+  if (breaker != nullptr) breaker->RecordSuccess();
+  return true;
+}
+
+void CircuitBreaker::TransitionLocked(State next) {
+  if (next == State::kHalfOpen) {
+    half_open_inflight_ = 0;
+    half_open_successes_ = 0;
+  }
+  state_ = next;
+  if (state_gauge_ != nullptr) {
+    state_gauge_->Set(static_cast<double>(static_cast<int>(next)));
+  }
+}
+
+}  // namespace msql

@@ -1,0 +1,104 @@
+#ifndef MSQL_RUNTIME_CIRCUIT_BREAKER_H_
+#define MSQL_RUNTIME_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace msql::obs {
+class Gauge;
+}  // namespace msql::obs
+
+namespace msql {
+
+// Generic circuit breaker guarding a degradable fault point (grouped-index
+// builds, shared-cache fills). The protected operation is an optimization:
+// when it fails, the query can fall back to an unoptimized path, but under
+// a persistent fault (memory pressure on every fill, a corrupted shared
+// index) paying the failure latency on every query is worse than skipping
+// the attempt outright. The breaker watches a rolling window of outcomes
+// and short-circuits callers while the failure rate is high.
+//
+// States (docs/ROBUSTNESS.md):
+//   kClosed   — normal operation; outcomes recorded into the window. Opens
+//               when the window holds >= min_samples outcomes and the
+//               failure ratio reaches failure_ratio.
+//   kOpen     — Allow() returns false (callers degrade immediately) until
+//               open_cooldown has elapsed, then transitions to half-open.
+//   kHalfOpen — admits up to half_open_probes trial calls; any failure
+//               reopens (cooldown restarts), half_open_probes consecutive
+//               successes close and clear the window.
+//
+// All methods are thread-safe (one small mutex; the protected operations
+// are orders of magnitude more expensive than the lock). The numeric state
+// values are published to an optional gauge for dashboards and tests.
+class CircuitBreaker {
+ public:
+  enum class State : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  struct Options {
+    int window = 16;            // rolling outcome window size
+    double failure_ratio = 0.5; // open when failures/window >= ratio
+    int min_samples = 8;        // don't open before this many outcomes
+    int64_t open_cooldown_ms = 100;
+    int half_open_probes = 2;   // consecutive successes needed to close
+  };
+
+  CircuitBreaker() { Configure(Options{}); }
+  explicit CircuitBreaker(const Options& options) { Configure(options); }
+
+  // Reconfigures and resets to closed with an empty window.
+  void Configure(const Options& options);
+
+  // True if the caller may attempt the protected operation. In the open
+  // state this flips to half-open (admitting a probe) once the cooldown
+  // has elapsed; in half-open it admits only while probe slots remain.
+  bool Allow();
+
+  // Outcome of an attempted (admitted) operation.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  // Number of closed->open (or half-open->open) transitions since
+  // Configure; the chaos test uses this to assert the breaker tripped.
+  int64_t opens() const;
+  // Calls short-circuited by Allow() returning false.
+  int64_t short_circuits() const;
+
+  // Optional gauge that mirrors the numeric state (0/1/2) on every
+  // transition. Not owned. Set once at engine construction.
+  void set_state_gauge(obs::Gauge* gauge);
+
+ private:
+  void TransitionLocked(State next);
+
+  mutable std::mutex mu_;
+  Options options_;
+  State state_ = State::kClosed;
+  std::vector<bool> window_;  // ring buffer of outcomes, true = failure
+  int window_pos_ = 0;
+  int window_count_ = 0;
+  int window_failures_ = 0;
+  int half_open_inflight_ = 0;
+  int half_open_successes_ = 0;
+  int64_t opens_ = 0;
+  int64_t short_circuits_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
+  obs::Gauge* state_gauge_ = nullptr;
+};
+
+struct ExecState;  // exec/exec_state.h
+
+// Gate shared by every cross-query cache fill site (measure values, grouped
+// indexes, subquery memos). Returns true if the fill should proceed. A
+// false return — breaker open, or an injected fault at the
+// `runtime.shared_cache_fill` checkpoint — means "skip the fill and move
+// on": the query still returns correct (uncached) results, so fill
+// failures degrade instead of failing statements.
+bool AdmitSharedCacheFill(ExecState* state);
+
+}  // namespace msql
+
+#endif  // MSQL_RUNTIME_CIRCUIT_BREAKER_H_

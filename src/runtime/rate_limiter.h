@@ -1,0 +1,59 @@
+#ifndef MSQL_RUNTIME_RATE_LIMITER_H_
+#define MSQL_RUNTIME_RATE_LIMITER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace msql {
+
+// Lock-free token-bucket rate limiter (GCRA formulation: the bucket is a
+// single "theoretical arrival time" timestamp, advanced by CAS, instead of
+// a token count plus a refill thread). Admission control consults one of
+// these per session and one global instance per scheduler; a query that
+// cannot acquire immediately learns how long until a token frees up and
+// waits out that hint against its deadline (docs/CONCURRENCY.md).
+//
+// rate_per_sec <= 0 disables the limiter (TryAcquire always admits), so
+// "no rate limit" costs one predictable branch.
+class RateLimiter {
+ public:
+  RateLimiter() = default;
+  RateLimiter(double rate_per_sec, int64_t burst) {
+    Configure(rate_per_sec, burst);
+  }
+
+  // (Re)configures the limiter with a full bucket. Not safe to call
+  // concurrently with TryAcquire; the engine configures limiters at
+  // session / scheduler construction.
+  void Configure(double rate_per_sec, int64_t burst);
+
+  // Attempts to take one token. Returns 0 on success, otherwise the number
+  // of microseconds until a token will be available (callers sleep or
+  // bounded-wait on that hint and try again).
+  int64_t TryAcquire();
+
+  bool enabled() const { return interval_us_ > 0; }
+  double rate_per_sec() const { return rate_per_sec_; }
+  int64_t burst() const { return burst_; }
+
+ private:
+  int64_t NowUs() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  double rate_per_sec_ = 0.0;
+  int64_t burst_ = 0;
+  int64_t interval_us_ = 0;  // microseconds per token; 0 = unlimited
+  int64_t tau_us_ = 0;       // burst allowance: (burst - 1) * interval
+  std::chrono::steady_clock::time_point epoch_{
+      std::chrono::steady_clock::now()};
+  // GCRA theoretical arrival time, microseconds since epoch_.
+  std::atomic<int64_t> tat_us_{0};
+};
+
+}  // namespace msql
+
+#endif  // MSQL_RUNTIME_RATE_LIMITER_H_

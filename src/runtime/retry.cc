@@ -1,0 +1,37 @@
+#include "runtime/retry.h"
+
+#include <algorithm>
+
+namespace msql {
+namespace {
+
+// splitmix64: tiny, high-quality 64-bit mixer; good enough to decorrelate
+// jitter across (seed, attempt) pairs and fully deterministic.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int64_t RetryBackoffUs(const RetryPolicy& policy, int attempt) {
+  if (policy.initial_backoff_ms <= 0) return 0;
+  double backoff_ms = static_cast<double>(policy.initial_backoff_ms);
+  for (int i = 0; i < attempt; ++i) {
+    backoff_ms *= policy.multiplier;
+    if (backoff_ms >= static_cast<double>(policy.max_backoff_ms)) break;
+  }
+  backoff_ms =
+      std::min(backoff_ms, static_cast<double>(policy.max_backoff_ms));
+  uint64_t mixed =
+      SplitMix64(policy.jitter_seed ^ (0xa5a5a5a5ULL + uint64_t(attempt)));
+  // Jitter factor in [0.5, 1.0): full-jitter halves the floor so synced
+  // retriers spread out, while the deterministic seed keeps tests exact.
+  double jitter = 0.5 + 0.5 * (static_cast<double>(mixed >> 11) /
+                               static_cast<double>(1ULL << 53));
+  return static_cast<int64_t>(backoff_ms * jitter * 1000.0);
+}
+
+}  // namespace msql

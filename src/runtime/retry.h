@@ -1,0 +1,34 @@
+#ifndef MSQL_RUNTIME_RETRY_H_
+#define MSQL_RUNTIME_RETRY_H_
+
+#include <cstdint>
+
+namespace msql {
+
+// Retry policy for overload-shed queries (docs/ROBUSTNESS.md). Only
+// statuses with Status::IsRetryable() — transient pressure, i.e.
+// kResourceExhausted from admission sheds and rate limits — are retried;
+// deterministic failures and cancellations surface immediately.
+//
+// Backoff is capped exponential with deterministic jitter: attempt k
+// (0-based) sleeps initial_backoff_ms * multiplier^k, capped at
+// max_backoff_ms, then scaled by a jitter factor in [0.5, 1.0) derived
+// from splitmix64(jitter_seed ^ k). Seeded jitter keeps chaos tests and
+// benchmarks reproducible while still decorrelating real concurrent
+// retriers (each session seeds with its own id).
+struct RetryPolicy {
+  int max_attempts = 3;  // total tries, including the first
+  int64_t initial_backoff_ms = 2;
+  int64_t max_backoff_ms = 100;
+  double multiplier = 2.0;
+  uint64_t jitter_seed = 0;
+};
+
+// Microseconds to sleep before retry `attempt` (0-based: the sleep between
+// try attempt and try attempt+1). Deterministic for a given (policy,
+// attempt) pair.
+int64_t RetryBackoffUs(const RetryPolicy& policy, int attempt);
+
+}  // namespace msql
+
+#endif  // MSQL_RUNTIME_RETRY_H_

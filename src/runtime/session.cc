@@ -6,12 +6,15 @@ namespace msql {
 
 Session::~Session() { engine_->NoteSessionDestroyed(); }
 
-QueryContext Session::MakeContext(CancelTokenPtr* token_out) {
+CancelTokenPtr Session::AcquireToken() {
   auto token = std::make_shared<CancelToken>();
-  {
-    std::lock_guard<std::mutex> lock(tokens_mu_);
-    active_tokens_.push_back(token);
-  }
+  std::lock_guard<std::mutex> lock(tokens_mu_);
+  active_tokens_.push_back(token);
+  return token;
+}
+
+QueryContext Session::MakeContext(CancelTokenPtr* token_out) {
+  CancelTokenPtr token = AcquireToken();
   *token_out = token;
   QueryContext ctx;
   ctx.options = options_;
@@ -37,12 +40,18 @@ Result<ResultSet> Session::Query(const std::string& sql) {
 }
 
 Result<ResultSet> Session::QueryScheduled(const std::string& sql,
-                                          int64_t queue_wait_us) {
-  CancelTokenPtr token;
-  QueryContext ctx = MakeContext(&token);
-  ctx.queue_wait_us = queue_wait_us;
+                                          const ScheduledRun& run) {
+  QueryContext ctx;
+  ctx.options = options_;
+  ctx.user = user_;
+  ctx.cancel = run.token;  // registered by the scheduler at submission
+  ctx.session_id = id_;
+  ctx.queue_wait_us = run.queue_wait_us;
+  ctx.admission_wait_us = run.admission_wait_us;
+  ctx.has_deadline = run.has_deadline;
+  ctx.deadline = run.deadline;
   Result<ResultSet> result = engine_->QueryWith(sql, ctx);
-  ReleaseToken(token);
+  ReleaseToken(run.token);
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define MSQL_RUNTIME_SESSION_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -9,8 +10,21 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "runtime/rate_limiter.h"
 
 namespace msql {
+
+// Everything the scheduler hands a session about one admitted statement:
+// how long admission and queueing took (for the trace), the cancel token it
+// registered at submission, and the absolute deadline stamped when the
+// statement was submitted (docs/CONCURRENCY.md).
+struct ScheduledRun {
+  int64_t queue_wait_us = 0;      // worker-pickup latency after admission
+  int64_t admission_wait_us = 0;  // bounded-wait admission latency
+  CancelTokenPtr token;           // registered with the session at submit
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+};
 
 // One client's connection to an Engine: an options snapshot, a user, and a
 // cancellation scope. Created with Engine::CreateSession(). Many sessions
@@ -20,7 +34,10 @@ namespace msql {
 //
 // `options()` / `SetUser` configure this session only, and — like their
 // engine-level counterparts — must not be called while this session has a
-// query in flight.
+// query in flight. The admission rate limit
+// (EngineOptions::admission_rate_limit_qps) is the exception: it is
+// snapshotted into the session's token bucket at CreateSession, so set it
+// on the engine's options before creating the session.
 class Session {
  public:
   // Session lifetime is tracked by the engine (msql_sessions_active).
@@ -33,7 +50,9 @@ class Session {
   Status Execute(const std::string& sql);
 
   // Cancels every statement currently executing on this session (from any
-  // thread). Statements started after the call are unaffected.
+  // thread) — including statements still waiting in scheduler admission,
+  // which unwind with kCancelled without executing. Statements started
+  // after the call are unaffected.
   void Cancel();
 
   EngineOptions& options() { return options_; }
@@ -54,23 +73,34 @@ class Session {
       : engine_(engine),
         id_(id),
         options_(std::move(options)),
-        user_(std::move(user)) {}
+        user_(std::move(user)) {
+    rate_limiter_.Configure(options_.admission_rate_limit_qps,
+                            options_.admission_rate_limit_burst);
+  }
 
   // Builds the per-query context with a fresh cancel token, registered so
   // Cancel() can reach it.
   QueryContext MakeContext(CancelTokenPtr* token_out);
+
+  // Creates and registers a token without building a context yet: the
+  // scheduler acquires the token at submission time so Cancel() reaches
+  // statements still waiting for admission.
+  CancelTokenPtr AcquireToken();
   void ReleaseToken(const CancelTokenPtr& token);
 
-  // Query() as dispatched by QueryScheduler, which measured how long the
-  // statement sat in the admission queue; the wait lands in the query's
-  // trace as a queue-wait span.
+  // Query() as dispatched by QueryScheduler: runs under the already
+  // registered token and carries the admission/queue waits (traced as
+  // spans) and the submission-time deadline into the query context.
   Result<ResultSet> QueryScheduled(const std::string& sql,
-                                   int64_t queue_wait_us);
+                                   const ScheduledRun& run);
 
   Engine* engine_;
   uint64_t id_;
   EngineOptions options_;
   std::string user_;
+
+  // Admission token bucket; disabled unless admission_rate_limit_qps > 0.
+  RateLimiter rate_limiter_;
 
   std::mutex tokens_mu_;
   std::vector<CancelTokenPtr> active_tokens_;

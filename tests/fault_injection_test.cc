@@ -13,6 +13,8 @@
 #include "common/fault_injection.h"
 #include "engine/engine.h"
 #include "gtest/gtest.h"
+#include "runtime/retry.h"
+#include "runtime/scheduler.h"
 
 namespace msql {
 namespace {
@@ -119,13 +121,15 @@ TEST_F(FaultInjectionTest, SweepFailsCleanlyAtEveryCheckpoint) {
         ++injected;
       }
     }
-    if (fired_site == "measure.grouped_index_build") {
-      // Grouped-index build faults degrade to the per-context scan path:
-      // the query must succeed and only the fallback counter records the
-      // fault (see GroupedIndexBuildFaultDegradesToScan).
+    if (fired_site == "measure.grouped_index_build" ||
+        fired_site == "runtime.shared_cache_fill") {
+      // Degradable checkpoints: a grouped-index build fault falls back to
+      // the per-context scan path, and a shared-cache fill fault skips the
+      // fill (the query still returns correct, uncached results). Neither
+      // may leak into a query Status.
       EXPECT_EQ(injected, 0)
           << "checkpoint " << i << " ('" << fired_site
-          << "'): a grouped-index build fault leaked into a query Status";
+          << "'): a degradable fault leaked into a query Status";
     } else {
       EXPECT_EQ(injected, 1)
           << "checkpoint " << i << " ('" << fired_site
@@ -217,6 +221,13 @@ TEST_F(FaultInjectionTest, ObsSweepDegradesGracefully) {
       EXPECT_GE(result.sink_errors, 1u)
           << "checkpoint " << i << " ('" << fired_site
           << "'): sink failure was not counted";
+    } else if (fired_site == "measure.grouped_index_build" ||
+               fired_site == "runtime.shared_cache_fill") {
+      // Degradable runtime checkpoints: the query proceeds on the
+      // unoptimized path instead of failing.
+      EXPECT_EQ(injected, 0)
+          << "checkpoint " << i << " ('" << fired_site
+          << "'): a degradable fault leaked into a query Status";
     } else {
       EXPECT_EQ(injected, 1)
           << "checkpoint " << i << " ('" << fired_site
@@ -287,6 +298,78 @@ TEST_F(FaultInjectionTest, GroupedIndexBuildFaultDegradesToScan) {
   }
   EXPECT_TRUE(exercised)
       << "the workload never crossed measure.grouped_index_build";
+}
+
+TEST_F(FaultInjectionTest, AdmissionAndRetrySweep) {
+  // The runtime fault points (runtime.admission_wait at the head of
+  // Submit, runtime.retry_backoff before each retry sleep) are crossed
+  // deterministically through the scheduler, and each fires cleanly.
+  auto& fi = FaultInjector::Instance();
+  Engine db;
+  ASSERT_TRUE(db.ImportCsv("Orders", csv_path_).ok());
+
+  SchedulerOptions opts;
+  opts.num_threads = 1;
+  opts.max_pending = 0;            // every submission is shed...
+  opts.max_admission_wait_ms = 0;  // ...immediately (instant reject)
+  QueryScheduler scheduler(opts);
+  SessionPtr session = db.CreateSession();
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 1;
+
+  // Count-only pass: 3 attempts cross runtime.admission_wait, the 2
+  // retries cross runtime.retry_backoff; nothing executes.
+  fi.ArmAt(0);
+  {
+    Result<ResultSet> r =
+        scheduler.SubmitWithRetry(session, "SELECT COUNT(*) FROM Orders",
+                                  policy);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kResourceExhausted);
+  }
+  EXPECT_EQ(fi.hits(), 5);
+  fi.Reset();
+
+  // Fire at admission: the submission fails with the injected fault before
+  // any waiting, and the rejection is not retried (kExecution is not
+  // retryable).
+  fi.ArmSite("runtime.admission_wait", 1);
+  {
+    auto f = scheduler.Submit(session, "SELECT COUNT(*) FROM Orders");
+    ASSERT_FALSE(f.ok());
+    EXPECT_NE(f.status().message().find("injected fault"), std::string::npos)
+        << f.status().ToString();
+    EXPECT_EQ(fi.fired_site(), "runtime.admission_wait");
+    EXPECT_EQ(fi.fire_count(), 1);
+  }
+  fi.Reset();
+
+  // Fire at the retry backoff: the first shed is retryable, the backoff
+  // checkpoint fires, and the retry loop unwinds with the injected fault.
+  fi.ArmSite("runtime.retry_backoff", 1);
+  {
+    Result<ResultSet> r =
+        scheduler.SubmitWithRetry(session, "SELECT COUNT(*) FROM Orders",
+                                  policy);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("injected fault"), std::string::npos)
+        << r.status().ToString();
+    EXPECT_EQ(fi.fired_site(), "runtime.retry_backoff");
+    EXPECT_EQ(fi.fire_count(), 1);
+  }
+  fi.Reset();
+
+  // Disarmed again, the same scheduler still sheds cleanly and a fresh
+  // permissive scheduler executes the probe.
+  EXPECT_FALSE(scheduler.Submit(session, "SELECT 1").ok());
+  QueryScheduler ok_sched;
+  auto f = ok_sched.Submit(session, "SELECT COUNT(*) FROM Orders");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  auto probe = f.take().get();
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(probe.value().Get(0, 0).int_val(), 5);
 }
 
 TEST_F(FaultInjectionTest, EngineSurvivesMidWorkloadFault) {

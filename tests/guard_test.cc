@@ -31,11 +31,11 @@ TEST(GuardTest, TimeoutTripsOnCrossJoin) {
   db.options().timeout_ms = 20;
   LoadInts(&db, 2000, 2000);
   // 2000 x 2000 x 2000 = 8e9 combined rows: never finishes in 20ms; the
-  // deadline poll must unwind it with kCancelled.
+  // deadline poll must unwind it with kDeadlineExceeded.
   auto r = db.Query(
       "SELECT COUNT(*) FROM T a, T b, T c WHERE a.v + b.v + c.v < 0");
   ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), ErrorCode::kCancelled);
+  EXPECT_EQ(r.status().code(), ErrorCode::kDeadlineExceeded);
   EXPECT_NE(r.status().message().find("deadline"), std::string::npos)
       << r.status().ToString();
 }

@@ -1,0 +1,302 @@
+// Overload chaos test (stress label): several sessions sustain an
+// over-capacity submission stream while the fault injector fails every
+// grouped-index build, with deadlines and cancellation mixed in. The
+// system must not deadlock, must resolve every submission (no lost
+// completions), every terminal status must be one of the documented
+// admission/execution codes, and the grouped-build circuit breaker must
+// open under the fault burst and recover (half-open probes -> closed)
+// once the fault clears (docs/ROBUSTNESS.md).
+//
+// Determinism: the fault fires on a fixed named site with a fixed budget,
+// retry jitter is seeded, and every assertion is about invariants
+// (status sets, conservation of completions, breaker state transitions),
+// not about timing. On failure the test writes a repro artifact (the
+// configuration plus the observed status tally) to
+// $MSQL_CHAOS_REPRO_DIR (default ./overload-chaos-repros), which CI
+// uploads.
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "runtime/circuit_breaker.h"
+#include "runtime/scheduler.h"
+#include "runtime/session.h"
+
+namespace msql {
+namespace {
+
+constexpr int kSessions = 4;
+constexpr int kQueriesPerSession = 40;
+constexpr int64_t kFaultBudget = 8;  // grouped builds that will fail
+
+void SeedSchema(Engine* db) {
+  ASSERT_TRUE(db->Execute(
+                    "CREATE TABLE Orders (prodName VARCHAR, custName VARCHAR,"
+                    " revenue INTEGER)")
+                  .ok());
+  std::vector<Row> rows;
+  const char* prods[] = {"Happy", "Acme", "Whizz"};
+  const char* custs[] = {"Alice", "Bob", "Celia"};
+  for (int i = 0; i < 300; ++i) {
+    rows.push_back({Value::String(prods[i % 3]), Value::String(custs[i % 3]),
+                    Value::Int(i % 17)});
+  }
+  ASSERT_TRUE(db->InsertRows("Orders", std::move(rows)).ok());
+  ASSERT_TRUE(db->Execute("CREATE VIEW EO AS SELECT *, SUM(revenue) AS "
+                          "MEASURE r FROM Orders")
+                  .ok());
+}
+
+// Grouped-strategy measure queries: every evaluation crosses the
+// grouped-index build checkpoint (unless served from the shared cache).
+const char* kWorkload[] = {
+    "SELECT prodName, AGGREGATE(r) FROM EO GROUP BY prodName",
+    "SELECT custName, r AS v FROM EO GROUP BY custName",
+    "SELECT prodName, AGGREGATE(r) / (r AT (ALL)) FROM EO GROUP BY prodName",
+    "SELECT COUNT(*) FROM Orders",
+};
+constexpr int kWorkloadSize = sizeof(kWorkload) / sizeof(kWorkload[0]);
+
+// A bare-measure grouped query always evaluates through the grouped index
+// (no row-id fast path), so it reliably crosses the
+// measure.grouped_index_build checkpoint when the cache is cold.
+const char* kBuildQuery =
+    "SELECT prodName, r AS v FROM EO GROUP BY prodName";
+
+bool IsDocumentedTerminal(ErrorCode code) {
+  return code == ErrorCode::kOk || code == ErrorCode::kCancelled ||
+         code == ErrorCode::kResourceExhausted ||
+         code == ErrorCode::kDeadlineExceeded;
+}
+
+void WriteReproArtifact(const std::map<std::string, int64_t>& tally,
+                        const Engine& db_unused, int64_t opens,
+                        int64_t short_circuits, const std::string& note) {
+  (void)db_unused;
+  const char* env = std::getenv("MSQL_CHAOS_REPRO_DIR");
+  std::filesystem::path dir = env != nullptr && *env != '\0'
+                                  ? std::filesystem::path(env)
+                                  : std::filesystem::path(
+                                        "overload-chaos-repros");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::ofstream out(dir / "overload_chaos_repro.json");
+  out << "{\n  \"test\": \"OverloadChaosStressTest\",\n"
+      << "  \"sessions\": " << kSessions << ",\n"
+      << "  \"queries_per_session\": " << kQueriesPerSession << ",\n"
+      << "  \"fault_site\": \"measure.grouped_index_build\",\n"
+      << "  \"fault_budget\": " << kFaultBudget << ",\n"
+      << "  \"breaker_opens\": " << opens << ",\n"
+      << "  \"breaker_short_circuits\": " << short_circuits << ",\n"
+      << "  \"note\": \"" << note << "\",\n  \"statuses\": {\n";
+  bool first = true;
+  for (const auto& [label, count] : tally) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    \"" << label << "\": " << count;
+  }
+  out << "\n  }\n}\n";
+}
+
+TEST(OverloadChaosStressTest, SurvivesOverloadWithGroupedBuildFaults) {
+  auto& fi = FaultInjector::Instance();
+  fi.Reset();
+
+  EngineOptions eopts;
+  eopts.measure_strategy = MeasureStrategy::kGrouped;
+  eopts.breaker_window = 8;
+  eopts.breaker_failure_ratio = 0.5;
+  eopts.breaker_min_samples = 4;
+  eopts.breaker_open_cooldown_ms = 20;
+  eopts.breaker_half_open_probes = 2;
+  Engine db(eopts);
+  SeedSchema(&db);
+
+  SchedulerOptions sopts;
+  sopts.num_threads = 2;
+  sopts.max_pending = 4;           // well under the offered load
+  sopts.max_admission_wait_ms = 5; // sheds are part of the scenario
+  QueryScheduler scheduler(sopts);
+
+  std::vector<SessionPtr> sessions;
+  for (int i = 0; i < kSessions; ++i) sessions.push_back(db.CreateSession());
+  // Session 1 runs on a tight budget: its queries may exhaust their
+  // deadline while queued or mid-execution.
+  sessions[1]->options().timeout_ms = 2;
+
+  // Every grouped-index build fails until the budget is spent: enough
+  // consecutive failures to open the breaker (min_samples=4), with spare
+  // budget so half-open probes can also fail and re-open it.
+  fi.ArmSite("measure.grouped_index_build", kFaultBudget);
+
+  std::mutex tally_mu;
+  std::map<std::string, int64_t> tally;
+  std::atomic<int64_t> submissions{0};
+  std::atomic<int64_t> completions{0};
+  std::atomic<bool> bad_code{false};
+
+  auto record = [&](const Status& status) {
+    completions.fetch_add(1, std::memory_order_relaxed);
+    if (!IsDocumentedTerminal(status.code())) {
+      bad_code.store(true, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(tally_mu);
+    ++tally[status.ok() ? "ok" : ErrorCodeName(status.code())];
+  };
+
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSessions; ++s) {
+    submitters.emplace_back([&, s] {
+      SessionPtr session = sessions[s];
+      std::vector<QueryScheduler::QueryFuture> futures;
+      for (int i = 0; i < kQueriesPerSession; ++i) {
+        submissions.fetch_add(1, std::memory_order_relaxed);
+        auto f =
+            scheduler.Submit(session, kWorkload[(s + i) % kWorkloadSize]);
+        if (f.ok()) {
+          futures.push_back(f.take());
+        } else {
+          record(f.status());  // shed at admission still counts
+        }
+        // Session 2 cancels itself partway through the stream: queued
+        // statements must flush with kCancelled, later ones are unaffected.
+        if (s == 2 && i == kQueriesPerSession / 2) session->Cancel();
+      }
+      for (auto& f : futures) record(f.get().status());
+    });
+  }
+  for (auto& t : submitters) t.join();
+  scheduler.Drain();  // must return: no deadlock, no stuck completions
+
+  // Conservation: every submission resolved exactly once.
+  EXPECT_EQ(completions.load(), submissions.load());
+  EXPECT_EQ(completions.load(), kSessions * kQueriesPerSession);
+  EXPECT_EQ(scheduler.pending(), 0u);
+  for (auto& session : sessions) EXPECT_EQ(session->inflight(), 0);
+  EXPECT_FALSE(bad_code.load()) << "an undocumented terminal status escaped";
+
+  // Drain the remaining fault budget serially until the breaker trips: a
+  // degraded query publishes its scan-path measure values to the shared
+  // cache, so each probe INSERTs first (invalidating the cache) to force a
+  // fresh build attempt. While the budget lasts every build fails, so the
+  // failures are consecutive and the breaker must open within min_samples
+  // attempts of wherever the concurrent phase left off.
+  CircuitBreaker& breaker = db.grouped_build_breaker();
+  for (int round = 0; round < 20 && breaker.opens() == 0; ++round) {
+    ASSERT_TRUE(db.Execute("INSERT INTO Orders VALUES ('Happy','Alice',1)")
+                    .ok());
+    auto r = db.Query(kBuildQuery);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();  // degrades, never fails
+  }
+  EXPECT_GE(breaker.opens(), 1);
+  {
+    std::lock_guard<std::mutex> lock(tally_mu);
+    EXPECT_GT(tally["ok"], 0);
+  }
+
+  // Recovery: clear the fault and drive probe builds until the breaker
+  // closes. Each INSERT invalidates the shared cache so every probe query
+  // reaches the build checkpoint instead of a cached index.
+  fi.Reset();
+  bool closed = false;
+  for (int round = 0; round < 200 && !closed; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    ASSERT_TRUE(db.Execute("INSERT INTO Orders VALUES ('Happy','Alice',1)")
+                    .ok());
+    auto r = db.Query(kBuildQuery);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    closed = breaker.state() == CircuitBreaker::State::kClosed;
+  }
+  EXPECT_TRUE(closed) << "breaker never recovered after the fault cleared";
+
+  // Post-chaos correctness probe against an independent naive engine.
+  Engine ref;
+  ref.options().measure_strategy = MeasureStrategy::kNaive;
+  SeedSchema(&ref);
+  ASSERT_TRUE(
+      ref.Execute("INSERT INTO Orders VALUES ('Happy','Alice',1)").ok());
+  // Mirror the recovery inserts on the reference before comparing.
+  auto chaos_count = db.Query("SELECT COUNT(*) FROM Orders");
+  auto ref_count = ref.Query("SELECT COUNT(*) FROM Orders");
+  ASSERT_TRUE(chaos_count.ok() && ref_count.ok());
+  const int64_t extra = chaos_count.value().Get(0, 0).int_val() -
+                        ref_count.value().Get(0, 0).int_val();
+  for (int64_t i = 0; i < extra; ++i) {
+    ASSERT_TRUE(
+        ref.Execute("INSERT INTO Orders VALUES ('Happy','Alice',1)").ok());
+  }
+  auto got = db.Query(
+      "SELECT prodName, AGGREGATE(r) AS v FROM EO GROUP BY prodName "
+      "ORDER BY prodName");
+  auto want = ref.Query(
+      "SELECT prodName, AGGREGATE(r) AS v FROM EO GROUP BY prodName "
+      "ORDER BY prodName");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  EXPECT_EQ(got.value().ToCsv(), want.value().ToCsv());
+
+  if (::testing::Test::HasFailure()) {
+    WriteReproArtifact(tally, db, breaker.opens(), breaker.short_circuits(),
+                       closed ? "breaker recovered" : "breaker stuck");
+  }
+  fi.Reset();
+}
+
+// A second, shorter scenario: sustained overload with no faults at all
+// must shed cleanly (kResourceExhausted / kDeadlineExceeded only, plus
+// successes) and leave the breaker closed — overload alone is not a
+// breaker event.
+TEST(OverloadChaosStressTest, PureOverloadShedsCleanlyWithoutTrippingBreaker) {
+  FaultInjector::Instance().Reset();
+  EngineOptions eopts;
+  eopts.measure_strategy = MeasureStrategy::kGrouped;
+  Engine db(eopts);
+  SeedSchema(&db);
+  SchedulerOptions sopts;
+  sopts.num_threads = 2;
+  sopts.max_pending = 2;
+  sopts.max_admission_wait_ms = 1;
+  QueryScheduler scheduler(sopts);
+  SessionPtr session = db.CreateSession();
+
+  int64_t ok = 0, shed = 0, other = 0;
+  std::vector<QueryScheduler::QueryFuture> futures;
+  for (int i = 0; i < 200; ++i) {
+    auto f = scheduler.Submit(session, kWorkload[i % kWorkloadSize]);
+    if (f.ok()) {
+      futures.push_back(f.take());
+    } else if (f.status().code() == ErrorCode::kResourceExhausted) {
+      ++shed;
+    } else {
+      ++other;
+    }
+  }
+  for (auto& f : futures) {
+    auto r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      ++other;
+    }
+  }
+  scheduler.Drain();
+  EXPECT_GT(ok, 0);
+  EXPECT_EQ(other, 0);
+  EXPECT_EQ(ok + shed, 200);  // conservation: every submission accounted for
+  EXPECT_EQ(db.grouped_build_breaker().state(),
+            CircuitBreaker::State::kClosed);
+  EXPECT_EQ(db.grouped_build_breaker().opens(), 0);
+}
+
+}  // namespace
+}  // namespace msql

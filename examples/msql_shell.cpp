@@ -9,16 +9,24 @@
 //   \metrics      Prometheus-style metrics exposition
 //
 //   build/examples/msql_shell [file.sql ...]
+//   build/examples/msql_shell --connect host:port [--user NAME]
+//
 // Files given on the command line are executed before the prompt starts.
+// With --connect the shell speaks the msqld wire protocol instead of
+// running an in-process engine; catalog meta commands (\d, \explain,
+// \expand) travel as SQL, while \stats and \metrics are local-engine only.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "common/string_util.h"
 #include "engine/engine.h"
+#include "net/client.h"
 
 namespace {
 
@@ -33,78 +41,223 @@ void PrintStats(const msql::EngineStats& stats) {
       static_cast<unsigned long long>(stats.subquery_cache_hits));
 }
 
-void RunStatement(msql::Engine* db, const std::string& sql) {
-  auto result = db->Query(sql);
+// Renders the per-statement footer from ResultSet::stats() — the single
+// source of execution timing, local or remote, so both modes report the
+// same numbers the engine measured (not a wall clock around the call).
+std::string StatsFooter(const msql::ResultSet& result) {
+  const std::shared_ptr<const msql::QueryStats>& stats = result.stats();
+  if (stats == nullptr) return "";
+  std::string footer =
+      msql::StrCat(", ", stats->total_us / 1000, ".",
+                   (stats->total_us % 1000) / 100, " ms");
+  switch (stats->plan_cache) {
+    case msql::QueryStats::PlanCacheOutcome::kOff:
+      break;
+    case msql::QueryStats::PlanCacheOutcome::kMiss:
+      footer += ", plan cache miss";
+      break;
+    case msql::QueryStats::PlanCacheOutcome::kHit:
+      footer += ", plan cache hit";
+      break;
+  }
+  return footer;
+}
+
+void PrintResult(const msql::ResultSet& result) {
+  if (result.num_columns() > 0) {
+    std::printf("%s(%zu row%s%s)\n", result.ToString().c_str(),
+                result.num_rows(), result.num_rows() == 1 ? "" : "s",
+                StatsFooter(result).c_str());
+  } else {
+    std::printf("OK%s\n", StatsFooter(result).c_str());
+  }
+}
+
+// The two shell backends: an in-process engine or an msqld connection.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual msql::Result<msql::ResultSet> Query(const std::string& sql) = 0;
+  // Returns true when the meta command was handled; `quit` signals \q.
+  virtual bool Meta(const std::string& line, bool* quit) = 0;
+};
+
+class LocalBackend : public Backend {
+ public:
+  msql::Result<msql::ResultSet> Query(const std::string& sql) override {
+    return db_.Query(sql);
+  }
+
+  bool Meta(const std::string& line, bool* quit) override {
+    if (line == "\\q" || line == "\\quit") {
+      *quit = true;
+      return true;
+    }
+    if (line == "\\d") {
+      for (const std::string& name : db_.catalog().ListNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return true;
+    }
+    if (line.rfind("\\d ", 0) == 0) {
+      auto result = Query("DESCRIBE " + line.substr(3));
+      if (result.ok()) {
+        PrintResult(result.value());
+      } else {
+        std::printf("%s\n", result.status().ToString().c_str());
+      }
+      return true;
+    }
+    if (line.rfind("\\explain ", 0) == 0) {
+      auto plan = db_.Explain(line.substr(9));
+      std::printf("%s\n", plan.ok() ? plan.value().c_str()
+                                    : plan.status().ToString().c_str());
+      return true;
+    }
+    if (line.rfind("\\expand ", 0) == 0) {
+      auto expanded = db_.ExpandSql(line.substr(8));
+      std::printf("%s\n", expanded.ok()
+                              ? expanded.value().c_str()
+                              : expanded.status().ToString().c_str());
+      return true;
+    }
+    if (line == "\\stats") {
+      PrintStats(db_.stats());
+      return true;
+    }
+    if (line == "\\metrics") {
+      std::printf("%s", db_.MetricsText().c_str());
+      return true;
+    }
+    return false;
+  }
+
+  msql::Engine* engine() { return &db_; }
+
+ private:
+  msql::Engine db_;
+};
+
+class RemoteBackend : public Backend {
+ public:
+  msql::Status Connect(const std::string& host, uint16_t port,
+                       const std::string& user) {
+    msql::net::ClientOptions options;
+    options.user = user;
+    return client_.Connect(host, port, options);
+  }
+
+  msql::Result<msql::ResultSet> Query(const std::string& sql) override {
+    return client_.Query(sql);
+  }
+
+  bool Meta(const std::string& line, bool* quit) override {
+    if (line == "\\q" || line == "\\quit") {
+      *quit = true;
+      return true;
+    }
+    // Catalog meta commands work remotely because they are plain SQL.
+    if (line.rfind("\\d ", 0) == 0) {
+      auto result = Query("DESCRIBE " + line.substr(3));
+      if (result.ok()) {
+        PrintResult(result.value());
+      } else {
+        std::printf("%s\n", result.status().ToString().c_str());
+      }
+      return true;
+    }
+    if (line == "\\d" || line == "\\stats" || line == "\\metrics" ||
+        line.rfind("\\explain ", 0) == 0 || line.rfind("\\expand ", 0) == 0) {
+      std::printf("%s is not available over --connect\n",
+                  line.substr(0, line.find(' ')).c_str());
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  msql::net::Client client_;
+};
+
+void RunStatement(Backend* backend, const std::string& sql) {
+  auto result = backend->Query(sql);
   if (!result.ok()) {
     std::printf("%s\n", result.status().ToString().c_str());
     return;
   }
-  if (result.value().num_columns() > 0) {
-    std::printf("%s(%zu row%s)\n", result.value().ToString().c_str(),
-                result.value().num_rows(),
-                result.value().num_rows() == 1 ? "" : "s");
-  } else {
-    std::printf("OK\n");
-  }
-}
-
-bool HandleMetaCommand(msql::Engine* db, const std::string& line) {
-  if (line == "\\q" || line == "\\quit") return false;
-  if (line == "\\d") {
-    for (const std::string& name : db->catalog().ListNames()) {
-      std::printf("%s\n", name.c_str());
-    }
-    return true;
-  }
-  if (line.rfind("\\d ", 0) == 0) {
-    RunStatement(db, "DESCRIBE " + line.substr(3));
-    return true;
-  }
-  if (line.rfind("\\explain ", 0) == 0) {
-    auto plan = db->Explain(line.substr(9));
-    std::printf("%s\n", plan.ok() ? plan.value().c_str()
-                                  : plan.status().ToString().c_str());
-    return true;
-  }
-  if (line.rfind("\\expand ", 0) == 0) {
-    auto expanded = db->ExpandSql(line.substr(8));
-    std::printf("%s\n", expanded.ok() ? expanded.value().c_str()
-                                      : expanded.status().ToString().c_str());
-    return true;
-  }
-  if (line == "\\stats") {
-    PrintStats(db->stats());
-    return true;
-  }
-  if (line == "\\metrics") {
-    std::printf("%s", db->MetricsText().c_str());
-    return true;
-  }
-  std::printf("unknown meta command: %s\n", line.c_str());
-  return true;
+  PrintResult(result.value());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  msql::Engine db;
-
+  std::string connect_to;
+  std::string user = "shell";
+  std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
-    std::ifstream in(argv[i]);
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect_to = argv[++i];
+    } else if (arg == "--user" && i + 1 < argc) {
+      user = argv[++i];
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  std::unique_ptr<Backend> backend;
+  if (!connect_to.empty()) {
+    const size_t colon = connect_to.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect expects host:port, got %s\n",
+                   connect_to.c_str());
+      return 1;
+    }
+    auto remote = std::make_unique<RemoteBackend>();
+    const std::string host = connect_to.substr(0, colon);
+    const int port = std::atoi(connect_to.c_str() + colon + 1);
+    msql::Status st =
+        remote->Connect(host, static_cast<uint16_t>(port), user);
+    if (!st.ok()) {
+      std::fprintf(stderr, "connect %s failed: %s\n", connect_to.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    backend = std::move(remote);
+  } else {
+    backend = std::make_unique<LocalBackend>();
+  }
+
+  for (const std::string& file : files) {
+    std::ifstream in(file);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
       return 1;
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
-    msql::Status st = db.Execute(buffer.str());
-    if (!st.ok()) {
-      std::fprintf(stderr, "%s: %s\n", argv[i], st.ToString().c_str());
-      return 1;
+    if (auto* local = dynamic_cast<LocalBackend*>(backend.get())) {
+      msql::Status st = local->engine()->Execute(buffer.str());
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                     st.ToString().c_str());
+        return 1;
+      }
+    } else {
+      auto result = backend->Query(buffer.str());
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                     result.status().ToString().c_str());
+        return 1;
+      }
     }
   }
 
   std::printf("msql shell — Measures in SQL. \\q quits, \\d lists objects.\n");
+  if (!connect_to.empty()) {
+    std::printf("connected to msqld at %s as '%s'\n", connect_to.c_str(),
+                user.c_str());
+  }
   std::string pending;
   std::string line;
   std::printf("msql> ");
@@ -112,7 +265,11 @@ int main(int argc, char** argv) {
   while (std::getline(std::cin, line)) {
     std::string trimmed = msql::Trim(line);
     if (pending.empty() && !trimmed.empty() && trimmed[0] == '\\') {
-      if (!HandleMetaCommand(&db, trimmed)) break;
+      bool quit = false;
+      if (!backend->Meta(trimmed, &quit)) {
+        std::printf("unknown meta command: %s\n", trimmed.c_str());
+      }
+      if (quit) break;
       std::printf("msql> ");
       std::fflush(stdout);
       continue;
@@ -121,7 +278,7 @@ int main(int argc, char** argv) {
     // Execute once the buffer ends with ';'.
     std::string t = msql::Trim(pending);
     if (!t.empty() && t.back() == ';') {
-      RunStatement(&db, t);
+      RunStatement(backend.get(), t);
       pending.clear();
     }
     std::printf(pending.empty() ? "msql> " : "  ... ");

@@ -9,6 +9,9 @@
 #   - histograms end in a unit suffix: _ms, _seconds, _bytes, _rows or
 #     _depth
 #   - gauges end in _active, _entries, _bytes, _ratio, _pending or _state
+#   - every name belongs to a known family prefix (msql_query_,
+#     msql_measure_, msql_net_, msql_plan_cache_, ... below) so new
+#     subsystems register their namespace here before inventing one
 #
 # Exits non-zero listing every violation. Run from the repository root.
 set -u
@@ -56,6 +59,15 @@ fi
 check counter '_total$' "${counters[@]}"
 check gauge '(_active|_entries|_bytes|_ratio|_pending|_state)$' "${gauges[@]}"
 check histogram '(_ms|_seconds|_bytes|_rows|_depth)$' "${histograms[@]}"
+
+# One namespace per subsystem: a metric must extend a registered family.
+families='^msql_(queries|query_|measure_|subquery_|shared_cache_|sessions_|scheduler_|admission_|rate_limited|retries_|circuit_|breaker_|slow_queries|obs_|net_|plan_cache_)'
+for name in "${counters[@]}" "${gauges[@]}" "${histograms[@]}"; do
+  if ! [[ "$name" =~ $families ]]; then
+    echo "BAD FAMILY: '$name' is outside the registered prefixes ($families)"
+    fail=1
+  fi
+done
 
 if [ "$fail" -ne 0 ]; then
   echo "lint_metric_names: FAILED"

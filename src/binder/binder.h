@@ -34,6 +34,18 @@ class Binder {
   // Binds a full query (WITH / set ops / ORDER BY / LIMIT).
   Result<PlanPtr> Bind(const SelectStmt& stmt);
 
+  // Declares the types of the statement's positional `?` parameters, in
+  // ordinal order. Without a declaration, any `?` in the statement is a
+  // bind error (ad-hoc Engine::Query has no parameter row to read from).
+  void set_param_types(std::vector<TypeKind> types) {
+    param_types_ = std::move(types);
+    has_param_types_ = true;
+  }
+
+  // Highest parameter ordinal seen during Bind() + 1 (0 when the statement
+  // has no parameters).
+  int param_count() const { return param_count_; }
+
   // Tracing hook (docs/OBSERVABILITY.md): accumulates microseconds spent in
   // measure binding/expansion (PlanMeasure construction, AT-modifier
   // binding) into `*us`. The caller initializes `*us` to a negative
@@ -187,6 +199,12 @@ class Binder {
   // Measure-expansion time accumulator; null unless the engine is tracing
   // this bind.
   int64_t* measure_expand_us_ = nullptr;
+
+  // Declared positional parameter types (prepared statements) and the
+  // number of distinct ordinals actually bound.
+  std::vector<TypeKind> param_types_;
+  bool has_param_types_ = false;
+  int param_count_ = 0;
 
   // Window calls collected while binding the current SELECT core.
   std::vector<WindowDef> pending_windows_;

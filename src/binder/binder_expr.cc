@@ -101,6 +101,33 @@ Result<BoundExprPtr> Binder::BindExpr(const Expr& e, Scope* scope) {
       return ResolveColumn(e.parts, scope);
     case ExprKind::kStar:
       return Status(ErrorCode::kBind, "'*' is not valid in this context");
+    case ExprKind::kParam: {
+      if (!has_param_types_) {
+        return Status(ErrorCode::kBind,
+                      "positional parameter '?' requires a prepared "
+                      "statement (use Prepare with declared parameter "
+                      "types)");
+      }
+      if (e.param_index < 0 ||
+          static_cast<size_t>(e.param_index) >= param_types_.size()) {
+        return Status(
+            ErrorCode::kBind,
+            StrCat("parameter $", e.param_index + 1, " out of range: ",
+                   param_types_.size(), " parameter type(s) declared"));
+      }
+      if (in_measure_formula_) {
+        return Status(ErrorCode::kBind,
+                      "positional parameters are not allowed inside AS "
+                      "MEASURE formulas (measure expansion is "
+                      "context-dependent, not parameter-dependent)");
+      }
+      auto bound = std::make_unique<BoundExpr>();
+      bound->kind = BoundExprKind::kParam;
+      bound->param_index = e.param_index;
+      bound->type = DataType(param_types_[e.param_index]);
+      param_count_ = std::max(param_count_, e.param_index + 1);
+      return bound;
+    }
     case ExprKind::kFuncCall:
       return BindFuncCall(e, scope);
     case ExprKind::kUnary: {

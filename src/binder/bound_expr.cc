@@ -166,6 +166,8 @@ std::string BoundExpr::ToString() const {
       return "CURRENT " + current_dim->ToString();
     case BoundExprKind::kGroupingBit:
       return StrCat("GROUPING_BIT(", grouping_bit, ")");
+    case BoundExprKind::kParam:
+      return StrCat("$", param_index + 1);
   }
   return "?";
 }
@@ -206,6 +208,7 @@ BoundExprPtr BoundExpr::Clone() const {
   if (current_dim) e->current_dim = current_dim->Clone();
   e->grouping_bit = grouping_bit;
   e->grouping_col = grouping_col;
+  e->param_index = param_index;
   return e;
 }
 

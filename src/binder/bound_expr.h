@@ -40,6 +40,7 @@ enum class BoundExprKind {
   kMeasureEval,  // a context-sensitive measure evaluation (paper section 3.4)
   kCurrent,      // CURRENT dim inside an AT modifier
   kGroupingBit,  // GROUPING(expr) lowered to a bit of the grouping id column
+  kParam,        // positional `?` parameter, read from ExecState::params
 };
 
 // A bound AT-modifier (paper table 3). Binding conventions:
@@ -108,6 +109,9 @@ struct BoundExpr {
   // kGroupingBit
   int grouping_bit = 0;
   int grouping_col = -1;  // column holding the grouping id
+
+  // kParam: zero-based index into the execution-time parameter row.
+  int param_index = -1;
 
   BoundExpr();
   ~BoundExpr();

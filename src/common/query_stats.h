@@ -37,6 +37,13 @@ struct QueryStats {
   uint64_t rows_charged = 0;
   uint64_t bytes_charged = 0;
 
+  // Prepared-plan cache interaction of this statement (EXPLAIN ANALYZE's
+  // "PlanCache:" line): kOff when the cache was not consulted, kMiss when
+  // the statement was bound fresh (and published), kHit when a cached
+  // bound plan skipped parse/bind/measure-expand.
+  enum class PlanCacheOutcome { kOff = 0, kMiss = 1, kHit = 2 };
+  PlanCacheOutcome plan_cache = PlanCacheOutcome::kOff;
+
   // Recursion depth at completion; 0 after a clean unwind.
   int depth = 0;
 

@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -15,6 +16,8 @@
 #include "measure/expand.h"
 #include "measure/grouped.h"
 #include "parser/parser.h"
+#include "parser/unparser.h"
+#include "runtime/fingerprint.h"
 #include "runtime/session.h"
 
 namespace msql {
@@ -25,6 +28,36 @@ int64_t ElapsedUsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+// Plan-cache text key normalization: strip surrounding whitespace and the
+// trailing ';' so trivially different renderings of the same statement
+// share one cache entry. Anything deeper (casing, internal spacing) is
+// covered by the canonical-unparse alias key.
+std::string TrimStatementText(const std::string& sql) {
+  size_t begin = sql.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return std::string();
+  size_t end = sql.find_last_not_of(" \t\r\n");
+  while (end > begin && sql[end] == ';') {
+    --end;
+    while (end > begin && std::isspace(static_cast<unsigned char>(sql[end]))) {
+      --end;
+    }
+  }
+  return sql.substr(begin, end - begin + 1);
+}
+
+// Rendered parameter-value tuple, appended to cross-query shared-cache
+// keys (ExecState::param_sig): `?` placeholders fingerprint structurally,
+// so the bound values must join the key for it to stay injective.
+std::string RenderParamSig(const Row& params) {
+  std::string sig = "p[";
+  for (const Value& v : params) {
+    sig += v.ToSqlLiteral();
+    sig += ',';
+  }
+  sig += ']';
+  return sig;
 }
 
 }  // namespace
@@ -85,6 +118,18 @@ void Engine::InitObs() {
   ins_.obs_sink_errors = metrics_.GetCounter(
       "msql_obs_sink_errors_total",
       "Trace sink emissions that failed (queries are unaffected)");
+  ins_.plan_cache_hits = metrics_.GetCounter(
+      "msql_plan_cache_hits_total",
+      "Plan cache lookups that returned a fresh bound plan");
+  ins_.plan_cache_misses = metrics_.GetCounter(
+      "msql_plan_cache_misses_total",
+      "Plan cache lookups that required a fresh parse + bind");
+  ins_.plan_cache_evictions = metrics_.GetCounter(
+      "msql_plan_cache_evictions_total",
+      "Prepared plans evicted from the plan cache (LRU)");
+  ins_.plan_cache_invalidations = metrics_.GetCounter(
+      "msql_plan_cache_invalidations_total",
+      "Cached plans dropped on probe because the catalog generation moved");
   ins_.sessions_active = metrics_.GetGauge(
       "msql_sessions_active", "Sessions currently alive");
   ins_.shared_cache_entries = metrics_.GetGauge(
@@ -94,6 +139,11 @@ void Engine::InitObs() {
   ins_.shared_cache_hit_ratio = metrics_.GetGauge(
       "msql_shared_cache_hit_ratio",
       "Cross-query shared cache hits / lookups over engine lifetime");
+  ins_.plan_cache_entries = metrics_.GetGauge(
+      "msql_plan_cache_entries",
+      "Prepared plans currently cached (alias keys counted)");
+  ins_.plan_cache_bytes = metrics_.GetGauge(
+      "msql_plan_cache_bytes", "Plan cache approximate bytes");
   ins_.query_duration_ms = metrics_.GetHistogram(
       "msql_query_duration_ms", "SELECT wall time",
       obs::MetricsRegistry::LatencyBucketsMs());
@@ -162,12 +212,24 @@ Result<ResultSet> Engine::Query(const std::string& sql,
 
 Result<ResultSet> Engine::QueryWith(const std::string& sql,
                                     const QueryContext& ctx) {
+  QueryContext cctx = ctx;
+  if (ctx.options.enable_plan_cache && ctx.plan_cache_text.empty()) {
+    // Raw-text fast path: a repeated statement skips the parser entirely.
+    // Misses remember the trimmed text so the fresh bind is indexed under
+    // it (RunSelectImpl), warming the path for the next identical call.
+    cctx.plan_cache_text = TrimStatementText(sql);
+    if (PreparedPlanPtr cached = plan_cache_.Lookup(
+            PlanCacheKey(ctx.user, cctx.plan_cache_text, {}),
+            catalog_.generation())) {
+      return QueryPlanned(cached, {}, ctx);
+    }
+  }
   if (ctx.options.enable_tracing && ctx.trace == nullptr) {
-    return QueryTraced(sql, ctx);
+    return QueryTraced(sql, cctx);
   }
   MSQL_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::Parse(sql));
   ResultSet out;
-  MSQL_RETURN_IF_ERROR(ExecuteStmt(*stmt, &out, ctx));
+  MSQL_RETURN_IF_ERROR(ExecuteStmt(*stmt, &out, cctx));
   return out;
 }
 
@@ -267,15 +329,34 @@ void Engine::FinishTrace(std::shared_ptr<obs::QueryTrace> trace,
   trace_collector_.Publish(std::move(trace), ins_.obs_sink_errors);
 }
 
-SessionPtr Engine::CreateSession() {
+SessionPtr Engine::CreateSession() { return CreateSessionForUser(user_); }
+
+SessionPtr Engine::CreateSessionForUser(std::string user) {
   const uint64_t id =
       next_session_id_.fetch_add(1, std::memory_order_relaxed);
   ins_.sessions_created->Increment();
   ins_.sessions_active->Add(1.0);
-  return SessionPtr(new Session(this, id, options_, user_));
+  {
+    std::lock_guard<std::mutex> lock(session_users_mu_);
+    ++session_users_[user];
+  }
+  return SessionPtr(new Session(this, id, options_, std::move(user)));
 }
 
-void Engine::NoteSessionDestroyed() { ins_.sessions_active->Add(-1.0); }
+int Engine::ActiveSessionsForUser(const std::string& user) const {
+  std::lock_guard<std::mutex> lock(session_users_mu_);
+  auto it = session_users_.find(user);
+  return it == session_users_.end() ? 0 : it->second;
+}
+
+void Engine::NoteSessionDestroyed(const std::string& user) {
+  ins_.sessions_active->Add(-1.0);
+  std::lock_guard<std::mutex> lock(session_users_mu_);
+  auto it = session_users_.find(user);
+  if (it != session_users_.end() && --it->second <= 0) {
+    session_users_.erase(it);
+  }
+}
 
 EngineStats Engine::stats() const {
   EngineStats s;
@@ -319,6 +400,21 @@ std::string Engine::MetricsText() {
   const uint64_t lookups = cache.hits + cache.misses;
   ins_.shared_cache_hit_ratio->Set(
       lookups == 0 ? 0.0 : static_cast<double>(cache.hits) / lookups);
+
+  // Same folding pattern for the prepared-plan cache.
+  const PlanCache::Stats pc = plan_cache_.stats();
+  {
+    std::lock_guard<std::mutex> lock(metrics_sync_mu_);
+    ins_.plan_cache_hits->Increment(pc.hits - synced_plan_cache_.hits);
+    ins_.plan_cache_misses->Increment(pc.misses - synced_plan_cache_.misses);
+    ins_.plan_cache_evictions->Increment(pc.evictions -
+                                         synced_plan_cache_.evictions);
+    ins_.plan_cache_invalidations->Increment(
+        pc.invalidations - synced_plan_cache_.invalidations);
+    synced_plan_cache_ = pc;
+  }
+  ins_.plan_cache_entries->Set(static_cast<double>(pc.entries));
+  ins_.plan_cache_bytes->Set(static_cast<double>(pc.bytes));
   return metrics_.Text();
 }
 
@@ -371,8 +467,13 @@ Result<ResultSet> Engine::RunSelect(const SelectStmt& select,
   state.profile = profile;
   const auto start = std::chrono::steady_clock::now();
   Result<ResultSet> result = RunSelectImpl(select, ctx, &state, plan_out);
-  const int64_t total_us = ElapsedUsSince(start);
+  return FinishSelect(ctx, state, ElapsedUsSince(start), std::move(result));
+}
 
+Result<ResultSet> Engine::FinishSelect(const QueryContext& ctx,
+                                       const ExecState& state,
+                                       int64_t total_us,
+                                       Result<ResultSet> result) {
   // Per-query stats travel with the result (and the trace, when present),
   // so concurrent queries never clobber each other's statistics.
   auto stats = std::make_shared<QueryStats>();
@@ -389,6 +490,8 @@ Result<ResultSet> Engine::RunSelect(const SelectStmt& select,
   stats->shared_cache_hits = state.shared_cache_hits;
   stats->shared_cache_misses = state.shared_cache_misses;
   stats->breaker_short_circuits = state.breaker_short_circuits;
+  stats->plan_cache =
+      static_cast<QueryStats::PlanCacheOutcome>(state.plan_cache_outcome);
   stats->rows_charged = state.guard.rows_charged();
   stats->bytes_charged = state.guard.bytes_charged();
   stats->depth = state.depth;
@@ -406,6 +509,31 @@ Result<ResultSet> Engine::RunSelectImpl(const SelectStmt& select,
                                         const QueryContext& ctx,
                                         ExecState* state, PlanPtr* plan_out) {
   MSQL_FAULT_POINT("engine.select");
+
+  // Plan-cache probe under the canonical (unparsed) statement text: two
+  // textually different spellings of the same statement share one entry.
+  // The generation is snapshotted *before* binding so an entry bound while
+  // a catalog mutation is in flight records the older generation and
+  // self-invalidates on its next probe.
+  const uint64_t bind_generation = catalog_.generation();
+  std::string canonical_key;
+  if (ctx.options.enable_plan_cache) {
+    canonical_key = PlanCacheKey(ctx.user, Unparse(select), {});
+    if (PreparedPlanPtr cached =
+            plan_cache_.Lookup(canonical_key, bind_generation)) {
+      state->plan_cache_outcome = 2;
+      if (plan_out != nullptr) *plan_out = cached->plan;
+      if (!ctx.plan_cache_text.empty()) {
+        // A differently-spelled statement canonicalized onto this entry:
+        // alias its raw text too so the pre-parse fast path hits next time.
+        plan_cache_.Insert(PlanCacheKey(ctx.user, ctx.plan_cache_text, {}),
+                           cached);
+      }
+      return ExecutePlanImpl(cached->plan, ctx, state, nullptr);
+    }
+    state->plan_cache_outcome = 1;
+  }
+
   Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth);
   PlanPtr plan;
   int64_t expand_us = -1;  // sentinel: no measure expansion happened
@@ -429,6 +557,39 @@ Result<ResultSet> Engine::RunSelectImpl(const SelectStmt& select,
   }
   if (plan_out != nullptr) *plan_out = plan;
 
+  // On a miss, publish the freshly bound plan. The fill runs as the
+  // `after_arm` hook so its memory footprint is charged against the armed
+  // query guard (a cache fill must not dodge the query's byte budget).
+  std::function<Status()> after_arm;
+  if (ctx.options.enable_plan_cache) {
+    auto entry = std::make_shared<PreparedPlan>();
+    entry->sql = ctx.plan_cache_text;
+    entry->canonical = Unparse(select);
+    entry->user = ctx.user;
+    entry->plan = plan;
+    entry->param_count = 0;
+    entry->generation = bind_generation;
+    entry->fingerprint = FingerprintPlan(*plan);
+    entry->approx_bytes = PlanCache::ApproxPlanBytes(*entry);
+    after_arm = [this, state, entry, canonical_key,
+                 raw_text = ctx.plan_cache_text]() -> Status {
+      MSQL_RETURN_IF_ERROR(state->guard.ChargeBytes(entry->approx_bytes));
+      plan_cache_.Insert(canonical_key, entry);
+      if (!raw_text.empty()) {
+        // Raw-text alias: the pre-parse fast path in QueryWith probes by
+        // the trimmed statement text before a parser ever runs.
+        plan_cache_.Insert(PlanCacheKey(entry->user, raw_text, {}), entry);
+      }
+      return Status::Ok();
+    };
+  }
+
+  return ExecutePlanImpl(plan, ctx, state, after_arm);
+}
+
+Result<ResultSet> Engine::ExecutePlanImpl(
+    const PlanPtr& plan, const QueryContext& ctx, ExecState* state,
+    const std::function<Status()>& after_arm) {
   {
     obs::ScopedSpan span(ctx.trace, "plan");
     state->options = ctx.options;
@@ -447,6 +608,13 @@ Result<ResultSet> Engine::RunSelectImpl(const SelectStmt& select,
                      ctx.options.max_result_rows, ctx.cancel,
                      cancel_generation_);
     if (ctx.has_deadline) state->guard.TightenDeadline(ctx.deadline);
+    if (after_arm) {
+      Status st = after_arm();
+      if (!st.ok()) {
+        span.set_status(st);
+        return st;
+      }
+    }
   }
 
   RelationPtr rel;
@@ -507,6 +675,135 @@ Result<ResultSet> Engine::RunSelectImpl(const SelectStmt& select,
   return rendered;
 }
 
+Result<PreparedPlanPtr> Engine::PrepareSelect(
+    const std::string& sql, std::vector<TypeKind> param_types,
+    const QueryContext& ctx) {
+  const std::string trimmed = TrimStatementText(sql);
+  const std::string key = PlanCacheKey(ctx.user, trimmed, param_types);
+  // Snapshot before binding: an entry bound during a concurrent catalog
+  // mutation records the older generation and self-invalidates on probe.
+  const uint64_t bind_generation = catalog_.generation();
+  if (ctx.options.enable_plan_cache) {
+    if (PreparedPlanPtr cached = plan_cache_.Lookup(key, bind_generation)) {
+      return cached;
+    }
+  }
+
+  Parser parser(sql);
+  MSQL_ASSIGN_OR_RETURN(StmtPtr stmt, parser.ParseSingleStatement());
+  if (stmt->kind != StmtKind::kSelect || stmt->select == nullptr) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "Prepare expects a single SELECT statement");
+  }
+
+  Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth);
+  binder.set_param_types(param_types);
+  MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*stmt->select));
+  if (binder.param_count() != static_cast<int>(param_types.size())) {
+    return Status(ErrorCode::kBind,
+                  StrCat("statement references ", binder.param_count(),
+                         " positional parameter(s) but ", param_types.size(),
+                         " type(s) were declared"));
+  }
+
+  auto entry = std::make_shared<PreparedPlan>();
+  entry->sql = trimmed;
+  entry->canonical = Unparse(*stmt->select);
+  entry->user = ctx.user;
+  entry->plan = plan;
+  entry->param_types = std::move(param_types);
+  entry->param_count = entry->param_types.empty()
+                           ? binder.param_count()
+                           : static_cast<int>(entry->param_types.size());
+  entry->generation = bind_generation;
+  entry->fingerprint = FingerprintPlan(*plan);
+  entry->approx_bytes = PlanCache::ApproxPlanBytes(*entry);
+
+  if (ctx.options.enable_plan_cache) {
+    MSQL_FAULT_POINT("net.plan_cache_fill");
+    // Charge the fill against the preparing statement's memory budget so a
+    // flood of prepares cannot dodge resource governance.
+    QueryGuard guard;
+    guard.Arm(ctx.options.timeout_ms, ctx.options.max_memory_bytes,
+              ctx.options.max_result_rows, ctx.cancel, cancel_generation_);
+    MSQL_RETURN_IF_ERROR(guard.ChargeBytes(entry->approx_bytes));
+    plan_cache_.Insert(key, entry);
+    // Canonical alias: a differently-spelled but structurally identical
+    // Prepare from another connection reuses this bound plan.
+    plan_cache_.Insert(
+        PlanCacheKey(entry->user, entry->canonical, entry->param_types),
+        entry);
+  }
+  return PreparedPlanPtr(std::move(entry));
+}
+
+Result<ResultSet> Engine::QueryPlanned(const PreparedPlanPtr& prepared,
+                                       const Row& params,
+                                       const QueryContext& ctx) {
+  if (prepared == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "null prepared plan");
+  }
+  if (prepared->generation != catalog_.generation()) {
+    return Status(ErrorCode::kCatalog,
+                  "prepared plan is stale: the catalog changed since the "
+                  "statement was bound; re-prepare");
+  }
+  if (params.size() != prepared->param_types.size()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  StrCat("expected ", prepared->param_types.size(),
+                         " parameter value(s), got ", params.size()));
+  }
+  Row coerced;
+  coerced.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    Result<Value> cast = params[i].CastTo(prepared->param_types[i]);
+    if (!cast.ok()) {
+      return Status(ErrorCode::kInvalidArgument,
+                    StrCat("parameter $", i + 1, " type mismatch: expected ",
+                           TypeKindName(prepared->param_types[i]), ", got ",
+                           TypeKindName(params[i].kind())));
+    }
+    coerced.push_back(cast.take());
+  }
+
+  if (ctx.options.enable_tracing && ctx.trace == nullptr) {
+    auto trace = std::make_shared<obs::QueryTrace>(
+        next_query_id_.fetch_add(1, std::memory_order_relaxed), prepared->sql,
+        ctx.session_id, ctx.user);
+    if (ctx.admission_wait_us > 0) {
+      trace->AddCompletedSpan("admission-wait",
+                              -(ctx.admission_wait_us + ctx.queue_wait_us),
+                              ctx.admission_wait_us);
+    }
+    if (ctx.queue_wait_us > 0) {
+      trace->set_queue_wait_us(ctx.queue_wait_us);
+      trace->AddCompletedSpan("queue-wait", -ctx.queue_wait_us,
+                              ctx.queue_wait_us);
+    }
+    QueryContext tctx = ctx;
+    tctx.trace = trace.get();
+    Result<ResultSet> result = RunPlanned(prepared, coerced, tctx);
+    FinishTrace(std::move(trace),
+                result.ok() ? Status::Ok() : result.status(),
+                result.ok() ? result.value().num_rows() : 0);
+    return result;
+  }
+  return RunPlanned(prepared, coerced, ctx);
+}
+
+Result<ResultSet> Engine::RunPlanned(const PreparedPlanPtr& prepared,
+                                     const Row& params,
+                                     const QueryContext& ctx) {
+  ExecState state;
+  state.plan_cache_outcome = 2;  // a bound plan was reused, however obtained
+  state.params = &params;
+  if (!params.empty()) state.param_sig = RenderParamSig(params);
+  const auto start = std::chrono::steady_clock::now();
+  Result<ResultSet> result =
+      ExecutePlanImpl(prepared->plan, ctx, &state, nullptr);
+  return FinishSelect(ctx, state, ElapsedUsSince(start), std::move(result));
+}
+
 Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out,
                            const QueryContext& ctx) {
   MSQL_FAULT_POINT("engine.stmt");
@@ -549,6 +846,11 @@ Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out,
     case StmtKind::kInsert:
       return ExecuteInsert(stmt, ctx);
     case StmtKind::kExplain: {
+      // The raw-text alias must not map "EXPLAIN ... <select>" to the inner
+      // select's plan — a later fast-path hit on that text would return the
+      // select's rows instead of the explain rendering.
+      QueryContext ectx = ctx;
+      ectx.plan_cache_text.clear();
       obs::ExplainOptions eopts;
       eopts.strategy = ctx.options.measure_strategy;
       eopts.inline_visible_contexts = ctx.options.inline_visible_contexts;
@@ -563,7 +865,7 @@ Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out,
         // (no plan) still fail the EXPLAIN itself.
         obs::PlanProfile profile;
         PlanPtr plan;
-        Result<ResultSet> rs = RunSelect(*stmt.select, ctx, &plan, &profile);
+        Result<ResultSet> rs = RunSelect(*stmt.select, ectx, &plan, &profile);
         if (!rs.ok() && plan == nullptr) return rs.status();
         eopts.profile = &profile;
         text = obs::RenderPlanTree(*plan, eopts);

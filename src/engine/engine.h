@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -18,6 +20,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/circuit_breaker.h"
+#include "runtime/plan_cache.h"
 #include "runtime/shared_cache.h"
 #include "runtime/thread_pool.h"
 
@@ -53,6 +56,12 @@ struct QueryContext {
   int64_t admission_wait_us = 0;
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
+
+  // Plan-cache alias key (docs/NETWORKING.md): the trimmed raw statement
+  // text, set by Engine::Query when the cache is enabled and the call is a
+  // single SELECT, so the bound plan is indexed under the exact client
+  // text as well as its canonical unparse. Internal plumbing; leave empty.
+  std::string plan_cache_text;
 };
 
 // Engine-wide execution statistics, aggregated atomically across every
@@ -134,11 +143,53 @@ class Engine {
   Result<ResultSet> QueryWith(const std::string& sql, const QueryContext& ctx);
   Status ExecuteWith(const std::string& sql, const QueryContext& ctx);
 
+  // Prepared statements (docs/NETWORKING.md). PrepareSelect parses and
+  // binds a single SELECT whose positional `?` parameters have the
+  // declared `param_types` (ordinal order), returning an immutable bound,
+  // measure-expanded plan. With enable_plan_cache set the plan is also
+  // published to the engine's PlanCache (guard-charged against the
+  // context's memory budget), keyed by (user, text, parameter types) plus
+  // a canonical-unparse alias, so identical statements prepared on other
+  // connections skip parse/bind entirely.
+  Result<PreparedPlanPtr> PrepareSelect(const std::string& sql,
+                                        std::vector<TypeKind> param_types,
+                                        const QueryContext& ctx);
+  Result<PreparedPlanPtr> PrepareSelect(const std::string& sql,
+                                        std::vector<TypeKind> param_types) {
+    return PrepareSelect(sql, std::move(param_types), DefaultContext(nullptr));
+  }
+
+  // Executes a prepared plan with `params` bound to its `?` placeholders
+  // (values are coerced to the declared types; a mismatch is a typed
+  // kInvalidArgument). Fails with kCatalog when the plan was bound against
+  // an older catalog generation — the caller re-prepares; the server does
+  // this transparently.
+  Result<ResultSet> QueryPlanned(const PreparedPlanPtr& prepared,
+                                 const Row& params, const QueryContext& ctx);
+  Result<ResultSet> QueryPlanned(const PreparedPlanPtr& prepared,
+                                 const Row& params) {
+    return QueryPlanned(prepared, params, DefaultContext(nullptr));
+  }
+
+  // The prepared-plan cache (sized from EngineOptions plan_cache_* at
+  // construction). Exposed for monitoring and tests.
+  PlanCache& plan_cache() { return plan_cache_; }
+
   // Creates an independent client session: its own option snapshot, user,
   // and cancellation scope, sharing this engine's catalog and cross-query
   // cache. Sessions may issue queries concurrently with each other and
   // with engine-level calls. The engine must outlive its sessions.
   SessionPtr CreateSession();
+
+  // As CreateSession, but authenticated as `user` instead of the engine's
+  // default — one per accepted msqld connection. Sessions are counted per
+  // user while alive (ActiveSessionsForUser), which the server uses for
+  // per-user connection caps and operators for attribution.
+  SessionPtr CreateSessionForUser(std::string user);
+
+  // Live sessions currently authenticated as `user` (created by either
+  // CreateSession or CreateSessionForUser).
+  int ActiveSessionsForUser(const std::string& user) const;
 
   // Creates a cancellation token to pass to Query.
   static CancelTokenPtr NewCancelToken() {
@@ -229,6 +280,24 @@ class Engine {
                                   const QueryContext& ctx, ExecState* state,
                                   PlanPtr* plan_out);
 
+  // The arm-guard + execute + render tail shared by the text and prepared
+  // paths. `after_arm`, when set, runs inside the plan span right after the
+  // guard is armed (the guard-charged plan-cache fill).
+  Result<ResultSet> ExecutePlanImpl(const PlanPtr& plan,
+                                    const QueryContext& ctx, ExecState* state,
+                                    const std::function<Status()>& after_arm);
+
+  // Stats/metrics wrapper shared by RunSelect and the prepared path:
+  // snapshots `state` into QueryStats, attaches them to the result and
+  // trace, and folds the counters into the registry.
+  Result<ResultSet> FinishSelect(const QueryContext& ctx,
+                                 const ExecState& state, int64_t total_us,
+                                 Result<ResultSet> result);
+
+  // Prepared execution body (QueryPlanned minus tracing dispatch).
+  Result<ResultSet> RunPlanned(const PreparedPlanPtr& prepared,
+                               const Row& params, const QueryContext& ctx);
+
   // Traced variants of QueryWith/ExecuteWith: wrap parsing and execution in
   // a QueryTrace and publish it to the sinks on completion.
   Result<ResultSet> QueryTraced(const std::string& sql,
@@ -266,13 +335,15 @@ class Engine {
   // cross-query cache entries computed against older data.
   void NoteCatalogMutation();
 
-  // Session lifecycle accounting (msql_sessions_active).
-  void NoteSessionDestroyed();
+  // Session lifecycle accounting (msql_sessions_active + per-user counts).
+  void NoteSessionDestroyed(const std::string& user);
 
   Catalog catalog_;
   EngineOptions options_;
   std::string user_;
   SharedMeasureCache shared_cache_;
+  PlanCache plan_cache_{options_.plan_cache_max_entries,
+                        options_.plan_cache_max_bytes};
   CircuitBreaker grouped_build_breaker_;
   CircuitBreaker cache_fill_breaker_;
 
@@ -304,10 +375,16 @@ class Engine {
     obs::Counter* breaker_short_circuits = nullptr;
     obs::Counter* slow_queries = nullptr;
     obs::Counter* obs_sink_errors = nullptr;
+    obs::Counter* plan_cache_hits = nullptr;
+    obs::Counter* plan_cache_misses = nullptr;
+    obs::Counter* plan_cache_evictions = nullptr;
+    obs::Counter* plan_cache_invalidations = nullptr;
     obs::Gauge* sessions_active = nullptr;
     obs::Gauge* shared_cache_entries = nullptr;
     obs::Gauge* shared_cache_bytes = nullptr;
     obs::Gauge* shared_cache_hit_ratio = nullptr;
+    obs::Gauge* plan_cache_entries = nullptr;
+    obs::Gauge* plan_cache_bytes = nullptr;
     obs::Histogram* query_duration_ms = nullptr;
   };
   Instruments ins_;
@@ -319,6 +396,7 @@ class Engine {
   // registry; `synced_cache_` remembers what was already folded.
   std::mutex metrics_sync_mu_;
   SharedMeasureCache::Stats synced_cache_;
+  PlanCache::Stats synced_plan_cache_;
 
   // Snapshot of EngineOptions::slow_query_log_ms at construction, so the
   // msql_slow_queries_total counter agrees with the configured sink even if
@@ -327,6 +405,12 @@ class Engine {
 
   std::atomic<uint64_t> next_session_id_{1};
   std::atomic<uint64_t> next_query_id_{1};
+
+  // Live-session count per authenticated user (CreateSessionForUser /
+  // session destruction). A small map under its own mutex: sessions are
+  // created at connection rate, not query rate.
+  mutable std::mutex session_users_mu_;
+  std::unordered_map<std::string, int> session_users_;
 
   // Cancellation plumbing: the engine-wide generation counter bumped by
   // CancelAll. Guards snapshot the generation when armed.

@@ -140,6 +140,15 @@ Result<Value> Evaluator::Eval(const BoundExpr& e, const RowStack& stack) {
       if (gid.is_null()) return Value::Null();
       return Value::Int((gid.int_val() >> e.grouping_bit) & 1);
     }
+    case BoundExprKind::kParam: {
+      if (state_->params == nullptr || e.param_index < 0 ||
+          static_cast<size_t>(e.param_index) >= state_->params->size()) {
+        return Status(ErrorCode::kExecution,
+                      StrCat("parameter $", e.param_index + 1,
+                             " has no bound value"));
+      }
+      return (*state_->params)[e.param_index];
+    }
     case BoundExprKind::kAgg:
       return Status(ErrorCode::kExecution,
                     "aggregate function evaluated outside aggregation");

@@ -73,6 +73,14 @@ struct EngineOptions {
   // Total rows materialized across all operators of a statement (a proxy
   // for total work and peak memory); exceeding returns kResourceExhausted.
   uint64_t max_result_rows = 0;
+  // Prepared-statement plan cache (docs/NETWORKING.md): when enabled,
+  // Engine::Query consults a fingerprint-keyed cache of bound,
+  // measure-expanded plans before parsing, and Engine::PrepareSelect
+  // publishes into it. Invalidated by catalog generation; LRU-bounded by
+  // the plan_cache_* limits below.
+  bool enable_plan_cache = false;
+  size_t plan_cache_max_entries = 256;
+  uint64_t plan_cache_max_bytes = 64ull << 20;
   // Observability (docs/OBSERVABILITY.md). Tracing is off by default and
   // zero-cost when disabled: the traced path is only entered when this is
   // set, so the hot path pays one branch.
@@ -140,6 +148,18 @@ struct ExecState {
   obs::PlanProfile* profile = nullptr;
 
   int depth = 0;
+
+  // Positional parameter values for prepared-statement execution (null =
+  // no parameters). `param_sig` is the rendered value tuple; non-empty, it
+  // is appended to every *cross-query* shared-cache key so results
+  // computed under one parameter binding are never replayed under another
+  // (structural fingerprints render `?` placeholders identically).
+  const Row* params = nullptr;
+  std::string param_sig;
+
+  // How this statement interacted with the engine's prepared-plan cache
+  // (0 = not consulted, 1 = miss, 2 = hit); copied into QueryStats.
+  int plan_cache_outcome = 0;
 
   // Instrumentation.
   uint64_t measure_evals = 0;        // measure evaluations requested

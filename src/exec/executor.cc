@@ -988,6 +988,7 @@ Result<Value> EvalSubqueryExpr(const BoundExpr& e, const RowStack& stack,
           state->plan_fingerprints.emplace(e.subplan.get(), std::string());
       if (inserted) fp->second = FingerprintPlan(*e.subplan);
       shared_key = StrCat("q|", state->catalog_generation, "|",
+                          state->param_sig, "|",
                           e.kind == BoundExprKind::kExists ? "e" : "s",
                           e.negated ? "!" : "", "|", fp->second, "|", literals);
       Value v;

@@ -194,8 +194,10 @@ std::string MeasureSharedKey(const RtMeasure& m, const ExecState& state,
       signature.find("<subquery>") != std::string::npos) {
     return std::string();
   }
-  return StrCat("m|", state.catalog_generation, "|", *m.fingerprint, "|",
-                signature);
+  // Parameter values are invisible to the structural fingerprint, so a
+  // parameterized query keys its entries by its bound value tuple too.
+  return StrCat("m|", state.catalog_generation, "|", state.param_sig, "|",
+                *m.fingerprint, "|", signature);
 }
 
 Status PublishSharedMeasure(const std::string& shared_key, const Value& result,

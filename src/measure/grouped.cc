@@ -164,8 +164,9 @@ Result<std::shared_ptr<const GroupedIndex>> GetOrBuildGroupedIndex(
   // subqueries in dimension predicates — so the key is injective.
   std::string shared_key;
   if (state->shared_cache != nullptr && m.fingerprint != nullptr) {
-    shared_key = StrCat("gi|", state->catalog_generation, "|", *m.fingerprint,
-                        "|", shape.signature);
+    shared_key = StrCat("gi|", state->catalog_generation, "|",
+                        state->param_sig, "|", *m.fingerprint, "|",
+                        shape.signature);
     std::shared_ptr<const void> obj;
     if (state->shared_cache->LookupObject(shared_key, &obj)) {
       ++state->shared_cache_hits;

@@ -1,0 +1,87 @@
+#ifndef MSQL_NET_CLIENT_H_
+#define MSQL_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/result_set.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+// Blocking msqld client (docs/NETWORKING.md). One Client is one
+// connection; it is strictly request/response and not thread-safe — use
+// one Client per thread. Server Error frames come back as the embedded
+// Status; transport failures surface as kIo/kDeadlineExceeded.
+namespace msql::net {
+
+struct ClientOptions {
+  std::string user = "default";
+  // Connect timeout; <= 0 waits indefinitely.
+  int64_t connect_timeout_ms = 5000;
+  // Per-call socket I/O budget (each read/write); <= 0 waits indefinitely.
+  // Distinct from the statement-level timeout_ms fields, which the server
+  // enforces.
+  int64_t io_timeout_ms = 0;
+};
+
+// A prepared statement handle; valid while its Client is connected.
+struct ClientStatement {
+  uint32_t stmt_id = 0;
+  int param_count = 0;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Disconnect(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects and completes the Hello handshake.
+  Status Connect(const std::string& host, uint16_t port,
+                 ClientOptions options = {});
+
+  // Sends a graceful Close (stmt_id 0) when possible, then closes.
+  void Disconnect();
+
+  bool connected() const { return sock_.valid(); }
+  const std::string& server_banner() const { return server_banner_; }
+
+  // One-shot text query. timeout_ms is the server-side statement budget
+  // (0 = server default). The returned ResultSet carries QueryStats with
+  // the server's total_us and plan-cache outcome attached.
+  Result<ResultSet> Query(const std::string& sql, uint32_t timeout_ms = 0);
+
+  // Prepared-statement flow: Prepare once, Bind/Execute many times.
+  Result<ClientStatement> Prepare(const std::string& sql,
+                                  const std::vector<TypeKind>& param_types);
+  Status Bind(const ClientStatement& stmt, const Row& params);
+  Result<ResultSet> Execute(const ClientStatement& stmt,
+                            uint32_t timeout_ms = 0);
+  Status CloseStatement(const ClientStatement& stmt);
+
+  // Fire-and-forget cancel of the connection's in-flight statement. Safe
+  // to call from another thread than the one blocked in Query/Execute
+  // ONLY via a second Client is NOT possible — Cancel writes on this
+  // connection's socket, so call it between requests or accept the race.
+  Status Cancel();
+
+ private:
+  Status SendFrame(FrameType type, const std::string& payload);
+  // Reads frames until an Error (returned as its Status) or a final
+  // ResultBatch; rows accumulate across batches into *out.
+  Result<ResultSet> ReadResponse();
+  // Reads exactly one response frame (ack or Error) for Prepare/Bind/Close.
+  Result<ResultBatchMsg> ReadAck();
+  Result<Frame> ReadFrame();
+
+  Socket sock_;
+  ClientOptions options_;
+  std::string server_banner_;
+};
+
+}  // namespace msql::net
+
+#endif  // MSQL_NET_CLIENT_H_

@@ -1,0 +1,202 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace msql::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status(ErrorCode::kIo, StrCat(what, ": ", strerror(errno)));
+}
+
+// Remaining milliseconds until `deadline`, clamped to >= 0. A negative
+// `timeout_ms` input means "no deadline" and is threaded through as -1
+// (poll's infinite timeout).
+int RemainingMs(bool has_deadline,
+                std::chrono::steady_clock::time_point deadline) {
+  if (!has_deadline) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= deadline) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - now)
+                      .count();
+  return static_cast<int>(ms) + 1;
+}
+
+Result<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* node = host.empty() ? "127.0.0.1" : host.c_str();
+  if (host == "localhost") node = "127.0.0.1";
+  if (inet_pton(AF_INET, node, &addr.sin_addr) != 1) {
+    return Status(ErrorCode::kInvalidArgument,
+                  StrCat("cannot parse IPv4 address '", host,
+                         "' (msqld accepts dotted-quad or 'localhost')"));
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (nonblocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (fcntl(fd, F_SETFL, flags) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::Ok();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Result<Socket> ListenOn(const std::string& host, uint16_t port, int backlog,
+                        uint16_t* bound_port) {
+  MSQL_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveV4(host, port));
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return Errno("socket");
+  int one = 1;
+  setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("bind");
+  }
+  if (listen(sock.fd(), backlog) < 0) return Errno("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&actual), &len) <
+        0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return sock;
+}
+
+Result<Socket> ConnectTo(const std::string& host, uint16_t port,
+                         int64_t timeout_ms) {
+  MSQL_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveV4(host, port));
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return Errno("socket");
+  // Connect non-blocking so the timeout is enforceable, then flip back.
+  MSQL_RETURN_IF_ERROR(SetNonBlocking(sock.fd(), true));
+  int rc = connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) return Errno("connect");
+  if (rc < 0) {
+    pollfd pfd{sock.fd(), POLLOUT, 0};
+    const int timeout =
+        timeout_ms <= 0 ? -1 : static_cast<int>(timeout_ms);
+    const int n = poll(&pfd, 1, timeout);
+    if (n < 0) return Errno("poll(connect)");
+    if (n == 0) {
+      return Status(ErrorCode::kDeadlineExceeded,
+                    StrCat("connect to ", host, ":", port, " timed out after ",
+                           timeout_ms, "ms"));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status(ErrorCode::kIo, StrCat("connect to ", host, ":", port,
+                                           " failed: ", strerror(err)));
+    }
+  }
+  MSQL_RETURN_IF_ERROR(SetNonBlocking(sock.fd(), false));
+  SetNoDelay(sock.fd());
+  return sock;
+}
+
+Status ReadExact(int fd, void* buf, size_t n, int64_t timeout_ms) {
+  const bool has_deadline = timeout_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  char* p = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int remaining = RemainingMs(has_deadline, deadline);
+    if (has_deadline && remaining == 0) {
+      return Status(ErrorCode::kDeadlineExceeded, "socket read timed out");
+    }
+    const int rc = poll(&pfd, 1, remaining);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll(read)");
+    }
+    if (rc == 0) {
+      return Status(ErrorCode::kDeadlineExceeded, "socket read timed out");
+    }
+    const ssize_t got = ::read(fd, p + done, n - done);
+    if (got == 0) {
+      return Status(ErrorCode::kIo, "connection closed by peer");
+    }
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("read");
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::Ok();
+}
+
+Status WriteAll(int fd, const void* buf, size_t n, int64_t timeout_ms) {
+  const bool has_deadline = timeout_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  const char* p = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int remaining = RemainingMs(has_deadline, deadline);
+    if (has_deadline && remaining == 0) {
+      return Status(ErrorCode::kDeadlineExceeded, "socket write timed out");
+    }
+    const int rc = poll(&pfd, 1, remaining);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll(write)");
+    }
+    if (rc == 0) {
+      return Status(ErrorCode::kDeadlineExceeded, "socket write timed out");
+    }
+    const ssize_t put = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("write");
+    }
+    done += static_cast<size_t>(put);
+  }
+  return Status::Ok();
+}
+
+}  // namespace msql::net

@@ -144,6 +144,15 @@ std::string RenderAnalyzeSummary(const QueryStats& stats,
                 " strategy=", StrategyNote(opts), "\n");
   out += StrCat("Subqueries: execs=", stats.subquery_execs,
                 " cache_hits=", stats.subquery_cache_hits, "\n");
+  out += StrCat(
+      "PlanCache: ",
+      stats.plan_cache == QueryStats::PlanCacheOutcome::kHit    ? "hit"
+      : stats.plan_cache == QueryStats::PlanCacheOutcome::kMiss ? "miss"
+                                                                : "off",
+      stats.plan_cache == QueryStats::PlanCacheOutcome::kHit
+          ? " (bound plan reused; parse/bind/measure-expand skipped)"
+          : "",
+      "\n");
   if (stats.breaker_short_circuits > 0) {
     out += StrCat("Breakers: short_circuits=", stats.breaker_short_circuits,
                   " (breaker=open: degradable ops skipped)\n");

@@ -150,6 +150,8 @@ std::string Expr::ToString() const {
     }
     case ExprKind::kCurrent:
       return "CURRENT " + current_dim;
+    case ExprKind::kParam:
+      return "?";
   }
   return "?";
 }
@@ -199,6 +201,7 @@ ExprPtr Expr::Clone() const {
     e->at_modifiers.push_back(std::move(mc));
   }
   e->current_dim = current_dim;
+  e->param_index = param_index;
   return e;
 }
 

@@ -38,6 +38,7 @@ enum class ExprKind {
   kSubquery,    // scalar subquery
   kAt,          // cse AT (modifiers)     [paper section 3.5]
   kCurrent,     // CURRENT dim            [paper section 3.5]
+  kParam,       // `?` positional parameter (prepared statements)
 };
 
 enum class UnaryOp { kNeg, kNot };
@@ -121,6 +122,11 @@ struct Expr {
 
   // kCurrent
   std::string current_dim;
+
+  // kParam: zero-based ordinal in lexical appearance order. ToString
+  // renders every parameter as a bare `?`, so a re-parse reassigns the
+  // same ordinals and the round-trip is exact.
+  int param_index = -1;
 
   // Round-trippable SQL rendering (used by EXPLAIN, error messages, and the
   // measure-expansion printer).

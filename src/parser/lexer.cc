@@ -73,6 +73,7 @@ const char* TokenTypeName(TokenType type) {
     case TokenType::kSlash: return "'/'";
     case TokenType::kPercent: return "'%'";
     case TokenType::kConcatOp: return "'||'";
+    case TokenType::kQuestion: return "'?'";
     case TokenType::kEq: return "'='";
     case TokenType::kNe: return "'<>'";
     case TokenType::kLt: return "'<'";
@@ -263,6 +264,7 @@ Result<std::vector<Token>> Lexer::Tokenize() {
     switch (c) {
       case '(': tokens.push_back(MakeToken(TokenType::kLParen)); break;
       case ')': tokens.push_back(MakeToken(TokenType::kRParen)); break;
+      case '?': tokens.push_back(MakeToken(TokenType::kQuestion)); break;
       case ',': tokens.push_back(MakeToken(TokenType::kComma)); break;
       case '.': tokens.push_back(MakeToken(TokenType::kDot)); break;
       case ';': tokens.push_back(MakeToken(TokenType::kSemicolon)); break;

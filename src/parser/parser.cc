@@ -844,6 +844,13 @@ Result<ExprPtr> Parser::ParsePrimary() {
       MSQL_ASSIGN_OR_RETURN(e->current_dim, ParseIdentifier("CURRENT"));
       return e;
     }
+    case TokenType::kQuestion: {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kParam;
+      e->param_index = next_param_index_++;
+      return e;
+    }
     case TokenType::kCase:
       Advance();
       return ParseCase();

@@ -79,6 +79,9 @@ class Parser {
   std::vector<Token> tokens_;
   size_t pos_ = 0;
   bool tokenized_ = false;
+  // Positional `?` parameters get ordinals in lexical appearance order,
+  // numbered across the whole statement (subqueries included).
+  int next_param_index_ = 0;
 };
 
 }  // namespace msql

@@ -20,6 +20,7 @@ enum class TokenType {
   kLParen, kRParen, kComma, kDot, kSemicolon, kStar,
   kPlus, kMinus, kSlash, kPercent, kConcatOp,
   kEq, kNe, kLt, kLe, kGt, kGe,
+  kQuestion,  // `?` — positional parameter placeholder
 
   // Reserved keywords.
   kSelect, kFrom, kWhere, kGroup, kBy, kHaving, kOrder, kLimit, kOffset,

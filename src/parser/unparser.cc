@@ -136,6 +136,8 @@ bool ExprEquals(const Expr& a, const Expr& b) {
     }
     case ExprKind::kCurrent:
       return a.current_dim == b.current_dim;
+    case ExprKind::kParam:
+      return a.param_index == b.param_index;
   }
   return false;
 }

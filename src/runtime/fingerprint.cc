@@ -88,6 +88,12 @@ void AppendExpr(const BoundExpr& e, std::string* out) {
     case BoundExprKind::kGroupingBit:
       *out += StrCat(e.grouping_bit, ".", e.grouping_col);
       break;
+    case BoundExprKind::kParam:
+      // Structural only: two plans differing solely in parameter *values*
+      // fingerprint identically. Cross-query shared-cache keys therefore
+      // append ExecState::param_sig alongside the fingerprint.
+      *out += StrCat("$", e.param_index);
+      break;
   }
   *out += ")";
 }

@@ -37,4 +37,18 @@ int64_t RateLimiter::TryAcquire() {
   }
 }
 
+RateLimiter& RateLimiterRegistry::ForKey(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<RateLimiter>& slot = limiters_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<RateLimiter>(rate_per_sec_, burst_);
+  }
+  return *slot;
+}
+
+size_t RateLimiterRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limiters_.size();
+}
+
 }  // namespace msql

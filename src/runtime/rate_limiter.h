@@ -4,6 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 
 namespace msql {
 
@@ -52,6 +56,33 @@ class RateLimiter {
       std::chrono::steady_clock::now()};
   // GCRA theoretical arrival time, microseconds since epoch_.
   std::atomic<int64_t> tat_us_{0};
+};
+
+// A lazily-populated map of independent RateLimiters sharing one
+// configuration, keyed by an arbitrary string — the msqld server keys by
+// authenticated user so one client flooding Query frames exhausts only its
+// own token bucket (docs/NETWORKING.md). ForKey returns a stable reference
+// (limiters are heap-allocated and never removed); TryAcquire on the result
+// is lock-free as usual, the registry lock covers only map lookup/insert.
+class RateLimiterRegistry {
+ public:
+  RateLimiterRegistry(double rate_per_sec, int64_t burst)
+      : rate_per_sec_(rate_per_sec), burst_(burst) {}
+
+  RateLimiterRegistry(const RateLimiterRegistry&) = delete;
+  RateLimiterRegistry& operator=(const RateLimiterRegistry&) = delete;
+
+  // Returns the limiter for `key`, creating it (full bucket) on first use.
+  RateLimiter& ForKey(const std::string& key);
+
+  bool enabled() const { return rate_per_sec_ > 0.0; }
+  size_t size() const;
+
+ private:
+  const double rate_per_sec_;
+  const int64_t burst_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<RateLimiter>> limiters_;
 };
 
 }  // namespace msql

@@ -4,7 +4,7 @@
 
 namespace msql {
 
-Session::~Session() { engine_->NoteSessionDestroyed(); }
+Session::~Session() { engine_->NoteSessionDestroyed(user_); }
 
 CancelTokenPtr Session::AcquireToken() {
   auto token = std::make_shared<CancelToken>();
@@ -39,8 +39,7 @@ Result<ResultSet> Session::Query(const std::string& sql) {
   return result;
 }
 
-Result<ResultSet> Session::QueryScheduled(const std::string& sql,
-                                          const ScheduledRun& run) {
+QueryContext Session::ScheduledContext(const ScheduledRun& run) const {
   QueryContext ctx;
   ctx.options = options_;
   ctx.user = user_;
@@ -50,8 +49,41 @@ Result<ResultSet> Session::QueryScheduled(const std::string& sql,
   ctx.admission_wait_us = run.admission_wait_us;
   ctx.has_deadline = run.has_deadline;
   ctx.deadline = run.deadline;
-  Result<ResultSet> result = engine_->QueryWith(sql, ctx);
+  return ctx;
+}
+
+Result<ResultSet> Session::QueryScheduled(const std::string& sql,
+                                          const ScheduledRun& run) {
+  Result<ResultSet> result = engine_->QueryWith(sql, ScheduledContext(run));
   ReleaseToken(run.token);
+  return result;
+}
+
+Result<ResultSet> Session::QueryPreparedScheduled(
+    const PreparedPlanPtr& prepared, const Row& params,
+    const ScheduledRun& run) {
+  Result<ResultSet> result =
+      engine_->QueryPlanned(prepared, params, ScheduledContext(run));
+  ReleaseToken(run.token);
+  return result;
+}
+
+Result<PreparedPlanPtr> Session::Prepare(const std::string& sql,
+                                         std::vector<TypeKind> param_types) {
+  CancelTokenPtr token;
+  QueryContext ctx = MakeContext(&token);
+  Result<PreparedPlanPtr> result =
+      engine_->PrepareSelect(sql, std::move(param_types), ctx);
+  ReleaseToken(token);
+  return result;
+}
+
+Result<ResultSet> Session::QueryPrepared(const PreparedPlanPtr& prepared,
+                                         const Row& params) {
+  CancelTokenPtr token;
+  QueryContext ctx = MakeContext(&token);
+  Result<ResultSet> result = engine_->QueryPlanned(prepared, params, ctx);
+  ReleaseToken(token);
   return result;
 }
 

@@ -49,6 +49,16 @@ class Session {
   // Runs one or more ';'-separated statements, discarding row results.
   Status Execute(const std::string& sql);
 
+  // Prepares a single SELECT with declared positional parameter types
+  // (Engine::PrepareSelect as this session's user; published to the
+  // engine's plan cache when enable_plan_cache is set).
+  Result<PreparedPlanPtr> Prepare(const std::string& sql,
+                                  std::vector<TypeKind> param_types);
+
+  // Executes a prepared plan with `params` bound to its `?` placeholders.
+  Result<ResultSet> QueryPrepared(const PreparedPlanPtr& prepared,
+                                  const Row& params);
+
   // Cancels every statement currently executing on this session (from any
   // thread) — including statements still waiting in scheduler admission,
   // which unwind with kCancelled without executing. Statements started
@@ -93,6 +103,14 @@ class Session {
   // spans) and the submission-time deadline into the query context.
   Result<ResultSet> QueryScheduled(const std::string& sql,
                                    const ScheduledRun& run);
+
+  // QueryPrepared() as dispatched by QueryScheduler::SubmitPrepared.
+  Result<ResultSet> QueryPreparedScheduled(const PreparedPlanPtr& prepared,
+                                           const Row& params,
+                                           const ScheduledRun& run);
+
+  // Shared context assembly for the two scheduled variants.
+  QueryContext ScheduledContext(const ScheduledRun& run) const;
 
   Engine* engine_;
   uint64_t id_;

@@ -13,6 +13,8 @@
 #include "common/fault_injection.h"
 #include "engine/engine.h"
 #include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "runtime/retry.h"
 #include "runtime/scheduler.h"
 
@@ -370,6 +372,109 @@ TEST_F(FaultInjectionTest, AdmissionAndRetrySweep) {
   auto probe = f.take().get();
   ASSERT_TRUE(probe.ok()) << probe.status().ToString();
   EXPECT_EQ(probe.value().Get(0, 0).int_val(), 5);
+}
+
+TEST_F(FaultInjectionTest, NetFaultPointsFailCleanly) {
+  // Each net.* fault point, injected in turn, must terminate the affected
+  // connection with a documented status (clean Error frame or clean close
+  // — never a hang or a half-written frame), and the server must keep
+  // serving healthy clients afterwards.
+  auto& fi = FaultInjector::Instance();
+  EngineOptions engine_options;
+  engine_options.enable_plan_cache = true;
+  Engine db(engine_options);
+  ASSERT_TRUE(db.Execute("CREATE TABLE T (x INTEGER); "
+                         "INSERT INTO T VALUES (1), (2), (3)")
+                  .ok());
+  net::MsqldServer server(&db, net::ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  auto probe_healthy = [&](const char* who) {
+    net::Client client;
+    net::ClientOptions options;
+    options.user = who;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), options).ok())
+        << "server unhealthy after fault (" << who << ")";
+    auto r = client.Query("SELECT COUNT(*) FROM T");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().Get(0, 0).int_val(), 3);
+  };
+
+  // net.accept: the connection is refused with a clean close before the
+  // handshake; the acceptor keeps running.
+  {
+    fi.ArmSite("net.accept", 1);
+    net::Client victim;
+    net::ClientOptions options;
+    options.user = "victim";
+    options.io_timeout_ms = 5000;
+    Status st = victim.Connect("127.0.0.1", server.port(), options);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(fi.fired_site(), "net.accept");
+    fi.Reset();
+    probe_healthy("after-accept");
+  }
+
+  // net.read_frame: the parsed frame is answered with an Error frame
+  // carrying the injected fault, then the connection closes cleanly.
+  {
+    net::Client victim;
+    net::ClientOptions options;
+    options.user = "victim";
+    options.io_timeout_ms = 5000;
+    ASSERT_TRUE(victim.Connect("127.0.0.1", server.port(), options).ok());
+    fi.ArmSite("net.read_frame", 1);
+    auto r = victim.Query("SELECT 1");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("injected fault"), std::string::npos)
+        << r.status().ToString();
+    EXPECT_EQ(fi.fired_site(), "net.read_frame");
+    fi.Reset();
+    probe_healthy("after-read");
+  }
+
+  // net.write_frame: the flush aborts before any bytes go out — the
+  // client observes a clean close (kIo), never a torn frame.
+  {
+    net::Client victim;
+    net::ClientOptions options;
+    options.user = "victim";
+    options.io_timeout_ms = 5000;
+    ASSERT_TRUE(victim.Connect("127.0.0.1", server.port(), options).ok());
+    fi.ArmSite("net.write_frame", 1);
+    auto r = victim.Query("SELECT 1");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kIo) << r.status().ToString();
+    fi.Reset();
+    probe_healthy("after-write");
+  }
+
+  // net.plan_cache_fill: the cache fill fails inside Prepare; the client
+  // receives the injected fault as a typed Error and the connection
+  // remains usable.
+  {
+    net::Client victim;
+    net::ClientOptions options;
+    options.user = "victim";
+    options.io_timeout_ms = 5000;
+    ASSERT_TRUE(victim.Connect("127.0.0.1", server.port(), options).ok());
+    fi.ArmSite("net.plan_cache_fill", 1);
+    auto stmt = victim.Prepare("SELECT x FROM T WHERE x > ?",
+                               {TypeKind::kInt64});
+    ASSERT_FALSE(stmt.ok());
+    EXPECT_NE(stmt.status().message().find("injected fault"),
+              std::string::npos)
+        << stmt.status().ToString();
+    EXPECT_EQ(fi.fired_site(), "net.plan_cache_fill");
+    fi.Reset();
+    // Same connection retries successfully once the fault clears.
+    auto retry = victim.Prepare("SELECT x FROM T WHERE x > ?",
+                                {TypeKind::kInt64});
+    EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+    probe_healthy("after-fill");
+  }
+
+  server.Stop();
 }
 
 TEST_F(FaultInjectionTest, EngineSurvivesMidWorkloadFault) {

@@ -1,0 +1,476 @@
+// End-to-end tests for the msqld network front end: wire-protocol
+// round-trips, the Hello/Query/Prepare/Bind/Execute lifecycle over a real
+// loopback socket, plan-cache behavior observed from the client side,
+// admission control, deadline propagation, and slow/half-closed clients.
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "testing/compare.h"
+
+namespace msql {
+namespace {
+
+constexpr char kSetup[] = R"(
+CREATE TABLE Orders (prodName VARCHAR, custName VARCHAR, revenue INTEGER);
+INSERT INTO Orders VALUES
+  ('Happy', 'Alice', 6), ('Acme', 'Bob', 5), ('Happy', 'Alice', 7),
+  ('Whizz', 'Celia', 3), ('Happy', 'Bob', 4);
+CREATE VIEW EO AS SELECT *, SUM(revenue) AS MEASURE r FROM Orders;
+)";
+
+constexpr char kMeasureQuery[] =
+    "SELECT prodName, AGGREGATE(r) AS v FROM EO GROUP BY prodName "
+    "ORDER BY prodName";
+
+class NetTest : public ::testing::Test {
+ protected:
+  void StartServer(net::ServerOptions options = {}) {
+    EngineOptions engine_options;
+    engine_options.enable_plan_cache = true;
+    engine_ = std::make_unique<Engine>(engine_options);
+    ASSERT_TRUE(engine_->Execute(kSetup).ok());
+    server_ = std::make_unique<net::MsqldServer>(engine_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  net::ClientOptions User(const std::string& user) {
+    net::ClientOptions options;
+    options.user = user;
+    return options;
+  }
+
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<net::MsqldServer> server_;
+};
+
+TEST(WireTest, ValueAndFrameRoundTrip) {
+  std::string payload;
+  net::PutValue(&payload, Value::Null());
+  net::PutValue(&payload, Value::Bool(true));
+  net::PutValue(&payload, Value::Int(-42));
+  net::PutValue(&payload, Value::Double(2.5));
+  net::PutValue(&payload, Value::String("héllo"));
+  net::WireReader reader(payload);
+  EXPECT_TRUE(reader.GetValue().value().is_null());
+  EXPECT_EQ(reader.GetValue().value().bool_val(), true);
+  EXPECT_EQ(reader.GetValue().value().int_val(), -42);
+  EXPECT_EQ(reader.GetValue().value().double_val(), 2.5);
+  EXPECT_EQ(reader.GetValue().value().str(), "héllo");
+  EXPECT_TRUE(reader.AtEnd());
+  // Underflow is a clean error, not a read past the end.
+  EXPECT_FALSE(reader.GetValue().ok());
+
+  net::ResultBatchMsg msg;
+  msg.stmt_id = 7;
+  msg.kind = 1;
+  msg.last = true;
+  msg.columns = {"a", "b"};
+  msg.types = {TypeKind::kInt64, TypeKind::kString};
+  msg.rows = {{Value::Int(1), Value::String("x")},
+              {Value::Null(), Value::String("y")}};
+  msg.total_rows = 2;
+  msg.total_us = 1234;
+  msg.plan_cache = 2;
+  auto decoded = net::DecodeResultBatch(net::EncodeResultBatch(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().stmt_id, 7u);
+  EXPECT_EQ(decoded.value().columns, msg.columns);
+  ASSERT_EQ(decoded.value().rows.size(), 2u);
+  EXPECT_EQ(decoded.value().rows[0][0].int_val(), 1);
+  EXPECT_TRUE(decoded.value().rows[1][0].is_null());
+  EXPECT_EQ(decoded.value().total_us, 1234u);
+  EXPECT_EQ(decoded.value().plan_cache, 2u);
+}
+
+TEST(WireTest, TryParseFrameHandlesPartialAndMalformedInput) {
+  std::string buf;
+  net::AppendFrame(&buf, net::FrameType::kQuery,
+                   net::EncodeQuery({"SELECT 1", 0}));
+  // Byte-at-a-time delivery: the parser reports "need more" until the
+  // frame completes, then yields it exactly once.
+  std::string partial;
+  net::Frame frame;
+  for (size_t i = 0; i + 1 < buf.size(); ++i) {
+    partial.push_back(buf[i]);
+    size_t off = 0;
+    auto r = net::TryParseFrame(partial, &off, &frame);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.value()) << "frame yielded early at byte " << i;
+  }
+  partial.push_back(buf.back());
+  size_t off = 0;
+  auto complete = net::TryParseFrame(partial, &off, &frame);
+  ASSERT_TRUE(complete.ok());
+  ASSERT_TRUE(complete.value());
+  EXPECT_EQ(off, buf.size());
+  EXPECT_EQ(frame.type, net::FrameType::kQuery);
+
+  // A declared payload over the cap is rejected before any buffering.
+  std::string huge;
+  net::PutU32(&huge, net::kMaxFramePayload + 1);
+  net::PutU8(&huge, static_cast<uint8_t>(net::FrameType::kQuery));
+  off = 0;
+  EXPECT_FALSE(net::TryParseFrame(huge, &off, &frame).ok());
+
+  // Unknown frame types are protocol errors.
+  std::string unknown;
+  net::PutU32(&unknown, 0);
+  net::PutU8(&unknown, 250);
+  off = 0;
+  EXPECT_FALSE(net::TryParseFrame(unknown, &off, &frame).ok());
+}
+
+TEST_F(NetTest, QueryRoundTripAndPlanCacheWarmth) {
+  StartServer();
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), User("alice")).ok());
+  EXPECT_EQ(client.server_banner(), "msqld");
+
+  auto cold = client.Query(kMeasureQuery);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_EQ(cold.value().num_rows(), 3u);
+  EXPECT_EQ(cold.value().Get(1, "v").int_val(), 17);  // Happy: 6 + 7 + 4
+  ASSERT_NE(cold.value().stats(), nullptr);
+  EXPECT_EQ(cold.value().stats()->plan_cache,
+            QueryStats::PlanCacheOutcome::kMiss);
+
+  auto warm = client.Query(kMeasureQuery);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_NE(warm.value().stats(), nullptr);
+  EXPECT_EQ(warm.value().stats()->plan_cache,
+            QueryStats::PlanCacheOutcome::kHit);
+
+  // The warm result is byte-for-byte the cold result.
+  auto diff = testing::DiffResults(cold.value(), warm.value(),
+                                   testing::CompareOptions{});
+  EXPECT_FALSE(diff.has_value()) << *diff;
+
+  // Server-side errors arrive as typed Statuses, connection stays usable.
+  auto bad = client.Query("SELECT nope FROM nothing");
+  EXPECT_FALSE(bad.ok());
+  auto again = client.Query("SELECT 1");
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST_F(NetTest, PrepareBindExecuteLifecycle) {
+  StartServer();
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), User("bob")).ok());
+
+  auto stmt = client.Prepare(
+      "SELECT prodName, AGGREGATE(r) AS v FROM EO WHERE revenue > ? "
+      "GROUP BY prodName ORDER BY prodName",
+      {TypeKind::kInt64});
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt.value().param_count, 1);
+
+  // Executing before Bind is refused.
+  auto unbound = client.Execute(stmt.value());
+  ASSERT_FALSE(unbound.ok());
+  EXPECT_EQ(unbound.status().code(), ErrorCode::kInvalidArgument);
+
+  ASSERT_TRUE(client.Bind(stmt.value(), {Value::Int(4)}).ok());
+  auto first = client.Execute(stmt.value());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value().num_rows(), 2u);  // Acme 5, Happy 6+7
+
+  // Rebind narrows the filter; the same bound plan serves the new value.
+  ASSERT_TRUE(client.Bind(stmt.value(), {Value::Int(6)}).ok());
+  auto second = client.Execute(stmt.value());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second.value().num_rows(), 1u);  // Happy 7
+  ASSERT_NE(second.value().stats(), nullptr);
+  EXPECT_EQ(second.value().stats()->plan_cache,
+            QueryStats::PlanCacheOutcome::kHit);
+
+  // Parameter type mismatch on Bind is a typed error, not a disconnect.
+  Status mismatch = client.Bind(stmt.value(), {Value::String("not a number")});
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(mismatch.message().find("parameter $1 type mismatch"),
+            std::string::npos)
+      << mismatch.ToString();
+  Status arity = client.Bind(stmt.value(), {Value::Int(1), Value::Int(2)});
+  ASSERT_FALSE(arity.ok());
+  EXPECT_EQ(arity.code(), ErrorCode::kInvalidArgument);
+
+  ASSERT_TRUE(client.CloseStatement(stmt.value()).ok());
+  auto closed = client.Execute(stmt.value());
+  ASSERT_FALSE(closed.ok());
+  EXPECT_EQ(closed.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(NetTest, ExecuteSurvivesCatalogGenerationBump) {
+  StartServer();
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), User("carol")).ok());
+
+  auto stmt = client.Prepare(kMeasureQuery, {});
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_TRUE(client.Execute(stmt.value()).ok());
+
+  // Mutate the catalog underneath the prepared statement. The server
+  // re-prepares transparently; the client sees fresh data, not kCatalog.
+  ASSERT_TRUE(
+      engine_->Execute("INSERT INTO Orders VALUES ('Acme', 'Dana', 9)").ok());
+  auto after = client.Execute(stmt.value());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.value().Get(0, "v").int_val(), 14);  // Acme: 5 + 9
+}
+
+TEST_F(NetTest, ProtocolViolationsGetCleanErrors) {
+  StartServer();
+  // A frame before Hello is refused with kPermission.
+  {
+    auto sock = net::ConnectTo("127.0.0.1", server_->port(), 2000);
+    ASSERT_TRUE(sock.ok());
+    std::string frames;
+    net::AppendFrame(&frames, net::FrameType::kQuery,
+                     net::EncodeQuery({"SELECT 1", 0}));
+    ASSERT_TRUE(net::WriteAll(sock.value().fd(), frames.data(), frames.size(),
+                              2000)
+                    .ok());
+    uint8_t header[net::kFrameHeaderBytes];
+    ASSERT_TRUE(
+        net::ReadExact(sock.value().fd(), header, sizeof(header), 2000).ok());
+    EXPECT_EQ(header[4], static_cast<uint8_t>(net::FrameType::kError));
+  }
+  // Garbage bytes get an Error frame, then the server closes.
+  {
+    auto sock = net::ConnectTo("127.0.0.1", server_->port(), 2000);
+    ASSERT_TRUE(sock.ok());
+    std::string garbage = "this is not a frame and the length is absurd";
+    garbage[0] = '\xff';
+    garbage[1] = '\xff';
+    garbage[2] = '\xff';
+    garbage[3] = '\xff';
+    ASSERT_TRUE(net::WriteAll(sock.value().fd(), garbage.data(),
+                              garbage.size(), 2000)
+                    .ok());
+    uint8_t header[net::kFrameHeaderBytes];
+    ASSERT_TRUE(
+        net::ReadExact(sock.value().fd(), header, sizeof(header), 2000).ok());
+    EXPECT_EQ(header[4], static_cast<uint8_t>(net::FrameType::kError));
+  }
+  // Version mismatch is refused.
+  {
+    auto sock = net::ConnectTo("127.0.0.1", server_->port(), 2000);
+    ASSERT_TRUE(sock.ok());
+    net::HelloMsg hello;
+    hello.version = 999;
+    hello.user = "eve";
+    std::string frames;
+    net::AppendFrame(&frames, net::FrameType::kHello, net::EncodeHello(hello));
+    ASSERT_TRUE(net::WriteAll(sock.value().fd(), frames.data(), frames.size(),
+                              2000)
+                    .ok());
+    uint8_t header[net::kFrameHeaderBytes];
+    ASSERT_TRUE(
+        net::ReadExact(sock.value().fd(), header, sizeof(header), 2000).ok());
+    EXPECT_EQ(header[4], static_cast<uint8_t>(net::FrameType::kError));
+  }
+  // The server keeps serving healthy clients afterwards.
+  net::Client healthy;
+  ASSERT_TRUE(
+      healthy.Connect("127.0.0.1", server_->port(), User("frank")).ok());
+  EXPECT_TRUE(healthy.Query("SELECT 1").ok());
+}
+
+TEST_F(NetTest, HalfClosedClientIsDrainedNotWedged) {
+  StartServer();
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), User("gina")).ok());
+
+  // Half-close: shut down our write side mid-conversation, as a crashed or
+  // lazy client would. The server must notice EOF, drain, and release the
+  // connection without wedging a handler thread.
+  auto sock = net::ConnectTo("127.0.0.1", server_->port(), 2000);
+  ASSERT_TRUE(sock.ok());
+  net::HelloMsg hello;
+  hello.user = "gina2";
+  std::string frames;
+  net::AppendFrame(&frames, net::FrameType::kHello, net::EncodeHello(hello));
+  ASSERT_TRUE(net::WriteAll(sock.value().fd(), frames.data(), frames.size(),
+                            2000)
+                  .ok());
+  shutdown(sock.value().fd(), SHUT_WR);
+
+  // A healthy client on the same server stays fully served meanwhile.
+  for (int i = 0; i < 5; ++i) {
+    auto r = client.Query(kMeasureQuery);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  // The half-closed connection ends with EOF once the server drains it.
+  char buf[4096];
+  while (true) {
+    Status st = net::ReadExact(sock.value().fd(), buf, 1, 5000);
+    if (!st.ok()) {
+      EXPECT_EQ(st.code(), ErrorCode::kIo) << st.ToString();
+      break;
+    }
+  }
+}
+
+TEST_F(NetTest, SlowClientIsShedWithResourceExhausted) {
+  net::ServerOptions options;
+  // A response bigger than the output buffer cannot be delivered — it must
+  // be shed with a typed error rather than buffered without bound.
+  options.max_outbuf_bytes = 512;
+  StartServer(options);
+  ASSERT_TRUE(engine_
+                  ->Execute("CREATE TABLE Wide (s VARCHAR); "
+                            "INSERT INTO Wide VALUES "
+                            "('0123456789012345678901234567890123456789')")
+                  .ok());
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), User("hank")).ok());
+  auto big = client.Query(
+      "SELECT w1.s, w2.s, o1.revenue FROM Wide w1, Wide w2, "
+      "Orders o1, Orders o2, Orders o3");
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), ErrorCode::kResourceExhausted)
+      << big.status().ToString();
+
+  // The metric recorded the shed and the server still serves new clients.
+  EXPECT_NE(engine_->MetricsText().find("msql_net_slow_client_sheds_total"),
+            std::string::npos);
+  net::Client next;
+  ASSERT_TRUE(next.Connect("127.0.0.1", server_->port(), User("iris")).ok());
+  EXPECT_TRUE(next.Query("SELECT 1").ok());
+}
+
+TEST_F(NetTest, PerUserAdmissionRateLimiting) {
+  net::ServerOptions options;
+  options.per_user_rate_limit_qps = 1.0;
+  options.per_user_rate_limit_burst = 1;
+  options.max_admission_wait_ms = 5;
+  StartServer(options);
+
+  net::Client flooder;
+  ASSERT_TRUE(
+      flooder.Connect("127.0.0.1", server_->port(), User("flood")).ok());
+  int shed = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto r = flooder.Query("SELECT 1");
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), ErrorCode::kResourceExhausted)
+          << r.status().ToString();
+      ++shed;
+    }
+  }
+  EXPECT_GE(shed, 1) << "burst of 5 at 1 qps should shed";
+
+  // Another user has its own bucket and is unaffected.
+  net::Client other;
+  ASSERT_TRUE(other.Connect("127.0.0.1", server_->port(), User("calm")).ok());
+  auto r = other.Query("SELECT 1");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST_F(NetTest, DeadlinePropagatesFromWire) {
+  StartServer();
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), User("jane")).ok());
+  // A cross join large enough that 1ms cannot finish it: the wire-level
+  // timeout must surface as kDeadlineExceeded, proving the budget reached
+  // the engine's guard.
+  auto r = client.Query(
+      "SELECT COUNT(*) FROM Orders a, Orders b, Orders c, Orders d, "
+      "Orders e, Orders f, Orders g, Orders h",
+      /*timeout_ms=*/1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kDeadlineExceeded)
+      << r.status().ToString();
+  // Connection unharmed.
+  EXPECT_TRUE(client.Query("SELECT 1").ok());
+}
+
+TEST_F(NetTest, ConnectionLimitPerUser) {
+  net::ServerOptions options;
+  options.max_connections_per_user = 1;
+  StartServer(options);
+  net::Client first;
+  ASSERT_TRUE(first.Connect("127.0.0.1", server_->port(), User("solo")).ok());
+  net::Client second;
+  Status refused = second.Connect("127.0.0.1", server_->port(), User("solo"));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), ErrorCode::kResourceExhausted)
+      << refused.ToString();
+  // Dropping the first connection frees the slot.
+  first.Disconnect();
+  net::Client third;
+  Status retry = Status::Ok();
+  for (int i = 0; i < 50; ++i) {
+    retry = third.Connect("127.0.0.1", server_->port(), User("solo"));
+    if (retry.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(retry.ok()) << retry.ToString();
+}
+
+TEST_F(NetTest, ConcurrentClientsAllServed) {
+  net::ServerOptions options;
+  options.num_handler_threads = 3;
+  options.num_worker_threads = 4;
+  StartServer(options);
+  constexpr int kClients = 8;
+  constexpr int kQueriesEach = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      net::Client client;
+      if (!client
+               .Connect("127.0.0.1", server_->port(),
+                        User("user" + std::to_string(c)))
+               .ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int q = 0; q < kQueriesEach; ++q) {
+        auto r = client.Query(kMeasureQuery);
+        if (!r.ok() || r.value().num_rows() != 3) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every statement of every client hit the shared plan cache after the
+  // first fill.
+  EXPECT_GE(engine_->plan_cache().stats().hits,
+            static_cast<uint64_t>(kClients * kQueriesEach - kClients));
+}
+
+TEST_F(NetTest, GracefulShutdownWithOpenConnections) {
+  StartServer();
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), User("kate")).ok());
+  ASSERT_TRUE(client.Query("SELECT 1").ok());
+  server_->Stop();
+  // The closed server refuses further traffic cleanly.
+  auto r = client.Query("SELECT 1");
+  EXPECT_FALSE(r.ok());
+  server_.reset();
+  engine_.reset();
+}
+
+}  // namespace
+}  // namespace msql

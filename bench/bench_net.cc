@@ -5,15 +5,22 @@
 // from the bound-plan cache). Reports qps and client-observed p50/p99 per
 // phase and emits BENCH_net.json.
 //
-// Gate (full runs only): warm qps must be >= 3x cold qps — the plan cache
+// A third phase re-runs the warm traffic while one admin client scrapes
+// GET /metrics at 10 Hz — the observability plane must be invisible to
+// the data path.
+//
+// Gates (full runs only): warm qps must be >= 3x cold qps — the plan cache
 // must actually delete the prepare cost from the hot path, through the
-// whole network stack. `--smoke` or any --benchmark* flag shrinks the run
-// (fewer connections, shorter phases) and skips the gate.
+// whole network stack — and warm qps under scrape must stay >= 95% of
+// undisturbed warm qps. `--smoke` or any --benchmark* flag shrinks the run
+// (fewer connections, shorter phases) and skips the gates.
 //
 // Own-main bench: the timed multi-connection phases don't fit the
 // per-iteration google-benchmark model.
 
+#include <poll.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
 
 #include <algorithm>
 #include <atomic>
@@ -74,6 +81,28 @@ double Percentile(std::vector<double>& v, double p) {
   const size_t idx =
       static_cast<size_t>(p * static_cast<double>(v.size() - 1));
   return v[idx];
+}
+
+// One Prometheus-style scrape: GET /metrics, read until the server closes.
+// Returns true when a complete 200 response arrived.
+bool ScrapeMetrics(uint16_t admin_port) {
+  auto sock = net::ConnectTo("127.0.0.1", admin_port, 2000);
+  if (!sock.ok()) return false;
+  const char request[] = "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  if (!net::WriteAll(sock.value().fd(), request, sizeof(request) - 1, 2000)
+           .ok()) {
+    return false;
+  }
+  std::string response;
+  char buf[8192];
+  while (true) {
+    pollfd pfd{sock.value().fd(), POLLIN, 0};
+    if (poll(&pfd, 1, 2000) <= 0) break;
+    const ssize_t got = ::recv(sock.value().fd(), buf, sizeof(buf), 0);
+    if (got <= 0) break;
+    response.append(buf, static_cast<size_t>(got));
+  }
+  return response.find("200 OK") != std::string::npos;
 }
 
 // Raise the fd ceiling: the bench holds client and server ends of every
@@ -204,6 +233,7 @@ int Main(int argc, char** argv) {
   }
 
   net::ServerOptions server_options;
+  server_options.admin_port = 0;  // ephemeral; scraped in the third phase
   server_options.num_handler_threads = 2;
   server_options.num_worker_threads =
       std::max(2u, std::thread::hardware_concurrency());
@@ -232,7 +262,27 @@ int Main(int argc, char** argv) {
                         /*unique_texts=*/true);
   Phase warm = RunPhase("warm", &clients, drivers, duration_s,
                         /*unique_texts=*/false);
-  for (const Phase* p : {&cold, &warm}) {
+
+  // Warm traffic again, now with a Prometheus-style scraper hitting the
+  // admin endpoint at 10 Hz for the whole phase.
+  std::atomic<bool> scraping{true};
+  std::atomic<int64_t> scrapes_ok{0}, scrapes_failed{0};
+  std::thread scraper([&] {
+    while (scraping.load(std::memory_order_acquire)) {
+      if (ScrapeMetrics(server.admin_port())) {
+        scrapes_ok.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        scrapes_failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+  Phase warm_scrape = RunPhase("warm_scrape", &clients, drivers, duration_s,
+                               /*unique_texts=*/false);
+  scraping.store(false, std::memory_order_release);
+  scraper.join();
+
+  for (const Phase* p : {&cold, &warm, &warm_scrape}) {
     std::printf("%-5s %8.1f qps  p50 %7.3f ms (engine %6.3f)  p99 %7.3f ms  "
                 "ok=%lld failed=%lld\n",
                 p->name.c_str(), p->qps, p->p50_ms, p->engine_p50_ms,
@@ -242,6 +292,12 @@ int Main(int argc, char** argv) {
   const double speedup = cold.qps > 0 ? warm.qps / cold.qps : 0;
   std::printf("warm/cold speedup: %.2fx (gate: >= 3x on the full run)\n",
               speedup);
+  const double scrape_impact =
+      warm.qps > 0 ? warm_scrape.qps / warm.qps : 0;
+  std::printf("qps under 10 Hz /metrics scrape: %.2fx of warm "
+              "(%lld scrapes ok, %lld failed; gate: >= 0.95x)\n",
+              scrape_impact, static_cast<long long>(scrapes_ok.load()),
+              static_cast<long long>(scrapes_failed.load()));
 
   for (auto& client : clients) client->Disconnect();
   server.Stop();
@@ -263,7 +319,7 @@ int Main(int argc, char** argv) {
   w.Bool(smoke);
   w.Key("phases");
   w.BeginArray();
-  for (const Phase* p : {&cold, &warm}) {
+  for (const Phase* p : {&cold, &warm, &warm_scrape}) {
     w.BeginObject();
     w.Key("name");
     w.String(p->name);
@@ -284,18 +340,36 @@ int Main(int argc, char** argv) {
   w.EndArray();
   w.Key("warm_over_cold_speedup");
   w.Double(speedup);
+  w.Key("scrape_impact");
+  w.Double(scrape_impact);
+  w.Key("scrapes_ok");
+  w.Int(scrapes_ok.load());
+  w.Key("scrapes_failed");
+  w.Int(scrapes_failed.load());
   w.EndObject();
   out << "\n";
 
-  if (cold.failed + warm.failed > 0) {
+  if (cold.failed + warm.failed + warm_scrape.failed > 0) {
     std::fprintf(stderr, "bench_net: %lld requests failed\n",
-                 static_cast<long long>(cold.failed + warm.failed));
+                 static_cast<long long>(cold.failed + warm.failed +
+                                        warm_scrape.failed));
+    return 1;
+  }
+  if (scrapes_ok.load() == 0) {
+    std::fprintf(stderr, "bench_net: no successful /metrics scrape\n");
     return 1;
   }
   if (!smoke && speedup < 3.0) {
     std::fprintf(stderr,
                  "bench_net gate FAILED: warm qps %.1f < 3x cold qps %.1f\n",
                  warm.qps, cold.qps);
+    return 1;
+  }
+  if (!smoke && scrape_impact < 0.95) {
+    std::fprintf(stderr,
+                 "bench_net gate FAILED: qps under scrape %.1f < 95%% of "
+                 "warm qps %.1f\n",
+                 warm_scrape.qps, warm.qps);
     return 1;
   }
   return 0;

@@ -7,6 +7,10 @@
 //   \expand SQL   show the section-4.2 measure expansion
 //   \stats        engine-wide execution statistics
 //   \metrics      Prometheus-style metrics exposition
+//   \timing verbose | off
+//                 per-statement phase breakdown (parse/bind/measure-expand/
+//                 plan/execute/render µs and guard bytes); over --connect
+//                 this turns on the wire trace footer
 //
 //   build/examples/msql_shell [file.sql ...]
 //   build/examples/msql_shell --connect host:port [--user NAME]
@@ -27,6 +31,7 @@
 #include "common/string_util.h"
 #include "engine/engine.h"
 #include "net/client.h"
+#include "runtime/session.h"
 
 namespace {
 
@@ -63,6 +68,29 @@ std::string StatsFooter(const msql::ResultSet& result) {
   return footer;
 }
 
+// \timing verbose: print the server-side phase breakdown after each
+// statement. The numbers come from QueryStats whether the statement ran
+// in-process (session tracing) or over the wire (response footer).
+bool g_timing_verbose = false;
+
+void PrintVerboseTiming(const msql::ResultSet& result) {
+  const std::shared_ptr<const msql::QueryStats>& stats = result.stats();
+  if (!g_timing_verbose || stats == nullptr) return;
+  std::printf(
+      "timing: admission %lld us, queue %lld us, parse %lld us, "
+      "bind %lld us, measure-expand %lld us, plan %lld us, "
+      "execute %lld us, render %lld us; guard %llu bytes\n",
+      static_cast<long long>(stats->admission_wait_us),
+      static_cast<long long>(stats->queue_wait_us),
+      static_cast<long long>(stats->parse_us),
+      static_cast<long long>(stats->bind_us),
+      static_cast<long long>(stats->measure_expand_us),
+      static_cast<long long>(stats->plan_us),
+      static_cast<long long>(stats->execute_us),
+      static_cast<long long>(stats->render_us),
+      static_cast<unsigned long long>(stats->bytes_charged));
+}
+
 void PrintResult(const msql::ResultSet& result) {
   if (result.num_columns() > 0) {
     std::printf("%s(%zu row%s%s)\n", result.ToString().c_str(),
@@ -71,6 +99,7 @@ void PrintResult(const msql::ResultSet& result) {
   } else {
     std::printf("OK%s\n", StatsFooter(result).c_str());
   }
+  PrintVerboseTiming(result);
 }
 
 // The two shell backends: an in-process engine or an msqld connection.
@@ -78,17 +107,40 @@ class Backend {
  public:
   virtual ~Backend() = default;
   virtual msql::Result<msql::ResultSet> Query(const std::string& sql) = 0;
+  // Enables or disables per-statement phase timing in the backend (session
+  // tracing locally, the wire trace footer remotely).
+  virtual void SetTiming(bool verbose) = 0;
+
   // Returns true when the meta command was handled; `quit` signals \q.
-  virtual bool Meta(const std::string& line, bool* quit) = 0;
+  bool Meta(const std::string& line, bool* quit) {
+    if (line == "\\timing verbose" || line == "\\timing off") {
+      g_timing_verbose = line == "\\timing verbose";
+      SetTiming(g_timing_verbose);
+      std::printf("timing %s\n", g_timing_verbose ? "verbose" : "off");
+      return true;
+    }
+    return MetaImpl(line, quit);
+  }
+
+ protected:
+  virtual bool MetaImpl(const std::string& line, bool* quit) = 0;
 };
 
 class LocalBackend : public Backend {
  public:
+  LocalBackend() : session_(db_.CreateSession()) {}
+
   msql::Result<msql::ResultSet> Query(const std::string& sql) override {
-    return db_.Query(sql);
+    // Through a session so \timing verbose can toggle tracing per shell.
+    return session_->Query(sql);
   }
 
-  bool Meta(const std::string& line, bool* quit) override {
+  void SetTiming(bool verbose) override {
+    session_->options().enable_tracing = verbose;
+  }
+
+ protected:
+  bool MetaImpl(const std::string& line, bool* quit) override {
     if (line == "\\q" || line == "\\quit") {
       *quit = true;
       return true;
@@ -132,10 +184,12 @@ class LocalBackend : public Backend {
     return false;
   }
 
+ public:
   msql::Engine* engine() { return &db_; }
 
  private:
   msql::Engine db_;
+  msql::SessionPtr session_;
 };
 
 class RemoteBackend : public Backend {
@@ -151,7 +205,10 @@ class RemoteBackend : public Backend {
     return client_.Query(sql);
   }
 
-  bool Meta(const std::string& line, bool* quit) override {
+  void SetTiming(bool verbose) override { client_.SetTrace(verbose); }
+
+ protected:
+  bool MetaImpl(const std::string& line, bool* quit) override {
     if (line == "\\q" || line == "\\quit") {
       *quit = true;
       return true;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Lints every metric name registered against obs::MetricsRegistry
-# (GetCounter / GetGauge / GetHistogram call sites in src/ and bench/)
-# for the naming conventions documented in docs/OBSERVABILITY.md:
+# (GetCounter / GetGauge / GetHistogram call sites in src/, bench/,
+# tools/ and examples/) for the naming conventions documented in
+# docs/OBSERVABILITY.md:
 #
 #   - every name matches ^msql_[a-z][a-z0-9_]*$ (prometheus-safe, one
 #     namespace prefix, no camelCase)
@@ -12,6 +13,8 @@
 #   - every name belongs to a known family prefix (msql_query_,
 #     msql_measure_, msql_net_, msql_plan_cache_, ... below) so new
 #     subsystems register their namespace here before inventing one
+#   - every name is mentioned in docs/OBSERVABILITY.md — the metrics
+#     reference must not drift behind the code
 #
 # Exits non-zero listing every violation. Run from the repository root.
 set -u
@@ -24,7 +27,8 @@ fail=0
 # call sites put the name on the line after the open paren, so flatten
 # each file to one line before matching.
 extract() { # $1 = method name
-  find src bench -name '*.cc' -o -name '*.h' | while read -r f; do
+  find src bench tools examples \
+      -name '*.cc' -o -name '*.h' -o -name '*.cpp' | while read -r f; do
     tr '\n' ' ' < "$f"
     echo
   done |
@@ -65,6 +69,15 @@ families='^msql_(queries|query_|measure_|subquery_|shared_cache_|sessions_|sched
 for name in "${counters[@]}" "${gauges[@]}" "${histograms[@]}"; do
   if ! [[ "$name" =~ $families ]]; then
     echo "BAD FAMILY: '$name' is outside the registered prefixes ($families)"
+    fail=1
+  fi
+done
+
+# Doc drift: every registered metric must appear in the observability
+# reference (docs/OBSERVABILITY.md tabulates all families).
+for name in "${counters[@]}" "${gauges[@]}" "${histograms[@]}"; do
+  if ! grep -q "$name" docs/OBSERVABILITY.md; then
+    echo "UNDOCUMENTED: '$name' is not mentioned in docs/OBSERVABILITY.md"
     fail=1
   fi
 done

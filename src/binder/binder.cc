@@ -250,6 +250,32 @@ Result<PlanPtr> Binder::BindBaseTable(const std::string& name,
     }
   }
 
+  // Reserved introspection namespace: resolved through the system-table
+  // registry (when the engine enabled it), never the user catalog. The
+  // provider builds a fresh snapshot table that the plan owns; see
+  // catalog/system_tables.h for the cache-safety contract.
+  if (SystemTableRegistry::IsSystemName(name)) {
+    if (system_tables_ == nullptr) {
+      return Status(ErrorCode::kCatalog,
+                    "system tables are disabled "
+                    "(EngineOptions::enable_system_tables)");
+    }
+    std::shared_ptr<Table> table = system_tables_->Build(name);
+    if (table == nullptr) {
+      return Status(ErrorCode::kCatalog,
+                    "system table '" + name + "' does not exist");
+    }
+    used_system_tables_ = true;
+    auto plan = std::make_shared<LogicalPlan>();
+    plan->kind = PlanKind::kScanTable;
+    plan->table = table;
+    plan->schema = table->schema();
+    // Default alias: the unqualified part, so `connections.user` resolves.
+    plan->schema.SetAlias(alias.empty() ? name.substr(name.rfind('.') + 1)
+                                        : alias);
+    return plan;
+  }
+
   const CatalogEntry* entry = nullptr;
   MSQL_RETURN_IF_ERROR(CheckAccessAndGet(name, &entry));
 
@@ -268,13 +294,16 @@ Result<PlanPtr> Binder::BindBaseTable(const std::string& name,
     --view_depth_;
     return RecursionLimitExceeded("view expansion", max_recursion_depth_);
   }
-  Binder view_binder(catalog_, entry->owner, max_recursion_depth_);
+  Binder view_binder(catalog_, entry->owner, max_recursion_depth_,
+                     system_tables_);
   view_binder.view_depth_ = view_depth_;
   // Measure expansion inside the view counts toward the outer query's
   // measure-expand trace span.
   view_binder.measure_expand_us_ = measure_expand_us_;
   auto result = view_binder.BindSelectStmt(*entry->view_ast, nullptr);
   --view_depth_;
+  // A view over a system table makes the whole statement cache-unsafe.
+  used_system_tables_ |= view_binder.used_system_tables_;
   if (!result.ok()) return result.status();
   PlanPtr plan = result.take();
   plan->schema.SetAlias(alias.empty() ? name : alias);

@@ -9,6 +9,7 @@
 
 #include "binder/bound_expr.h"
 #include "catalog/catalog.h"
+#include "catalog/system_tables.h"
 #include "common/status.h"
 #include "parser/ast.h"
 #include "plan/plan.h"
@@ -25,11 +26,17 @@ class Binder {
   // `max_recursion_depth` drives the view-expansion depth guard; it is the
   // same EngineOptions::max_recursion_depth that bounds plan execution and
   // measure evaluation, so every layer trips the same kResourceExhausted.
+  // `system_tables` (optional) resolves the reserved `msql_system.` name
+  // space; null (the default, and whenever
+  // EngineOptions::enable_system_tables is off) keeps those names ordinary
+  // catalog misses.
   Binder(const Catalog* catalog, std::string user,
-         int max_recursion_depth = 64)
+         int max_recursion_depth = 64,
+         const SystemTableRegistry* system_tables = nullptr)
       : catalog_(catalog),
         user_(std::move(user)),
-        max_recursion_depth_(max_recursion_depth) {}
+        max_recursion_depth_(max_recursion_depth),
+        system_tables_(system_tables) {}
 
   // Binds a full query (WITH / set ops / ORDER BY / LIMIT).
   Result<PlanPtr> Bind(const SelectStmt& stmt);
@@ -54,6 +61,12 @@ class Binder {
   void set_measure_expand_accumulator(int64_t* us) {
     measure_expand_us_ = us;
   }
+
+  // True when this bind (including nested view expansion) scanned a
+  // msql_system table. Such plans embed a point-in-time data snapshot that
+  // the catalog generation does not version, so the engine must keep them
+  // out of the bound-plan and shared-measure caches.
+  bool used_system_tables() const { return used_system_tables_; }
 
  private:
   // One name-resolution scope: the FROM relation of a SELECT (or a pseudo
@@ -199,6 +212,11 @@ class Binder {
   // Measure-expansion time accumulator; null unless the engine is tracing
   // this bind.
   int64_t* measure_expand_us_ = nullptr;
+
+  // Reserved-namespace resolver (null = feature off) and whether this bind
+  // touched it.
+  const SystemTableRegistry* system_tables_ = nullptr;
+  bool used_system_tables_ = false;
 
   // Declared positional parameter types (prepared statements) and the
   // number of distinct ordinals actually bound.

@@ -1,0 +1,45 @@
+#include "catalog/system_tables.h"
+
+#include "common/string_util.h"
+
+namespace msql {
+
+bool SystemTableRegistry::IsSystemName(const std::string& name) {
+  const std::string lower = ToLower(name);
+  return lower.rfind(kPrefix, 0) == 0;
+}
+
+void SystemTableRegistry::Register(const std::string& name,
+                                   Provider provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_[ToLower(name)] = std::move(provider);
+}
+
+std::shared_ptr<Table> SystemTableRegistry::Build(
+    const std::string& name) const {
+  Provider provider;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = providers_.find(ToLower(name));
+    if (it == providers_.end()) return nullptr;
+    provider = it->second;
+  }
+  // Run the provider outside the registry lock: providers snapshot live
+  // server state and may take their own locks.
+  return provider();
+}
+
+bool SystemTableRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return providers_.count(ToLower(name)) != 0;
+}
+
+std::vector<std::string> SystemTableRegistry::ListNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(providers_.size());
+  for (const auto& [name, provider] : providers_) out.push_back(name);
+  return out;
+}
+
+}  // namespace msql

@@ -1,0 +1,60 @@
+#ifndef MSQL_CATALOG_SYSTEM_TABLES_H_
+#define MSQL_CATALOG_SYSTEM_TABLES_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+
+namespace msql {
+
+// Virtual read-only introspection tables under the reserved
+// `msql_system.` namespace (docs/OBSERVABILITY.md, "Operating msqld"):
+// the engine registers `msql_system.metrics` and `msql_system.queries`,
+// and msqld overrides `msql_system.connections` with a live provider
+// while it is running. Gated behind EngineOptions::enable_system_tables
+// (default off), so embedded engines pay nothing — the binder only
+// consults the registry when the engine handed it one.
+//
+// A provider builds a *fresh* Table snapshot per reference: system-table
+// contents change without bumping the catalog generation, so their plans
+// must never enter the bound-plan or shared-measure caches (the binder
+// reports `used_system_tables()` and the engine suppresses both). They
+// are ordinary relations otherwise: SELECTs, joins, and measures over
+// them all work — the paper's thesis applied to the engine's own
+// telemetry.
+//
+// Thread safety: all methods may be called concurrently; providers must
+// be thread-safe themselves (they run on query threads).
+class SystemTableRegistry {
+ public:
+  // Builds the table's current contents. Must not return nullptr.
+  using Provider = std::function<std::shared_ptr<Table>()>;
+
+  static constexpr const char* kPrefix = "msql_system.";
+
+  // True when `name` is inside the reserved namespace (case-insensitive).
+  static bool IsSystemName(const std::string& name);
+
+  // Registers (or replaces) the provider for a fully-qualified name
+  // ("msql_system.connections"). Names are case-insensitive.
+  void Register(const std::string& name, Provider provider);
+
+  // Builds a fresh snapshot of the named table; nullptr when unknown.
+  std::shared_ptr<Table> Build(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> ListNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Provider> providers_;  // lowercase name -> provider
+};
+
+}  // namespace msql
+
+#endif  // MSQL_CATALOG_SYSTEM_TABLES_H_

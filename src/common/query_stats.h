@@ -49,6 +49,19 @@ struct QueryStats {
 
   // Wall time of the whole select pipeline (bind through render).
   int64_t total_us = 0;
+
+  // Per-phase wall times, filled from the query's trace spans when tracing
+  // was enabled for the statement (zero otherwise — the disabled path never
+  // measures them). Names match the span names in docs/OBSERVABILITY.md;
+  // these feed the wire response footer and msql_system.queries.
+  int64_t admission_wait_us = 0;
+  int64_t queue_wait_us = 0;
+  int64_t parse_us = 0;
+  int64_t bind_us = 0;
+  int64_t measure_expand_us = 0;
+  int64_t plan_us = 0;
+  int64_t execute_us = 0;
+  int64_t render_us = 0;
 };
 
 }  // namespace msql

@@ -182,6 +182,80 @@ void Engine::InitObs() {
     }
     trace_collector_.AddSink(std::move(slow));
   }
+
+  RegisterBuiltinSystemTables();
+}
+
+void Engine::RegisterBuiltinSystemTables() {
+  // msql_system.metrics: one row per exported sample (histograms flattened
+  // to _count/_sum), the SQL view of MetricsText().
+  system_tables_.Register("msql_system.metrics", [this] {
+    SyncCacheMetrics();
+    Schema schema;
+    schema.AddColumn(Column("name", DataType::String()));
+    schema.AddColumn(Column("kind", DataType::String()));
+    schema.AddColumn(Column("value", DataType::Double()));
+    schema.AddColumn(Column("help", DataType::String()));
+    auto table =
+        std::make_shared<Table>("msql_system.metrics", std::move(schema));
+    std::vector<Row> rows;
+    for (const obs::MetricsRegistry::Sample& s : metrics_.Samples()) {
+      rows.push_back({Value::String(s.name), Value::String(s.kind),
+                      Value::Double(s.value), Value::String(s.help)});
+    }
+    (void)table->AppendRows(std::move(rows));
+    return table;
+  });
+
+  // msql_system.queries: the trace ring flattened to one row per traced
+  // statement, newest first, with the per-phase wall times FinishSelect
+  // recorded. Queryable with plain SELECTs and with measures.
+  system_tables_.Register("msql_system.queries", [this] {
+    Schema schema;
+    schema.AddColumn(Column("id", DataType::Int64()));
+    schema.AddColumn(Column("trace_id", DataType::String()));
+    schema.AddColumn(Column("user", DataType::String()));
+    schema.AddColumn(Column("peer", DataType::String()));
+    schema.AddColumn(Column("session_id", DataType::Int64()));
+    schema.AddColumn(Column("sql", DataType::String()));
+    schema.AddColumn(Column("status", DataType::String()));
+    schema.AddColumn(Column("rows", DataType::Int64()));
+    schema.AddColumn(Column("total_us", DataType::Int64()));
+    schema.AddColumn(Column("admission_wait_us", DataType::Int64()));
+    schema.AddColumn(Column("queue_wait_us", DataType::Int64()));
+    schema.AddColumn(Column("parse_us", DataType::Int64()));
+    schema.AddColumn(Column("bind_us", DataType::Int64()));
+    schema.AddColumn(Column("measure_expand_us", DataType::Int64()));
+    schema.AddColumn(Column("plan_us", DataType::Int64()));
+    schema.AddColumn(Column("execute_us", DataType::Int64()));
+    schema.AddColumn(Column("render_us", DataType::Int64()));
+    schema.AddColumn(Column("plan_cache", DataType::String()));
+    auto table =
+        std::make_shared<Table>("msql_system.queries", std::move(schema));
+    std::vector<Row> rows;
+    for (const obs::TracePtr& t : RecentTraces()) {
+      const QueryStats& qs = t->stats();
+      const char* pc = "off";
+      if (qs.plan_cache == QueryStats::PlanCacheOutcome::kMiss) pc = "miss";
+      if (qs.plan_cache == QueryStats::PlanCacheOutcome::kHit) pc = "hit";
+      rows.push_back({Value::Int(static_cast<int64_t>(t->id())),
+                      Value::String(t->trace_id()), Value::String(t->user()),
+                      Value::String(t->peer()),
+                      Value::Int(static_cast<int64_t>(t->session_id())),
+                      Value::String(t->sql()),
+                      Value::String(t->ok() ? "ok"
+                                            : ErrorCodeName(t->error_code())),
+                      Value::Int(static_cast<int64_t>(t->rows_returned())),
+                      Value::Int(t->total_us()),
+                      Value::Int(qs.admission_wait_us),
+                      Value::Int(qs.queue_wait_us), Value::Int(qs.parse_us),
+                      Value::Int(qs.bind_us), Value::Int(qs.measure_expand_us),
+                      Value::Int(qs.plan_us), Value::Int(qs.execute_us),
+                      Value::Int(qs.render_us), Value::String(pc)});
+    }
+    (void)table->AppendRows(std::move(rows));
+    return table;
+  });
 }
 
 Status Engine::Execute(const std::string& sql) {
@@ -238,6 +312,8 @@ Result<ResultSet> Engine::QueryTraced(const std::string& sql,
   auto trace = std::make_shared<obs::QueryTrace>(
       next_query_id_.fetch_add(1, std::memory_order_relaxed), sql,
       ctx.session_id, ctx.user);
+  if (!ctx.trace_id.empty()) trace->set_trace_id(ctx.trace_id);
+  if (!ctx.peer.empty()) trace->set_peer(ctx.peer);
   if (ctx.admission_wait_us > 0) {
     // Bounded-wait admission happened before the enqueue; render it as the
     // earliest negative-offset child of the root.
@@ -281,6 +357,8 @@ Status Engine::ExecuteTraced(const std::string& sql, const QueryContext& ctx) {
   auto trace = std::make_shared<obs::QueryTrace>(
       next_query_id_.fetch_add(1, std::memory_order_relaxed), sql,
       ctx.session_id, ctx.user);
+  if (!ctx.trace_id.empty()) trace->set_trace_id(ctx.trace_id);
+  if (!ctx.peer.empty()) trace->set_peer(ctx.peer);
   if (ctx.admission_wait_us > 0) {
     trace->AddCompletedSpan("admission-wait",
                             -(ctx.admission_wait_us + ctx.queue_wait_us),
@@ -382,6 +460,11 @@ EngineStats Engine::stats() const {
 }
 
 std::string Engine::MetricsText() {
+  SyncCacheMetrics();
+  return metrics_.Text();
+}
+
+void Engine::SyncCacheMetrics() {
   // Fold the shared cache's internally-kept counters into the registry as
   // deltas since the last exposition, and refresh the gauges.
   const SharedMeasureCache::Stats cache = shared_cache_.stats();
@@ -415,7 +498,6 @@ std::string Engine::MetricsText() {
   }
   ins_.plan_cache_entries->Set(static_cast<double>(pc.entries));
   ins_.plan_cache_bytes->Set(static_cast<double>(pc.bytes));
-  return metrics_.Text();
 }
 
 std::vector<obs::TracePtr> Engine::RecentTraces() const {
@@ -496,7 +578,32 @@ Result<ResultSet> Engine::FinishSelect(const QueryContext& ctx,
   stats->bytes_charged = state.guard.bytes_charged();
   stats->depth = state.depth;
   stats->total_us = total_us;
-  if (ctx.trace != nullptr) ctx.trace->set_stats(*stats);
+  if (ctx.trace != nullptr) {
+    // Flatten the per-phase wall times out of the span tree (all phases
+    // have closed by now and sit as direct children of the root). These
+    // feed the wire response footer and msql_system.queries; untraced
+    // statements leave them zero.
+    for (const auto& span : ctx.trace->root().children) {
+      if (span->name == "admission-wait") {
+        stats->admission_wait_us += span->duration_us;
+      } else if (span->name == "queue-wait") {
+        stats->queue_wait_us += span->duration_us;
+      } else if (span->name == "parse") {
+        stats->parse_us += span->duration_us;
+      } else if (span->name == "bind") {
+        stats->bind_us += span->duration_us;
+      } else if (span->name == "measure-expand") {
+        stats->measure_expand_us += span->duration_us;
+      } else if (span->name == "plan") {
+        stats->plan_us += span->duration_us;
+      } else if (span->name == "execute") {
+        stats->execute_us += span->duration_us;
+      } else if (span->name == "render") {
+        stats->render_us += span->duration_us;
+      }
+    }
+    ctx.trace->set_stats(*stats);
+  }
   if (result.ok()) result.value().set_stats(std::move(stats));
 
   ins_.query_duration_ms->Observe(static_cast<double>(total_us) / 1000.0);
@@ -534,7 +641,8 @@ Result<ResultSet> Engine::RunSelectImpl(const SelectStmt& select,
     state->plan_cache_outcome = 1;
   }
 
-  Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth);
+  Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth,
+                SystemTablesFor(ctx.options));
   PlanPtr plan;
   int64_t expand_us = -1;  // sentinel: no measure expansion happened
   {
@@ -557,11 +665,17 @@ Result<ResultSet> Engine::RunSelectImpl(const SelectStmt& select,
   }
   if (plan_out != nullptr) *plan_out = plan;
 
+  // System-table scans embed a point-in-time snapshot that the catalog
+  // generation does not version: the plan must never be published (a later
+  // hit would replay stale telemetry) and the statement must not read or
+  // fill the cross-query shared cache.
+  if (binder.used_system_tables()) state->forbid_shared_cache = true;
+
   // On a miss, publish the freshly bound plan. The fill runs as the
   // `after_arm` hook so its memory footprint is charged against the armed
   // query guard (a cache fill must not dodge the query's byte budget).
   std::function<Status()> after_arm;
-  if (ctx.options.enable_plan_cache) {
+  if (ctx.options.enable_plan_cache && !binder.used_system_tables()) {
     auto entry = std::make_shared<PreparedPlan>();
     entry->sql = ctx.plan_cache_text;
     entry->canonical = Unparse(select);
@@ -593,8 +707,9 @@ Result<ResultSet> Engine::ExecutePlanImpl(
   {
     obs::ScopedSpan span(ctx.trace, "plan");
     state->options = ctx.options;
-    if (ctx.options.measure_strategy == MeasureStrategy::kMemoized ||
-        ctx.options.measure_strategy == MeasureStrategy::kGrouped) {
+    if ((ctx.options.measure_strategy == MeasureStrategy::kMemoized ||
+         ctx.options.measure_strategy == MeasureStrategy::kGrouped) &&
+        !state->forbid_shared_cache) {
       state->shared_cache = &shared_cache_;
       state->catalog_generation = catalog_.generation();
     }
@@ -696,9 +811,17 @@ Result<PreparedPlanPtr> Engine::PrepareSelect(
                   "Prepare expects a single SELECT statement");
   }
 
-  Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth);
+  Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth,
+                SystemTablesFor(ctx.options));
   binder.set_param_types(param_types);
   MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*stmt->select));
+  if (binder.used_system_tables()) {
+    // A prepared plan over a system table would freeze one telemetry
+    // snapshot and serve it forever (their contents change without a
+    // catalog generation bump). Re-issue the SELECT as plain text instead.
+    return Status(ErrorCode::kInvalidArgument,
+                  "cannot prepare a statement over msql_system tables");
+  }
   if (binder.param_count() != static_cast<int>(param_types.size())) {
     return Status(ErrorCode::kBind,
                   StrCat("statement references ", binder.param_count(),
@@ -770,6 +893,8 @@ Result<ResultSet> Engine::QueryPlanned(const PreparedPlanPtr& prepared,
     auto trace = std::make_shared<obs::QueryTrace>(
         next_query_id_.fetch_add(1, std::memory_order_relaxed), prepared->sql,
         ctx.session_id, ctx.user);
+    if (!ctx.trace_id.empty()) trace->set_trace_id(ctx.trace_id);
+    if (!ctx.peer.empty()) trace->set_peer(ctx.peer);
     if (ctx.admission_wait_us > 0) {
       trace->AddCompletedSpan("admission-wait",
                               -(ctx.admission_wait_us + ctx.queue_wait_us),
@@ -829,7 +954,8 @@ Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out,
     }
     case StmtKind::kCreateView: {
       // Validate eagerly so errors surface at CREATE time.
-      Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth);
+      Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth,
+                    SystemTablesFor(ctx.options));
       MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*stmt.view_select));
       (void)plan;
       MSQL_RETURN_IF_ERROR(catalog_.CreateView(
@@ -923,7 +1049,8 @@ Status Engine::ExecuteStmt(const Stmt& stmt, ResultSet* out,
               {Value::String(c.name), Value::String(c.type.ToString())});
         }
       } else {
-        Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth);
+        Binder binder(&catalog_, ctx.user, ctx.options.max_recursion_depth,
+                      SystemTablesFor(ctx.options));
         MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*entry->view_ast));
         for (size_t i = 0; i < plan->schema.num_visible(); ++i) {
           const Column& c = plan->schema.column(i);
@@ -1027,7 +1154,8 @@ Result<std::string> Engine::Explain(const std::string& sql) {
   } else {
     return Status(ErrorCode::kInvalidArgument, "EXPLAIN requires a SELECT");
   }
-  Binder binder(&catalog_, user_, options_.max_recursion_depth);
+  Binder binder(&catalog_, user_, options_.max_recursion_depth,
+                SystemTablesFor(options_));
   MSQL_ASSIGN_OR_RETURN(PlanPtr plan, binder.Bind(*select));
   obs::ExplainOptions eopts;
   eopts.strategy = options_.measure_strategy;

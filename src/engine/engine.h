@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/system_tables.h"
 #include "common/query_guard.h"
 #include "common/query_stats.h"
 #include "common/status.h"
@@ -46,6 +47,13 @@ struct QueryContext {
   uint64_t session_id = 0;
   int64_t queue_wait_us = 0;
   obs::QueryTrace* trace = nullptr;
+
+  // Wire trace context (docs/NETWORKING.md): the client-supplied
+  // correlation id and the connection identity ("ip:port#connid"), both
+  // copied onto the QueryTrace so server-side traces carry who asked.
+  // Empty for embedded queries.
+  std::string trace_id;
+  std::string peer;
 
   // Overload resilience (docs/ROBUSTNESS.md). `admission_wait_us` is how
   // long the submission waited in bounded-wait admission (rate limit +
@@ -257,6 +265,12 @@ class Engine {
   // for sizing (set_max_bytes) and monitoring.
   SharedMeasureCache& shared_cache() { return shared_cache_; }
 
+  // The `msql_system.*` virtual-table registry. The engine pre-registers
+  // msql_system.metrics and msql_system.queries; msqld adds
+  // msql_system.connections. Binding only consults it when
+  // EngineOptions::enable_system_tables is on.
+  SystemTableRegistry& system_tables() { return system_tables_; }
+
   // Circuit breakers guarding the degradable fault points
   // (docs/ROBUSTNESS.md): grouped-index builds and cross-query cache
   // fills. Configured from EngineOptions breaker_* at construction;
@@ -319,6 +333,20 @@ class Engine {
   // installs the built-in trace sinks.
   void InitObs();
 
+  // Registers the built-in msql_system.metrics / msql_system.queries
+  // providers (called from InitObs).
+  void RegisterBuiltinSystemTables();
+
+  // The cache-counter folding shared by MetricsText() and the
+  // msql_system.metrics provider.
+  void SyncCacheMetrics();
+
+  // The registry pointer handed to binders: null unless the context opted
+  // into system tables, which is what keeps the disabled path free.
+  const SystemTableRegistry* SystemTablesFor(const EngineOptions& o) const {
+    return o.enable_system_tables ? &system_tables_ : nullptr;
+  }
+
   // Folds a finished query's counters into the metrics registry.
   void AccumulateStats(const ExecState& state);
 
@@ -341,6 +369,7 @@ class Engine {
   Catalog catalog_;
   EngineOptions options_;
   std::string user_;
+  SystemTableRegistry system_tables_;
   SharedMeasureCache shared_cache_;
   PlanCache plan_cache_{options_.plan_cache_max_entries,
                         options_.plan_cache_max_bytes};

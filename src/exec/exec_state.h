@@ -94,6 +94,10 @@ struct EngineOptions {
   int64_t slow_query_log_ms = -1;
   // Slow-query log destination; empty means stderr.
   std::string slow_query_log_path;
+  // Exposes the virtual `msql_system.*` introspection tables (connections,
+  // queries, metrics — docs/OBSERVABILITY.md) to the binder. Off by default
+  // so embedded engines pay nothing; msqld turns it on.
+  bool enable_system_tables = false;
 };
 
 // Per-query mutable execution state: option snapshot, caches, counters. The
@@ -106,6 +110,12 @@ struct ExecState {
   // guard.ChargeRows(). Parallel measure workers run against forks of this
   // guard (QueryGuard::ForkWorker), merged after the join.
   QueryGuard guard;
+
+  // Set when the bound plan scans an msql_system table: such plans embed a
+  // data snapshot the catalog generation does not version, so the
+  // statement must stay out of the cross-query shared cache (the engine
+  // also suppresses its plan-cache publish).
+  bool forbid_shared_cache = false;
 
   std::unordered_map<std::string, Value> measure_cache;
   std::unordered_map<std::string, Value> subquery_cache;

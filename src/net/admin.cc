@@ -1,0 +1,200 @@
+#include "net/admin.h"
+
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+
+namespace msql::net {
+
+namespace {
+
+// Poll slice for the accept loop: bounds how long Stop() can lag.
+constexpr int kPollTimeoutMs = 50;
+// Per-request socket budget; an admin client slower than this is dropped.
+constexpr int64_t kIoTimeoutMs = 2000;
+// Request lines beyond this are rejected (no admin request is this long).
+constexpr size_t kMaxRequestBytes = 4096;
+
+Status FaultAt(const char* site) {
+  if (FaultInjector::Instance().active()) {
+    return FaultInjector::Instance().Checkpoint(site);
+  }
+  return Status::Ok();
+}
+
+// Reads from `fd` until a blank line terminates the request head.
+Status ReadRequestHead(int fd, std::string* head) {
+  char buf[1024];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(kIoTimeoutMs);
+  while (head->find("\r\n\r\n") == std::string::npos &&
+         head->find("\n\n") == std::string::npos) {
+    if (head->size() > kMaxRequestBytes) {
+      return Status(ErrorCode::kInvalidArgument, "admin request too large");
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return Status(ErrorCode::kDeadlineExceeded, "admin request timed out");
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc =
+        poll(&pfd, 1,
+             static_cast<int>(std::chrono::duration_cast<
+                                  std::chrono::milliseconds>(deadline - now)
+                                  .count()));
+    if (rc <= 0) continue;
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got == 0) {
+      return Status(ErrorCode::kIo, "connection closed mid-request");
+    }
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status(ErrorCode::kIo, StrCat("recv: ", strerror(errno)));
+    }
+    head->append(buf, static_cast<size_t>(got));
+  }
+  return Status::Ok();
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  return StrCat("HTTP/1.1 ", code, " ", reason,
+                "\r\nContent-Type: ", content_type,
+                "\r\nContent-Length: ", body.size(),
+                "\r\nConnection: close\r\n\r\n", body);
+}
+
+}  // namespace
+
+AdminServer::AdminServer(std::string host, uint16_t port, AdminHooks hooks,
+                         obs::MetricsRegistry* registry)
+    : host_(std::move(host)), port_(port), hooks_(std::move(hooks)) {
+  requests_ = registry->GetCounter("msql_net_admin_requests_total",
+                                   "HTTP requests served by the admin "
+                                   "endpoint");
+  errors_ = registry->GetCounter(
+      "msql_net_admin_errors_total",
+      "Admin endpoint requests that failed (accept, parse or write; the "
+      "query path is unaffected)");
+}
+
+AdminServer::~AdminServer() { Stop(); }
+
+Status AdminServer::Start() {
+  if (running_.exchange(true)) {
+    return Status(ErrorCode::kInvalidArgument, "admin server already started");
+  }
+  stopping_.store(false);
+  MSQL_ASSIGN_OR_RETURN(listener_,
+                        ListenOn(host_, port_, /*backlog=*/16, &port_));
+  MSQL_RETURN_IF_ERROR(SetNonBlocking(listener_.fd(), true));
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void AdminServer::Stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  if (thread_.joinable()) thread_.join();
+  listener_.Close();
+  running_.store(false);
+}
+
+void AdminServer::Loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listener_.fd(), POLLIN, 0};
+    const int rc = poll(&pfd, 1, kPollTimeoutMs);
+    if (rc <= 0) continue;
+    const int fd = ::accept4(listener_.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    if (Status fault = FaultAt("net.admin_http"); !fault.ok()) {
+      // Injected accept-path failure: the scrape is dropped and counted;
+      // nothing else in the server notices.
+      errors_->Increment();
+      ::close(fd);
+      continue;
+    }
+    // Requests are served inline on the admin thread: one small response
+    // at a time, bounded by the I/O timeout. A slow scraper delays other
+    // scrapers, never queries.
+    ServeOne(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::ServeOne(int fd) {
+  std::string head;
+  if (Status st = ReadRequestHead(fd, &head); !st.ok()) {
+    errors_->Increment();
+    return;
+  }
+  // Request line: METHOD SP PATH[?query] SP VERSION.
+  const size_t line_end = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    errors_->Increment();
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string query;
+  if (const size_t qpos = target.find('?'); qpos != std::string::npos) {
+    query = target.substr(qpos + 1);
+    target = target.substr(0, qpos);
+  }
+
+  std::string response;
+  if (method != "GET") {
+    response = HttpResponse(405, "Method Not Allowed", "text/plain",
+                            "only GET is supported\n");
+  } else if (target == "/metrics") {
+    response = HttpResponse(
+        200, "OK", "text/plain; version=0.0.4",
+        hooks_.metrics_text ? hooks_.metrics_text() : std::string());
+  } else if (target == "/healthz") {
+    const bool ok = hooks_.healthy ? hooks_.healthy() : false;
+    response = ok ? HttpResponse(200, "OK", "text/plain", "ok\n")
+                  : HttpResponse(503, "Service Unavailable", "text/plain",
+                                 "draining\n");
+  } else if (target == "/statusz") {
+    response = HttpResponse(
+        200, "OK", "application/json",
+        hooks_.statusz_json ? hooks_.statusz_json() : std::string("{}"));
+  } else if (target == "/tracez") {
+    int64_t min_ms = 0;
+    // Single recognized parameter: min_ms=<n> filters out fast queries.
+    if (const size_t pos = query.find("min_ms="); pos != std::string::npos) {
+      min_ms = std::strtoll(query.c_str() + pos + 7, nullptr, 10);
+    }
+    response = HttpResponse(200, "OK", "application/json",
+                            hooks_.tracez_json ? hooks_.tracez_json(min_ms)
+                                               : std::string("[]"));
+  } else {
+    response = HttpResponse(404, "Not Found", "text/plain",
+                            "unknown admin path\n");
+  }
+
+  if (Status fault = FaultAt("net.admin_http"); !fault.ok()) {
+    // Injected write-path failure: the response is dropped and counted.
+    errors_->Increment();
+    return;
+  }
+  if (Status st = WriteAll(fd, response.data(), response.size(), kIoTimeoutMs);
+      !st.ok()) {
+    errors_->Increment();
+    return;
+  }
+  requests_->Increment();
+}
+
+}  // namespace msql::net

@@ -1,0 +1,79 @@
+#ifndef MSQL_NET_ADMIN_H_
+#define MSQL_NET_ADMIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+// The msqld admin plane (docs/OBSERVABILITY.md, "Operating msqld"): a tiny
+// HTTP/1.1 listener, completely separate from the wire-protocol data path,
+// serving
+//
+//   GET /metrics          Prometheus text exposition
+//   GET /healthz          200 "ok" while serving, 503 once draining
+//   GET /statusz          JSON: per-connection state
+//   GET /tracez[?min_ms=] JSON: recent query traces
+//
+// One thread, one request per connection, bounded request size, short
+// socket timeouts: an admin scrape can never occupy a query handler, and
+// admin failures (including those injected at the `net.admin_http` fault
+// point) degrade to the msql_net_admin_errors_total counter — they are
+// invisible to the query path.
+namespace msql::net {
+
+// Content sources for the endpoints; every hook must be thread-safe (they
+// run on the admin thread while queries execute elsewhere).
+struct AdminHooks {
+  std::function<std::string()> metrics_text;              // /metrics
+  std::function<bool()> healthy;                          // /healthz
+  std::function<std::string()> statusz_json;              // /statusz
+  std::function<std::string(int64_t min_ms)> tracez_json;  // /tracez
+};
+
+class AdminServer {
+ public:
+  // `registry` is borrowed for the admin request/error counters and must
+  // outlive the server.
+  AdminServer(std::string host, uint16_t port, AdminHooks hooks,
+              obs::MetricsRegistry* registry);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  // Binds and starts the serving thread. port 0 picks an ephemeral port.
+  Status Start();
+
+  // Stops the serving thread and closes the listener. Idempotent.
+  void Stop();
+
+  // The bound port (after Start).
+  uint16_t port() const { return port_; }
+
+ private:
+  void Loop();
+  // Reads one request from `fd`, routes it, writes the response. Any
+  // failure just counts on the error counter and closes the socket.
+  void ServeOne(int fd);
+
+  std::string host_;
+  uint16_t port_;
+  AdminHooks hooks_;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+
+  Socket listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace msql::net
+
+#endif  // MSQL_NET_ADMIN_H_

@@ -65,6 +65,10 @@ Result<ResultSet> Client::Query(const std::string& sql, uint32_t timeout_ms) {
   QueryMsg msg;
   msg.sql = sql;
   msg.timeout_ms = timeout_ms;
+  if (trace_enabled_) {
+    msg.trace_flags = kTraceFlagEnabled;
+    msg.trace_id = trace_id_;
+  }
   MSQL_RETURN_IF_ERROR(SendFrame(FrameType::kQuery, EncodeQuery(msg)));
   return ReadResponse();
 }
@@ -104,6 +108,10 @@ Result<ResultSet> Client::Execute(const ClientStatement& stmt,
   ExecuteMsg msg;
   msg.stmt_id = stmt.stmt_id;
   msg.timeout_ms = timeout_ms;
+  if (trace_enabled_) {
+    msg.trace_flags = kTraceFlagEnabled;
+    msg.trace_id = trace_id_;
+  }
   MSQL_RETURN_IF_ERROR(SendFrame(FrameType::kExecute, EncodeExecute(msg)));
   return ReadResponse();
 }
@@ -208,6 +216,17 @@ Result<ResultSet> Client::ReadResponse() {
       stats->total_us = static_cast<int64_t>(batch.total_us);
       stats->plan_cache =
           static_cast<QueryStats::PlanCacheOutcome>(batch.plan_cache);
+      if (batch.has_footer != 0) {
+        stats->admission_wait_us = batch.admission_wait_us;
+        stats->queue_wait_us = batch.queue_wait_us;
+        stats->parse_us = batch.parse_us;
+        stats->bind_us = batch.bind_us;
+        stats->measure_expand_us = batch.measure_expand_us;
+        stats->plan_us = batch.plan_us;
+        stats->execute_us = batch.execute_us;
+        stats->render_us = batch.render_us;
+        stats->bytes_charged = batch.guard_bytes;
+      }
       result.set_stats(std::move(stats));
       return result;
     }

@@ -62,6 +62,17 @@ class Client {
                             uint32_t timeout_ms = 0);
   Status CloseStatement(const ClientStatement& stmt);
 
+  // Wire trace context for subsequent Query/Execute calls: when enabled,
+  // statements carry kTraceFlagEnabled (+ the optional correlation id) and
+  // the ResultSet's QueryStats gains the server's per-phase footer
+  // (parse_us .. render_us, bytes_charged). The id is validated server-side
+  // (kMaxTraceIdBytes printable ASCII); it is sent as given.
+  void SetTrace(bool enabled, std::string trace_id = "") {
+    trace_enabled_ = enabled;
+    trace_id_ = std::move(trace_id);
+  }
+  bool trace_enabled() const { return trace_enabled_; }
+
   // Fire-and-forget cancel of the connection's in-flight statement. Safe
   // to call from another thread than the one blocked in Query/Execute
   // ONLY via a second Client is NOT possible — Cancel writes on this
@@ -80,6 +91,8 @@ class Client {
   Socket sock_;
   ClientOptions options_;
   std::string server_banner_;
+  bool trace_enabled_ = false;
+  std::string trace_id_;
 };
 
 }  // namespace msql::net

@@ -11,10 +11,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <sstream>
 #include <thread>
 
+#include "bench/json_writer.h"
 #include "common/fault_injection.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace msql::net {
 
@@ -68,6 +71,16 @@ MsqldServer::MsqldServer(Engine* engine, ServerOptions options)
       "output buffer overflowed");
   metrics_.connections_active =
       reg.GetGauge("msql_net_connections_active", "Open msqld connections");
+  metrics_.conn_busy = reg.GetGauge(
+      "msql_net_conn_busy_active",
+      "Connections with a statement in flight (refreshed at scrape)");
+  metrics_.conn_idle = reg.GetGauge(
+      "msql_net_conn_idle_active",
+      "Authenticated connections awaiting a request (refreshed at scrape)");
+  metrics_.conn_outbuf_bytes = reg.GetGauge(
+      "msql_net_conn_outbuf_bytes",
+      "Response bytes buffered across all connections (refreshed at "
+      "scrape)");
 }
 
 MsqldServer::~MsqldServer() { Stop(); }
@@ -118,7 +131,167 @@ Status MsqldServer::Start() {
     h->thread = std::thread([this, h] { HandlerLoop(h); });
   }
   acceptor_ = std::thread([this] { AcceptLoop(); });
+
+  // msql_system.connections: a live snapshot of this server's connection
+  // registry (visible to SQL when the engine enables system tables).
+  engine_->system_tables().Register(
+      "msql_system.connections", [this] {
+        Schema schema;
+        schema.AddColumn(Column("id", DataType::Int64()));
+        schema.AddColumn(Column("peer", DataType::String()));
+        schema.AddColumn(Column("user", DataType::String()));
+        schema.AddColumn(Column("state", DataType::String()));
+        schema.AddColumn(Column("statement", DataType::String()));
+        schema.AddColumn(Column("inflight_stmt", DataType::Int64()));
+        schema.AddColumn(Column("bytes_in", DataType::Int64()));
+        schema.AddColumn(Column("bytes_out", DataType::Int64()));
+        schema.AddColumn(Column("outbuf_bytes", DataType::Int64()));
+        schema.AddColumn(Column("statements", DataType::Int64()));
+        schema.AddColumn(Column("errors", DataType::Int64()));
+        schema.AddColumn(Column("rate_limited", DataType::Int64()));
+        auto table = std::make_shared<Table>("msql_system.connections",
+                                             std::move(schema));
+        std::vector<Row> rows;
+        for (const ConnInfo& c : SnapshotConnections()) {
+          rows.push_back({Value::Int(static_cast<int64_t>(c.id)),
+                          Value::String(c.peer), Value::String(c.user),
+                          Value::String(c.state), Value::String(c.statement),
+                          Value::Int(static_cast<int64_t>(c.inflight_stmt)),
+                          Value::Int(static_cast<int64_t>(c.bytes_in)),
+                          Value::Int(static_cast<int64_t>(c.bytes_out)),
+                          Value::Int(static_cast<int64_t>(c.outbuf_bytes)),
+                          Value::Int(static_cast<int64_t>(c.statements)),
+                          Value::Int(static_cast<int64_t>(c.errors)),
+                          Value::Int(static_cast<int64_t>(c.rate_limited))});
+        }
+        (void)table->AppendRows(std::move(rows));
+        return table;
+      });
+
+  if (options_.admin_port >= 0) {
+    if (Status st = StartAdmin(); !st.ok()) {
+      Stop();
+      return st;
+    }
+  }
   return Status::Ok();
+}
+
+Status MsqldServer::StartAdmin() {
+  AdminHooks hooks;
+  hooks.metrics_text = [this] {
+    // The msql_net_conn_* gauges are registry-derived; refresh them at
+    // scrape time so one pass over the connections serves both /metrics
+    // and /statusz identically.
+    size_t busy = 0;
+    size_t idle = 0;
+    uint64_t outbuf = 0;
+    for (const ConnInfo& c : SnapshotConnections()) {
+      if (c.state == "busy") ++busy;
+      if (c.state == "idle") ++idle;
+      outbuf += c.outbuf_bytes;
+    }
+    metrics_.conn_busy->Set(static_cast<double>(busy));
+    metrics_.conn_idle->Set(static_cast<double>(idle));
+    metrics_.conn_outbuf_bytes->Set(static_cast<double>(outbuf));
+    return engine_->MetricsText();
+  };
+  hooks.healthy = [this] {
+    return running_.load(std::memory_order_acquire) &&
+           !stopping_.load(std::memory_order_acquire);
+  };
+  hooks.statusz_json = [this] { return StatuszJson(); };
+  hooks.tracez_json = [this](int64_t min_ms) { return TracezJson(min_ms); };
+  admin_ = std::make_unique<AdminServer>(
+      options_.host, static_cast<uint16_t>(options_.admin_port),
+      std::move(hooks), &engine_->metrics());
+  return admin_->Start();
+}
+
+std::string MsqldServer::StatuszJson() const {
+  std::ostringstream out;
+  bench::JsonWriter w(out);
+  w.BeginObject();
+  w.Key("active_connections");
+  w.Int(active_conns_.load(std::memory_order_acquire));
+  w.Key("connections");
+  w.BeginArray();
+  for (const ConnInfo& c : SnapshotConnections()) {
+    w.BeginObject();
+    w.Key("id"); w.Int(static_cast<int64_t>(c.id));
+    w.Key("peer"); w.String(c.peer);
+    w.Key("user"); w.String(c.user);
+    w.Key("state"); w.String(c.state);
+    w.Key("statement"); w.String(c.statement);
+    w.Key("inflight_stmt"); w.Int(static_cast<int64_t>(c.inflight_stmt));
+    w.Key("bytes_in"); w.Int(static_cast<int64_t>(c.bytes_in));
+    w.Key("bytes_out"); w.Int(static_cast<int64_t>(c.bytes_out));
+    w.Key("outbuf_bytes"); w.Int(static_cast<int64_t>(c.outbuf_bytes));
+    w.Key("statements"); w.Int(static_cast<int64_t>(c.statements));
+    w.Key("errors"); w.Int(static_cast<int64_t>(c.errors));
+    w.Key("rate_limited"); w.Int(static_cast<int64_t>(c.rate_limited));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return out.str();
+}
+
+std::string MsqldServer::TracezJson(int64_t min_ms) const {
+  std::ostringstream out;
+  out << '[';
+  bool first = true;
+  for (const obs::TracePtr& t : engine_->RecentTraces()) {
+    if (t->total_us() < min_ms * 1000) continue;
+    if (!first) out << ",\n";
+    first = false;
+    t->ToJson(out);
+  }
+  out << ']';
+  return out.str();
+}
+
+std::vector<MsqldServer::ConnInfo> MsqldServer::SnapshotConnections() const {
+  std::vector<ConnPtr> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.reserve(conns_by_id_.size());
+    for (const auto& [id, conn] : conns_by_id_) conns.push_back(conn);
+  }
+  std::vector<ConnInfo> out;
+  out.reserve(conns.size());
+  for (const ConnPtr& conn : conns) {
+    ConnInfo info;
+    info.id = conn->stats.id;
+    info.peer = conn->stats.peer;
+    switch (conn->stats.state.load(std::memory_order_relaxed)) {
+      case 1: info.state = "idle"; break;
+      case 2: info.state = "busy"; break;
+      case 3: info.state = "closing"; break;
+      default: info.state = "handshake"; break;
+    }
+    info.inflight_stmt =
+        conn->stats.inflight_stmt.load(std::memory_order_relaxed);
+    info.bytes_in = conn->stats.bytes_in.load(std::memory_order_relaxed);
+    info.bytes_out = conn->stats.bytes_out.load(std::memory_order_relaxed);
+    info.statements = conn->stats.statements.load(std::memory_order_relaxed);
+    info.errors = conn->stats.errors.load(std::memory_order_relaxed);
+    info.rate_limited =
+        conn->stats.rate_limited.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(conn->stats.mu);
+      info.user = conn->stats.user;
+      info.statement = conn->stats.statement;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      info.outbuf_bytes = conn->outbuf.size() - conn->out_off;
+    }
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ConnInfo& a, const ConnInfo& b) { return a.id < b.id; });
+  return out;
 }
 
 void MsqldServer::Stop() {
@@ -126,6 +299,9 @@ void MsqldServer::Stop() {
     if (acceptor_.joinable()) acceptor_.join();
     return;
   }
+  // From here /healthz answers 503 (the admin server itself stays up until
+  // the drain below finishes, so monitors see "draining", not a dead
+  // endpoint, while connections unwind).
   if (acceptor_.joinable()) acceptor_.join();
   for (size_t i = 0; i < handlers_.size(); ++i) WakeHandler(i);
   for (auto& handler : handlers_) {
@@ -141,6 +317,33 @@ void MsqldServer::Stop() {
   }
   handlers_.clear();
   listener_.Close();
+  if (admin_ != nullptr) {
+    admin_->Stop();
+    admin_.reset();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_by_id_.clear();
+  }
+  // The engine outlives this server; replace the live connections provider
+  // with an empty-table one so a later SELECT cannot reach a dead `this`.
+  engine_->system_tables().Register("msql_system.connections", [] {
+    Schema schema;
+    schema.AddColumn(Column("id", DataType::Int64()));
+    schema.AddColumn(Column("peer", DataType::String()));
+    schema.AddColumn(Column("user", DataType::String()));
+    schema.AddColumn(Column("state", DataType::String()));
+    schema.AddColumn(Column("statement", DataType::String()));
+    schema.AddColumn(Column("inflight_stmt", DataType::Int64()));
+    schema.AddColumn(Column("bytes_in", DataType::Int64()));
+    schema.AddColumn(Column("bytes_out", DataType::Int64()));
+    schema.AddColumn(Column("outbuf_bytes", DataType::Int64()));
+    schema.AddColumn(Column("statements", DataType::Int64()));
+    schema.AddColumn(Column("errors", DataType::Int64()));
+    schema.AddColumn(Column("rate_limited", DataType::Int64()));
+    return std::make_shared<Table>("msql_system.connections",
+                                   std::move(schema));
+  });
   running_.store(false);
 }
 
@@ -188,6 +391,8 @@ void MsqldServer::AcceptLoop() {
     char ip[INET_ADDRSTRLEN] = {0};
     inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
     conn->peer = StrCat(ip, ":", ntohs(peer.sin_port));
+    conn->stats.id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    conn->stats.peer = conn->peer;
     const size_t index =
         next_handler_.fetch_add(1, std::memory_order_relaxed) %
         handlers_.size();
@@ -195,6 +400,10 @@ void MsqldServer::AcceptLoop() {
     metrics_.connections->Increment();
     metrics_.connections_active->Add(1.0);
     active_conns_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_by_id_[conn->stats.id] = conn;
+    }
     {
       Handler* h = handlers_[index].get();
       std::lock_guard<std::mutex> lock(h->adopt_mu);
@@ -299,6 +508,8 @@ void MsqldServer::ServiceConn(Handler* handler, const ConnPtr& conn,
               ::read(conn->sock.fd(), scratch, sizeof(scratch));
           if (got > 0) {
             metrics_.bytes_read->Increment(static_cast<uint64_t>(got));
+            conn->stats.bytes_in.fetch_add(static_cast<uint64_t>(got),
+                                           std::memory_order_relaxed);
             conn->inbuf.append(scratch, static_cast<size_t>(got));
             if (conn->inbuf.size() > options_.max_inbuf_bytes) {
               SendError(conn,
@@ -357,6 +568,8 @@ void MsqldServer::ServiceConn(Handler* handler, const ConnPtr& conn,
           if (put > 0) {
             conn->out_off += static_cast<size_t>(put);
             metrics_.bytes_written->Increment(static_cast<uint64_t>(put));
+            conn->stats.bytes_out.fetch_add(static_cast<uint64_t>(put),
+                                            std::memory_order_relaxed);
             progressed = true;
             continue;
           }
@@ -551,7 +764,15 @@ void MsqldServer::HandleHello(const ConnPtr& conn, const Frame& frame) {
   }
   conn->user = msg.value().user;
   conn->session = engine_->CreateSessionForUser(conn->user);
+  // Stamp the connection identity onto the session so every trace this
+  // connection produces carries who asked ("ip:port#connid").
+  conn->session->SetPeer(StrCat(conn->peer, "#", conn->stats.id));
   conn->authenticated = true;
+  {
+    std::lock_guard<std::mutex> lock(conn->stats.mu);
+    conn->stats.user = conn->user;
+  }
+  conn->stats.state.store(1, std::memory_order_relaxed);
   HelloMsg reply;
   reply.version = kProtocolVersion;
   reply.user = "msqld";
@@ -639,6 +860,7 @@ void MsqldServer::DispatchQuery(const ConnPtr& conn, const Frame& frame) {
     return;
   }
   metrics_.queries->Increment();
+  NoteStatementStart(conn, msg.value().sql);
   conn->busy.store(true, std::memory_order_release);
   if (!workers_->Submit([this, conn, m = msg.take()]() mutable {
         RunQuery(conn, std::move(m));
@@ -658,6 +880,7 @@ void MsqldServer::DispatchPrepare(const ConnPtr& conn, const Frame& frame) {
     return;
   }
   const uint32_t stmt_id = conn->next_stmt_id++;
+  NoteStatementStart(conn, msg.value().sql);
   conn->busy.store(true, std::memory_order_release);
   if (!workers_->Submit([this, conn, stmt_id, m = msg.take()]() mutable {
         RunPrepare(conn, stmt_id, std::move(m));
@@ -677,6 +900,7 @@ void MsqldServer::DispatchExecute(const ConnPtr& conn, const Frame& frame) {
     return;
   }
   metrics_.queries->Increment();
+  NoteStatementStart(conn, StrCat("<execute #", msg.value().stmt_id, ">"));
   conn->busy.store(true, std::memory_order_release);
   if (!workers_->Submit([this, conn, m = msg.value()] {
         RunExecute(conn, m);
@@ -716,6 +940,7 @@ Status MsqldServer::AdmitStatement(const ConnPtr& conn,
       }
       if (now + std::chrono::microseconds(defer_us) > wait_deadline) {
         metrics_.rate_limited->Increment();
+        conn->stats.rate_limited.fetch_add(1, std::memory_order_relaxed);
         return Status(ErrorCode::kResourceExhausted,
                       StrCat("user '", conn->user,
                              "' admission rate limited (next token in ",
@@ -745,17 +970,36 @@ Status MsqldServer::AdmitStatement(const ConnPtr& conn,
 }
 
 void MsqldServer::RunQuery(const ConnPtr& conn, QueryMsg msg) {
+  const bool want_trace = (msg.trace_flags & kTraceFlagEnabled) != 0;
   int64_t budget_ms = 0;
   Status admitted = AdmitStatement(conn, msg.timeout_ms, &budget_ms);
   Result<ResultSet> result = admitted.ok()
                                  ? [&] {
+                                     // Per-statement option mutation is safe
+                                     // here: one statement in flight per
+                                     // connection, same as timeout_ms.
                                      conn->session->options().timeout_ms =
                                          budget_ms;
-                                     return conn->session->Query(msg.sql);
+                                     const bool saved_tracing =
+                                         conn->session->options()
+                                             .enable_tracing;
+                                     if (want_trace) {
+                                       conn->session->options()
+                                           .enable_tracing = true;
+                                       conn->session->SetTraceId(msg.trace_id);
+                                     }
+                                     Result<ResultSet> r =
+                                         conn->session->Query(msg.sql);
+                                     if (want_trace) {
+                                       conn->session->options()
+                                           .enable_tracing = saved_tracing;
+                                       conn->session->SetTraceId("");
+                                     }
+                                     return r;
                                    }()
                                  : Result<ResultSet>(admitted);
   if (result.ok()) {
-    SendResult(conn, 0, result.value());
+    SendResult(conn, 0, result.value(), want_trace);
   } else {
     SendError(conn, result.status());
   }
@@ -785,6 +1029,7 @@ void MsqldServer::RunPrepare(const ConnPtr& conn, uint32_t stmt_id,
 }
 
 void MsqldServer::RunExecute(const ConnPtr& conn, ExecuteMsg msg) {
+  const bool want_trace = (msg.trace_flags & kTraceFlagEnabled) != 0;
   PreparedPlanPtr plan;
   Row params;
   Status setup = Status::Ok();
@@ -804,6 +1049,12 @@ void MsqldServer::RunExecute(const ConnPtr& conn, ExecuteMsg msg) {
       params = it->second.params;
     }
   }
+  if (setup.ok()) {
+    // /statusz showed "<execute #N>" from dispatch; upgrade it to the
+    // prepared statement's actual text now that we have the plan.
+    std::lock_guard<std::mutex> lock(conn->stats.mu);
+    conn->stats.statement = plan->sql;
+  }
   Result<ResultSet> result = setup.ok() ? Result<ResultSet>(ResultSet())
                                         : Result<ResultSet>(setup);
   if (setup.ok()) {
@@ -811,6 +1062,11 @@ void MsqldServer::RunExecute(const ConnPtr& conn, ExecuteMsg msg) {
     Status admitted = AdmitStatement(conn, msg.timeout_ms, &budget_ms);
     if (admitted.ok()) {
       conn->session->options().timeout_ms = budget_ms;
+      const bool saved_tracing = conn->session->options().enable_tracing;
+      if (want_trace) {
+        conn->session->options().enable_tracing = true;
+        conn->session->SetTraceId(msg.trace_id);
+      }
       result = conn->session->QueryPrepared(plan, params);
       if (!result.ok() && result.status().code() == ErrorCode::kCatalog) {
         // The catalog moved under the prepared plan. Re-prepare
@@ -829,19 +1085,43 @@ void MsqldServer::RunExecute(const ConnPtr& conn, ExecuteMsg msg) {
           result = fresh.status();
         }
       }
+      if (want_trace) {
+        conn->session->options().enable_tracing = saved_tracing;
+        conn->session->SetTraceId("");
+      }
     } else {
       result = admitted;
     }
   }
   if (result.ok()) {
-    SendResult(conn, msg.stmt_id, result.value());
+    SendResult(conn, msg.stmt_id, result.value(), want_trace);
   } else {
     SendError(conn, result.status());
   }
   FinishStatement(conn);
 }
 
+void MsqldServer::NoteStatementStart(const ConnPtr& conn,
+                                     const std::string& sql) {
+  const uint64_t ordinal =
+      conn->stats.statements.fetch_add(1, std::memory_order_relaxed) + 1;
+  conn->stats.inflight_stmt.store(ordinal, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(conn->stats.mu);
+    conn->stats.statement = sql;
+  }
+  conn->stats.state.store(2, std::memory_order_relaxed);
+}
+
 void MsqldServer::FinishStatement(const ConnPtr& conn) {
+  conn->stats.inflight_stmt.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(conn->stats.mu);
+    conn->stats.statement.clear();
+  }
+  if (!conn->dead.load(std::memory_order_acquire)) {
+    conn->stats.state.store(1, std::memory_order_relaxed);
+  }
   conn->busy.store(false);  // seq_cst: pairs with the handler's defer check
   if (conn->deferred_input.load() ||
       conn->close_after_flush.load(std::memory_order_acquire) ||
@@ -885,6 +1165,8 @@ void MsqldServer::EnqueueFrames(const ConnPtr& conn, std::string frames,
         if (put > 0) {
           conn->out_off += static_cast<size_t>(put);
           metrics_.bytes_written->Increment(static_cast<uint64_t>(put));
+          conn->stats.bytes_out.fetch_add(static_cast<uint64_t>(put),
+                                          std::memory_order_relaxed);
           continue;
         }
         if (put < 0 && errno == EINTR) continue;
@@ -927,6 +1209,7 @@ void MsqldServer::EnqueueFrames(const ConnPtr& conn, std::string frames,
 
 void MsqldServer::SendError(const ConnPtr& conn, const Status& status) {
   metrics_.errors_sent->Increment();
+  conn->stats.errors.fetch_add(1, std::memory_order_relaxed);
   std::string frames;
   AppendFrame(&frames, FrameType::kError,
               EncodeError(ErrorFromStatus(status)));
@@ -940,7 +1223,7 @@ void MsqldServer::SendBatch(const ConnPtr& conn, const ResultBatchMsg& msg) {
 }
 
 void MsqldServer::SendResult(const ConnPtr& conn, uint32_t stmt_id,
-                             const ResultSet& result) {
+                             const ResultSet& result, bool with_footer) {
   const size_t batch_rows = std::max<size_t>(1, options_.result_batch_rows);
   const std::vector<Row>& rows = result.rows();
 
@@ -963,8 +1246,23 @@ void MsqldServer::SendResult(const ConnPtr& conn, uint32_t stmt_id,
     if (msg.last) {
       msg.total_rows = rows.size();
       if (result.stats() != nullptr) {
-        msg.total_us = static_cast<uint64_t>(result.stats()->total_us);
-        msg.plan_cache = static_cast<uint8_t>(result.stats()->plan_cache);
+        const QueryStats& stats = *result.stats();
+        msg.total_us = static_cast<uint64_t>(stats.total_us);
+        msg.plan_cache = static_cast<uint8_t>(stats.plan_cache);
+        if (with_footer) {
+          msg.has_footer = 1;
+          msg.admission_wait_us =
+              static_cast<uint32_t>(stats.admission_wait_us);
+          msg.queue_wait_us = static_cast<uint32_t>(stats.queue_wait_us);
+          msg.parse_us = static_cast<uint32_t>(stats.parse_us);
+          msg.bind_us = static_cast<uint32_t>(stats.bind_us);
+          msg.measure_expand_us =
+              static_cast<uint32_t>(stats.measure_expand_us);
+          msg.plan_us = static_cast<uint32_t>(stats.plan_us);
+          msg.execute_us = static_cast<uint32_t>(stats.execute_us);
+          msg.render_us = static_cast<uint32_t>(stats.render_us);
+          msg.guard_bytes = static_cast<uint64_t>(stats.bytes_charged);
+        }
       }
     }
     AppendFrame(&frames, FrameType::kResultBatch, EncodeResultBatch(msg));
@@ -976,9 +1274,12 @@ void MsqldServer::SendResult(const ConnPtr& conn, uint32_t stmt_id,
 
 void MsqldServer::CloseConn(const ConnPtr& conn) {
   if (conn->dead.exchange(true)) return;
+  conn->stats.state.store(3, std::memory_order_relaxed);
   conn->sock.Close();
   metrics_.connections_active->Add(-1.0);
   active_conns_.fetch_sub(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_by_id_.erase(conn->stats.id);
 }
 
 }  // namespace msql::net

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "net/admin.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
@@ -64,6 +65,10 @@ struct ServerOptions {
   int64_t max_admission_wait_ms = 100;
   // Applied when a Query/Execute frame carries timeout_ms == 0.
   int64_t default_timeout_ms = 0;
+  // Admin HTTP endpoint (/metrics, /healthz, /statusz, /tracez) on the
+  // same host; < 0 disables it, 0 picks an ephemeral port
+  // (MsqldServer::admin_port after Start).
+  int admin_port = -1;
 };
 
 class MsqldServer {
@@ -83,16 +88,65 @@ class MsqldServer {
 
   // The bound port (after Start); useful with options.port == 0.
   uint16_t port() const { return port_; }
+  // The admin endpoint's bound port (after Start); 0 when disabled.
+  uint16_t admin_port() const {
+    return admin_ != nullptr ? admin_->port() : 0;
+  }
   const ServerOptions& options() const { return options_; }
   int active_connections() const {
     return active_conns_.load(std::memory_order_acquire);
   }
+
+  // One connection's live state as read by /statusz and
+  // msql_system.connections.
+  struct ConnInfo {
+    uint64_t id = 0;
+    std::string peer;
+    std::string user;
+    std::string state;  // "handshake" | "idle" | "busy" | "closing"
+    std::string statement;  // SQL in flight, empty when idle
+    uint64_t inflight_stmt = 0;  // per-conn ordinal of the busy statement
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+    uint64_t outbuf_bytes = 0;  // response bytes awaiting the socket
+    uint64_t statements = 0;
+    uint64_t errors = 0;
+    uint64_t rate_limited = 0;
+  };
+
+  // Snapshot of every open connection, without stopping handler or worker
+  // threads (counters are relaxed atomics; strings take a short per-conn
+  // lock).
+  std::vector<ConnInfo> SnapshotConnections() const;
 
  private:
   struct StmtEntry {
     PreparedPlanPtr plan;
     Row params;
     bool bound = false;
+  };
+
+  // Live per-connection statistics behind ConnInfo. Its own cache line so
+  // the hot-path relaxed increments (handler read loop, worker enqueue)
+  // never false-share with the connection's buffers; snapshots read the
+  // atomics without coordination and take `mu` only for the strings.
+  struct alignas(64) ConnStats {
+    uint64_t id = 0;    // immutable after accept
+    std::string peer;   // immutable after accept
+    // 0=handshake 1=idle 2=busy 3=closing
+    std::atomic<int> state{0};
+    std::atomic<uint64_t> bytes_in{0};
+    std::atomic<uint64_t> bytes_out{0};
+    std::atomic<uint64_t> statements{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> rate_limited{0};
+    // Ordinal (== statements at dispatch) of the statement in flight;
+    // 0 when idle.
+    std::atomic<uint64_t> inflight_stmt{0};
+
+    std::mutex mu;  // guards the mutable strings below
+    std::string user;
+    std::string statement;  // SQL in flight
   };
 
   // One client connection. The handler thread owns parsing and fd I/O;
@@ -134,6 +188,8 @@ class MsqldServer {
 
     SessionPtr session;
     std::string user;
+
+    ConnStats stats;
   };
   using ConnPtr = std::shared_ptr<Conn>;
 
@@ -159,6 +215,10 @@ class MsqldServer {
     obs::Counter* write_timeouts = nullptr;
     obs::Counter* slow_client_sheds = nullptr;
     obs::Gauge* connections_active = nullptr;
+    // Refreshed at scrape time from the connection registry.
+    obs::Gauge* conn_busy = nullptr;
+    obs::Gauge* conn_idle = nullptr;
+    obs::Gauge* conn_outbuf_bytes = nullptr;
   };
 
   void AcceptLoop();
@@ -191,6 +251,11 @@ class MsqldServer {
   // statement budget net of admission wait.
   Status AdmitStatement(const ConnPtr& conn, uint32_t frame_timeout_ms,
                         int64_t* remaining_timeout_ms);
+  // Connection-stats bookkeeping around one statement: dispatch marks the
+  // connection busy with the statement's text, FinishStatement returns it
+  // to idle.
+  void NoteStatementStart(const ConnPtr& conn, const std::string& sql);
+
   // Clears `busy` and wakes the handler only if it has work left to do
   // (deferred input, a pending close, or a dead conn to reap). The common
   // request/response cycle finishes without touching the handler: the
@@ -204,10 +269,19 @@ class MsqldServer {
   void EnqueueFrames(const ConnPtr& conn, std::string frames, size_t nframes);
   void SendError(const ConnPtr& conn, const Status& status);
   void SendBatch(const ConnPtr& conn, const ResultBatchMsg& msg);
+  // `with_footer` appends the server-side span summary (per-phase µs,
+  // plan-cache outcome, guard bytes) to the final batch — only when the
+  // client requested tracing for this statement.
   void SendResult(const ConnPtr& conn, uint32_t stmt_id,
-                  const ResultSet& result);
+                  const ResultSet& result, bool with_footer = false);
 
   void CloseConn(const ConnPtr& conn);
+
+  // Admin endpoint plumbing: starts/stops the AdminServer and registers
+  // the msql_system.connections provider with the engine.
+  Status StartAdmin();
+  std::string StatuszJson() const;
+  std::string TracezJson(int64_t min_ms) const;
 
   Engine* engine_;
   ServerOptions options_;
@@ -219,6 +293,15 @@ class MsqldServer {
   std::vector<std::unique_ptr<Handler>> handlers_;
   std::unique_ptr<ThreadPool> workers_;
   std::unique_ptr<RateLimiterRegistry> user_limiters_;
+
+  std::unique_ptr<AdminServer> admin_;
+
+  // Connection registry for /statusz, the msql_net_conn_* gauges and
+  // msql_system.connections. Mutated at connection rate (accept/close),
+  // read at scrape rate — a plain locked map is plenty.
+  mutable std::mutex conns_mu_;
+  std::unordered_map<uint64_t, ConnPtr> conns_by_id_;
+  std::atomic<uint64_t> next_conn_id_{1};
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

@@ -234,10 +234,49 @@ Result<HelloMsg> DecodeHello(const std::string& payload) {
   return msg;
 }
 
+Status ValidateTraceId(const std::string& trace_id) {
+  if (trace_id.size() > kMaxTraceIdBytes) {
+    return Status(ErrorCode::kInvalidArgument,
+                  StrCat("trace id of ", trace_id.size(),
+                         " bytes exceeds the ", kMaxTraceIdBytes,
+                         "-byte cap"));
+  }
+  for (char c : trace_id) {
+    if (c < 0x21 || c > 0x7e) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "trace id must be printable ASCII without spaces");
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Trace context is appended only when set, so untraced statements stay
+// byte-identical to protocol peers that predate the fields; decoders treat
+// the absence as flags 0.
+void PutTraceContext(std::string* p, uint8_t trace_flags,
+                     const std::string& trace_id) {
+  if (trace_flags == 0 && trace_id.empty()) return;
+  PutU8(p, trace_flags);
+  PutString(p, trace_id);
+}
+
+Status GetTraceContext(WireReader* r, uint8_t* trace_flags,
+                       std::string* trace_id) {
+  if (r->AtEnd()) return Status::Ok();
+  MSQL_ASSIGN_OR_RETURN(*trace_flags, r->GetU8());
+  MSQL_ASSIGN_OR_RETURN(*trace_id, r->GetString());
+  return ValidateTraceId(*trace_id);
+}
+
+}  // namespace
+
 std::string EncodeQuery(const QueryMsg& msg) {
   std::string p;
   PutString(&p, msg.sql);
   PutU32(&p, msg.timeout_ms);
+  PutTraceContext(&p, msg.trace_flags, msg.trace_id);
   return p;
 }
 
@@ -246,6 +285,7 @@ Result<QueryMsg> DecodeQuery(const std::string& payload) {
   QueryMsg msg;
   MSQL_ASSIGN_OR_RETURN(msg.sql, r.GetString());
   MSQL_ASSIGN_OR_RETURN(msg.timeout_ms, r.GetU32());
+  MSQL_RETURN_IF_ERROR(GetTraceContext(&r, &msg.trace_flags, &msg.trace_id));
   return msg;
 }
 
@@ -300,6 +340,7 @@ std::string EncodeExecute(const ExecuteMsg& msg) {
   std::string p;
   PutU32(&p, msg.stmt_id);
   PutU32(&p, msg.timeout_ms);
+  PutTraceContext(&p, msg.trace_flags, msg.trace_id);
   return p;
 }
 
@@ -308,6 +349,7 @@ Result<ExecuteMsg> DecodeExecute(const std::string& payload) {
   ExecuteMsg msg;
   MSQL_ASSIGN_OR_RETURN(msg.stmt_id, r.GetU32());
   MSQL_ASSIGN_OR_RETURN(msg.timeout_ms, r.GetU32());
+  MSQL_RETURN_IF_ERROR(GetTraceContext(&r, &msg.trace_flags, &msg.trace_id));
   return msg;
 }
 
@@ -357,6 +399,20 @@ std::string EncodeResultBatch(const ResultBatchMsg& msg) {
   PutU64(&p, msg.total_rows);
   PutU64(&p, msg.total_us);
   PutU8(&p, msg.plan_cache);
+  // The trace footer is appended only when present, keeping untraced
+  // responses byte-identical to the pre-footer protocol.
+  if (msg.has_footer != 0) {
+    PutU8(&p, 1);
+    PutU32(&p, msg.admission_wait_us);
+    PutU32(&p, msg.queue_wait_us);
+    PutU32(&p, msg.parse_us);
+    PutU32(&p, msg.bind_us);
+    PutU32(&p, msg.measure_expand_us);
+    PutU32(&p, msg.plan_us);
+    PutU32(&p, msg.execute_us);
+    PutU32(&p, msg.render_us);
+    PutU64(&p, msg.guard_bytes);
+  }
   return p;
 }
 
@@ -391,6 +447,20 @@ Result<ResultBatchMsg> DecodeResultBatch(const std::string& payload) {
   MSQL_ASSIGN_OR_RETURN(msg.total_rows, r.GetU64());
   MSQL_ASSIGN_OR_RETURN(msg.total_us, r.GetU64());
   MSQL_ASSIGN_OR_RETURN(msg.plan_cache, r.GetU8());
+  if (!r.AtEnd()) {
+    MSQL_ASSIGN_OR_RETURN(msg.has_footer, r.GetU8());
+    if (msg.has_footer != 0) {
+      MSQL_ASSIGN_OR_RETURN(msg.admission_wait_us, r.GetU32());
+      MSQL_ASSIGN_OR_RETURN(msg.queue_wait_us, r.GetU32());
+      MSQL_ASSIGN_OR_RETURN(msg.parse_us, r.GetU32());
+      MSQL_ASSIGN_OR_RETURN(msg.bind_us, r.GetU32());
+      MSQL_ASSIGN_OR_RETURN(msg.measure_expand_us, r.GetU32());
+      MSQL_ASSIGN_OR_RETURN(msg.plan_us, r.GetU32());
+      MSQL_ASSIGN_OR_RETURN(msg.execute_us, r.GetU32());
+      MSQL_ASSIGN_OR_RETURN(msg.render_us, r.GetU32());
+      MSQL_ASSIGN_OR_RETURN(msg.guard_bytes, r.GetU64());
+    }
+  }
   return msg;
 }
 

@@ -110,9 +110,23 @@ struct HelloMsg {
   std::string user;
 };
 
+// Wire trace context (Query / Execute): bit 0 of `trace_flags` asks the
+// server to trace the statement and return the per-phase footer on the
+// final ResultBatch. `trace_id` is an optional client-chosen correlation
+// id that lands in the server's QueryTrace (slow-query log, /tracez,
+// msql_system.queries); it is capped at kMaxTraceIdBytes printable ASCII
+// characters — anything else is a protocol error.
+inline constexpr uint8_t kTraceFlagEnabled = 0x1;
+inline constexpr size_t kMaxTraceIdBytes = 64;
+
+// Validates a decoded trace id (length + printable ASCII, no spaces).
+Status ValidateTraceId(const std::string& trace_id);
+
 struct QueryMsg {
   std::string sql;
   uint32_t timeout_ms = 0;  // 0 = server default
+  uint8_t trace_flags = 0;  // kTraceFlag*
+  std::string trace_id;     // optional; only sent when trace_flags != 0
 };
 
 struct PrepareMsg {
@@ -128,6 +142,8 @@ struct BindMsg {
 struct ExecuteMsg {
   uint32_t stmt_id = 0;
   uint32_t timeout_ms = 0;
+  uint8_t trace_flags = 0;  // kTraceFlag*
+  std::string trace_id;
 };
 
 // stmt_id 0 requests a graceful connection close (the server acks, flushes
@@ -157,6 +173,21 @@ struct ResultBatchMsg {
   uint64_t total_rows = 0;
   uint64_t total_us = 0;
   uint8_t plan_cache = 0;  // QueryStats::PlanCacheOutcome
+
+  // Optional trace footer, present when the statement was sent with
+  // kTraceFlagEnabled: the server-side span summary (per-phase µs and
+  // guard-charged bytes). Decoders treat an absent footer (older peers)
+  // as has_footer = 0.
+  uint8_t has_footer = 0;
+  uint32_t admission_wait_us = 0;
+  uint32_t queue_wait_us = 0;
+  uint32_t parse_us = 0;
+  uint32_t bind_us = 0;
+  uint32_t measure_expand_us = 0;
+  uint32_t plan_us = 0;
+  uint32_t execute_us = 0;
+  uint32_t render_us = 0;
+  uint64_t guard_bytes = 0;
 };
 
 std::string EncodeHello(const HelloMsg& msg);

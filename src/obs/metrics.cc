@@ -127,6 +127,30 @@ std::string MetricsRegistry::Text() const {
   return os.str();
 }
 
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Samples() const {
+  std::vector<Sample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(families_.size());
+  for (const auto& [name, f] : families_) {
+    switch (f.kind) {
+      case Kind::kCounter:
+        out.push_back({name, "counter", f.help,
+                       static_cast<double>(f.counter->value())});
+        break;
+      case Kind::kGauge:
+        out.push_back({name, "gauge", f.help, f.gauge->value()});
+        break;
+      case Kind::kHistogram:
+        out.push_back({name + "_count", "histogram", f.help,
+                       static_cast<double>(f.histogram->count())});
+        out.push_back({name + "_sum", "histogram", f.help,
+                       f.histogram->sum()});
+        break;
+    }
+  }
+  return out;
+}
+
 std::vector<double> MetricsRegistry::LatencyBucketsMs() {
   return {0.05, 0.1, 0.25, 0.5, 1,    2.5,  5,    10,
           25,   50,  100,  250, 500,  1000, 2500, 10000};

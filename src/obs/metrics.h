@@ -92,6 +92,18 @@ class MetricsRegistry {
   // `_sum` / `_count`.
   std::string Text() const;
 
+  // One flattened sample per exported series, for programmatic consumers
+  // (the msql_system.metrics introspection table). Counters and gauges
+  // yield one sample; a histogram yields `<name>_count` and `<name>_sum`
+  // (the per-bucket series are a rendering concern, not a table row).
+  struct Sample {
+    std::string name;
+    std::string kind;  // "counter" | "gauge" | "histogram"
+    std::string help;
+    double value = 0;
+  };
+  std::vector<Sample> Samples() const;
+
   // Default latency buckets, in milliseconds (0.05ms .. 10s).
   static std::vector<double> LatencyBucketsMs();
   // Wait-time buckets, in seconds (50us .. 10s) — for admission waits and

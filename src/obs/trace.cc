@@ -110,6 +110,14 @@ void QueryTrace::ToJson(std::ostream& out) const {
     w.Key("user");
     w.String(user_);
   }
+  if (!trace_id_.empty()) {
+    w.Key("trace_id");
+    w.String(trace_id_);
+  }
+  if (!peer_.empty()) {
+    w.Key("peer");
+    w.String(peer_);
+  }
   w.Key("total_us");
   w.Int(total_us_);
   if (queue_wait_us_ > 0) {

@@ -62,6 +62,13 @@ class QueryTrace {
   const std::string& sql() const { return sql_; }
   uint64_t session_id() const { return session_id_; }
   const std::string& user() const { return user_; }
+  // Client-supplied correlation id (wire trace context); empty in-process.
+  const std::string& trace_id() const { return trace_id_; }
+  void set_trace_id(std::string id) { trace_id_ = std::move(id); }
+  // Connection identity ("ip:port#connid") for server-side statements;
+  // empty for embedded queries.
+  const std::string& peer() const { return peer_; }
+  void set_peer(std::string peer) { peer_ = std::move(peer); }
   const TraceSpan& root() const { return root_; }
   int64_t total_us() const { return total_us_; }
   int64_t queue_wait_us() const { return queue_wait_us_; }
@@ -85,6 +92,8 @@ class QueryTrace {
   std::string sql_;
   uint64_t session_id_;
   std::string user_;
+  std::string trace_id_;
+  std::string peer_;
   std::chrono::steady_clock::time_point start_;
   TraceSpan root_;
   std::vector<TraceSpan*> open_;  // innermost open span last

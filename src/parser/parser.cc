@@ -492,6 +492,13 @@ Result<TableRefPtr> Parser::ParseTablePrimary() {
   } else {
     t->kind = TableRefKind::kBaseTable;
     MSQL_ASSIGN_OR_RETURN(t->table_name, ParseIdentifier("FROM clause"));
+    // Qualified table names (`msql_system.connections`): the dotted pair is
+    // kept as one catalog name — the binder resolves the namespace.
+    if (Match(TokenType::kDot)) {
+      MSQL_ASSIGN_OR_RETURN(std::string rest,
+                            ParseIdentifier("qualified table name"));
+      t->table_name += "." + rest;
+    }
   }
   if (Match(TokenType::kAs)) {
     MSQL_ASSIGN_OR_RETURN(t->alias, ParseIdentifier("table alias"));

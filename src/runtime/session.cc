@@ -21,6 +21,8 @@ QueryContext Session::MakeContext(CancelTokenPtr* token_out) {
   ctx.user = user_;
   ctx.cancel = std::move(token);
   ctx.session_id = id_;
+  ctx.peer = peer_;
+  ctx.trace_id = trace_id_;
   return ctx;
 }
 
@@ -45,6 +47,8 @@ QueryContext Session::ScheduledContext(const ScheduledRun& run) const {
   ctx.user = user_;
   ctx.cancel = run.token;  // registered by the scheduler at submission
   ctx.session_id = id_;
+  ctx.peer = peer_;
+  ctx.trace_id = trace_id_;
   ctx.queue_wait_us = run.queue_wait_us;
   ctx.admission_wait_us = run.admission_wait_us;
   ctx.has_deadline = run.has_deadline;

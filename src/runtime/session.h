@@ -71,6 +71,18 @@ class Session {
   uint64_t id() const { return id_; }
   Engine& engine() { return *engine_; }
 
+  // Connection identity ("ip:port#connid"), set once by the server after
+  // Hello; copied onto every statement's trace. Same single-threaded
+  // contract as options()/SetUser.
+  void SetPeer(std::string peer) { peer_ = std::move(peer); }
+  const std::string& peer() const { return peer_; }
+
+  // Client-supplied correlation id for subsequent statements (wire trace
+  // context); the server sets it before a traced statement and clears it
+  // after. Same single-threaded contract as options()/SetUser.
+  void SetTraceId(std::string id) { trace_id_ = std::move(id); }
+  const std::string& trace_id() const { return trace_id_; }
+
   // Queries currently executing on this session (scheduler admission).
   int inflight() const { return inflight_.load(std::memory_order_acquire); }
 
@@ -116,6 +128,8 @@ class Session {
   uint64_t id_;
   EngineOptions options_;
   std::string user_;
+  std::string peer_;
+  std::string trace_id_;
 
   // Admission token bucket; disabled unless admission_rate_limit_qps > 0.
   RateLimiter rate_limiter_;

@@ -4,6 +4,9 @@
 // with a clean Status (never crash, hang, or corrupt), and the engine must
 // answer a correctness probe afterwards.
 
+#include <poll.h>
+#include <sys/socket.h>
+
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -386,7 +389,9 @@ TEST_F(FaultInjectionTest, NetFaultPointsFailCleanly) {
   ASSERT_TRUE(db.Execute("CREATE TABLE T (x INTEGER); "
                          "INSERT INTO T VALUES (1), (2), (3)")
                   .ok());
-  net::MsqldServer server(&db, net::ServerOptions{});
+  net::ServerOptions server_options;
+  server_options.admin_port = 0;  // cover the admin plane in the sweep too
+  net::MsqldServer server(&db, server_options);
   ASSERT_TRUE(server.Start().ok());
 
   auto probe_healthy = [&](const char* who) {
@@ -472,6 +477,52 @@ TEST_F(FaultInjectionTest, NetFaultPointsFailCleanly) {
                                 {TypeKind::kInt64});
     EXPECT_TRUE(retry.ok()) << retry.status().ToString();
     probe_healthy("after-fill");
+  }
+
+  // net.admin_http: admin-plane failures degrade to a dropped scrape plus
+  // the error counter — they never touch the query path. The point is
+  // checked twice per request (accept, then response write), so hit 1
+  // exercises the accept path and hit 2 the write path.
+  {
+    auto http_get = [&](const std::string& path) {
+      std::string response;
+      auto sock = net::ConnectTo("127.0.0.1", server.admin_port(), 2000);
+      if (!sock.ok()) return response;
+      const std::string request =
+          "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+      if (!net::WriteAll(sock.value().fd(), request.data(), request.size(),
+                         2000)
+               .ok()) {
+        return response;
+      }
+      char buf[2048];
+      while (true) {
+        pollfd pfd{sock.value().fd(), POLLIN, 0};
+        if (poll(&pfd, 1, 2000) <= 0) break;
+        const ssize_t got = ::recv(sock.value().fd(), buf, sizeof(buf), 0);
+        if (got <= 0) break;
+        response.append(buf, static_cast<size_t>(got));
+      }
+      return response;
+    };
+
+    fi.ArmSite("net.admin_http", 1);  // accept path
+    EXPECT_TRUE(http_get("/metrics").empty());
+    EXPECT_EQ(fi.fired_site(), "net.admin_http");
+    fi.Reset();
+    probe_healthy("during-admin-fault");
+
+    fi.ArmSite("net.admin_http", 2);  // write path
+    EXPECT_TRUE(http_get("/healthz").empty());
+    EXPECT_EQ(fi.fired_site(), "net.admin_http");
+    fi.Reset();
+    probe_healthy("after-admin-fault");
+
+    // Both failures were counted; a clean scrape works again.
+    const std::string scrape = http_get("/metrics");
+    EXPECT_NE(scrape.find("msql_net_admin_errors_total 2"),
+              std::string::npos)
+        << scrape.substr(0, 400);
   }
 
   server.Stop();

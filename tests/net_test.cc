@@ -3,15 +3,18 @@
 // loopback socket, plan-cache behavior observed from the client side,
 // admission control, deadline propagation, and slow/half-closed clients.
 
+#include <poll.h>
 #include <sys/socket.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/engine.h"
 #include "gtest/gtest.h"
+#include "net/admin.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "net/wire.h"
@@ -37,6 +40,7 @@ class NetTest : public ::testing::Test {
   void StartServer(net::ServerOptions options = {}) {
     EngineOptions engine_options;
     engine_options.enable_plan_cache = true;
+    engine_options.enable_system_tables = true;
     engine_ = std::make_unique<Engine>(engine_options);
     ASSERT_TRUE(engine_->Execute(kSetup).ok());
     server_ = std::make_unique<net::MsqldServer>(engine_.get(), options);
@@ -56,6 +60,31 @@ class NetTest : public ::testing::Test {
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<net::MsqldServer> server_;
 };
+
+// Minimal HTTP/1.1 GET against the admin endpoint: one request, read until
+// the server closes (it always sends Connection: close).
+std::string HttpGet(uint16_t port, const std::string& path) {
+  auto sock = net::ConnectTo("127.0.0.1", port, 2000);
+  if (!sock.ok()) return "";
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  if (!net::WriteAll(sock.value().fd(), request.data(), request.size(), 2000)
+           .ok()) {
+    return "";
+  }
+  std::string response;
+  char buf[4096];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    pollfd pfd{sock.value().fd(), POLLIN, 0};
+    if (poll(&pfd, 1, 200) <= 0) continue;
+    const ssize_t got = ::recv(sock.value().fd(), buf, sizeof(buf), 0);
+    if (got <= 0) break;
+    response.append(buf, static_cast<size_t>(got));
+  }
+  return response;
+}
 
 TEST(WireTest, ValueAndFrameRoundTrip) {
   std::string payload;
@@ -457,6 +486,214 @@ TEST_F(NetTest, ConcurrentClientsAllServed) {
   // first fill.
   EXPECT_GE(engine_->plan_cache().stats().hits,
             static_cast<uint64_t>(kClients * kQueriesEach - kClients));
+}
+
+TEST_F(NetTest, UntracedStatementsCarryNoPhaseFooter) {
+  StartServer();
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), User("lena")).ok());
+  auto r = client.Query(kMeasureQuery);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_NE(r.value().stats(), nullptr);
+  // The trailer still carries totals, but without kTraceFlagEnabled the
+  // server never measures phases: the footer is absent and the phase
+  // fields stay zero (the zero-overhead disabled path).
+  EXPECT_GT(r.value().stats()->total_us, 0);
+  EXPECT_EQ(r.value().stats()->parse_us, 0);
+  EXPECT_EQ(r.value().stats()->execute_us, 0);
+  EXPECT_EQ(r.value().stats()->render_us, 0);
+  // Nothing entered the server's trace ring either.
+  EXPECT_TRUE(engine_->RecentTraces().empty());
+}
+
+TEST_F(NetTest, TraceFooterCarriesPhaseBreakdown) {
+  StartServer();
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), User("mia")).ok());
+  client.SetTrace(true, "req-42/alpha");
+
+  auto r = client.Query(kMeasureQuery);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& stats = r.value().stats();
+  ASSERT_NE(stats, nullptr);
+  // The footer's phases are real measurements: execute ran, and the
+  // pipeline phases cannot exceed the server's total.
+  EXPECT_GT(stats->execute_us, 0);
+  const int64_t pipeline_us = stats->bind_us + stats->measure_expand_us +
+                              stats->plan_us + stats->execute_us +
+                              stats->render_us;
+  EXPECT_GT(pipeline_us, 0);
+  EXPECT_LE(pipeline_us, stats->total_us);
+
+  // The same statement also works through the prepared path.
+  auto stmt = client.Prepare(kMeasureQuery, {});
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto executed = client.Execute(stmt.value());
+  ASSERT_TRUE(executed.ok()) << executed.status().ToString();
+  ASSERT_NE(executed.value().stats(), nullptr);
+  EXPECT_GT(executed.value().stats()->execute_us, 0);
+
+  // Server-side, the trace ring picked up the client's correlation id and
+  // the connection's peer identity.
+  auto traces = engine_->RecentTraces();
+  ASSERT_FALSE(traces.empty());
+  bool found = false;
+  for (const auto& trace : traces) {
+    if (trace->trace_id() == "req-42/alpha") {
+      found = true;
+      EXPECT_NE(trace->peer().find("127.0.0.1"), std::string::npos)
+          << trace->peer();
+    }
+  }
+  EXPECT_TRUE(found) << "no trace carried the wire trace id";
+}
+
+TEST_F(NetTest, MalformedTraceIdsAreRejected) {
+  StartServer();
+  // Oversized: one byte past kMaxTraceIdBytes.
+  {
+    net::Client client;
+    ASSERT_TRUE(
+        client.Connect("127.0.0.1", server_->port(), User("nina")).ok());
+    client.SetTrace(true, std::string(net::kMaxTraceIdBytes + 1, 'x'));
+    auto r = client.Query("SELECT 1");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument)
+        << r.status().ToString();
+  }
+  // Non-printable / whitespace bytes are refused too.
+  {
+    net::Client client;
+    ASSERT_TRUE(
+        client.Connect("127.0.0.1", server_->port(), User("nina")).ok());
+    client.SetTrace(true, "has space");
+    auto r = client.Query("SELECT 1");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument)
+        << r.status().ToString();
+  }
+  // A maximal valid id passes.
+  {
+    net::Client client;
+    ASSERT_TRUE(
+        client.Connect("127.0.0.1", server_->port(), User("nina")).ok());
+    client.SetTrace(true, std::string(net::kMaxTraceIdBytes, 'y'));
+    auto r = client.Query("SELECT 1");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+}
+
+TEST_F(NetTest, SystemTablesQueryableOverWire) {
+  StartServer();
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), User("omar")).ok());
+
+  // The querying connection sees itself: busy, with its own statement.
+  auto conns = client.Query(
+      "SELECT user, state, statement FROM msql_system.connections "
+      "ORDER BY id");
+  ASSERT_TRUE(conns.ok()) << conns.status().ToString();
+  ASSERT_EQ(conns.value().num_rows(), 1u);
+  EXPECT_EQ(conns.value().Get(0, "user").str(), "omar");
+  EXPECT_EQ(conns.value().Get(0, "state").str(), "busy");
+  EXPECT_NE(conns.value().Get(0, "statement").str().find("msql_system"),
+            std::string::npos);
+
+  // Queries land in msql_system.queries once traced; measures work over
+  // system tables like over any other relation.
+  client.SetTrace(true, "sys-probe");
+  ASSERT_TRUE(client.Query(kMeasureQuery).ok());
+  client.SetTrace(false);
+  ASSERT_TRUE(engine_
+                  ->Execute("CREATE VIEW QT AS SELECT *, "
+                            "SUM(total_us) AS MEASURE total FROM "
+                            "msql_system.queries")
+                  .ok());
+  auto agg = client.Query(
+      "SELECT status, AGGREGATE(total) AS t FROM QT WHERE trace_id = "
+      "'sys-probe' GROUP BY status");
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  ASSERT_EQ(agg.value().num_rows(), 1u);
+  EXPECT_EQ(agg.value().Get(0, "status").str(), "ok");
+  EXPECT_GT(agg.value().Get(0, "t").int_val(), 0);
+
+  // msql_system.metrics is a plain relation too.
+  auto metric = client.Query(
+      "SELECT value FROM msql_system.metrics "
+      "WHERE name = 'msql_net_connections_active'");
+  ASSERT_TRUE(metric.ok()) << metric.status().ToString();
+  ASSERT_EQ(metric.value().num_rows(), 1u);
+  EXPECT_GE(metric.value().Get(0, "value").double_val(), 1.0);
+
+  // Prepared statements over system tables are refused: the snapshot would
+  // go stale inside the bound plan.
+  auto stmt = client.Prepare("SELECT id FROM msql_system.connections", {});
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), ErrorCode::kInvalidArgument);
+
+  // And text statements over them never warm the plan cache.
+  auto once = client.Query("SELECT COUNT(*) AS c FROM msql_system.queries");
+  auto twice = client.Query("SELECT COUNT(*) AS c FROM msql_system.queries");
+  ASSERT_TRUE(once.ok() && twice.ok());
+  ASSERT_NE(twice.value().stats(), nullptr);
+  EXPECT_NE(twice.value().stats()->plan_cache,
+            QueryStats::PlanCacheOutcome::kHit);
+}
+
+TEST_F(NetTest, AdminEndpointsServeObservability) {
+  net::ServerOptions options;
+  options.admin_port = 0;  // ephemeral
+  StartServer(options);
+  ASSERT_GT(server_->admin_port(), 0);
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), User("pat")).ok());
+  ASSERT_TRUE(client.Query(kMeasureQuery).ok());
+
+  const std::string health = HttpGet(server_->admin_port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string metrics = HttpGet(server_->admin_port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("msql_query_duration_ms"), std::string::npos);
+  EXPECT_NE(metrics.find("msql_net_connections_active"), std::string::npos);
+  EXPECT_NE(metrics.find("msql_net_conn_idle_active"), std::string::npos);
+
+  const std::string statusz = HttpGet(server_->admin_port(), "/statusz");
+  EXPECT_NE(statusz.find("200 OK"), std::string::npos);
+  EXPECT_NE(statusz.find("\"user\": \"pat\""), std::string::npos) << statusz;
+
+  const std::string tracez =
+      HttpGet(server_->admin_port(), "/tracez?min_ms=0");
+  EXPECT_NE(tracez.find("200 OK"), std::string::npos);
+
+  EXPECT_NE(HttpGet(server_->admin_port(), "/nope").find("404"),
+            std::string::npos);
+
+  // Shutting the server down takes the admin plane with it.
+  const uint16_t admin_port = server_->admin_port();
+  server_->Stop();
+  EXPECT_TRUE(HttpGet(admin_port, "/healthz").empty());
+  server_.reset();
+  engine_.reset();
+}
+
+TEST(AdminServerTest, HealthzFlipsWhenDraining) {
+  obs::MetricsRegistry registry;
+  std::atomic<bool> healthy{true};
+  net::AdminHooks hooks;
+  hooks.healthy = [&] { return healthy.load(); };
+  net::AdminServer admin("127.0.0.1", 0, hooks, &registry);
+  ASSERT_TRUE(admin.Start().ok());
+
+  EXPECT_NE(HttpGet(admin.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  // Exactly what MsqldServer::Stop does first: flip the readiness source.
+  healthy.store(false);
+  const std::string draining = HttpGet(admin.port(), "/healthz");
+  EXPECT_NE(draining.find("503"), std::string::npos) << draining;
+  EXPECT_NE(draining.find("draining"), std::string::npos);
+  admin.Stop();
 }
 
 TEST_F(NetTest, GracefulShutdownWithOpenConnections) {

@@ -2,13 +2,19 @@
 // behind the length-prefixed wire protocol of src/net/wire.h and serves
 // concurrent clients (msql_shell --connect, net::Client).
 //
-//   msqld [--host H] [--port P] [--handlers N] [--workers N]
+//   msqld [--host H] [--port P] [--admin-port P] [--handlers N] [--workers N]
 //         [--rate-limit-qps Q] [--rate-limit-burst B]
 //         [--max-connections N] [--max-connections-per-user N]
-//         [--default-timeout-ms MS] [--no-plan-cache] [--init FILE ...]
+//         [--default-timeout-ms MS] [--no-plan-cache]
+//         [--no-system-tables] [--init FILE ...]
 //
 // --port 0 (the default) binds an ephemeral port; the chosen port is
 // printed as "msqld listening on HOST:PORT" so scripts can scrape it.
+// --admin-port opens the HTTP admin plane (/metrics, /healthz, /statusz,
+// /tracez — docs/OBSERVABILITY.md); it is off unless the flag is given,
+// and 0 binds an ephemeral admin port, printed the same way. msqld exposes
+// the msql_system.* introspection tables by default; --no-system-tables
+// hides them.
 // --init files run through Engine::Execute before the listener opens, so
 // clients never observe a half-loaded catalog. SIGINT/SIGTERM shut down
 // gracefully: in-flight statements are cancelled, connections closed.
@@ -37,11 +43,12 @@ void HandleSignal(int) { g_shutdown.store(true); }
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--host H] [--port P] [--handlers N] [--workers N]\n"
+               "usage: %s [--host H] [--port P] [--admin-port P]\n"
+               "          [--handlers N] [--workers N]\n"
                "          [--rate-limit-qps Q] [--rate-limit-burst B]\n"
                "          [--max-connections N] [--max-connections-per-user N]\n"
                "          [--default-timeout-ms MS] [--no-plan-cache]\n"
-               "          [--init FILE ...]\n",
+               "          [--no-system-tables] [--init FILE ...]\n",
                argv0);
   return 2;
 }
@@ -51,6 +58,7 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   msql::EngineOptions engine_options;
   engine_options.enable_plan_cache = true;
+  engine_options.enable_system_tables = true;
   msql::net::ServerOptions server_options;
   server_options.num_handler_threads = 4;
   server_options.num_worker_threads = 8;
@@ -69,6 +77,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       server_options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--admin-port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      server_options.admin_port = std::atoi(v);
     } else if (arg == "--handlers") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -99,6 +111,8 @@ int main(int argc, char** argv) {
       server_options.default_timeout_ms = std::atoll(v);
     } else if (arg == "--no-plan-cache") {
       engine_options.enable_plan_cache = false;
+    } else if (arg == "--no-system-tables") {
+      engine_options.enable_system_tables = false;
     } else if (arg == "--init") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -133,6 +147,10 @@ int main(int argc, char** argv) {
   }
   std::printf("msqld listening on %s:%u\n", server_options.host.c_str(),
               server.port());
+  if (server_options.admin_port >= 0) {
+    std::printf("msqld admin on http://%s:%u\n", server_options.host.c_str(),
+                server.admin_port());
+  }
   std::fflush(stdout);
 
   signal(SIGINT, HandleSignal);

@@ -11,8 +11,16 @@
 // before every timed query so each run pays the full cold-cache evaluation
 // the strategies actually differ on.
 //
-// Gate (full runs only): grouped must be >= 5x faster than memoized on the
-// 100-group x 100k-row workload. Emits BENCH_grouped_strategy.json.
+// A second pair of legs times the execution modes: the same grouped
+// strategy with ExecMode::kVectorized vs ExecMode::kRow on a plain
+// aggregation over the 100k-row table, where the row leg pays per-row
+// expression interpretation (frame setup, Value construction, dynamic
+// dispatch) that the vectorized leg replaces with typed column loops
+// (exec/vector_eval.cc, docs/PERFORMANCE.md).
+//
+// Gates (full runs only), both on the 100-group x 100k-row workload:
+// grouped must be >= 5x faster than memoized, and vectorized must be
+// >= 10x faster than row. Emits BENCH_grouped_strategy.json.
 //
 // Own-main bench: the interleaved round structure and the process-exit
 // gate do not fit the per-iteration google-benchmark model. `--smoke` or
@@ -40,29 +48,43 @@ const char* const kGroupedQuery =
     "SELECT prodName, sumRevenue AS rev, orderCount AS cnt "
     "FROM EO GROUP BY prodName ORDER BY prodName";
 
+// Plain-SQL aggregation for the execution-mode legs: no measure machinery,
+// so the timed work is exactly what the exec modes differ on (scan,
+// group-key eval, accumulation over 100k rows).
+const char* const kAggQuery =
+    "SELECT prodName, SUM(revenue) AS rev, COUNT(*) AS cnt, "
+    "AVG(revenue) AS avg_rev, MIN(revenue) AS lo, MAX(revenue) AS hi "
+    "FROM Orders GROUP BY prodName ORDER BY prodName";
+
 struct StrategyResult {
   std::string name;
+  std::string exec_mode;
   double median_qps = 0;
   double best_qps = 0;
   uint64_t source_scans = 0;
   uint64_t grouped_builds = 0;
   uint64_t grouped_probes = 0;
   uint64_t parallel_tasks = 0;
+  uint64_t vectorized_batches = 0;
+  uint64_t row_fallbacks = 0;
   std::vector<double> round_qps;
 };
 
-// Queries/sec for `passes` cold-cache executions, recording the last
-// run's evaluation counters into `res`.
-double TimeRound(Engine* db, int passes, StrategyResult* res) {
+// Queries/sec for `passes` cold-cache executions of `query`, recording the
+// last run's evaluation counters into `res`.
+double TimeRound(Engine* db, const char* query, int passes,
+                 StrategyResult* res) {
   const auto start = std::chrono::steady_clock::now();
   for (int p = 0; p < passes; ++p) {
     db->shared_cache().Clear();
-    ResultSet rs = CheckResult(db->Query(kGroupedQuery), "grouped workload");
+    ResultSet rs = CheckResult(db->Query(query), "grouped workload");
     if (const auto& stats = rs.stats(); stats != nullptr) {
       res->source_scans = stats->measure_source_scans;
       res->grouped_builds = stats->measure_grouped_builds;
       res->grouped_probes = stats->measure_grouped_probes;
       res->parallel_tasks = stats->measure_parallel_tasks;
+      res->vectorized_batches = stats->exec_vectorized_batches;
+      res->row_fallbacks = stats->exec_row_fallbacks;
     }
   }
   const std::chrono::duration<double> elapsed =
@@ -75,14 +97,13 @@ double Median(std::vector<double> v) {
   return v[v.size() / 2];
 }
 
-// Median of the per-round grouped/memoized qps ratios. Rounds are paired
-// in time, so the ratio cancels drift that absolute medians would not.
-double PairedSpeedup(const StrategyResult& memoized,
-                     const StrategyResult& grouped) {
+// Median of the per-round fast/slow qps ratios. Rounds are paired in
+// time, so the ratio cancels drift that absolute medians would not.
+double PairedSpeedup(const StrategyResult& slow, const StrategyResult& fast) {
   std::vector<double> ratios;
-  for (size_t i = 0; i < memoized.round_qps.size(); ++i) {
-    if (memoized.round_qps[i] > 0) {
-      ratios.push_back(grouped.round_qps[i] / memoized.round_qps[i]);
+  for (size_t i = 0; i < slow.round_qps.size(); ++i) {
+    if (slow.round_qps[i] > 0) {
+      ratios.push_back(fast.round_qps[i] / slow.round_qps[i]);
     }
   }
   return Median(ratios);
@@ -112,36 +133,55 @@ int Main(int argc, char** argv) {
   Engine db;
   LoadOrders(&db, rows, /*products=*/groups, /*customers=*/100);
 
-  StrategyResult memoized{.name = "memoized"};
-  StrategyResult grouped{.name = "grouped"};
+  StrategyResult memoized{.name = "memoized", .exec_mode = "vectorized"};
+  StrategyResult grouped{.name = "grouped", .exec_mode = "vectorized"};
+  StrategyResult row_exec{.name = "grouped", .exec_mode = "row"};
+  StrategyResult vec_exec{.name = "grouped", .exec_mode = "vectorized"};
   {  // warmup, untimed
     StrategyResult scratch;
     db.options().measure_strategy = MeasureStrategy::kGrouped;
-    TimeRound(&db, 1, &scratch);
+    TimeRound(&db, kGroupedQuery, 1, &scratch);
+    TimeRound(&db, kAggQuery, 1, &scratch);
   }
   for (int r = 0; r < rounds; ++r) {
+    db.options().exec_mode = ExecMode::kVectorized;
     db.options().measure_strategy = MeasureStrategy::kMemoized;
-    memoized.round_qps.push_back(TimeRound(&db, passes, &memoized));
+    memoized.round_qps.push_back(
+        TimeRound(&db, kGroupedQuery, passes, &memoized));
     db.options().measure_strategy = MeasureStrategy::kGrouped;
-    grouped.round_qps.push_back(TimeRound(&db, passes, &grouped));
+    grouped.round_qps.push_back(TimeRound(&db, kGroupedQuery, passes, &grouped));
+    // Execution-mode pair: same strategy, same plain-SQL aggregation, the
+    // interpreter flipped between row-at-a-time and vectorized.
+    db.options().exec_mode = ExecMode::kRow;
+    row_exec.round_qps.push_back(TimeRound(&db, kAggQuery, passes, &row_exec));
+    db.options().exec_mode = ExecMode::kVectorized;
+    vec_exec.round_qps.push_back(TimeRound(&db, kAggQuery, passes, &vec_exec));
   }
-  for (StrategyResult* res : {&memoized, &grouped}) {
+  for (StrategyResult* res : {&memoized, &grouped, &row_exec, &vec_exec}) {
     res->median_qps = Median(res->round_qps);
     res->best_qps =
         *std::max_element(res->round_qps.begin(), res->round_qps.end());
-    std::printf("%-9s best %8.2f qps  median %8.2f qps  "
-                "(scans=%llu builds=%llu probes=%llu parallel_tasks=%llu)\n",
-                res->name.c_str(), res->best_qps, res->median_qps,
-                static_cast<unsigned long long>(res->source_scans),
-                static_cast<unsigned long long>(res->grouped_builds),
-                static_cast<unsigned long long>(res->grouped_probes),
-                static_cast<unsigned long long>(res->parallel_tasks));
+    std::printf(
+        "%-9s/%-10s best %8.2f qps  median %8.2f qps  "
+        "(scans=%llu builds=%llu probes=%llu parallel_tasks=%llu "
+        "batches=%llu fallbacks=%llu)\n",
+        res->name.c_str(), res->exec_mode.c_str(), res->best_qps,
+        res->median_qps, static_cast<unsigned long long>(res->source_scans),
+        static_cast<unsigned long long>(res->grouped_builds),
+        static_cast<unsigned long long>(res->grouped_probes),
+        static_cast<unsigned long long>(res->parallel_tasks),
+        static_cast<unsigned long long>(res->vectorized_batches),
+        static_cast<unsigned long long>(res->row_fallbacks));
   }
 
   const double speedup = PairedSpeedup(memoized, grouped);
   std::printf("grouped speedup over memoized: %.2fx "
               "(gate: >= 5x on the full run)\n",
               speedup);
+  const double vec_speedup = PairedSpeedup(row_exec, vec_exec);
+  std::printf("vectorized speedup over row: %.2fx "
+              "(gate: >= 10x on the full run)\n",
+              vec_speedup);
 
   std::ofstream out("BENCH_grouped_strategy.json");
   JsonWriter w(out);
@@ -158,10 +198,12 @@ int Main(int argc, char** argv) {
   w.Bool(smoke);
   w.Key("strategies");
   w.BeginArray();
-  for (const StrategyResult* res : {&memoized, &grouped}) {
+  for (const StrategyResult* res : {&memoized, &grouped, &row_exec, &vec_exec}) {
     w.BeginObject();
     w.Key("strategy");
     w.String(res->name);
+    w.Key("exec_mode");
+    w.String(res->exec_mode);
     w.Key("best_qps");
     w.Double(res->best_qps);
     w.Key("median_qps");
@@ -174,6 +216,10 @@ int Main(int argc, char** argv) {
     w.Int(static_cast<int64_t>(res->grouped_probes));
     w.Key("parallel_tasks");
     w.Int(static_cast<int64_t>(res->parallel_tasks));
+    w.Key("vectorized_batches");
+    w.Int(static_cast<int64_t>(res->vectorized_batches));
+    w.Key("row_fallbacks");
+    w.Int(static_cast<int64_t>(res->row_fallbacks));
     w.Key("round_qps");
     w.BeginArray();
     for (double q : res->round_qps) w.Double(q);
@@ -185,6 +231,10 @@ int Main(int argc, char** argv) {
   w.Double(speedup);
   w.Key("gate_speedup");
   w.Double(5.0);
+  w.Key("vec_speedup");
+  w.Double(vec_speedup);
+  w.Key("gate_vec_speedup");
+  w.Double(10.0);
   w.EndObject();
   out << "\n";
   std::printf("wrote BENCH_grouped_strategy.json\n");
@@ -193,6 +243,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "GATE FAILED: grouped speedup %.2fx is below the 5x gate\n",
                  speedup);
+    return 1;
+  }
+  if (!smoke && vec_speedup < 10.0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: vectorized speedup %.2fx is below the 10x gate\n",
+                 vec_speedup);
     return 1;
   }
   return 0;

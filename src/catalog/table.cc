@@ -1,8 +1,28 @@
 #include "catalog/table.h"
 
 #include "common/string_util.h"
+#include "exec/column_vector.h"
 
 namespace msql {
+
+std::shared_ptr<const ColumnarRelation> Table::ColumnsFor(
+    const RowsSnapshot& snap) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (columns_rows_ == snap) return columns_;
+  }
+  // Build outside the lock: the snapshot vector is immutable, and a writer
+  // must never block behind columnarization. Concurrent scans of the same
+  // fresh snapshot may build twice; last publish wins.
+  auto arena = std::make_shared<Arena>();
+  auto built = ColumnarizeRows(schema_.size(), *snap, arena);
+  std::shared_ptr<const ColumnarRelation> cols =
+      built.ok() ? built.take() : nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  columns_rows_ = snap;
+  columns_ = cols;
+  return cols;
+}
 
 Status Table::CoerceRow(Row* row) const {
   if (row->size() != schema_.size()) {

@@ -13,6 +13,8 @@
 
 namespace msql {
 
+struct ColumnarRelation;  // exec/column_vector.h
+
 // An in-memory base table: schema plus row storage. Row values are stored
 // already coerced to the column types.
 //
@@ -53,6 +55,15 @@ class Table {
     return generation_.load(std::memory_order_acquire);
   }
 
+  // Columnar image of `snap`, built on first use and cached. Keyed by the
+  // snapshot's identity (the shared row vector pointer), not the generation:
+  // a hit is only possible when the cached image was built from exactly this
+  // vector, so a scan can never pair a stale image with fresher rows. Like
+  // the row snapshot it mirrors, the image is engine-resident and unguarded.
+  // May be null (columnarization failed); callers then run row-at-a-time.
+  std::shared_ptr<const ColumnarRelation> ColumnsFor(
+      const RowsSnapshot& snap) const;
+
   // Appends rows, coercing each value to the column types. Fails (without
   // appending anything from the failing row on) if arity or types do not
   // match. AppendRows takes the write lock once for the whole batch.
@@ -76,6 +87,10 @@ class Table {
   // True while `rows_` may be referenced outside mu_ (a snapshot was
   // handed out since the last copy). Guarded by mu_.
   mutable bool snapshotted_ = false;
+  // Columnar cache: `columns_` was built from `columns_rows_` (identity
+  // key). Both guarded by mu_; the build itself runs outside the lock.
+  mutable RowsSnapshot columns_rows_;
+  mutable std::shared_ptr<const ColumnarRelation> columns_;
   std::atomic<uint64_t> generation_{0};
 };
 

@@ -1,0 +1,50 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace msql {
+
+void* Arena::AllocateSlow(size_t bytes, size_t align) {
+  if (!status_.ok()) return nullptr;
+  // Geometric growth from kMinBlockBytes; oversized requests get their own
+  // block. `align - 1` slack guarantees the aligned cursor still fits.
+  size_t last = blocks_.empty() ? 0 : blocks_.back().size;
+  size_t want = std::max(bytes + align, kMinBlockBytes);
+  size_t block_size = std::max(want, last * 2);
+  if (guard_ != nullptr) {
+    Status s = guard_->ChargeBytes(block_size);
+    if (!s.ok()) {
+      status_ = std::move(s);
+      return nullptr;
+    }
+  }
+  Block b;
+  b.data.reset(new char[block_size]);
+  b.size = block_size;
+  bytes_reserved_ += block_size;
+  cursor_ = b.data.get();
+  end_ = cursor_ + block_size;
+  blocks_.push_back(std::move(b));
+  char* p = AlignUp(cursor_, align);
+  cursor_ = p + bytes;
+  return p;
+}
+
+void Arena::Reset() {
+  if (blocks_.empty()) {
+    cursor_ = end_ = nullptr;
+    return;
+  }
+  auto largest = std::max_element(
+      blocks_.begin(), blocks_.end(),
+      [](const Block& a, const Block& b) { return a.size < b.size; });
+  Block keep = std::move(*largest);
+  bytes_reserved_ = keep.size;
+  blocks_.clear();
+  cursor_ = keep.data.get();
+  end_ = cursor_ + keep.size;
+  blocks_.push_back(std::move(keep));
+}
+
+}  // namespace msql

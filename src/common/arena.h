@@ -1,0 +1,96 @@
+#ifndef MSQL_COMMON_ARENA_H_
+#define MSQL_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/query_guard.h"
+#include "common/status.h"
+
+namespace msql {
+
+// Bump allocator backing the columnar execution layer (exec/column_vector.h).
+// Column payload arrays (typed value arrays, validity bitmaps) are carved out
+// of geometrically growing blocks, so building a batch costs one malloc per
+// block instead of one per column, and tearing a whole columnar relation down
+// is a handful of frees.
+//
+// Memory accounting: an arena may be attached to a QueryGuard, in which case
+// every new block is charged against the query's memory budget *before* it is
+// allocated. A rejected charge poisons the arena — Allocate() returns nullptr
+// and status() carries the guard's kResourceExhausted — so a batch build can
+// trip the budget deterministically mid-build. Arenas holding engine-resident
+// data (the per-table columnar cache) run unguarded, like the row snapshots
+// they mirror.
+//
+// Not thread-safe: one arena belongs to one building thread. Finished columns
+// share the arena read-only via shared_ptr.
+class Arena {
+ public:
+  static constexpr size_t kMinBlockBytes = 64 << 10;
+
+  explicit Arena(QueryGuard* guard = nullptr) : guard_(guard) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `bytes` of storage aligned to `align` (a power of two), or
+  // nullptr when the attached guard rejected the block charge; status()
+  // then holds the error. Zero-sized requests return a unique valid pointer.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    char* p = AlignUp(cursor_, align);
+    if (p != nullptr && static_cast<size_t>(end_ - p) >= bytes) {
+      cursor_ = p + bytes;
+      return p;
+    }
+    return AllocateSlow(bytes, align);
+  }
+
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Rewinds the arena for reuse: every block but the largest is freed, and
+  // the survivor is recycled without a fresh guard charge (the bytes were
+  // already accounted; ChargeBytes has no refund, so reuse is free while
+  // shrinkage is conservative).
+  void Reset();
+
+  // Drops the guard reference. Call before publishing columns that outlive
+  // the charging query (cross-query caches): the guard lives in a per-query
+  // ExecState and must not dangle inside a cached arena.
+  void DetachGuard() { guard_ = nullptr; }
+
+  // Total block bytes reserved from the system (and charged to the guard,
+  // when one is attached).
+  uint64_t bytes_reserved() const { return bytes_reserved_; }
+
+  // Ok until a guard charge fails; then the failing status, sticky.
+  const Status& status() const { return status_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  static char* AlignUp(char* p, size_t align) {
+    return reinterpret_cast<char*>(
+        (reinterpret_cast<uintptr_t>(p) + align - 1) & ~(align - 1));
+  }
+
+  void* AllocateSlow(size_t bytes, size_t align);
+
+  std::vector<Block> blocks_;
+  char* cursor_ = nullptr;
+  char* end_ = nullptr;
+  uint64_t bytes_reserved_ = 0;
+  QueryGuard* guard_ = nullptr;
+  Status status_ = Status::Ok();
+};
+
+}  // namespace msql
+
+#endif  // MSQL_COMMON_ARENA_H_

@@ -28,6 +28,12 @@ struct QueryStats {
   uint64_t shared_cache_hits = 0;
   uint64_t shared_cache_misses = 0;
 
+  // Vectorized execution (exec/vector_eval.cc and friends): 1024-row
+  // column batches processed by batch kernels, and operator invocations
+  // that fell back to row-at-a-time (no kernel, or fault-injected).
+  uint64_t exec_vectorized_batches = 0;
+  uint64_t exec_row_fallbacks = 0;
+
   // Degradable operations skipped because a circuit breaker was open
   // (runtime/circuit_breaker.h); EXPLAIN ANALYZE surfaces these as a
   // "Breakers:" line.

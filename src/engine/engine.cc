@@ -99,6 +99,12 @@ void Engine::InitObs() {
       "msql_shared_cache_hits_total", "Cross-query shared cache hits");
   ins_.shared_cache_misses = metrics_.GetCounter(
       "msql_shared_cache_misses_total", "Cross-query shared cache misses");
+  ins_.exec_vectorized_batches = metrics_.GetCounter(
+      "msql_exec_vectorized_batches_total",
+      "1024-row column batches processed by vectorized kernels");
+  ins_.exec_row_fallbacks = metrics_.GetCounter(
+      "msql_exec_row_fallbacks_total",
+      "Operator invocations that fell back to row-at-a-time execution");
   ins_.shared_cache_insertions = metrics_.GetCounter(
       "msql_shared_cache_insertions_total", "Cross-query shared cache fills");
   ins_.shared_cache_evictions = metrics_.GetCounter(
@@ -450,6 +456,8 @@ EngineStats Engine::stats() const {
   s.subquery_cache_hits = ins_.subquery_cache_hits->value();
   s.shared_cache_hits = ins_.shared_cache_hits->value();
   s.shared_cache_misses = ins_.shared_cache_misses->value();
+  s.exec_vectorized_batches = ins_.exec_vectorized_batches->value();
+  s.exec_row_fallbacks = ins_.exec_row_fallbacks->value();
   const SharedMeasureCache::Stats cache = shared_cache_.stats();
   s.shared_cache_insertions = cache.insertions;
   s.shared_cache_evictions = cache.evictions;
@@ -522,6 +530,8 @@ void Engine::AccumulateStats(const ExecState& state) {
   ins_.subquery_cache_hits->Increment(state.subquery_cache_hits);
   ins_.shared_cache_hits->Increment(state.shared_cache_hits);
   ins_.shared_cache_misses->Increment(state.shared_cache_misses);
+  ins_.exec_vectorized_batches->Increment(state.exec_vectorized_batches);
+  ins_.exec_row_fallbacks->Increment(state.exec_row_fallbacks);
   ins_.breaker_short_circuits->Increment(state.breaker_short_circuits);
 }
 
@@ -571,6 +581,8 @@ Result<ResultSet> Engine::FinishSelect(const QueryContext& ctx,
   stats->subquery_cache_hits = state.subquery_cache_hits;
   stats->shared_cache_hits = state.shared_cache_hits;
   stats->shared_cache_misses = state.shared_cache_misses;
+  stats->exec_vectorized_batches = state.exec_vectorized_batches;
+  stats->exec_row_fallbacks = state.exec_row_fallbacks;
   stats->breaker_short_circuits = state.breaker_short_circuits;
   stats->plan_cache =
       static_cast<QueryStats::PlanCacheOutcome>(state.plan_cache_outcome);

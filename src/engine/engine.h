@@ -95,6 +95,8 @@ struct EngineStats {
   uint64_t shared_cache_entries = 0;
   uint64_t shared_cache_bytes = 0;
   uint64_t breaker_short_circuits = 0;
+  uint64_t exec_vectorized_batches = 0;
+  uint64_t exec_row_fallbacks = 0;
 };
 
 // The public entry point: an in-memory SQL engine implementing the msql
@@ -397,6 +399,8 @@ class Engine {
     obs::Counter* subquery_cache_hits = nullptr;
     obs::Counter* shared_cache_hits = nullptr;
     obs::Counter* shared_cache_misses = nullptr;
+    obs::Counter* exec_vectorized_batches = nullptr;
+    obs::Counter* exec_row_fallbacks = nullptr;
     obs::Counter* shared_cache_insertions = nullptr;
     obs::Counter* shared_cache_evictions = nullptr;
     obs::Counter* shared_cache_invalidations = nullptr;

@@ -1,6 +1,9 @@
 #include "exec/agg_eval.h"
 
+#include <cmath>
 #include <set>
+
+#include "exec/vector_eval.h"
 
 namespace msql {
 
@@ -18,6 +21,161 @@ struct RowLess {
   }
 };
 
+inline double ColAsDouble(const ColumnVector& c, int64_t i) {
+  return c.kind == TypeKind::kDouble ? c.doubles[i]
+                                     : static_cast<double>(c.ints[i]);
+}
+
+// Columnar fast path for the plain-aggregate shape (no DISTINCT, no FILTER,
+// no correlation): the single argument is a depth-0 column reference with a
+// typed column available, or the call is COUNT(*). Accumulation mirrors
+// AggAccumulator state-for-state — same row order, same double operations —
+// so results are bit-identical to the row path. Returns true when handled.
+bool TryVectorizedAgg(AggId agg, const std::vector<BoundExprPtr>& args,
+                      const Relation& rel, const std::vector<int64_t>& rows,
+                      ExecState* state, Result<Value>* out) {
+  if (agg == AggId::kCountStar) {
+    *out = Value::Int(static_cast<int64_t>(rows.size()));
+    return true;
+  }
+  if (args.size() != 1) return false;
+  const BoundExpr& a0 = *args[0];
+  if (a0.kind != BoundExprKind::kColumnRef || a0.depth != 0 || a0.column < 0) {
+    return false;
+  }
+  if (rel.columns == nullptr ||
+      static_cast<size_t>(a0.column) >= rel.columns->cols.size() ||
+      rel.columns->cols[a0.column] == nullptr) {
+    return false;
+  }
+  const ColumnVector& c = *rel.columns->cols[a0.column];
+  auto check_guard = [&](size_t i) -> bool {
+    if ((i & (kRowsPerBatch - 1)) != 0) return true;
+    Status st = state->guard.Check();
+    if (st.ok()) return true;
+    *out = st;
+    return false;
+  };
+
+  switch (agg) {
+    case AggId::kCount: {
+      int64_t count = 0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (!check_guard(i)) return true;
+        if (c.IsValid(rows[i])) ++count;
+      }
+      *out = Value::Int(count);
+      return true;
+    }
+    case AggId::kSum: {
+      if (c.kind == TypeKind::kNull) {
+        *out = Value::Null();
+        return true;
+      }
+      if (c.kind == TypeKind::kInt64) {
+        uint64_t isum = 0;  // wrapping, like the row path's int64 +=
+        bool has_value = false;
+        for (size_t i = 0; i < rows.size(); ++i) {
+          if (!check_guard(i)) return true;
+          const int64_t idx = rows[i];
+          if (!c.IsValid(idx)) continue;
+          has_value = true;
+          isum += static_cast<uint64_t>(c.ints[idx]);
+        }
+        *out = has_value ? Value::Int(static_cast<int64_t>(isum))
+                         : Value::Null();
+        return true;
+      }
+      if (c.kind == TypeKind::kDouble) {
+        double sum = 0;
+        bool has_value = false;
+        for (size_t i = 0; i < rows.size(); ++i) {
+          if (!check_guard(i)) return true;
+          const int64_t idx = rows[i];
+          if (!c.IsValid(idx)) continue;
+          has_value = true;
+          sum += c.doubles[idx];
+        }
+        *out = has_value ? Value::Double(sum) : Value::Null();
+        return true;
+      }
+      // SUM over DATE/BOOL/STRING has row-path quirks (untouched isum_);
+      // leave those to the row path.
+      return false;
+    }
+    case AggId::kAvg:
+    case AggId::kStddev:
+    case AggId::kVariance: {
+      if (c.kind == TypeKind::kNull) {
+        *out = Value::Null();
+        return true;
+      }
+      if (c.kind == TypeKind::kString) return false;
+      int64_t count = 0;
+      double sum = 0, sum_sq = 0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (!check_guard(i)) return true;
+        const int64_t idx = rows[i];
+        if (!c.IsValid(idx)) continue;
+        ++count;
+        sum += ColAsDouble(c, idx);
+        sum_sq += ColAsDouble(c, idx) * ColAsDouble(c, idx);
+      }
+      if (agg == AggId::kAvg) {
+        *out = count == 0 ? Value::Null()
+                          : Value::Double(sum / static_cast<double>(count));
+        return true;
+      }
+      if (count < 2) {
+        *out = Value::Null();
+        return true;
+      }
+      const double n = static_cast<double>(count);
+      double var = (sum_sq - sum * sum / n) / (n - 1);
+      if (var < 0) var = 0;  // numerical noise
+      *out = Value::Double(agg == AggId::kStddev ? std::sqrt(var) : var);
+      return true;
+    }
+    case AggId::kMin:
+    case AggId::kMax: {
+      if (c.kind == TypeKind::kNull) {
+        *out = Value::Null();
+        return true;
+      }
+      const bool want_min = agg == AggId::kMin;
+      int64_t best = -1;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (!check_guard(i)) return true;
+        const int64_t idx = rows[i];
+        if (!c.IsValid(idx)) continue;
+        if (best < 0) {
+          best = idx;
+          continue;
+        }
+        // Strict comparisons keep the first-seen value among equals (and,
+        // for doubles, under NaN), exactly like Value::Compare.
+        bool better;
+        if (c.kind == TypeKind::kDouble) {
+          better = want_min ? c.doubles[idx] < c.doubles[best]
+                            : c.doubles[idx] > c.doubles[best];
+        } else if (c.kind == TypeKind::kString) {
+          const int cmp = (*c.dict)[static_cast<size_t>(c.ints[idx])].compare(
+              (*c.dict)[static_cast<size_t>(c.ints[best])]);
+          better = want_min ? cmp < 0 : cmp > 0;
+        } else {
+          better = want_min ? c.ints[idx] < c.ints[best]
+                            : c.ints[idx] > c.ints[best];
+        }
+        if (better) best = idx;
+      }
+      *out = best < 0 ? Value::Null() : c.At(best);
+      return true;
+    }
+    default:
+      return false;  // MIN_BY/MAX_BY and window-only ids: row path
+  }
+}
+
 }  // namespace
 
 Result<Value> EvalAggCall(AggId agg, const std::vector<BoundExprPtr>& args,
@@ -25,6 +183,24 @@ Result<Value> EvalAggCall(AggId agg, const std::vector<BoundExprPtr>& args,
                           const Relation& rel,
                           const std::vector<int64_t>& rows,
                           const RowStack& outer, ExecState* state) {
+  if (outer.empty() && !distinct && filter == nullptr) {
+    switch (VectorizedGate(state)) {
+      case VectorGate::kOk: {
+        Result<Value> fast = Value::Null();
+        if (TryVectorizedAgg(agg, args, rel, rows, state, &fast)) {
+          state->exec_vectorized_batches += static_cast<uint64_t>(
+              NumBatches(static_cast<int64_t>(rows.size())));
+          return fast;
+        }
+        ++state->exec_row_fallbacks;
+        break;
+      }
+      case VectorGate::kFaulted:  // counted inside the gate
+      case VectorGate::kRowMode:
+        break;
+    }
+  }
+
   Evaluator ev(state);
   AggAccumulator acc(agg);
   std::set<std::vector<Value>, RowLess> seen;

@@ -29,8 +29,18 @@ struct LogicalPlan;        // plan/plan.h
 // O(G x R); see docs/PERFORMANCE.md.
 enum class MeasureStrategy { kNaive, kMemoized, kGrouped };
 
+// How operators execute. kVectorized (the default) runs the hot operators
+// (scan, project, filter, aggregation, measure accumulation) over typed
+// column batches (exec/column_vector.h) with per-operator fallback to the
+// row path when an expression has no kernel; kRow is the row-at-a-time
+// interpreter, kept as the correctness baseline (the msqlcheck oracle runs
+// every strategy under both modes). Fallbacks surface in EXPLAIN ANALYZE
+// (exec=vectorized|row) and the msql_exec_row_fallbacks_total metric.
+enum class ExecMode { kRow, kVectorized };
+
 struct EngineOptions {
   MeasureStrategy measure_strategy = MeasureStrategy::kGrouped;
+  ExecMode exec_mode = ExecMode::kVectorized;
   // Paper section 6.4's inline rewrite, as a runtime fast path: a context
   // consisting solely of row-id terms is evaluated directly over those rows
   // (no source scan), and VISIBLE-only call sites skip the redundant
@@ -185,6 +195,8 @@ struct ExecState {
   uint64_t shared_cache_hits = 0;    // cross-query cache hits (this query)
   uint64_t shared_cache_misses = 0;
   uint64_t breaker_short_circuits = 0;  // ops skipped by an open breaker
+  uint64_t exec_vectorized_batches = 0;  // column batches run through kernels
+  uint64_t exec_row_fallbacks = 0;  // vectorized ops degraded to the row path
 };
 
 }  // namespace msql

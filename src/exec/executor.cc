@@ -7,6 +7,7 @@
 #include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "exec/agg_eval.h"
+#include "exec/vector_eval.h"
 #include "measure/cse.h"
 #include "measure/grouped.h"
 #include "runtime/circuit_breaker.h"
@@ -58,7 +59,7 @@ Result<RelationPtr> Executor::DispatchProfiled(const LogicalPlan& plan,
     uint64_t measure_evals, measure_cache_hits, measure_source_scans,
         measure_inline_evals, measure_grouped_builds, measure_grouped_probes,
         subquery_execs, subquery_cache_hits, shared_cache_hits,
-        shared_cache_misses;
+        shared_cache_misses, exec_vectorized_batches, exec_row_fallbacks;
   };
   const Snapshot snap{state_->measure_evals,
                       state_->measure_cache_hits,
@@ -69,7 +70,9 @@ Result<RelationPtr> Executor::DispatchProfiled(const LogicalPlan& plan,
                       state_->subquery_execs,
                       state_->subquery_cache_hits,
                       state_->shared_cache_hits,
-                      state_->shared_cache_misses};
+                      state_->shared_cache_misses,
+                      state_->exec_vectorized_batches,
+                      state_->exec_row_fallbacks};
   const auto t0 = std::chrono::steady_clock::now();
   Result<RelationPtr> result = Dispatch(plan, outer);
   const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -94,6 +97,10 @@ Result<RelationPtr> Executor::DispatchProfiled(const LogicalPlan& plan,
   op.shared_cache_hits += state_->shared_cache_hits - snap.shared_cache_hits;
   op.shared_cache_misses +=
       state_->shared_cache_misses - snap.shared_cache_misses;
+  op.exec_vectorized_batches +=
+      state_->exec_vectorized_batches - snap.exec_vectorized_batches;
+  op.exec_row_fallbacks +=
+      state_->exec_row_fallbacks - snap.exec_row_fallbacks;
   if (result.ok()) op.rows_out += result.value()->rows.size();
   return result;
 }
@@ -180,11 +187,18 @@ Result<RelationPtr> Executor::ExecScan(const LogicalPlan& plan) {
   MSQL_FAULT_POINT("catalog.snapshot");
   auto rel = std::make_shared<Relation>();
   rel->schema = plan.schema;
-  // Copy from a COW snapshot: concurrent INSERTs republish the row vector,
-  // so the scan never observes a partially appended batch.
-  rel->rows = *plan.table->snapshot();
+  // Adopt the COW snapshot in O(1): concurrent INSERTs republish the row
+  // vector, never mutate it, so sharing the segment is safe and a scan of R
+  // rows no longer copies them.
+  Table::RowsSnapshot snap = plan.table->snapshot();
+  rel->rows.AdoptShared(snap);
   MSQL_RETURN_IF_ERROR(
       state_->guard.ChargeRows(rel->rows.size(), rel->schema.size()));
+  if (VectorizedGate(state_) == VectorGate::kOk) {
+    // Table-cached columnar image, keyed by snapshot identity; null (row
+    // path) when a column could not be columnarized.
+    rel->columns = plan.table->ColumnsFor(snap);
+  }
   return RelationPtr(rel);
 }
 
@@ -210,11 +224,84 @@ Result<RelationPtr> Executor::ExecValues(const LogicalPlan& plan,
   return RelationPtr(rel);
 }
 
+namespace {
+
+// Vectorized projection: every output expression has a kernel. Produces a
+// columnar relation (rows stay lazy) and charges exactly what the row path
+// charges (n x ChargeRows(1, width) == ChargeRows(n, width) in bytes).
+// Returns false — with nothing charged — when any expression lacks a kernel.
+Result<bool> TryVectorProject(const LogicalPlan& plan, const Relation& child,
+                              ExecState* state, Relation* rel) {
+  if (child.columns == nullptr) return false;
+  const int64_t n = static_cast<int64_t>(child.rows.size());
+  auto arena = std::make_shared<Arena>();
+  auto out = std::make_shared<ColumnarRelation>();
+  out->num_rows = n;
+  out->cols.reserve(plan.exprs.size());
+  for (const auto& e : plan.exprs) {
+    MSQL_ASSIGN_OR_RETURN(ColumnPtr col, EvalVector(*e, child, arena, state));
+    if (col == nullptr) return false;
+    out->cols.push_back(std::move(col));
+  }
+  MSQL_RETURN_IF_ERROR(state->guard.ChargeRows(n, plan.exprs.size()));
+  out->batches = MakeBatches(n);
+  rel->columns = out;
+  rel->rows.AdoptLazy(std::move(out));
+  state->exec_vectorized_batches += static_cast<uint64_t>(NumBatches(n));
+  return true;
+}
+
+// Vectorized filter: the predicate has a kernel and every child column is
+// columnar; kept rows are gathered by selection vector. Charges what the row
+// path charges: one row of the child width per kept row.
+Result<bool> TryVectorFilter(const LogicalPlan& plan, const Relation& child,
+                             ExecState* state, Relation* rel) {
+  if (child.columns == nullptr || !child.columns->Complete()) return false;
+  const int64_t n = static_cast<int64_t>(child.rows.size());
+  auto arena = std::make_shared<Arena>();
+  MSQL_ASSIGN_OR_RETURN(ColumnPtr pred,
+                        EvalVector(*plan.predicate, child, arena, state));
+  if (pred == nullptr) return false;
+  if (pred->kind != TypeKind::kBool && pred->kind != TypeKind::kNull) {
+    return false;
+  }
+  std::vector<int64_t> sel;
+  for (int64_t i = 0; i < n; ++i) {
+    if (pred->IsValid(i) && pred->ints[i] != 0) sel.push_back(i);
+  }
+  MSQL_RETURN_IF_ERROR(
+      state->guard.ChargeRows(sel.size(), child.schema.size()));
+  auto out = std::make_shared<ColumnarRelation>();
+  out->num_rows = static_cast<int64_t>(sel.size());
+  out->cols.reserve(child.columns->cols.size());
+  for (const ColumnPtr& c : child.columns->cols) {
+    MSQL_ASSIGN_OR_RETURN(ColumnPtr g, GatherColumn(*c, sel, arena));
+    out->cols.push_back(std::move(g));
+  }
+  out->batches = MakeBatches(out->num_rows);
+  rel->columns = out;
+  rel->rows.AdoptLazy(std::move(out));
+  state->exec_vectorized_batches += static_cast<uint64_t>(NumBatches(n));
+  return true;
+}
+
+}  // namespace
+
 Result<RelationPtr> Executor::ExecProject(const LogicalPlan& plan,
                                           const RowStack& outer) {
   MSQL_ASSIGN_OR_RETURN(RelationPtr child, Execute(*plan.children[0], outer));
   auto rel = std::make_shared<Relation>();
   rel->schema = plan.schema;
+  if (outer.empty() && VectorizedGate(state_) == VectorGate::kOk) {
+    MSQL_ASSIGN_OR_RETURN(bool done,
+                          TryVectorProject(plan, *child, state_, rel.get()));
+    if (done) {
+      MSQL_RETURN_IF_ERROR(
+          BuildMeasures(plan, {child}, outer.empty(), rel.get()));
+      return RelationPtr(rel);
+    }
+    ++state_->exec_row_fallbacks;
+  }
   rel->rows.reserve(child->rows.size());
   Evaluator ev(state_);
   RowStack stack;
@@ -241,6 +328,16 @@ Result<RelationPtr> Executor::ExecFilter(const LogicalPlan& plan,
   MSQL_ASSIGN_OR_RETURN(RelationPtr child, Execute(*plan.children[0], outer));
   auto rel = std::make_shared<Relation>();
   rel->schema = plan.schema;
+  if (outer.empty() && VectorizedGate(state_) == VectorGate::kOk) {
+    MSQL_ASSIGN_OR_RETURN(bool done,
+                          TryVectorFilter(plan, *child, state_, rel.get()));
+    if (done) {
+      MSQL_RETURN_IF_ERROR(
+          BuildMeasures(plan, {child}, outer.empty(), rel.get()));
+      return RelationPtr(rel);
+    }
+    ++state_->exec_row_fallbacks;
+  }
   Evaluator ev(state_);
   RowStack stack;
   stack.push_back(Frame{});
@@ -489,14 +586,37 @@ Result<RelationPtr> Executor::ExecAggregate(const LogicalPlan& plan,
   Evaluator ev(state_);
 
   const size_t num_keys = plan.group_exprs.size();
+  const int64_t n = static_cast<int64_t>(child->rows.size());
 
-  // Evaluate all group expressions once per child row.
-  std::vector<Row> key_values(child->rows.size());
-  {
+  // Evaluate all group expressions once per child row — as whole columns
+  // when every group expression has a kernel, row-at-a-time otherwise.
+  std::vector<ColumnPtr> key_cols;
+  std::vector<Row> key_values;
+  if (num_keys > 0 && outer.empty() &&
+      VectorizedGate(state_) == VectorGate::kOk) {
+    auto arena = std::make_shared<Arena>();
+    for (const auto& g : plan.group_exprs) {
+      MSQL_ASSIGN_OR_RETURN(ColumnPtr col,
+                            EvalVector(*g, *child, arena, state_));
+      if (col == nullptr) {
+        key_cols.clear();
+        break;
+      }
+      key_cols.push_back(std::move(col));
+    }
+    if (key_cols.size() == num_keys) {
+      state_->exec_vectorized_batches += static_cast<uint64_t>(NumBatches(n));
+    } else {
+      ++state_->exec_row_fallbacks;
+    }
+  }
+  const bool keys_columnar = key_cols.size() == num_keys && num_keys > 0;
+  if (!keys_columnar && num_keys > 0) {
+    key_values.resize(static_cast<size_t>(n));
     RowStack stack;
     stack.push_back(Frame{});
     for (const Frame& f : outer) stack.push_back(f);
-    for (int64_t i = 0; i < static_cast<int64_t>(child->rows.size()); ++i) {
+    for (int64_t i = 0; i < n; ++i) {
       MSQL_RETURN_IF_ERROR(state_->guard.Check());
       stack[0] = Frame{&child->rows[i], i, child.get()};
       Row& kv = key_values[i];
@@ -507,26 +627,78 @@ Result<RelationPtr> Executor::ExecAggregate(const LogicalPlan& plan,
       }
     }
   }
+  auto key_at = [&](int64_t i, int k) {
+    return keys_columnar ? key_cols[static_cast<size_t>(k)]->At(i)
+                         : key_values[static_cast<size_t>(i)][k];
+  };
 
   for (const std::vector<int>& set : plan.grouping_sets) {
-    // Group rows for this grouping set.
-    GroupMap groups;
-    std::vector<Row> group_order;  // preserve first-seen order
-    for (int64_t i = 0; i < static_cast<int64_t>(child->rows.size()); ++i) {
-      MSQL_RETURN_IF_ERROR(state_->guard.Check());
-      Row key;
-      key.reserve(set.size());
-      for (int k : set) key.push_back(key_values[i][k]);
-      auto [it, inserted] = groups.emplace(std::move(key),
-                                           std::vector<int64_t>{});
-      if (inserted) group_order.push_back(it->first);
-      it->second.push_back(i);
+    // Group rows for this grouping set: parallel arrays in first-seen order
+    // (identical to the row path's GroupMap + group_order, without the
+    // repeated map lookups downstream).
+    std::vector<Row> group_keys;
+    std::vector<std::vector<int64_t>> group_rows;
+
+    bool grouped = false;
+    if (keys_columnar && set.size() == 1) {
+      // Single-key fast path over comparable codes: for BOOL/INT64/DATE the
+      // payload IS the value, and for a dedup'd dictionary the code equals
+      // the string. Code equality then coincides with IS NOT DISTINCT FROM
+      // (same-kind payload equality), so grouping hashes an int64 instead of
+      // a Value. DOUBLE is excluded: -0.0 == 0.0 yet differs bitwise.
+      const ColumnVector& c = *key_cols[static_cast<size_t>(set[0])];
+      if (c.kind == TypeKind::kBool || c.kind == TypeKind::kInt64 ||
+          c.kind == TypeKind::kDate || c.kind == TypeKind::kNull ||
+          (c.kind == TypeKind::kString && c.dict_unique)) {
+        grouped = true;
+        std::unordered_map<int64_t, size_t> by_code;
+        size_t null_group = SIZE_MAX;
+        for (int64_t i = 0; i < n; ++i) {
+          if ((i & (kRowsPerBatch - 1)) == 0) {
+            MSQL_RETURN_IF_ERROR(state_->guard.Check());
+          }
+          size_t gi;
+          if (!c.IsValid(i)) {
+            if (null_group == SIZE_MAX) {
+              null_group = group_keys.size();
+              group_keys.push_back(Row{Value::Null()});
+              group_rows.emplace_back();
+            }
+            gi = null_group;
+          } else {
+            auto [it, inserted] = by_code.emplace(c.ints[i],
+                                                  group_keys.size());
+            if (inserted) {
+              group_keys.push_back(Row{c.At(i)});
+              group_rows.emplace_back();
+            }
+            gi = it->second;
+          }
+          group_rows[gi].push_back(i);
+        }
+      }
+    }
+    if (!grouped) {
+      std::unordered_map<Row, size_t, KeyHash, KeyEq> index;
+      for (int64_t i = 0; i < n; ++i) {
+        MSQL_RETURN_IF_ERROR(state_->guard.Check());
+        Row key;
+        key.reserve(set.size());
+        for (int k : set) key.push_back(key_at(i, k));
+        auto [it, inserted] = index.emplace(std::move(key),
+                                            group_keys.size());
+        if (inserted) {
+          group_keys.push_back(it->first);
+          group_rows.emplace_back();
+        }
+        group_rows[it->second].push_back(i);
+      }
     }
     // The empty grouping set aggregates over all rows, producing one row
     // even for empty input (SQL scalar-aggregation semantics).
-    if (set.empty() && groups.empty()) {
-      groups.emplace(Row{}, std::vector<int64_t>{});
-      group_order.push_back(Row{});
+    if (set.empty() && group_keys.empty()) {
+      group_keys.push_back(Row{});
+      group_rows.emplace_back();
     }
 
     int64_t grouping_id = 0;
@@ -539,10 +711,11 @@ Result<RelationPtr> Executor::ExecAggregate(const LogicalPlan& plan,
 
     // Key columns and aggregate calls, one output row per group.
     std::vector<Row> out_rows;
-    out_rows.reserve(group_order.size());
-    for (const Row& key : group_order) {
+    out_rows.reserve(group_keys.size());
+    for (size_t g = 0; g < group_keys.size(); ++g) {
       MSQL_RETURN_IF_ERROR(state_->guard.Check());
-      const std::vector<int64_t>& rows = groups.find(key)->second;
+      const Row& key = group_keys[g];
+      const std::vector<int64_t>& rows = group_rows[g];
       Row out;
       out.reserve(plan.schema.size());
       // Group key columns (NULL when aggregated away in this set).
@@ -585,18 +758,22 @@ Result<RelationPtr> Executor::ExecAggregate(const LogicalPlan& plan,
           me.modifiers[0].kind == AtModifier::Kind::kVisible;
 
       std::vector<EvalContext> contexts;
-      contexts.reserve(group_order.size());
-      for (const Row& key : group_order) {
+      contexts.reserve(group_keys.size());
+      for (size_t g = 0; g < group_keys.size(); ++g) {
         MSQL_RETURN_IF_ERROR(state_->guard.Check());
-        const std::vector<int64_t>& rows = groups.find(key)->second;
+        const Row& key = group_keys[g];
+        const std::vector<int64_t>& rows = group_rows[g];
 
         // Default group context: one dimension term per group key of this
         // grouping set that has provenance onto the measure's source.
         EvalContext ctx;
         RowStack call_stack;
         // Representative row: group keys may be closed over by modifiers.
+        // Only needed when dimension terms are built — the VISIBLE-only
+        // path never dereferences it, and touching child->rows here would
+        // force a lazy columnar child to materialize its row vector.
         Frame rep;
-        if (!rows.empty()) {
+        if (!visible_only && !rows.empty()) {
           rep = Frame{&child->rows[rows[0]], rows[0], child.get()};
         }
         call_stack.push_back(rep);
@@ -650,19 +827,19 @@ Result<RelationPtr> Executor::ExecSort(const LogicalPlan& plan,
   rel->schema = plan.schema;
   MSQL_RETURN_IF_ERROR(
       state_->guard.ChargeRows(child->rows.size(), plan.schema.size()));
-  rel->rows = child->rows;
+  const std::vector<Row>& in = child->rows.vec();
 
   // Evaluate sort keys per row.
   Evaluator ev(state_);
   RowStack stack;
   stack.push_back(Frame{});
   for (const Frame& f : outer) stack.push_back(f);
-  std::vector<Row> keys(rel->rows.size());
-  std::vector<size_t> order(rel->rows.size());
-  for (int64_t i = 0; i < static_cast<int64_t>(rel->rows.size()); ++i) {
+  std::vector<Row> keys(in.size());
+  std::vector<size_t> order(in.size());
+  for (int64_t i = 0; i < static_cast<int64_t>(in.size()); ++i) {
     MSQL_RETURN_IF_ERROR(state_->guard.Check());
     order[i] = i;
-    stack[0] = Frame{&rel->rows[i], i, child.get()};
+    stack[0] = Frame{&in[i], i, child.get()};
     for (const SortKeyDef& k : plan.sort_keys) {
       MSQL_ASSIGN_OR_RETURN(Value v, ev.Eval(*k.expr, stack));
       keys[i].push_back(std::move(v));
@@ -682,8 +859,8 @@ Result<RelationPtr> Executor::ExecSort(const LogicalPlan& plan,
     return false;
   });
   std::vector<Row> sorted;
-  sorted.reserve(rel->rows.size());
-  for (size_t i : order) sorted.push_back(std::move(rel->rows[i]));
+  sorted.reserve(in.size());
+  for (size_t i : order) sorted.push_back(in[i]);
   rel->rows = std::move(sorted);
   MSQL_RETURN_IF_ERROR(BuildMeasures(plan, {child}, outer.empty(), rel.get()));
   return RelationPtr(rel);

@@ -2,13 +2,16 @@
 #define MSQL_EXEC_RELATION_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "binder/bound_expr.h"
 #include "catalog/schema.h"
 #include "common/value.h"
+#include "exec/column_vector.h"
 
 namespace msql {
 
@@ -35,12 +38,106 @@ struct RtMeasure {
   std::shared_ptr<const std::string> fingerprint;
 };
 
+// Row storage of a materialized relation. Three backings, one read API:
+//
+//   owned    a plain std::vector<Row> the producing operator appended to
+//            (the classic row path);
+//   shared   an immutable segment adopted by shared_ptr — table scans adopt
+//            the catalog's COW snapshot in O(1) instead of copying R rows;
+//   lazy     a columnar image (exec/column_vector.h) whose rows materialize
+//            on first row-path access, so fully vectorized pipelines never
+//            pay for rows nobody reads.
+//
+// Readers see a const std::vector<Row> regardless of backing. Mutators only
+// touch owned storage; they detach (copy) from a shared or lazy backing
+// first, which in practice never happens — relations are frozen behind
+// RelationPtr once built. Lazy materialization is serialized by call_once so
+// morsel-parallel measure workers may race on first access.
+class RowStore {
+ public:
+  RowStore() = default;
+
+  size_t size() const {
+    if (shared_ != nullptr) return shared_->size();
+    if (lazy_ != nullptr) return static_cast<size_t>(lazy_->cols->num_rows);
+    return owned_.size();
+  }
+  bool empty() const { return size() == 0; }
+  const Row& operator[](size_t i) const { return vec()[i]; }
+  std::vector<Row>::const_iterator begin() const { return vec().begin(); }
+  std::vector<Row>::const_iterator end() const { return vec().end(); }
+
+  // The materialized row vector (forces a lazy columnar backing to
+  // materialize; O(1) afterwards).
+  const std::vector<Row>& vec() const {
+    if (shared_ != nullptr) return *shared_;
+    if (lazy_ != nullptr) {
+      Lazy* lazy = lazy_.get();
+      std::call_once(lazy->once, [lazy] {
+        lazy->rows = MaterializeRowsDense(*lazy->cols);
+      });
+      return lazy->rows;
+    }
+    return owned_;
+  }
+
+  void reserve(size_t n) { Own().reserve(n); }
+  void push_back(Row r) { Own().push_back(std::move(r)); }
+  RowStore& operator=(std::vector<Row>&& rows) {
+    shared_.reset();
+    lazy_.reset();
+    owned_ = std::move(rows);
+    return *this;
+  }
+
+  // Adopts an immutable shared segment in O(1) (table snapshots: the COW
+  // catalog republishes the vector on mutation, so sharing is safe).
+  void AdoptShared(std::shared_ptr<const std::vector<Row>> rows) {
+    shared_ = std::move(rows);
+    lazy_.reset();
+    owned_.clear();
+  }
+
+  // Adopts a complete columnar image (every column present); rows
+  // materialize on first access through vec().
+  void AdoptLazy(std::shared_ptr<const ColumnarRelation> cols) {
+    lazy_ = std::make_shared<Lazy>();
+    lazy_->cols = std::move(cols);
+    shared_.reset();
+    owned_.clear();
+  }
+
+ private:
+  struct Lazy {
+    std::once_flag once;
+    std::shared_ptr<const ColumnarRelation> cols;
+    std::vector<Row> rows;
+  };
+
+  std::vector<Row>& Own() {
+    if (shared_ != nullptr || lazy_ != nullptr) {
+      owned_ = vec();
+      shared_.reset();
+      lazy_.reset();
+    }
+    return owned_;
+  }
+
+  std::vector<Row> owned_;
+  std::shared_ptr<const std::vector<Row>> shared_;
+  std::shared_ptr<Lazy> lazy_;
+};
+
 // A fully materialized intermediate or final result: schema (visible columns
-// first, hidden after), row data, and the measures riding on it.
+// first, hidden after), row data, and the measures riding on it. `columns`
+// is the columnar sidecar the vectorized kernels run on — null when the
+// relation was produced by the row path; per-column entries may be null for
+// columns dynamic typing left row-major.
 struct Relation {
   Schema schema;
-  std::vector<Row> rows;
+  RowStore rows;
   std::vector<RtMeasure> measures;
+  std::shared_ptr<const ColumnarRelation> columns;
 };
 
 using RelationPtr = std::shared_ptr<const Relation>;

@@ -429,6 +429,21 @@ Result<std::shared_ptr<const std::vector<int64_t>>> CollectRowIds(
     return Status(ErrorCode::kExecution,
                   StrCat("measure '", m.name, "' has no row-id column"));
   }
+  // Columnar fast path: read the hidden row-id column directly (self-gating
+  // — only vectorized operators attach a columnar sidecar). Avoids forcing
+  // a lazy relation to materialize its row vector just for one column.
+  if (rel.columns != nullptr &&
+      static_cast<size_t>(m.rowid_col) < rel.columns->cols.size() &&
+      rel.columns->cols[m.rowid_col] != nullptr &&
+      rel.columns->cols[m.rowid_col]->kind == TypeKind::kInt64) {
+    const ColumnVector& c = *rel.columns->cols[m.rowid_col];
+    for (int64_t idx : rows) {
+      if (c.IsValid(idx)) ids->push_back(c.ints[idx]);
+    }
+    std::sort(ids->begin(), ids->end());
+    ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+    return std::shared_ptr<const std::vector<int64_t>>(std::move(ids));
+  }
   for (int64_t idx : rows) {
     const Row& row = rel.rows[idx];
     if (static_cast<size_t>(m.rowid_col) >= row.size()) {

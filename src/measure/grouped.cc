@@ -6,6 +6,7 @@
 #include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "exec/eval.h"
+#include "exec/vector_eval.h"
 #include "measure/cse.h"
 #include "runtime/circuit_breaker.h"
 #include "runtime/parallel.h"
@@ -41,6 +42,8 @@ Status JoinWorkerState(ExecState* state, const ExecState& w) {
   state->measure_grouped_probes += w.measure_grouped_probes;
   state->measure_grouped_fallbacks += w.measure_grouped_fallbacks;
   state->measure_parallel_tasks += w.measure_parallel_tasks;
+  state->exec_vectorized_batches += w.exec_vectorized_batches;
+  state->exec_row_fallbacks += w.exec_row_fallbacks;
   return state->guard.MergeWorker(w.guard);
 }
 
@@ -69,6 +72,42 @@ Status EvalKeyRow(const GroupedIndex& index, const Relation& src, int64_t i,
 Status EvalAllKeyRows(const GroupedIndex& index, const Relation& src,
                       std::vector<Row>* keys, ExecState* state) {
   const int64_t n = static_cast<int64_t>(src.rows.size());
+
+  // Columnar fast path: when every dimension expression has a vector
+  // kernel, evaluate each once over the whole source and transpose into the
+  // position-indexed key rows. Same values in the same positions as the
+  // scalar loop, no per-row stack churn.
+  if (VectorizedGate(state) == VectorGate::kOk) {
+    auto arena = std::make_shared<Arena>();
+    std::vector<ColumnPtr> dim_cols;
+    dim_cols.reserve(index.dim_exprs.size());
+    bool all = true;
+    for (const auto& e : index.dim_exprs) {
+      auto col = EvalVector(*e, src, arena, state);
+      MSQL_RETURN_IF_ERROR(col.status());
+      if (col.value() == nullptr) {
+        all = false;
+        break;
+      }
+      dim_cols.push_back(col.take());
+    }
+    if (all) {
+      state->exec_vectorized_batches += static_cast<uint64_t>(NumBatches(n));
+      for (int64_t i = 0; i < n; ++i) {
+        if ((i & (kRowsPerBatch - 1)) == 0) {
+          MSQL_RETURN_IF_ERROR(state->guard.Check());
+        }
+        Row& key = (*keys)[i];
+        key.resize(dim_cols.size());
+        for (size_t d = 0; d < dim_cols.size(); ++d) {
+          key[d] = dim_cols[d]->At(i);
+        }
+      }
+      return Status::Ok();
+    }
+    ++state->exec_row_fallbacks;
+  }
+
   ThreadPool* pool = MeasurePoolOrNull(state);
   if (pool != nullptr) {
     for (const auto& e : index.dim_exprs) {

@@ -88,10 +88,21 @@ void RenderNode(const LogicalPlan& plan, const ExplainOptions& opts,
         sub(self.subquery_cache_hits, c.subquery_cache_hits);
         sub(self.shared_cache_hits, c.shared_cache_hits);
         sub(self.shared_cache_misses, c.shared_cache_misses);
+        sub(self.exec_vectorized_batches, c.exec_vectorized_batches);
+        sub(self.exec_row_fallbacks, c.exec_row_fallbacks);
       }
       line += StrCat(" (actual time=", FormatMs(it->second.time_us),
                      "ms rows=", it->second.rows_out,
                      " loops=", it->second.invocations, ")");
+      if (self.exec_vectorized_batches > 0 || self.exec_row_fallbacks > 0) {
+        const char* mode =
+            self.exec_vectorized_batches == 0  ? "row"
+            : self.exec_row_fallbacks == 0     ? "vectorized"
+                                               : "mixed";
+        line += StrCat(" exec=", mode,
+                       " batches=", self.exec_vectorized_batches,
+                       " fallbacks=", self.exec_row_fallbacks);
+      }
       if (self.measure_evals > 0) {
         line += StrCat(" [measures: evals=", self.measure_evals,
                        " cache_hits=", self.measure_cache_hits,
@@ -144,6 +155,8 @@ std::string RenderAnalyzeSummary(const QueryStats& stats,
                 " strategy=", StrategyNote(opts), "\n");
   out += StrCat("Subqueries: execs=", stats.subquery_execs,
                 " cache_hits=", stats.subquery_cache_hits, "\n");
+  out += StrCat("Exec: vectorized_batches=", stats.exec_vectorized_batches,
+                " row_fallbacks=", stats.exec_row_fallbacks, "\n");
   out += StrCat(
       "PlanCache: ",
       stats.plan_cache == QueryStats::PlanCacheOutcome::kHit    ? "hit"

@@ -32,6 +32,8 @@ struct OpStats {
   uint64_t subquery_cache_hits = 0;
   uint64_t shared_cache_hits = 0;
   uint64_t shared_cache_misses = 0;
+  uint64_t exec_vectorized_batches = 0;
+  uint64_t exec_row_fallbacks = 0;
 };
 
 // Per-query profile, keyed by plan-node identity (stable within a query).

@@ -15,6 +15,7 @@ struct Leg {
   const char* name;
   MeasureStrategy strategy;
   int parallelism;
+  ExecMode exec_mode;
 };
 
 struct QueryRun {
@@ -86,11 +87,22 @@ CaseOutcome RunCase(const CaseSpec& spec, const OracleOptions& options) {
   const std::vector<std::string> setup = spec.SetupStatements();
 
   const int workers = options.measure_workers > 1 ? options.measure_workers : 4;
+  // Full strategy matrix under both execution modes, 8 legs. The base leg
+  // is the naive strategy on the row-at-a-time interpreter — the slowest,
+  // most-literal evaluation — so every optimization (memoization, grouped
+  // indexes, parallelism, vectorized kernels) is differentially checked
+  // against it bit for bit.
   const Leg legs[] = {
-      {"naive", MeasureStrategy::kNaive, 1},
-      {"memoized", MeasureStrategy::kMemoized, 1},
-      {"grouped", MeasureStrategy::kGrouped, 1},
-      {"grouped-parallel", MeasureStrategy::kGrouped, workers},
+      {"naive-row", MeasureStrategy::kNaive, 1, ExecMode::kRow},
+      {"naive-vec", MeasureStrategy::kNaive, 1, ExecMode::kVectorized},
+      {"memoized-row", MeasureStrategy::kMemoized, 1, ExecMode::kRow},
+      {"memoized-vec", MeasureStrategy::kMemoized, 1, ExecMode::kVectorized},
+      {"grouped-row", MeasureStrategy::kGrouped, 1, ExecMode::kRow},
+      {"grouped-vec", MeasureStrategy::kGrouped, 1, ExecMode::kVectorized},
+      {"grouped-parallel-row", MeasureStrategy::kGrouped, workers,
+       ExecMode::kRow},
+      {"grouped-parallel-vec", MeasureStrategy::kGrouped, workers,
+       ExecMode::kVectorized},
   };
 
   for (size_t ci = 0; ci < spec.checks.size(); ++ci) {
@@ -113,6 +125,7 @@ CaseOutcome RunCase(const CaseSpec& spec, const OracleOptions& options) {
         EngineOptions eopts;
         eopts.measure_strategy = leg.strategy;
         eopts.measure_parallelism = leg.parallelism;
+        eopts.exec_mode = leg.exec_mode;
         Status setup_error;
         runs.push_back(RunOn(eopts, setup, query, &setup_error));
         if (!setup_error.ok()) {
@@ -122,7 +135,7 @@ CaseOutcome RunCase(const CaseSpec& spec, const OracleOptions& options) {
           return outcome;
         }
       }
-      reference.push_back(runs[2]);
+      reference.push_back(runs[5]);  // grouped-vec: the default engine config
 
       const QueryRun& base = runs[0];
       for (size_t li = 1; li < std::size(legs); ++li) {

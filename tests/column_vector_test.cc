@@ -1,0 +1,274 @@
+// Unit tests for the columnar batch layer: typed column vectors, validity
+// bitmaps, the arena allocator and its guard-charged accounting.
+
+#include "exec/column_vector.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/query_guard.h"
+#include "common/value.h"
+#include "gtest/gtest.h"
+
+namespace msql {
+namespace {
+
+std::shared_ptr<Arena> NewArena() { return std::make_shared<Arena>(); }
+
+void ExpectSameValue(const Value& a, const Value& b, const std::string& where) {
+  EXPECT_TRUE(Value::NotDistinct(a, b))
+      << where << ": " << a.ToString() << " vs " << b.ToString();
+  if (!a.is_null()) {
+    EXPECT_EQ(static_cast<int>(a.kind()), static_cast<int>(b.kind()))
+        << where << ": kind drifted through the columnar round-trip";
+  }
+}
+
+TEST(ColumnVectorTest, RoundTripAllKindsWithNulls) {
+  // One column per TypeKind, NULLs sprinkled into each, duplicate strings to
+  // exercise dictionary encoding, plus an all-NULL column.
+  std::vector<Row> rows;
+  const char* names[] = {"Acme", "Happy", "Acme", "Whizz", "Happy"};
+  for (int i = 0; i < 500; ++i) {
+    Row r;
+    r.push_back(i % 7 == 0 ? Value::Null() : Value::Int(i - 250));
+    r.push_back(i % 5 == 0 ? Value::Null() : Value::Double(i * 0.25));
+    r.push_back(i % 3 == 0 ? Value::Null() : Value::Bool(i % 2 == 0));
+    r.push_back(i % 11 == 0 ? Value::Null() : Value::Date(i));
+    r.push_back(i % 13 == 0 ? Value::Null() : Value::String(names[i % 5]));
+    r.push_back(Value::Null());
+    rows.push_back(std::move(r));
+  }
+
+  auto built = ColumnarizeRows(6, rows, NewArena());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  std::shared_ptr<const ColumnarRelation> rel = built.take();
+  ASSERT_NE(rel, nullptr);
+  ASSERT_TRUE(rel->Complete());
+  EXPECT_EQ(rel->num_rows, 500);
+  EXPECT_EQ(rel->cols.size(), 6u);
+  EXPECT_EQ(rel->batches.size(), static_cast<size_t>(NumBatches(500)));
+
+  // Per-column kinds and dictionary dedup.
+  EXPECT_EQ(rel->cols[0]->kind, TypeKind::kInt64);
+  EXPECT_EQ(rel->cols[1]->kind, TypeKind::kDouble);
+  EXPECT_EQ(rel->cols[2]->kind, TypeKind::kBool);
+  EXPECT_EQ(rel->cols[3]->kind, TypeKind::kDate);
+  EXPECT_EQ(rel->cols[4]->kind, TypeKind::kString);
+  EXPECT_EQ(rel->cols[5]->kind, TypeKind::kNull);
+  ASSERT_NE(rel->cols[4]->dict, nullptr);
+  EXPECT_TRUE(rel->cols[4]->dict_unique);
+  EXPECT_EQ(rel->cols[4]->dict->size(), 3u);  // Acme, Happy, Whizz
+
+  // At(i) reconstructs every original value; the all-NULL column reports
+  // every row invalid.
+  for (int64_t i = 0; i < 500; ++i) {
+    for (size_t c = 0; c < 6; ++c) {
+      ExpectSameValue(rows[i][c], rel->cols[c]->At(i),
+                      "row " + std::to_string(i) + " col " + std::to_string(c));
+      EXPECT_EQ(rel->cols[c]->IsValid(i), !rows[i][c].is_null());
+    }
+  }
+
+  // MaterializeRowsDense is the exact inverse.
+  std::vector<Row> back = MaterializeRowsDense(*rel);
+  ASSERT_EQ(back.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_EQ(back[i].size(), rows[i].size());
+    for (size_t c = 0; c < rows[i].size(); ++c) {
+      ExpectSameValue(rows[i][c], back[i][c],
+                      "materialized row " + std::to_string(i));
+    }
+  }
+}
+
+TEST(ColumnVectorTest, BitmapEdgesAtWordAndBatchBoundaries) {
+  // Sizes straddling the 64-bit bitmap words and the 1024-row batch size:
+  // tail bits past `length` must never read as valid rows.
+  for (int64_t n : {int64_t{1}, int64_t{63}, int64_t{64}, int64_t{65},
+                    int64_t{1023}, int64_t{1024}, int64_t{1025}}) {
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < n; ++i) {
+      Row r;
+      r.push_back(i % 3 == 0 ? Value::Null() : Value::Int(i));
+      rows.push_back(std::move(r));
+    }
+    auto built = ColumnarizeRows(1, rows, NewArena());
+    ASSERT_TRUE(built.ok()) << "n=" << n;
+    auto rel = built.take();
+    ASSERT_TRUE(rel->Complete()) << "n=" << n;
+    const ColumnVector& c = *rel->cols[0];
+    ASSERT_EQ(c.length, n);
+    ASSERT_NE(c.valid, nullptr) << "n=" << n;
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(c.IsValid(i), i % 3 != 0) << "n=" << n << " i=" << i;
+      ExpectSameValue(rows[i][0], c.At(i), "n=" + std::to_string(n));
+    }
+    // NULL payload slots stay zero-filled (full-width kernels rely on it).
+    // n=1 holds only NULLs, so the column is kNull and carries no payload.
+    if (c.kind != TypeKind::kNull) {
+      ASSERT_NE(c.ints, nullptr) << "n=" << n;
+      for (int64_t i = 0; i < n; i += 3) {
+        EXPECT_EQ(c.ints[i], 0) << "n=" << n << " i=" << i;
+      }
+    }
+    EXPECT_EQ(rel->batches.size(), static_cast<size_t>(NumBatches(n)));
+    int64_t covered = 0;
+    for (const RowBatch& b : rel->batches) {
+      EXPECT_EQ(b.offset, covered);
+      EXPECT_GT(b.length, 0);
+      EXPECT_LE(b.length, kRowsPerBatch);
+      covered += b.length;
+    }
+    EXPECT_EQ(covered, n);
+  }
+}
+
+TEST(ColumnVectorTest, AllValidColumnDropsTheBitmap) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 100; ++i) rows.push_back(Row{Value::Int(i)});
+  auto built = ColumnarizeRows(1, rows, NewArena());
+  ASSERT_TRUE(built.ok());
+  auto rel = built.take();
+  EXPECT_EQ(rel->cols[0]->valid, nullptr);
+  for (int64_t i = 0; i < 100; ++i) EXPECT_TRUE(rel->cols[0]->IsValid(i));
+}
+
+TEST(ColumnVectorTest, MixedKindColumnStaysRowMajor) {
+  std::vector<Row> rows;
+  rows.push_back(Row{Value::Int(1), Value::Int(10)});
+  rows.push_back(Row{Value::String("x"), Value::Int(20)});
+  auto built = ColumnarizeRows(2, rows, NewArena());
+  ASSERT_TRUE(built.ok());
+  auto rel = built.take();
+  EXPECT_EQ(rel->cols[0], nullptr);  // INT then STRING: no single kind
+  ASSERT_NE(rel->cols[1], nullptr);
+  EXPECT_FALSE(rel->Complete());
+}
+
+TEST(ColumnVectorTest, DictionaryDegradesToInlinePastTheCodeLimit) {
+  // More distinct strings than kMaxDictCodes: the builder stops deduping and
+  // appends inline. Values still round-trip; codes are no longer comparable.
+  const int64_t n = ColumnBuilder::kMaxDictCodes + 100;
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back(Row{Value::String("s" + std::to_string(i))});
+  }
+  auto built = ColumnarizeRows(1, rows, NewArena());
+  ASSERT_TRUE(built.ok());
+  auto rel = built.take();
+  const ColumnVector& c = *rel->cols[0];
+  EXPECT_FALSE(c.dict_unique);
+  for (int64_t i = 0; i < n; i += 997) {
+    ExpectSameValue(rows[i][0], c.At(i), "degraded dict row");
+  }
+  ExpectSameValue(rows[n - 1][0], c.At(n - 1), "degraded dict last row");
+}
+
+TEST(ColumnVectorTest, GatherSharesTheDictionaryAndKeepsNulls) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 200; ++i) {
+    rows.push_back(
+        Row{i % 4 == 0 ? Value::Null()
+                       : Value::String(i % 2 == 0 ? "even" : "odd")});
+  }
+  auto built = ColumnarizeRows(1, rows, NewArena());
+  ASSERT_TRUE(built.ok());
+  auto rel = built.take();
+  std::vector<int64_t> sel = {0, 3, 7, 100, 199, 3};  // dups allowed
+  auto gathered = GatherColumn(*rel->cols[0], sel, NewArena());
+  ASSERT_TRUE(gathered.ok());
+  ColumnPtr g = gathered.take();
+  ASSERT_EQ(g->length, static_cast<int64_t>(sel.size()));
+  EXPECT_EQ(g->dict, rel->cols[0]->dict);  // shared, not copied
+  for (size_t i = 0; i < sel.size(); ++i) {
+    ExpectSameValue(rows[sel[i]][0], g->At(i), "gathered row");
+  }
+}
+
+TEST(ArenaTest, ResetKeepsTheLargestBlockForReuse) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  void* p = arena.Allocate(1000);
+  ASSERT_NE(p, nullptr);
+  const uint64_t reserved = arena.bytes_reserved();
+  EXPECT_GE(reserved, Arena::kMinBlockBytes);
+
+  // Fill past the first block so a second one is reserved.
+  while (arena.bytes_reserved() == reserved) {
+    ASSERT_NE(arena.Allocate(4096), nullptr);
+  }
+  EXPECT_GT(arena.bytes_reserved(), reserved);
+
+  // Reset keeps only the largest block; refilling it reserves nothing new.
+  arena.Reset();
+  const uint64_t after_reset = arena.bytes_reserved();
+  EXPECT_LE(after_reset, arena.bytes_reserved());
+  void* q = arena.Allocate(1000);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(arena.bytes_reserved(), after_reset);
+  EXPECT_TRUE(arena.status().ok());
+}
+
+TEST(ArenaTest, AlignmentAndZeroSizedRequests) {
+  Arena arena;
+  for (size_t align : {size_t{1}, size_t{8}, size_t{16}, size_t{64}}) {
+    void* p = arena.Allocate(3, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u);
+  }
+  EXPECT_NE(arena.Allocate(0), nullptr);
+}
+
+TEST(ArenaTest, GuardChargeFailurePoisonsTheArenaMidBuild) {
+  // Budget below a single arena block: the first block charge is rejected,
+  // the arena is poisoned (sticky), and allocation keeps returning nullptr.
+  QueryGuard guard;
+  guard.Arm(/*timeout_ms=*/0, /*max_memory_bytes=*/1024,
+            /*max_result_rows=*/0, nullptr, nullptr);
+  Arena arena(&guard);
+  EXPECT_EQ(arena.Allocate(100), nullptr);
+  EXPECT_EQ(arena.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(arena.Allocate(100), nullptr);  // sticky
+  EXPECT_EQ(arena.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(ArenaTest, GuardChargeFailureSurfacesThroughColumnBuild) {
+  // Budget admits the first block(s) but not the whole build: ColumnarizeRows
+  // must abort with the guard's kResourceExhausted, not return a truncated
+  // relation.
+  QueryGuard guard;
+  guard.Arm(/*timeout_ms=*/0, /*max_memory_bytes=*/2 * Arena::kMinBlockBytes,
+            /*max_result_rows=*/0, nullptr, nullptr);
+  auto arena = std::make_shared<Arena>(&guard);
+  ASSERT_NE(arena->Allocate(16), nullptr);  // first block fits the budget
+
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 200000; ++i) {
+    rows.push_back(Row{Value::Int(i), Value::Double(i * 0.5)});
+  }
+  auto built = ColumnarizeRows(2, rows, arena);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(arena->status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(ColumnVectorTest, BuilderReportsGuardExhaustionMidAppend) {
+  QueryGuard guard;
+  guard.Arm(/*timeout_ms=*/0, /*max_memory_bytes=*/Arena::kMinBlockBytes,
+            /*max_result_rows=*/0, nullptr, nullptr);
+  auto arena = std::make_shared<Arena>(&guard);
+  // Capacity large enough that the payload array alone busts the budget.
+  ColumnBuilder builder(arena, /*capacity=*/1 << 20);
+  bool ok = true;
+  for (int64_t i = 0; i < 10 && ok; ++i) ok = builder.Append(Value::Int(i));
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(builder.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(builder.Finish(), nullptr);
+}
+
+}  // namespace
+}  // namespace msql

@@ -127,11 +127,13 @@ TEST_F(FaultInjectionTest, SweepFailsCleanlyAtEveryCheckpoint) {
       }
     }
     if (fired_site == "measure.grouped_index_build" ||
-        fired_site == "runtime.shared_cache_fill") {
+        fired_site == "runtime.shared_cache_fill" ||
+        fired_site == "exec.vectorized_kernel") {
       // Degradable checkpoints: a grouped-index build fault falls back to
-      // the per-context scan path, and a shared-cache fill fault skips the
-      // fill (the query still returns correct, uncached results). Neither
-      // may leak into a query Status.
+      // the per-context scan path, a shared-cache fill fault skips the
+      // fill (the query still returns correct, uncached results), and a
+      // vectorized-kernel fault drops the operator to row-at-a-time
+      // execution. None may leak into a query Status.
       EXPECT_EQ(injected, 0)
           << "checkpoint " << i << " ('" << fired_site
           << "'): a degradable fault leaked into a query Status";
@@ -227,7 +229,8 @@ TEST_F(FaultInjectionTest, ObsSweepDegradesGracefully) {
           << "checkpoint " << i << " ('" << fired_site
           << "'): sink failure was not counted";
     } else if (fired_site == "measure.grouped_index_build" ||
-               fired_site == "runtime.shared_cache_fill") {
+               fired_site == "runtime.shared_cache_fill" ||
+               fired_site == "exec.vectorized_kernel") {
       // Degradable runtime checkpoints: the query proceeds on the
       // unoptimized path instead of failing.
       EXPECT_EQ(injected, 0)
@@ -303,6 +306,60 @@ TEST_F(FaultInjectionTest, GroupedIndexBuildFaultDegradesToScan) {
   }
   EXPECT_TRUE(exercised)
       << "the workload never crossed measure.grouped_index_build";
+}
+
+TEST_F(FaultInjectionTest, VectorizedKernelFaultDegradesToRowExecution) {
+  // A fault at exec.vectorized_kernel must never fail the query: the
+  // operator drops to row-at-a-time execution, bumps
+  // msql_exec_row_fallbacks_total, and produces identical results.
+  const char* sql =
+      "SELECT prodName, r AS v FROM EO GROUP BY prodName ORDER BY prodName";
+  auto run = [&](ResultSet* out, std::shared_ptr<const QueryStats>* stats) {
+    Engine db;
+    Status import = db.ImportCsv("Orders", csv_path_);
+    if (!import.ok()) return import;
+    Status view = db.Execute(
+        "CREATE VIEW EO AS SELECT *, SUM(revenue) AS MEASURE r FROM Orders");
+    if (!view.ok()) return view;
+    auto r = db.Query(sql);
+    if (!r.ok()) return r.status();
+    *stats = r.value().stats();
+    *out = std::move(r.value());
+    return Status::Ok();
+  };
+
+  auto& fi = FaultInjector::Instance();
+  fi.ArmAt(0);  // count-only
+  {
+    ResultSet rs;
+    std::shared_ptr<const QueryStats> stats;
+    ASSERT_TRUE(run(&rs, &stats).ok());
+  }
+  const int64_t n = fi.hits();
+  fi.Reset();
+  ASSERT_GT(n, 0);
+
+  bool exercised = false;
+  for (int64_t i = 1; i <= n; ++i) {
+    fi.ArmAt(i);
+    ResultSet rs;
+    std::shared_ptr<const QueryStats> stats;
+    Status st = run(&rs, &stats);
+    const std::string fired_site = fi.fired_site();
+    fi.Reset();
+    if (fired_site != "exec.vectorized_kernel") continue;
+    exercised = true;
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ASSERT_NE(stats, nullptr);
+    EXPECT_GE(stats->exec_row_fallbacks, 1u);
+    // Degraded results are still the listing's correct totals.
+    ASSERT_EQ(rs.num_rows(), 3u);
+    EXPECT_EQ(rs.Get(0, "v").int_val(), 5);    // Acme
+    EXPECT_EQ(rs.Get(1, "v").int_val(), 17);   // Happy: 6 + 7 + 4
+    EXPECT_EQ(rs.Get(2, "v").int_val(), 3);    // Whizz
+  }
+  EXPECT_TRUE(exercised)
+      << "the workload never crossed exec.vectorized_kernel";
 }
 
 TEST_F(FaultInjectionTest, AdmissionAndRetrySweep) {
